@@ -1,0 +1,80 @@
+"""Ablation benchmarks for design choices beyond the paper's figures.
+
+* **adaptive-vs-fixed**: the cost-model-driven ``AdaptiveStrategy`` (this
+  repo's extension) against the paper's fixed parametrisations, on the
+  workload class where combining matters most (random circuits).
+* **complex-table tolerance**: the paper's companion work (ref. [21]) shows
+  node sharing depends on snapping numerically-close edge weights; sweeping
+  the tolerance here shows how final/peak DD sizes react.
+* **gate-DD cache**: how much re-using gate DDs across identical operations
+  saves on a circuit with heavy gate repetition (Grover).
+"""
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.algorithms.supremacy import supremacy_circuit
+from repro.dd import Package
+from repro.simulation import (AdaptiveStrategy, KOperationsStrategy,
+                              MaxSizeStrategy, SequentialStrategy,
+                              SimulationEngine)
+
+SUPREMACY = supremacy_circuit(3, 3, 10, seed=1).circuit
+
+STRATEGIES = {
+    "sequential": SequentialStrategy,
+    "k16": lambda: KOperationsStrategy(16),
+    "smax64": lambda: MaxSizeStrategy(64),
+    "adaptive": AdaptiveStrategy,
+}
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_ablation_adaptive_vs_fixed(benchmark, name):
+    benchmark.group = "ablation:adaptive-vs-fixed"
+
+    def once():
+        engine = SimulationEngine()
+        return engine.simulate(SUPREMACY, STRATEGIES[name]()).statistics
+
+    stats = benchmark.pedantic(once, rounds=3, iterations=1)
+    benchmark.extra_info.update({
+        "strategy": stats.strategy,
+        "matrix_vector_mults": stats.matrix_vector_mults,
+        "matrix_matrix_mults": stats.matrix_matrix_mults,
+        "recursions": stats.counters.total_recursions(),
+    })
+
+
+@pytest.mark.parametrize("tolerance", [1e-13, 1e-10, 1e-6])
+def test_ablation_complex_tolerance(benchmark, tolerance):
+    benchmark.group = "ablation:tolerance"
+
+    def once():
+        package = Package(tolerance=tolerance)
+        engine = SimulationEngine(package)
+        result = engine.simulate(SUPREMACY)
+        return result
+
+    result = benchmark.pedantic(once, rounds=3, iterations=1)
+    benchmark.extra_info.update({
+        "tolerance": tolerance,
+        "final_state_nodes": result.statistics.final_state_nodes,
+        "peak_state_nodes": result.statistics.peak_state_nodes,
+        "complex_entries": len(result.package.complex_table),
+    })
+
+
+GROVER = grover_circuit(10, 311).circuit
+
+
+@pytest.mark.parametrize("cache", ["shared-engine", "fresh-engine-per-run"])
+def test_ablation_gate_cache(benchmark, cache):
+    benchmark.group = "ablation:gate-cache"
+    shared = SimulationEngine()
+
+    def once():
+        engine = shared if cache == "shared-engine" else SimulationEngine()
+        return engine.simulate(GROVER).statistics
+
+    benchmark.pedantic(once, rounds=3, iterations=1)

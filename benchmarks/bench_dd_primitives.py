@@ -1,0 +1,81 @@
+"""Ablation micro-benchmarks of the DD primitives.
+
+Not a paper artifact, but the cost model behind its argument: matrix-vector
+multiplication cost scales with the *state* DD size, matrix-matrix
+multiplication of gate DDs does not.  These benchmarks pin that down at the
+primitive level and track the gate-DD construction cost (which must stay
+linear in the qubit count).
+"""
+
+import pytest
+
+from repro.algorithms.supremacy import supremacy_circuit
+from repro.circuit import Operation
+from repro.dd import Package, build_gate_dd
+from repro.simulation import SimulationEngine
+
+H = [[2 ** -0.5, 2 ** -0.5], [2 ** -0.5, -(2 ** -0.5)]]
+
+
+def _large_state(package: Package, rows=3, cols=3, depth=10, seed=1):
+    circuit = supremacy_circuit(rows, cols, depth, seed).circuit
+    engine = SimulationEngine(package)
+    return engine.simulate(circuit).state, circuit.num_qubits
+
+
+@pytest.mark.parametrize("num_qubits", [8, 16, 32])
+def test_gate_dd_construction(benchmark, num_qubits):
+    """Gate-DD construction is linear in the qubit count."""
+    benchmark.group = "primitives:gate-construction"
+    package = Package()
+    controls = {0: 1, num_qubits - 1: 1}
+
+    def once():
+        return build_gate_dd(package, H, num_qubits, num_qubits // 2,
+                             controls)
+
+    edge = benchmark.pedantic(once, rounds=20, iterations=5)
+    benchmark.extra_info["nodes"] = package.count_nodes(edge)
+
+
+def test_matrix_vector_on_large_state(benchmark):
+    """MxV cost tracks the (large) state DD size."""
+    benchmark.group = "primitives:multiplication"
+    package = Package()
+    state, num_qubits = _large_state(package)
+    gate = build_gate_dd(package, H, num_qubits, num_qubits // 2)
+
+    def once():
+        package.clear_compute_tables()
+        return package.multiply_matrix_vector(gate, state)
+
+    benchmark.pedantic(once, rounds=10, iterations=1)
+    benchmark.extra_info["state_nodes"] = package.count_nodes(state)
+
+
+def test_matrix_matrix_of_gate_dds(benchmark):
+    """MxM of two gate DDs ignores the state entirely -- and is cheap."""
+    benchmark.group = "primitives:multiplication"
+    package = Package()
+    state, num_qubits = _large_state(package)  # present but untouched
+    gate_a = build_gate_dd(package, H, num_qubits, 2)
+    gate_b = build_gate_dd(package, [[0, 1], [1, 0]], num_qubits, 5, {2: 1})
+
+    def once():
+        package.clear_compute_tables()
+        return package.multiply_matrix_matrix(gate_a, gate_b)
+
+    product = benchmark.pedantic(once, rounds=10, iterations=1)
+    benchmark.extra_info["product_nodes"] = package.count_nodes(product)
+
+
+def test_sequential_gate_cache_effect(benchmark):
+    """Applying the same operation repeatedly hits the engine's gate cache."""
+    benchmark.group = "primitives:gate-cache"
+    engine = SimulationEngine()
+    op = Operation("h", 3)
+
+    def once():
+        return engine.gate_dd(op, 16)
+
+    benchmark.pedantic(once, rounds=20, iterations=50)

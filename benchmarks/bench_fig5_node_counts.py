@@ -1,0 +1,67 @@
+"""Fig. 5 / Example 3 -- the size observation driving the whole paper.
+
+Benchmarks the two parenthesisations of ``v_{i+2} = M_{i+2} M_{i+1} v_i``
+at the point of a supremacy-circuit simulation where the state DD is
+largest:
+
+* Eq. 1: two matrix-vector multiplications, each touching the big state DD;
+* Eq. 2: one (cheap) matrix-matrix multiplication of two small gate DDs,
+  then a single matrix-vector multiplication.
+
+The DD sizes involved are attached as ``extra_info`` so the benchmark output
+documents the asymmetry (tiny combined matrix vs. large intermediate state).
+"""
+
+import pytest
+
+from repro.algorithms.supremacy import supremacy_circuit
+from repro.dd import Package
+from repro.simulation import SimulationEngine
+
+ROWS, COLS, DEPTH, SEED = 3, 3, 10, 1
+
+
+def _prepare(package: Package):
+    """Replay the circuit to the largest intermediate state; return pieces."""
+    circuit = supremacy_circuit(ROWS, COLS, DEPTH, SEED).circuit
+    operations = list(circuit.operations())
+    engine = SimulationEngine(package)
+    state = package.basis_state(circuit.num_qubits, 0)
+    sizes = []
+    states = []
+    for op in operations:
+        state = package.multiply_matrix_vector(
+            engine.gate_dd(op, circuit.num_qubits), state)
+        states.append(state)
+        sizes.append(package.count_nodes(state))
+    split = max(range(len(sizes) - 2), key=sizes.__getitem__)
+    v_i = states[split]
+    m1 = engine.gate_dd(operations[split + 1], circuit.num_qubits)
+    m2 = engine.gate_dd(operations[split + 2], circuit.num_qubits)
+    return v_i, m1, m2
+
+
+@pytest.mark.parametrize("order", ["eq1_matrix_vector", "eq2_matrix_matrix"])
+def test_fig5_parenthesisation(benchmark, order):
+    benchmark.group = "fig5"
+
+    def once():
+        package = Package()
+        v_i, m1, m2 = _prepare(package)
+        package.clear_compute_tables()  # time the multiplications honestly
+        if order == "eq1_matrix_vector":
+            v_mid = package.multiply_matrix_vector(m1, v_i)
+            final = package.multiply_matrix_vector(m2, v_mid)
+            intermediate = package.count_nodes(v_mid)
+        else:
+            combined = package.multiply_matrix_matrix(m2, m1)
+            final = package.multiply_matrix_vector(combined, v_i)
+            intermediate = package.count_nodes(combined)
+        return {
+            "v_i": package.count_nodes(v_i),
+            "intermediate": intermediate,
+            "final": package.count_nodes(final),
+        }
+
+    sizes = benchmark.pedantic(once, rounds=3, iterations=1, warmup_rounds=0)
+    benchmark.extra_info.update(sizes)

@@ -1,0 +1,27 @@
+"""Fig. 8 -- speed-up of the *k-operations* strategy over ``k``.
+
+One benchmark per (instance, k) pair; ``k = 1`` is the sequential baseline
+(``t_sota``), so the figure's speed-up series is
+``time[k=1] / time[k]`` per instance.  The paper reports speed-ups of up to
+a factor of 3 with a unimodal shape over ``k``; the reproduced shape is the
+claim, not the absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis.instances import quick_suite
+from repro.simulation import KOperationsStrategy, SequentialStrategy
+
+from .conftest import run_instance_benchmark
+
+K_VALUES = (1, 2, 4, 8, 16, 32)
+INSTANCES = {instance.name: instance for instance in quick_suite()}
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_fig8_k_operations(benchmark, name, k):
+    strategy_factory = (SequentialStrategy if k == 1
+                        else lambda: KOperationsStrategy(k))
+    run_instance_benchmark(benchmark, INSTANCES[name], strategy_factory,
+                           group=f"fig8:{name}")

@@ -1,0 +1,25 @@
+"""Fig. 9 -- speed-up of the *max-size* strategy over ``s_max``.
+
+``s_max = 0`` denotes the sequential baseline (``t_sota``); the figure's
+series is ``time[baseline] / time[s_max]`` per instance.  The paper reports
+speed-ups of up to 4.5 with the same unimodal shape as Fig. 8.
+"""
+
+import pytest
+
+from repro.analysis.instances import quick_suite
+from repro.simulation import MaxSizeStrategy, SequentialStrategy
+
+from .conftest import run_instance_benchmark
+
+SMAX_VALUES = (0, 4, 16, 64, 256, 1024)
+INSTANCES = {instance.name: instance for instance in quick_suite()}
+
+
+@pytest.mark.parametrize("s_max", SMAX_VALUES)
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_fig9_max_size(benchmark, name, s_max):
+    strategy_factory = (SequentialStrategy if s_max == 0
+                        else lambda: MaxSizeStrategy(s_max))
+    run_instance_benchmark(benchmark, INSTANCES[name], strategy_factory,
+                           group=f"fig9:{name}")

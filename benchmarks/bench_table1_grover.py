@@ -1,0 +1,33 @@
+"""Table I -- Grover benchmarks: t_sota vs. t_general vs. t_DD-repeating.
+
+The paper's Table I columns map to the three strategies benchmarked here;
+``general`` uses a representative good parameter from the Fig. 8/9 sweeps
+(the paper's ``t_general`` is the best such value).  DD-repeating must win:
+it combines the Grover iteration once and re-uses the matrix DD for all
+further iterations.
+"""
+
+import pytest
+
+from repro.analysis.instances import grover_suite
+from repro.simulation import (KOperationsStrategy, MaxSizeStrategy,
+                              RepeatingBlockStrategy, SequentialStrategy)
+
+from .conftest import run_instance_benchmark
+
+INSTANCES = {instance.name: instance for instance in grover_suite("quick")}
+
+STRATEGIES = {
+    "sota": SequentialStrategy,
+    "general_k16": lambda: KOperationsStrategy(16),
+    "general_smax64": lambda: MaxSizeStrategy(64),
+    "dd_repeating": RepeatingBlockStrategy,
+}
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_table1_grover(benchmark, name, strategy_name):
+    run_instance_benchmark(benchmark, INSTANCES[name],
+                           STRATEGIES[strategy_name],
+                           group=f"table1:{name}", rounds=2)

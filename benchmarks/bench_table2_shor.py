@@ -1,0 +1,57 @@
+"""Table II -- Shor benchmarks: t_sota vs. t_general vs. t_DD-construct.
+
+``sota`` and ``general`` simulate Beauregard's 2n+3-qubit elementary-gate
+circuit; ``dd_construct`` runs the same semiclassical order finding on n+1
+qubits with directly constructed modular-multiplication permutation DDs.
+The paper's claim reproduced here: DD-construct is orders of magnitude
+faster than either gate-level simulation.
+"""
+
+import pytest
+
+from repro.algorithms.shor import ShorOrderFinder
+from repro.analysis.instances import shor_suite
+from repro.simulation import (KOperationsStrategy, MaxSizeStrategy,
+                              SequentialStrategy)
+
+from .conftest import run_instance_benchmark
+
+INSTANCES = {instance.name: instance for instance in shor_suite("quick")}
+
+GATE_STRATEGIES = {
+    "sota": SequentialStrategy,
+    "general_k16": lambda: KOperationsStrategy(16),
+    "general_smax64": lambda: MaxSizeStrategy(64),
+}
+
+
+@pytest.mark.parametrize("strategy_name", sorted(GATE_STRATEGIES))
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_table2_shor_gate_level(benchmark, name, strategy_name):
+    run_instance_benchmark(benchmark, INSTANCES[name],
+                           GATE_STRATEGIES[strategy_name],
+                           group=f"table2:{name}")
+
+
+@pytest.mark.parametrize("name", sorted(INSTANCES))
+def test_table2_shor_dd_construct(benchmark, name):
+    instance = INSTANCES[name]
+    benchmark.group = f"table2:{name}"
+    modulus = instance.metadata["modulus"]
+    base = instance.metadata["base"]
+    seed = instance.metadata["seed"]
+
+    def once():
+        finder = ShorOrderFinder(modulus, base, mode="construct", seed=seed)
+        return finder.run()
+
+    result = benchmark.pedantic(once, rounds=3, iterations=1,
+                                warmup_rounds=0)
+    benchmark.extra_info.update({
+        "benchmark": instance.name,
+        "strategy": "dd-construct",
+        "order": result.order,
+        "factors": str(result.factors),
+        "matrix_vector_mults": result.statistics.matrix_vector_mults,
+        "direct_constructions": result.statistics.direct_constructions,
+    })

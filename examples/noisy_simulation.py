@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Noisy simulation via quantum trajectories.
+
+Applies a stochastic Pauli noise model to a GHZ-preparation circuit and
+shows how the GHZ signature (only all-zeros / all-ones outcomes) decays
+with the per-gate error rate.  Every trajectory is an ordinary circuit, so
+the combining strategies work unchanged under noise.
+
+Run:  python examples/noisy_simulation.py
+"""
+
+from repro.circuit import QuantumCircuit
+from repro.simulation import (MaxSizeStrategy, NoiseModel, noisy_counts)
+
+NUM_QUBITS = 6
+TRAJECTORIES = 300
+
+
+def ghz(n: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(n, name=f"ghz_{n}")
+    circuit.h(0)
+    for qubit in range(n - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def main() -> None:
+    circuit = ghz(NUM_QUBITS)
+    all_ones = (1 << NUM_QUBITS) - 1
+    print(f"circuit: GHZ preparation on {NUM_QUBITS} qubits, "
+          f"{TRAJECTORIES} trajectories per noise level\n")
+    print(f"{'gate error':>11} {'readout err':>12} {'P(GHZ outcomes)':>16} "
+          f"{'distinct outcomes':>18}")
+    for gate_error, flip in [(0.0, 0.0), (0.01, 0.0), (0.05, 0.0),
+                             (0.15, 0.0), (0.0, 0.05), (0.05, 0.05)]:
+        noise = NoiseModel(gate_error=gate_error, measurement_flip=flip)
+        counts = noisy_counts(circuit, noise, trajectories=TRAJECTORIES,
+                              seed=7, strategy=MaxSizeStrategy(32))
+        total = sum(counts.values())
+        ghz_mass = (counts.get(0, 0) + counts.get(all_ones, 0)) / total
+        print(f"{gate_error:>11.2f} {flip:>12.2f} {ghz_mass:>16.3f} "
+              f"{len(counts):>18}")
+    print("\nthe GHZ signature decays smoothly with the error rate -- "
+          "trajectory noise composes with any simulation strategy.")
+
+
+if __name__ == "__main__":
+    main()

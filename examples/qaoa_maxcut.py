@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""QAOA for MaxCut on decision diagrams.
+
+QAOA states are dense superpositions -- the DD worst case -- so this is
+also a stress demonstration: gate DDs stay tiny while the state DD
+approaches ``2^n`` nodes, the regime where the paper's combining strategies
+matter.  The cost function is evaluated with linear-sized Pauli-string DDs.
+
+Run:  python examples/qaoa_maxcut.py
+"""
+
+from repro.algorithms import (classical_maxcut_optimum, maxcut_expectation,
+                              optimise_qaoa_angles, qaoa_maxcut_circuit,
+                              ring_graph)
+from repro.simulation import KOperationsStrategy, SimulationEngine
+
+NUM_VERTICES = 8
+
+
+def main() -> None:
+    edges = ring_graph(NUM_VERTICES)
+    optimum = classical_maxcut_optimum(edges, NUM_VERTICES)
+    print(f"graph          : ring C_{NUM_VERTICES} ({len(edges)} edges)")
+    print(f"MaxCut optimum : {optimum} (brute force)")
+
+    print("\ngrid search over (gamma, beta), p = 1:")
+    instance, best = optimise_qaoa_angles(edges, NUM_VERTICES, layers=1,
+                                          grid_points=6,
+                                          strategy=KOperationsStrategy(8))
+    print(f"  best <cut> = {best:.4f} "
+          f"({best / optimum:.1%} of optimum) at gamma={instance.gammas[0]:.3f}, "
+          f"beta={instance.betas[0]:.3f}")
+
+    print("\nre-optimised at each depth p (coarse shared-angle grid):")
+    for layers in (1, 2):
+        deeper, value = optimise_qaoa_angles(edges, NUM_VERTICES,
+                                             layers=layers, grid_points=6)
+        print(f"  p={layers}: best <cut> = {value:.4f} "
+              f"({value / optimum:.1%} of optimum)")
+
+    print("\nnote: unlocking higher p needs independent per-layer angles "
+          "and a finer optimiser than this deterministic grid -- the "
+          "simulation side (dense states, tiny gate DDs) is the point "
+          "demonstrated here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small circuit on decision diagrams.
+
+Builds a GHZ-state circuit, simulates it with the sequential baseline and
+with an operation-combining strategy, and shows that decision diagrams keep
+this highly structured state *linear* in size while a dense statevector
+would need 2^20 amplitudes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (KOperationsStrategy, QuantumCircuit, SequentialStrategy,
+                   SimulationEngine)
+
+NUM_QUBITS = 20
+
+
+def build_ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def main() -> None:
+    circuit = build_ghz_circuit(NUM_QUBITS)
+    print(f"circuit: {circuit!r}")
+
+    engine = SimulationEngine()
+    result = engine.simulate(circuit, SequentialStrategy())
+
+    print(f"\nGHZ state on {NUM_QUBITS} qubits "
+          f"(dense vector would hold {2 ** NUM_QUBITS:,} amplitudes):")
+    print(f"  state DD nodes : {result.state_nodes()}")
+    print(f"  P(|00...0>)    : {result.probability(0):.4f}")
+    print(f"  P(|11...1>)    : {result.probability(2 ** NUM_QUBITS - 1):.4f}")
+    print(f"  amplitude(0)   : {result.amplitude(0):.4f}")
+
+    print("\nmeasurement histogram (20 shots):")
+    for outcome, count in sorted(result.sample(20).items()):
+        print(f"  |{outcome:0{NUM_QUBITS}b}> x{count}")
+
+    # The same circuit, now combining 4 operations per simulation step
+    # (matrix-matrix multiplication before touching the state -- the
+    # strategy this library exists to study).
+    combined = engine.simulate(circuit, KOperationsStrategy(4))
+    print("\nwork distribution:")
+    for stats in (result.statistics, combined.statistics):
+        print(f"  {stats.strategy:>20}: "
+              f"{stats.matrix_vector_mults} matrix-vector + "
+              f"{stats.matrix_matrix_mults} matrix-matrix multiplications, "
+              f"{stats.wall_time_seconds * 1000:.1f} ms")
+    assert result.fidelity_with(combined) > 1 - 1e-9
+    print("\nboth strategies produced the same state (fidelity 1) -- "
+          "they always do.")
+
+
+if __name__ == "__main__":
+    main()

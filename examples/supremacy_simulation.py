@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Random-circuit (quantum-supremacy) simulation: the Fig. 8/9 scenario.
+
+Google-style random circuits drive state DDs towards exponential size while
+every gate DD stays linear -- exactly the regime where combining operations
+with matrix-matrix multiplication pays off.  This example sweeps the
+``k-operations`` and ``max-size`` parameters on one instance and prints the
+speed-up curves of the paper's Fig. 8 and Fig. 9 in miniature.
+
+Run:  python examples/supremacy_simulation.py
+"""
+
+from repro import (KOperationsStrategy, MaxSizeStrategy, SequentialStrategy,
+                   SimulationEngine)
+from repro.algorithms import supremacy_circuit
+
+ROWS, COLS, DEPTH, SEED = 3, 4, 10, 1
+
+
+def run(circuit, strategy):
+    return SimulationEngine().simulate(circuit, strategy).statistics
+
+
+def sweep(circuit, label, values, make_strategy, baseline_time):
+    print(f"\n{label}:")
+    print(f"{'param':>8} {'time':>9} {'speedup':>8} {'MxV':>6} {'MxM':>6} "
+          f"{'peak matrix DD':>15}")
+    for value in values:
+        stats = run(circuit, make_strategy(value))
+        speedup = baseline_time / stats.wall_time_seconds
+        print(f"{value:>8} {stats.wall_time_seconds:8.3f}s {speedup:7.2f}x "
+              f"{stats.matrix_vector_mults:6d} "
+              f"{stats.matrix_matrix_mults:6d} "
+              f"{stats.peak_matrix_nodes:15d}")
+
+
+def main() -> None:
+    instance = supremacy_circuit(ROWS, COLS, DEPTH, SEED)
+    circuit = instance.circuit
+    print(f"instance : {instance.name} ({ROWS}x{COLS} grid, depth {DEPTH})")
+    print(f"gates    : {circuit.num_operations()}")
+
+    baseline = run(circuit, SequentialStrategy())
+    print(f"\nsota (one MxV per gate): {baseline.wall_time_seconds:.3f}s, "
+          f"peak state DD {baseline.peak_state_nodes} nodes "
+          f"(dense vector: {2 ** circuit.num_qubits:,} amplitudes)")
+
+    sweep(circuit, "Fig. 8 in miniature -- k-operations",
+          (2, 4, 8, 16, 32, 64), KOperationsStrategy,
+          baseline.wall_time_seconds)
+    sweep(circuit, "Fig. 9 in miniature -- max-size",
+          (4, 16, 64, 256, 1024), MaxSizeStrategy,
+          baseline.wall_time_seconds)
+
+    print("\nreading: moderate combining beats the extremes on both axes -- "
+          "the paper's central observation.")
+
+
+if __name__ == "__main__":
+    main()

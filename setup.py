@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on offline environments that lack the
+``wheel`` package (PEP 660 editable installs need to build a wheel; the
+legacy path does not).  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

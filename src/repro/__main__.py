@@ -1,0 +1,160 @@
+"""Command-line interface: simulate, inspect and compare QASM circuits.
+
+Examples::
+
+    python -m repro simulate circuit.qasm --strategy smax=64 --shots 100
+    python -m repro info circuit.qasm
+    python -m repro equiv circuit_a.qasm circuit_b.qasm
+    python -m repro factor 15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from random import Random
+
+from .circuit import from_qasm
+from .dd import sample_counts
+from .simulation import SimulationEngine, strategy_from_spec
+from .verification import check_equivalence
+
+
+def _load(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return from_qasm(handle.read())
+
+
+def _cmd_simulate(args) -> int:
+    circuit = _load(args.circuit)
+    strategy = strategy_from_spec(args.strategy)
+    engine = SimulationEngine()
+    initial = engine.initial_state(circuit.num_qubits, args.initial)
+    result = engine.simulate(circuit, strategy, initial_state=initial)
+    stats = result.statistics
+    print(f"circuit   : {args.circuit} ({circuit.num_qubits} qubits, "
+          f"{circuit.num_operations()} operations)")
+    print(f"strategy  : {stats.strategy}")
+    print(f"mults     : {stats.matrix_vector_mults} matrix-vector, "
+          f"{stats.matrix_matrix_mults} matrix-matrix")
+    print(f"state DD  : {stats.final_state_nodes} nodes "
+          f"(peak {stats.peak_state_nodes})")
+    print(f"time      : {stats.wall_time_seconds:.3f}s")
+    if args.amplitudes:
+        print("\nnon-negligible amplitudes:")
+        shown = 0
+        for index in range(1 << circuit.num_qubits):
+            amplitude = result.amplitude(index)
+            if abs(amplitude) ** 2 >= args.threshold:
+                print(f"  |{index:0{circuit.num_qubits}b}>  "
+                      f"{amplitude.real:+.6f}{amplitude.imag:+.6f}j   "
+                      f"p={abs(amplitude) ** 2:.6f}")
+                shown += 1
+                if shown >= args.limit:
+                    print("  ... (limit reached)")
+                    break
+    if args.shots:
+        counts = sample_counts(result.package, result.state, args.shots,
+                               Random(args.seed))
+        print(f"\n{args.shots} shots:")
+        for index, count in sorted(counts.items(),
+                                   key=lambda item: -item[1])[:args.limit]:
+            print(f"  |{index:0{circuit.num_qubits}b}>  x{count}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    circuit = _load(args.circuit)
+    print(f"qubits     : {circuit.num_qubits}")
+    print(f"operations : {circuit.num_operations()}")
+    print(f"depth      : {circuit.depth()}")
+    print("gate counts:")
+    for gate, count in circuit.count_gates().items():
+        print(f"  {gate:>6}: {count}")
+    return 0
+
+
+def _cmd_equiv(args) -> int:
+    circuit_a = _load(args.circuit_a)
+    circuit_b = _load(args.circuit_b)
+    result = check_equivalence(circuit_a, circuit_b, method=args.method)
+    if result.equivalent:
+        phase = result.global_phase
+        note = "" if abs(phase - 1) < 1e-9 \
+            else f" (up to global phase {phase:.4f})"
+        print(f"EQUIVALENT{note}")
+        return 0
+    print("NOT equivalent")
+    return 1
+
+
+def _cmd_factor(args) -> int:
+    from .algorithms import factor
+
+    outcome = factor(args.number, mode=args.mode, seed=args.seed)
+    if outcome.classical_shortcut:
+        print(f"{args.number} = {outcome.factors[0]} x {outcome.factors[1]} "
+              f"(classical shortcut: {outcome.classical_shortcut})")
+        return 0
+    if outcome.succeeded:
+        attempts = len(outcome.attempts)
+        print(f"{args.number} = {outcome.factors[0]} x {outcome.factors[1]} "
+              f"({attempts} order-finding run(s))")
+        return 0
+    print(f"failed to factor {args.number} "
+          f"(after {len(outcome.attempts)} attempts)")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DD-based quantum-circuit simulation "
+                    "(Zulehner & Wille, DATE 2019 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate",
+                                   help="simulate an OpenQASM circuit")
+    simulate.add_argument("circuit", help="path to a .qasm file")
+    simulate.add_argument("--strategy", default="sequential",
+                          help="sequential | k=<n> | smax=<n> | adaptive | "
+                               "repeating[:inner]")
+    simulate.add_argument("--initial", type=int, default=0,
+                          help="initial basis state index")
+    simulate.add_argument("--shots", type=int, default=0,
+                          help="sample this many measurement shots")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--amplitudes", action="store_true",
+                          help="print non-negligible amplitudes")
+    simulate.add_argument("--threshold", type=float, default=1e-6,
+                          help="probability threshold for --amplitudes")
+    simulate.add_argument("--limit", type=int, default=20,
+                          help="max rows to print")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    info = commands.add_parser("info", help="show circuit statistics")
+    info.add_argument("circuit")
+    info.set_defaults(handler=_cmd_info)
+
+    equiv = commands.add_parser("equiv",
+                                help="check two circuits for equivalence")
+    equiv.add_argument("circuit_a")
+    equiv.add_argument("circuit_b")
+    equiv.add_argument("--method", default="miter",
+                       choices=["miter", "pointer"])
+    equiv.set_defaults(handler=_cmd_equiv)
+
+    factor_cmd = commands.add_parser("factor",
+                                     help="factor an integer with Shor")
+    factor_cmd.add_argument("number", type=int)
+    factor_cmd.add_argument("--mode", default="construct",
+                            choices=["construct", "gates"])
+    factor_cmd.add_argument("--seed", type=int, default=0)
+    factor_cmd.set_defaults(handler=_cmd_factor)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

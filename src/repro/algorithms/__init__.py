@@ -1,0 +1,92 @@
+"""Benchmark algorithm generators: Grover, Shor, supremacy circuits, QFT.
+
+These are the workloads of the paper's evaluation (Sec. V): Grover's search
+(Table I), Shor's factoring via Beauregard's circuit and via DD-construct
+(Table II), and Google supremacy-style random circuits (Figs. 8/9).
+"""
+
+from .arithmetic import (append_add_const, append_cmult_mod,
+                         append_controlled_ua, append_phi_add_const,
+                         append_phi_add_const_mod)
+from .amplitude_estimation import (AmplitudeEstimationInstance,
+                                   amplitude_estimation_circuit,
+                                   controlled_circuit,
+                                   estimate_from_distribution)
+from .clifford import CliffordInstance, random_clifford_circuit
+from .graph_states import (GraphStateInstance, graph_state_circuit,
+                           verify_graph_state_stabilizers)
+from .grover import (GroverInstance, grover_circuit, optimal_iterations,
+                     success_probability)
+from .number_theory import (continued_fraction_convergents,
+                            factors_from_order, is_probable_prime,
+                            modular_inverse, multiplicative_order,
+                            phase_to_order, random_shor_base)
+from .oracles import (BernsteinVaziraniInstance, DeutschJozsaInstance,
+                      bernstein_vazirani_circuit, deutsch_jozsa_circuit)
+from .phase_estimation import (PhaseEstimationInstance,
+                               ideal_outcome_distribution,
+                               phase_estimation_circuit)
+from .qaoa import (QaoaInstance, classical_maxcut_optimum, grid_graph,
+                   maxcut_expectation, maxcut_value, optimise_qaoa_angles,
+                   qaoa_maxcut_circuit, ring_graph)
+from .qft import append_iqft, append_qft, qft_circuit
+from .shor import (FactoringOutcome, ShorOrderFinder, ShorResult,
+                   beauregard_layout, controlled_ua_circuit, factor,
+                   shor_phase_estimation_distribution)
+from .supremacy import SupremacyInstance, cz_layer_pairs, supremacy_circuit
+
+__all__ = [
+    "AmplitudeEstimationInstance",
+    "BernsteinVaziraniInstance",
+    "CliffordInstance",
+    "GraphStateInstance",
+    "graph_state_circuit",
+    "random_clifford_circuit",
+    "verify_graph_state_stabilizers",
+    "amplitude_estimation_circuit",
+    "controlled_circuit",
+    "estimate_from_distribution",
+    "DeutschJozsaInstance",
+    "FactoringOutcome",
+    "GroverInstance",
+    "PhaseEstimationInstance",
+    "QaoaInstance",
+    "bernstein_vazirani_circuit",
+    "classical_maxcut_optimum",
+    "deutsch_jozsa_circuit",
+    "grid_graph",
+    "ideal_outcome_distribution",
+    "maxcut_expectation",
+    "maxcut_value",
+    "optimise_qaoa_angles",
+    "phase_estimation_circuit",
+    "qaoa_maxcut_circuit",
+    "ring_graph",
+    "ShorOrderFinder",
+    "ShorResult",
+    "SupremacyInstance",
+    "append_add_const",
+    "append_cmult_mod",
+    "append_controlled_ua",
+    "append_iqft",
+    "append_phi_add_const",
+    "append_phi_add_const_mod",
+    "append_qft",
+    "beauregard_layout",
+    "continued_fraction_convergents",
+    "controlled_ua_circuit",
+    "cz_layer_pairs",
+    "factor",
+    "factors_from_order",
+    "grover_circuit",
+    "is_probable_prime",
+    "modular_inverse",
+    "multiplicative_order",
+    "optimal_iterations",
+    "phase_to_order",
+    "qft_circuit",
+    "random_shor_base",
+    "shor_phase_estimation_distribution",
+    "success_probability",
+    "supremacy_circuit",
+]

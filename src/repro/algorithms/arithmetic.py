@@ -1,0 +1,169 @@
+"""Fourier-space arithmetic: the building blocks of Beauregard's Shor circuit.
+
+Implements, as elementary-gate circuits (paper ref. [27], Beauregard 2003):
+
+* :func:`append_phi_add_const` -- Draper's adder of a classical constant to a
+  register in Fourier space (pure phase gates, optionally controlled);
+* :func:`append_phi_add_const_mod` -- the doubly-controlled modular adder
+  ``phi-ADD(a) mod N`` (Beauregard Fig. 5), using one ancilla;
+* :func:`append_cmult_mod` -- the controlled modular multiply-accumulate
+  ``|c; x; b> -> |c; x; b + a x mod N>`` (Beauregard Fig. 6);
+* :func:`append_controlled_ua` -- the full controlled modular multiplier
+  ``|c; x; 0; 0> -> |c; a x mod N; 0; 0>`` (Beauregard Fig. 7), i.e. the
+  oracle ``U_a`` whose gate decomposition is what *DD-construct* avoids.
+
+Registers are passed as explicit qubit-index lists (LSB first), so the same
+blocks compose into any layout.  Values in Fourier space follow the
+convention of :func:`repro.algorithms.qft.append_qft` (no swaps).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from .number_theory import modular_inverse
+from .qft import append_iqft, append_qft
+
+__all__ = [
+    "append_phi_add_const",
+    "append_add_const",
+    "append_phi_add_const_mod",
+    "append_cmult_mod",
+    "append_controlled_ua",
+]
+
+_TWO_PI = 2 * math.pi
+
+
+def _angle_for_qubit(value: int, j: int) -> float:
+    """Phase angle ``2 pi value / 2^(j+1)`` reduced mod ``2 pi`` (0 if trivial)."""
+    denominator = 1 << (j + 1)
+    remainder = value % denominator
+    if remainder == 0:
+        return 0.0
+    return _TWO_PI * remainder / denominator
+
+
+def append_phi_add_const(circuit: QuantumCircuit, register: Sequence[int],
+                         value: int, controls: Sequence = (),
+                         subtract: bool = False) -> QuantumCircuit:
+    """Add the classical constant ``value`` to a Fourier-space register.
+
+    The register must currently hold ``phi(b)`` (see :func:`append_qft`);
+    afterwards it holds ``phi(b + value mod 2^m)``.  Costs at most one phase
+    gate per register qubit -- no carries, no ancillas (Draper 2000).
+    """
+    if subtract:
+        value = -value
+    controls = tuple(controls)
+    for j, qubit in enumerate(register):
+        angle = _angle_for_qubit(value, j)
+        if angle == 0.0:
+            continue
+        if controls:
+            circuit.add_operation("p", qubit, controls=controls,
+                                  params=(angle,))
+        else:
+            circuit.p(angle, qubit)
+    return circuit
+
+
+def append_add_const(circuit: QuantumCircuit, register: Sequence[int],
+                     value: int, controls: Sequence = ()) -> QuantumCircuit:
+    """Plain-basis constant adder: QFT, phi-add, inverse QFT."""
+    append_qft(circuit, register)
+    append_phi_add_const(circuit, register, value, controls)
+    append_iqft(circuit, register)
+    return circuit
+
+
+def append_phi_add_const_mod(circuit: QuantumCircuit, register: Sequence[int],
+                             value: int, modulus: int, ancilla: int,
+                             controls: Sequence = ()) -> QuantumCircuit:
+    """Beauregard's modular adder: ``phi(b) -> phi((b + value) mod modulus)``.
+
+    ``register`` must have one more qubit than the modulus needs (its MSB is
+    the overflow sentinel) and hold a Fourier-space value ``b < modulus``.
+    ``ancilla`` must be ``|0>`` and is returned to ``|0>``.  ``controls``
+    guard the whole block (Beauregard uses two: the phase-estimation control
+    and one multiplicand bit).
+    """
+    if not 0 <= value < modulus:
+        value %= modulus
+    if modulus >= 1 << (len(register) - 1):
+        raise ValueError(
+            f"register of {len(register)} qubits cannot hold the overflow "
+            f"bit for modulus {modulus}; need n+1 qubits for an n-bit modulus")
+    msb = register[-1]
+    controls = tuple(controls)
+
+    append_phi_add_const(circuit, register, value, controls)
+    append_phi_add_const(circuit, register, modulus, subtract=True)
+    # If b + value < modulus the subtraction underflowed: the MSB (sign
+    # sentinel) is 1.  Copy it to the ancilla and conditionally re-add N.
+    append_iqft(circuit, register)
+    circuit.cx(msb, ancilla)
+    append_qft(circuit, register)
+    append_phi_add_const(circuit, register, modulus, controls=(ancilla,))
+    # Restore the ancilla: after conditionally re-adding N we have
+    # (b + value) mod N; comparing against `value` tells whether the
+    # wrap-around happened, which uncomputes the ancilla.
+    append_phi_add_const(circuit, register, value, controls, subtract=True)
+    append_iqft(circuit, register)
+    circuit.x(msb)
+    circuit.cx(msb, ancilla)
+    circuit.x(msb)
+    append_qft(circuit, register)
+    append_phi_add_const(circuit, register, value, controls)
+    return circuit
+
+
+def append_cmult_mod(circuit: QuantumCircuit, control: int,
+                     x_register: Sequence[int], b_register: Sequence[int],
+                     multiplier: int, modulus: int, ancilla: int,
+                     inverse: bool = False) -> QuantumCircuit:
+    """Controlled Fourier multiply-accumulate (Beauregard Fig. 6).
+
+    Maps ``|c>|x>|b>`` to ``|c>|x>|b + a x mod N>`` when ``c = 1`` (or the
+    subtractive inverse when ``inverse`` is set).  ``b_register`` needs
+    ``n + 1`` qubits for an ``n``-bit modulus; ``ancilla`` starts/ends at
+    ``|0>``.
+    """
+    block = QuantumCircuit(circuit.num_qubits, name="cmult")
+    append_qft(block, b_register)
+    for i, x_qubit in enumerate(x_register):
+        partial = (multiplier * (1 << i)) % modulus
+        append_phi_add_const_mod(block, b_register, partial, modulus,
+                                 ancilla, controls=(control, x_qubit))
+    append_iqft(block, b_register)
+    if inverse:
+        block = block.inverse()
+    return circuit.compose(block)
+
+
+def append_controlled_ua(circuit: QuantumCircuit, control: int,
+                         x_register: Sequence[int], b_register: Sequence[int],
+                         multiplier: int, modulus: int,
+                         ancilla: int) -> QuantumCircuit:
+    """Controlled in-place modular multiplication ``U_a`` (Beauregard Fig. 7).
+
+    ``|c>|x>|0>|0> -> |c>|a x mod N>|0>|0>`` when ``c = 1``.  Requires
+    ``gcd(multiplier, modulus) = 1`` (otherwise the map is irreversible).
+    This is the oracle whose elementary decomposition costs thousands of
+    gates and ``n + 2`` working qubits -- exactly what the *DD-construct*
+    strategy replaces with one directly-built permutation DD.
+    """
+    if math.gcd(multiplier, modulus) != 1:
+        raise ValueError(f"multiplier {multiplier} not coprime to modulus "
+                         f"{modulus}")
+    append_cmult_mod(circuit, control, x_register, b_register, multiplier,
+                     modulus, ancilla)
+    # Controlled swap of x and the low n qubits of b.
+    for x_qubit, b_qubit in zip(x_register, b_register):
+        circuit.cswap(control, x_qubit, b_qubit)
+    inverse_multiplier = modular_inverse(multiplier, modulus)
+    append_cmult_mod(circuit, control, x_register, b_register,
+                     inverse_multiplier, modulus, ancilla, inverse=True)
+    return circuit

@@ -1,0 +1,86 @@
+"""Graph states: |+>^n followed by CZ on every edge.
+
+Graph states are the resource states of measurement-based quantum
+computation and a natural DD workload: their entanglement structure is the
+graph itself, so the DD size tracks the graph's connectivity pattern.  The
+stabilizer test (``X_v  prod_{u ~ v} Z_u`` has eigenvalue +1) gives exact
+ground truth through the Pauli-observable machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+from ..dd.edge import Edge
+from ..dd.observables import pauli_expectation
+from ..dd.package import Package
+
+__all__ = ["GraphStateInstance", "graph_state_circuit",
+           "verify_graph_state_stabilizers"]
+
+
+@dataclass
+class GraphStateInstance:
+    """A graph-state preparation benchmark."""
+
+    circuit: QuantumCircuit
+    edges: list[tuple[int, int]]
+    num_vertices: int
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+    def neighbours(self, vertex: int) -> list[int]:
+        result = []
+        for u, v in self.edges:
+            if u == vertex:
+                result.append(v)
+            elif v == vertex:
+                result.append(u)
+        return sorted(result)
+
+
+def graph_state_circuit(edges: Sequence[tuple[int, int]],
+                        num_vertices: int) -> GraphStateInstance:
+    """Prepare the graph state of ``(V, E)``: H everywhere, CZ per edge."""
+    if num_vertices < 1:
+        raise ValueError("need at least one vertex")
+    normalised = []
+    seen = set()
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u}")
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        normalised.append(key)
+    circuit = QuantumCircuit(num_vertices,
+                             name=f"graph_state_{num_vertices}")
+    for vertex in range(num_vertices):
+        circuit.h(vertex)
+    for u, v in normalised:
+        circuit.cz(u, v)
+    return GraphStateInstance(circuit=circuit, edges=normalised,
+                              num_vertices=num_vertices)
+
+
+def verify_graph_state_stabilizers(package: Package, state: Edge,
+                                   instance: GraphStateInstance,
+                                   tolerance: float = 1e-9) -> bool:
+    """Check every stabilizer ``K_v = X_v prod_{u~v} Z_u`` has <K_v> = 1."""
+    for vertex in range(instance.num_vertices):
+        pauli = {vertex: "X"}
+        for neighbour in instance.neighbours(vertex):
+            pauli[neighbour] = "Z"
+        value = pauli_expectation(package, pauli, state,
+                                  instance.num_vertices)
+        if abs(value - 1.0) > tolerance:
+            return False
+    return True

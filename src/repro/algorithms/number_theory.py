@@ -1,0 +1,135 @@
+"""Classical number theory for Shor's algorithm.
+
+Order finding on the quantum side yields a phase estimate ``y / 2^m``; the
+classical side recovers the multiplicative order via continued fractions and
+turns it into factors.  Everything here is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+__all__ = [
+    "modular_inverse",
+    "multiplicative_order",
+    "continued_fraction_convergents",
+    "phase_to_order",
+    "factors_from_order",
+    "is_probable_prime",
+    "random_shor_base",
+]
+
+
+def modular_inverse(a: int, modulus: int) -> int:
+    """``a^-1 mod modulus``; raises ``ValueError`` if not coprime."""
+    if math.gcd(a, modulus) != 1:
+        raise ValueError(f"{a} has no inverse modulo {modulus}")
+    return pow(a, -1, modulus)
+
+
+def multiplicative_order(a: int, modulus: int) -> int:
+    """Smallest ``r > 0`` with ``a^r = 1 (mod modulus)`` (brute force)."""
+    if math.gcd(a, modulus) != 1:
+        raise ValueError(f"{a} is not coprime to {modulus}")
+    value = a % modulus
+    r = 1
+    while value != 1:
+        value = (value * a) % modulus
+        r += 1
+        if r > modulus:  # pragma: no cover - unreachable for valid inputs
+            raise RuntimeError("order search exceeded modulus")
+    return r
+
+
+def continued_fraction_convergents(numerator: int, denominator: int):
+    """Yield the convergents ``p/q`` of ``numerator / denominator``."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    coefficients = []
+    a, b = numerator, denominator
+    while b:
+        coefficients.append(a // b)
+        a, b = b, a % b
+    p_prev, p = 1, coefficients[0]
+    q_prev, q = 0, 1
+    yield Fraction(p, q)
+    for coefficient in coefficients[1:]:
+        p, p_prev = coefficient * p + p_prev, p
+        q, q_prev = coefficient * q + q_prev, q
+        yield Fraction(p, q)
+
+
+def phase_to_order(y: int, precision_bits: int, modulus: int,
+                   a: int) -> int | None:
+    """Recover the order of ``a`` from a measured phase ``y / 2^precision_bits``.
+
+    Tries the continued-fraction convergents with denominator below
+    ``modulus``; also tries small multiples of each candidate denominator
+    (the measured ``s/r`` may share a factor with ``r``).  Returns ``None``
+    when no candidate verifies ``a^r = 1 (mod modulus)``.
+    """
+    if y == 0:
+        return None
+    for convergent in continued_fraction_convergents(y, 1 << precision_bits):
+        candidate = convergent.denominator
+        if candidate >= modulus:
+            break
+        for multiple in range(1, 5):
+            r = candidate * multiple
+            if r >= modulus:
+                break
+            if pow(a, r, modulus) == 1:
+                return r
+    return None
+
+
+def factors_from_order(a: int, order: int, modulus: int) -> tuple[int, int] | None:
+    """The classical final step of Shor: factors from an even order."""
+    if order % 2 != 0:
+        return None
+    half_power = pow(a, order // 2, modulus)
+    if half_power == modulus - 1:
+        return None
+    f1 = math.gcd(half_power - 1, modulus)
+    f2 = math.gcd(half_power + 1, modulus)
+    for factor in (f1, f2):
+        if 1 < factor < modulus:
+            return (factor, modulus // factor)
+    return None
+
+
+def is_probable_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit integers."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are provably sufficient below 3.3 * 10^24.
+    for witness in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(witness, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_shor_base(modulus: int, rng) -> int:
+    """A uniformly random base ``a`` coprime to ``modulus`` (2 <= a < N)."""
+    if modulus < 4:
+        raise ValueError("modulus too small for Shor")
+    while True:
+        a = rng.randrange(2, modulus - 1)
+        if math.gcd(a, modulus) == 1:
+            return a

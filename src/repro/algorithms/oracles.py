@@ -1,0 +1,115 @@
+"""Classic oracle algorithms: Bernstein-Vazirani and Deutsch-Jozsa.
+
+Both are single-query oracle algorithms whose circuits are almost entirely
+Boolean structure -- ideal DD citizens (states stay linear-sized) and a
+clean demonstration of the ancilla-oracle pattern used by Grover's
+``oracle_style="ancilla"`` variant.
+
+Layout for both: data qubits ``0 .. n-1``, ancilla qubit ``n`` (prepared in
+``|->``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["BernsteinVaziraniInstance", "bernstein_vazirani_circuit",
+           "DeutschJozsaInstance", "deutsch_jozsa_circuit"]
+
+
+@dataclass
+class BernsteinVaziraniInstance:
+    """BV benchmark: the circuit plus the secret it must reveal."""
+
+    circuit: QuantumCircuit
+    num_data_qubits: int
+    secret: int
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+    def expected_outcome(self, measured_index: int) -> bool:
+        """Whether a full-register measurement reveals the secret."""
+        data = measured_index & ((1 << self.num_data_qubits) - 1)
+        return data == self.secret
+
+
+def bernstein_vazirani_circuit(num_data_qubits: int,
+                               secret: int) -> BernsteinVaziraniInstance:
+    """One-query recovery of ``secret`` from the oracle ``f(x) = s.x``.
+
+    The oracle is the textbook phase-kickback construction: a CX from every
+    data qubit where the secret has a 1 onto the ``|->`` ancilla.
+    """
+    if num_data_qubits < 1:
+        raise ValueError("need at least one data qubit")
+    if not 0 <= secret < 1 << num_data_qubits:
+        raise ValueError(f"secret {secret} out of range")
+    ancilla = num_data_qubits
+    circuit = QuantumCircuit(num_data_qubits + 1,
+                             name=f"bv_{num_data_qubits}")
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_data_qubits):
+        if (secret >> qubit) & 1:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    return BernsteinVaziraniInstance(circuit=circuit,
+                                     num_data_qubits=num_data_qubits,
+                                     secret=secret)
+
+
+@dataclass
+class DeutschJozsaInstance:
+    """DJ benchmark: circuit plus whether the oracle was constant."""
+
+    circuit: QuantumCircuit
+    num_data_qubits: int
+    constant: bool
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+    def is_constant_outcome(self, measured_index: int) -> bool:
+        """DJ decides 'constant' iff the data register reads all zeros."""
+        data = measured_index & ((1 << self.num_data_qubits) - 1)
+        return data == 0
+
+
+def deutsch_jozsa_circuit(num_data_qubits: int, constant: bool,
+                          balanced_mask: int | None = None) -> DeutschJozsaInstance:
+    """Decide constant-vs-balanced with one oracle query.
+
+    For the balanced case the oracle is ``f(x) = parity(x & mask)`` for a
+    non-zero ``balanced_mask`` (default: all ones); for the constant case
+    ``f(x) = 0`` (an empty oracle).
+    """
+    if num_data_qubits < 1:
+        raise ValueError("need at least one data qubit")
+    ancilla = num_data_qubits
+    circuit = QuantumCircuit(num_data_qubits + 1,
+                             name=f"dj_{num_data_qubits}")
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    if not constant:
+        mask = balanced_mask if balanced_mask is not None \
+            else (1 << num_data_qubits) - 1
+        if not 0 < mask < 1 << num_data_qubits:
+            raise ValueError("balanced oracle needs a non-zero mask in range")
+        for qubit in range(num_data_qubits):
+            if (mask >> qubit) & 1:
+                circuit.cx(qubit, ancilla)
+    for qubit in range(num_data_qubits):
+        circuit.h(qubit)
+    return DeutschJozsaInstance(circuit=circuit,
+                                num_data_qubits=num_data_qubits,
+                                constant=constant)

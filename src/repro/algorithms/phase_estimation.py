@@ -1,0 +1,92 @@
+"""Textbook quantum phase estimation (QPE).
+
+Shor's order finding (:mod:`repro.algorithms.shor`) is the semiclassical,
+single-control-qubit incarnation of phase estimation; this module provides
+the standard multi-qubit-counting-register form as a reusable algorithm and
+as another benchmark family.  Given a single-qubit unitary ``U`` with
+eigenstate ``|1>`` and eigenvalue ``exp(2 pi i theta)``, the circuit writes
+an ``m``-bit estimate of ``theta`` into the counting register.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+from .qft import append_iqft
+
+__all__ = ["PhaseEstimationInstance", "phase_estimation_circuit",
+           "ideal_outcome_distribution"]
+
+_TWO_PI = 2 * math.pi
+
+
+@dataclass
+class PhaseEstimationInstance:
+    """A QPE benchmark: circuit plus the metadata to read its result."""
+
+    circuit: QuantumCircuit
+    num_counting: int
+    theta: float
+
+    @property
+    def eigen_qubit(self) -> int:
+        return self.num_counting
+
+    def estimate_from_outcome(self, outcome: int) -> float:
+        """Convert a measured basis index to the phase estimate in [0, 1)."""
+        counting = outcome & ((1 << self.num_counting) - 1)
+        return counting / (1 << self.num_counting)
+
+    def best_outcome(self) -> int:
+        """The counting value the ideal distribution peaks at."""
+        return round(self.theta * (1 << self.num_counting)) \
+            % (1 << self.num_counting)
+
+
+def phase_estimation_circuit(theta: float,
+                             num_counting: int) -> PhaseEstimationInstance:
+    """QPE of the phase gate ``p(2 pi theta)`` with ``num_counting`` bits.
+
+    Layout: qubits ``0 .. num_counting-1`` are the counting register
+    (little-endian), qubit ``num_counting`` is the eigenstate qubit
+    (prepared in ``|1>``, the ``exp(2 pi i theta)`` eigenstate of the
+    phase gate).
+    """
+    if num_counting < 1:
+        raise ValueError("need at least one counting qubit")
+    theta = theta % 1.0
+    num_qubits = num_counting + 1
+    eigen = num_counting
+    circuit = QuantumCircuit(num_qubits,
+                             name=f"qpe_{num_counting}")
+    circuit.x(eigen)
+    for qubit in range(num_counting):
+        circuit.h(qubit)
+    for j in range(num_counting):
+        angle = (_TWO_PI * theta * (1 << j)) % _TWO_PI
+        if angle:
+            circuit.cp(angle, j, eigen)
+    append_iqft(circuit, list(range(num_counting)), do_swaps=True)
+    return PhaseEstimationInstance(circuit=circuit,
+                                   num_counting=num_counting, theta=theta)
+
+
+def ideal_outcome_distribution(theta: float,
+                               num_counting: int) -> list[float]:
+    """The exact outcome probabilities ``P(y)`` of ideal QPE.
+
+    ``P(y) = |(1/2^m) sum_k exp(2 pi i k (theta - y/2^m))|^2`` -- the
+    closed form the simulated distribution is tested against.
+    """
+    size = 1 << num_counting
+    probabilities = []
+    for y in range(size):
+        delta = theta - y / size
+        total = 0j
+        for k in range(size):
+            total += complex(math.cos(_TWO_PI * k * delta),
+                             math.sin(_TWO_PI * k * delta))
+        probabilities.append(abs(total / size) ** 2)
+    return probabilities

@@ -1,0 +1,152 @@
+"""QAOA for MaxCut: circuits, cost evaluation, and a small angle search.
+
+Adds a variational workload to the benchmark families: QAOA states are
+*dense* superpositions, so -- like the supremacy circuits -- they push the
+state DD towards its worst case, while every gate stays a one- or two-qubit
+DD.  Cost evaluation uses the Pauli-string machinery of
+:mod:`repro.dd.observables`: the MaxCut objective is
+``sum_edges (1 - <Z_u Z_v>) / 2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+from ..dd.observables import pauli_expectation
+from ..simulation.engine import SimulationEngine
+from ..simulation.strategies import SimulationStrategy
+
+__all__ = ["QaoaInstance", "qaoa_maxcut_circuit", "maxcut_value",
+           "classical_maxcut_optimum", "maxcut_expectation",
+           "ring_graph", "grid_graph", "optimise_qaoa_angles"]
+
+
+def ring_graph(num_vertices: int) -> list[tuple[int, int]]:
+    """The cycle graph C_n (MaxCut optimum: n for even n, n-1 for odd)."""
+    if num_vertices < 3:
+        raise ValueError("ring needs at least 3 vertices")
+    return [(v, (v + 1) % num_vertices) for v in range(num_vertices)]
+
+
+def grid_graph(rows: int, cols: int) -> list[tuple[int, int]]:
+    """Edges of a rows x cols grid, vertices numbered row-major."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return edges
+
+
+def maxcut_value(edges: Sequence[tuple[int, int]], assignment: int) -> int:
+    """Cut size of the bit-assignment ``assignment``."""
+    return sum(1 for u, v in edges
+               if ((assignment >> u) & 1) != ((assignment >> v) & 1))
+
+
+def classical_maxcut_optimum(edges: Sequence[tuple[int, int]],
+                             num_vertices: int) -> int:
+    """Brute-force MaxCut optimum (for validation; exponential)."""
+    return max(maxcut_value(edges, assignment)
+               for assignment in range(1 << (num_vertices - 1)))
+
+
+@dataclass
+class QaoaInstance:
+    """A QAOA MaxCut benchmark."""
+
+    circuit: QuantumCircuit
+    edges: list[tuple[int, int]]
+    num_vertices: int
+    gammas: tuple[float, ...]
+    betas: tuple[float, ...]
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+    @property
+    def layers(self) -> int:
+        return len(self.gammas)
+
+
+def qaoa_maxcut_circuit(edges: Sequence[tuple[int, int]], num_vertices: int,
+                        gammas: Sequence[float],
+                        betas: Sequence[float]) -> QaoaInstance:
+    """Standard QAOA ansatz: ``prod_p e^{-i beta_p B} e^{-i gamma_p C}``.
+
+    The ZZ cost terms are compiled as ``CX - RZ(2 gamma) - CX``.
+    """
+    if len(gammas) != len(betas):
+        raise ValueError("need one beta per gamma")
+    if not gammas:
+        raise ValueError("need at least one QAOA layer")
+    edges = [(int(u), int(v)) for u, v in edges]
+    for u, v in edges:
+        if u == v or not (0 <= u < num_vertices and 0 <= v < num_vertices):
+            raise ValueError(f"bad edge ({u}, {v})")
+    circuit = QuantumCircuit(
+        num_vertices, name=f"qaoa_{num_vertices}_{len(gammas)}")
+    for qubit in range(num_vertices):
+        circuit.h(qubit)
+    for gamma, beta in zip(gammas, betas):
+        for u, v in edges:
+            circuit.cx(u, v)
+            circuit.rz(2 * gamma, v)
+            circuit.cx(u, v)
+        for qubit in range(num_vertices):
+            circuit.rx(2 * beta, qubit)
+    return QaoaInstance(circuit=circuit, edges=edges,
+                        num_vertices=num_vertices,
+                        gammas=tuple(gammas), betas=tuple(betas))
+
+
+def maxcut_expectation(instance: QaoaInstance,
+                       engine: SimulationEngine | None = None,
+                       strategy: SimulationStrategy | None = None) -> float:
+    """Simulate the ansatz and evaluate ``<C> = sum (1 - <Z_u Z_v>)/2``."""
+    engine = engine or SimulationEngine()
+    result = engine.simulate(instance.circuit, strategy)
+    total = 0.0
+    for u, v in instance.edges:
+        correlation = pauli_expectation(engine.package, {u: "Z", v: "Z"},
+                                        result.state,
+                                        instance.num_vertices)
+        total += (1.0 - correlation) / 2.0
+    return total
+
+
+def optimise_qaoa_angles(edges: Sequence[tuple[int, int]],
+                         num_vertices: int, layers: int = 1,
+                         grid_points: int = 8,
+                         strategy: SimulationStrategy | None = None
+                         ) -> tuple[QaoaInstance, float]:
+    """Grid-search the QAOA angles; returns the best instance and its cut.
+
+    A coarse but deterministic optimiser: gamma in ``(0, pi)``, beta in
+    ``(0, pi/2)``, ``grid_points`` values each, all layers sharing the same
+    angle pair (the standard symmetric restriction for small p).
+    """
+    if layers < 1:
+        raise ValueError("need at least one layer")
+    best_instance = None
+    best_value = -1.0
+    gammas = [math.pi * (k + 0.5) / grid_points for k in range(grid_points)]
+    betas = [0.5 * math.pi * (k + 0.5) / grid_points
+             for k in range(grid_points)]
+    for gamma, beta in itertools.product(gammas, betas):
+        instance = qaoa_maxcut_circuit(edges, num_vertices,
+                                       [gamma] * layers, [beta] * layers)
+        value = maxcut_expectation(instance, strategy=strategy)
+        if value > best_value:
+            best_value = value
+            best_instance = instance
+    assert best_instance is not None
+    return best_instance, best_value

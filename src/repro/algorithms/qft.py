@@ -1,0 +1,69 @@
+"""Quantum Fourier transform circuits.
+
+Two forms are provided:
+
+* :func:`qft_circuit` -- the textbook QFT as a standalone circuit, realising
+  the DFT matrix ``F[x, y] = omega^{x y} / sqrt(2^n)`` in the package's
+  little-endian basis ordering (bit ``k`` of a basis index is qubit ``k``).
+* :func:`append_qft` / :func:`append_iqft` -- the *no-swap* variant appended
+  in-place onto a sub-register, which is the form Draper-style Fourier
+  arithmetic uses (after it, qubit ``j`` of the sub-register carries the
+  phase ``exp(2 pi i b / 2^(j+1))`` of the register value ``b``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["qft_circuit", "append_qft", "append_iqft"]
+
+
+def append_qft(circuit: QuantumCircuit, qubits: Sequence[int],
+               do_swaps: bool = False) -> QuantumCircuit:
+    """Append a QFT acting on ``qubits`` (listed LSB first).
+
+    Without swaps (the default, as used by Fourier arithmetic), qubit
+    ``qubits[j]`` ends up holding the phase ``exp(2 pi i b / 2^(j+1))``.
+    With swaps the full little-endian DFT results.
+    """
+    qubits = list(qubits)
+    m = len(qubits)
+    for j in reversed(range(m)):
+        circuit.h(qubits[j])
+        for k in reversed(range(j)):
+            circuit.cp(math.pi / (1 << (j - k)), qubits[k], qubits[j])
+    if do_swaps:
+        for i in range(m // 2):
+            circuit.swap(qubits[i], qubits[m - 1 - i])
+    return circuit
+
+
+def append_iqft(circuit: QuantumCircuit, qubits: Sequence[int],
+                do_swaps: bool = False) -> QuantumCircuit:
+    """Append the inverse QFT on ``qubits`` (adjoint of :func:`append_qft`)."""
+    qubits = list(qubits)
+    m = len(qubits)
+    if do_swaps:
+        for i in range(m // 2):
+            circuit.swap(qubits[i], qubits[m - 1 - i])
+    for j in range(m):
+        for k in range(j):
+            circuit.cp(-math.pi / (1 << (j - k)), qubits[k], qubits[j])
+        circuit.h(qubits[j])
+    return circuit
+
+
+def qft_circuit(num_qubits: int, inverse: bool = False,
+                do_swaps: bool = True) -> QuantumCircuit:
+    """The QFT (or its inverse) as a standalone ``num_qubits`` circuit."""
+    name = "iqft" if inverse else "qft"
+    circuit = QuantumCircuit(num_qubits, name=f"{name}_{num_qubits}")
+    qubits = list(range(num_qubits))
+    if inverse:
+        append_iqft(circuit, qubits, do_swaps=do_swaps)
+    else:
+        append_qft(circuit, qubits, do_swaps=do_swaps)
+    return circuit

@@ -1,0 +1,126 @@
+"""Random circuits in the style of the Google quantum-supremacy benchmarks.
+
+Generates circuits following the construction rules of Boixo et al.,
+"Characterizing quantum supremacy in near-term devices" (paper ref. [11]):
+qubits on a 2-D grid, a first clock cycle of Hadamards, then cycles of
+staggered CZ layers interleaved with randomly chosen single-qubit gates from
+``{X^1/2, Y^1/2, T}``.
+
+The gate-placement rules (documented on :func:`supremacy_circuit`) follow
+the published ones; the CZ stagger pattern is an eight-configuration tiling
+equivalent in structure to the published layouts.  What matters for the
+reproduction is the *simulation regime* these circuits induce -- state DDs
+that grow rapidly while every gate DD stays linear -- which is exactly the
+situation where combining operations pays off (paper Example 3 / Fig. 5 is
+taken from such a circuit).
+
+All randomness is drawn from an explicit seed: the same
+``(rows, cols, depth, seed)`` always yields the same circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["SupremacyInstance", "supremacy_circuit", "cz_layer_pairs"]
+
+_SINGLE_QUBIT_GATES = ("sx", "sy", "t")
+
+
+def cz_layer_pairs(rows: int, cols: int,
+                   configuration: int) -> list[tuple[int, int]]:
+    """Qubit pairs coupled by CZ in one of the eight stagger configurations.
+
+    Configurations 0-3 couple horizontal neighbours, 4-7 vertical ones; the
+    two offset bits stagger the pattern so that over eight consecutive
+    layers every grid edge is activated exactly once.
+    """
+    if not 0 <= configuration < 8:
+        raise ValueError("configuration must be in 0..7")
+    pairs = []
+    horizontal = configuration < 4
+    offset_a = configuration & 1
+    offset_b = (configuration >> 1) & 1
+    if horizontal:
+        for r in range(rows):
+            for c in range(offset_a, cols - 1, 2):
+                if (r + (c >> 1)) % 2 == offset_b:
+                    pairs.append((r * cols + c, r * cols + c + 1))
+    else:
+        for c in range(cols):
+            for r in range(offset_a, rows - 1, 2):
+                if (c + (r >> 1)) % 2 == offset_b:
+                    pairs.append((r * cols + c, (r + 1) * cols + c))
+    return pairs
+
+
+@dataclass
+class SupremacyInstance:
+    """A generated random-circuit benchmark with its parameters."""
+
+    circuit: QuantumCircuit
+    rows: int
+    cols: int
+    depth: int
+    seed: int
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.rows * self.cols
+
+
+def supremacy_circuit(rows: int, cols: int, depth: int,
+                      seed: int = 0) -> SupremacyInstance:
+    """Generate a Boixo-style random circuit of ``depth`` clock cycles.
+
+    Placement rules per cycle ``d >= 1`` (cycle 0 is Hadamards everywhere):
+
+    1. CZ gates according to configuration ``(d - 1) mod 8``.
+    2. A single-qubit gate is placed on every qubit that was part of a CZ in
+       the *previous* cycle and is not part of one in this cycle:
+       * the first single-qubit gate a qubit receives (after the initial H)
+         is always ``T``;
+       * otherwise the gate is drawn uniformly from ``{X^1/2, Y^1/2, T}``
+         but never repeats the qubit's previous single-qubit gate.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid must be at least 1x1")
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    num_qubits = rows * cols
+    rng = Random(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"supremacy_{depth}_{num_qubits}")
+
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    last_single_gate: dict[int, str | None] = {q: None
+                                               for q in range(num_qubits)}
+    in_cz_previous: set[int] = set()
+    for cycle in range(1, depth):
+        pairs = cz_layer_pairs(rows, cols, (cycle - 1) % 8)
+        in_cz_now = {qubit for pair in pairs for qubit in pair}
+        for qubit in range(num_qubits):
+            if qubit in in_cz_previous and qubit not in in_cz_now:
+                previous = last_single_gate[qubit]
+                if previous is None:
+                    gate = "t"
+                else:
+                    gate = rng.choice([g for g in _SINGLE_QUBIT_GATES
+                                       if g != previous])
+                circuit.add_operation(gate, qubit)
+                last_single_gate[qubit] = gate
+        for a, b in pairs:
+            circuit.cz(a, b)
+        in_cz_previous = in_cz_now
+
+    return SupremacyInstance(circuit=circuit, rows=rows, cols=cols,
+                             depth=depth, seed=seed)

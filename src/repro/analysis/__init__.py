@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates the paper's figures and tables."""
+
+from .comparison import compare_strategies, default_strategy_lineup
+from .entanglement import (entanglement_entropy, reduced_density_matrix,
+                           schmidt_coefficients)
+from .instances import (BenchmarkInstance, default_suite, extended_suite,
+                        get_instance, quick_suite)
+from .experiments import (ExperimentRow, run_fig5_study, run_fig8, run_fig9,
+                          run_table1, run_table2)
+from .reporting import format_result, format_rows, write_markdown_table
+from .scaling import run_scaling_study
+from .xeb import (linear_xeb_fidelity, log_xeb_fidelity,
+                  porter_thomas_statistic, xeb_from_samples)
+
+__all__ = [
+    "BenchmarkInstance",
+    "ExperimentRow",
+    "compare_strategies",
+    "default_strategy_lineup",
+    "default_suite",
+    "entanglement_entropy",
+    "extended_suite",
+    "format_result",
+    "reduced_density_matrix",
+    "schmidt_coefficients",
+    "format_rows",
+    "get_instance",
+    "linear_xeb_fidelity",
+    "log_xeb_fidelity",
+    "porter_thomas_statistic",
+    "quick_suite",
+    "run_fig5_study",
+    "run_fig8",
+    "run_fig9",
+    "run_scaling_study",
+    "run_table1",
+    "run_table2",
+    "write_markdown_table",
+    "xeb_from_samples",
+]

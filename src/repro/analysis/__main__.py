@@ -1,0 +1,82 @@
+"""Command-line experiment harness.
+
+Regenerate any of the paper's evaluation artifacts::
+
+    python -m repro.analysis fig8          # Fig. 8 (k-operations sweep)
+    python -m repro.analysis fig9          # Fig. 9 (max-size sweep)
+    python -m repro.analysis table1        # Table I (Grover / DD-repeating)
+    python -m repro.analysis table2        # Table II (Shor / DD-construct)
+    python -m repro.analysis fig5          # the Fig. 5 size observation
+    python -m repro.analysis all           # everything
+
+``--profile quick|default|full`` scales the instance sizes; ``--markdown``
+emits Markdown tables (the format EXPERIMENTS.md uses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (run_fig5_study, run_fig8, run_fig9, run_table1,
+                          run_table2)
+from .reporting import format_result, write_markdown_table
+
+def _run_scaling(profile: str):
+    from .scaling import run_scaling_study
+
+    return run_scaling_study("supremacy"
+                             if profile == "full" else "grover")
+
+
+_RUNNERS = {
+    "fig8": lambda profile: run_fig8(profile),
+    "fig9": lambda profile: run_fig9(profile),
+    "table1": lambda profile: run_table1(profile),
+    "table2": lambda profile: run_table2(profile),
+    "fig5": lambda profile: run_fig5_study(),
+    "scaling": _run_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Regenerate the paper's evaluation tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(_RUNNERS) + ["all",
+                                                    "write-experiments"],
+                        help="which artifact to regenerate; "
+                             "'write-experiments' runs everything and "
+                             "rewrites EXPERIMENTS.md")
+    parser.add_argument("--profile", default="quick",
+                        choices=["quick", "default", "full"],
+                        help="instance-size profile (default: quick)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit Markdown instead of ASCII tables")
+    parser.add_argument("--output", default="EXPERIMENTS.md",
+                        help="target file for write-experiments")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "write-experiments":
+        from .experiments_md import generate_experiments_md
+
+        content = generate_experiments_md(args.profile)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(content)
+        print(f"wrote {args.output}")
+        return 0
+
+    names = sorted(_RUNNERS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        result = _RUNNERS[name](args.profile)
+        if args.markdown:
+            print(write_markdown_table(result))
+        else:
+            print(format_result(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""One-call strategy comparison on a single circuit.
+
+The question every user of this library asks first -- "which strategy
+should I use for *my* circuit?" -- answered as a small report: run each
+strategy on a fresh engine, check all final states agree, and tabulate
+time, multiplication counts and DD sizes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..circuit.circuit import QuantumCircuit
+from ..dd.package import Package
+from ..simulation.engine import SimulationEngine
+from ..simulation.strategies import (AdaptiveStrategy, KOperationsStrategy,
+                                     MaxSizeStrategy, RepeatingBlockStrategy,
+                                     SequentialStrategy, SimulationStrategy)
+from .experiments import ExperimentResult
+
+__all__ = ["compare_strategies", "default_strategy_lineup"]
+
+
+def default_strategy_lineup() -> list[SimulationStrategy]:
+    """The strategies a quick comparison should cover."""
+    return [
+        SequentialStrategy(),
+        KOperationsStrategy(4),
+        KOperationsStrategy(16),
+        MaxSizeStrategy(64),
+        AdaptiveStrategy(),
+        RepeatingBlockStrategy(),
+    ]
+
+
+def compare_strategies(circuit: QuantumCircuit,
+                       strategies: Sequence[SimulationStrategy] | None = None,
+                       verify_agreement: bool = True) -> ExperimentResult:
+    """Run ``circuit`` under each strategy and tabulate the outcome.
+
+    With ``verify_agreement`` (default) all final states are compared by
+    fidelity on a shared package -- a failed comparison raises, because it
+    would mean a simulator bug, not a benchmarking result.
+    """
+    strategies = list(strategies) if strategies is not None \
+        else default_strategy_lineup()
+    if not strategies:
+        raise ValueError("need at least one strategy")
+    result = ExperimentResult(
+        experiment="compare",
+        title=f"Strategy comparison on {circuit.name} "
+              f"({circuit.num_qubits} qubits, "
+              f"{circuit.num_operations()} operations)",
+        headers=["strategy", "time_s", "MxV", "MxM", "peak_state_nodes",
+                 "peak_matrix_nodes", "recursions", "speedup"])
+    shared = Package() if verify_agreement else None
+    reference_state = None
+    baseline_time = None
+    for strategy in strategies:
+        engine = SimulationEngine()
+        run = engine.simulate(circuit, strategy)
+        stats = run.statistics
+        if baseline_time is None:
+            baseline_time = stats.wall_time_seconds
+        if verify_agreement:
+            checker = SimulationEngine(shared)
+            check = checker.simulate(circuit, strategy)
+            if reference_state is None:
+                reference_state = check.state
+            else:
+                fidelity = shared.fidelity(reference_state, check.state)
+                if abs(fidelity - 1.0) > 1e-6:
+                    raise AssertionError(
+                        f"strategy {strategy.describe()} diverged "
+                        f"(fidelity {fidelity})")
+        result.rows.append({
+            "strategy": stats.strategy,
+            "time_s": round(stats.wall_time_seconds, 4),
+            "MxV": stats.matrix_vector_mults,
+            "MxM": stats.matrix_matrix_mults,
+            "peak_state_nodes": stats.peak_state_nodes,
+            "peak_matrix_nodes": stats.peak_matrix_nodes,
+            "recursions": stats.counters.total_recursions(),
+            "speedup": round(baseline_time / stats.wall_time_seconds, 2)
+            if stats.wall_time_seconds > 0 else None,
+        })
+    result.notes = ("speedup is relative to the first strategy in the "
+                    "lineup; all strategies verified to produce the same "
+                    "state" if verify_agreement else
+                    "agreement verification disabled")
+    return result

@@ -1,0 +1,319 @@
+"""Experiment runners regenerating every artifact of the paper's evaluation.
+
+* :func:`run_fig8`  -- Fig. 8: speed-up of *k-operations* over the
+  sequential baseline as a function of ``k``, per benchmark and on average.
+* :func:`run_fig9`  -- Fig. 9: the same for *max-size* over ``s_max``.
+* :func:`run_table1` -- Table I: ``t_sota`` / ``t_general`` /
+  ``t_DD-repeating`` for the Grover benchmarks.
+* :func:`run_table2` -- Table II: ``t_sota`` / ``t_general`` /
+  ``t_DD-construct`` for the Shor benchmarks.
+* :func:`run_fig5_study` -- the Fig. 5 observation measured: DD sizes and
+  multiplication effort with and without combining two operations.
+
+Absolute times differ from the paper (a pure-Python DD package on scaled
+instances vs. the authors' C++ package); the reproduced claims are the
+*shapes*: who wins, roughly by how much, and where the extremes lose.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..dd.package import Package
+from ..simulation.engine import SimulationEngine
+from ..simulation.statistics import SimulationStatistics
+from ..simulation.strategies import (KOperationsStrategy, MaxSizeStrategy,
+                                     RepeatingBlockStrategy,
+                                     SequentialStrategy, SimulationStrategy)
+from .instances import (BenchmarkInstance, default_suite, grover_suite,
+                        quick_suite, shor_dd_construct_statistics, shor_suite,
+                        supremacy_suite)
+
+__all__ = ["ExperimentResult", "ExperimentRow", "run_fig8", "run_fig9",
+           "run_table1", "run_table2", "run_fig5_study",
+           "DEFAULT_K_VALUES", "DEFAULT_SMAX_VALUES",
+           "GENERAL_STRATEGY_CANDIDATES"]
+
+#: parameter sweeps matching the x-axes of Fig. 8 / Fig. 9
+DEFAULT_K_VALUES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+DEFAULT_SMAX_VALUES = (1, 4, 16, 64, 256, 1024, 4096)
+
+#: the small strategy sweep whose best result is reported as ``t_general``
+GENERAL_STRATEGY_CANDIDATES = (
+    KOperationsStrategy(4),
+    KOperationsStrategy(16),
+    MaxSizeStrategy(64),
+    MaxSizeStrategy(256),
+)
+
+ExperimentRow = dict
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table/figure: headers plus one dict per row."""
+
+    experiment: str
+    title: str
+    headers: list[str]
+    rows: list[ExperimentRow] = field(default_factory=list)
+    notes: str = ""
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+
+def _suite(profile: str) -> list[BenchmarkInstance]:
+    return quick_suite() if profile == "quick" else default_suite()
+
+
+def _timed(instance: BenchmarkInstance,
+           strategy: SimulationStrategy) -> SimulationStatistics:
+    return instance.run(strategy)
+
+
+def _timed_best(instance: BenchmarkInstance, strategy: SimulationStrategy,
+                repeats: int = 2) -> SimulationStatistics:
+    """Best-of-N timing for the table experiments.
+
+    Table entries are single numbers the reproduction is judged by; taking
+    the minimum over a couple of runs suppresses the scheduler jitter that
+    dominates sub-100 ms measurements (the figures' sweeps stay single-run:
+    with ten parameter points the shape is already robust).
+    """
+    best = instance.run(strategy)
+    for _ in range(repeats - 1):
+        candidate = instance.run(strategy)
+        if candidate.wall_time_seconds < best.wall_time_seconds:
+            best = candidate
+    return best
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 and Fig. 9: the general strategies
+# ----------------------------------------------------------------------
+
+def _run_parameter_sweep(experiment: str, title: str, parameter_name: str,
+                         values, make_strategy, profile: str,
+                         instances) -> ExperimentResult:
+    instances = instances if instances is not None else _suite(profile)
+    result = ExperimentResult(
+        experiment=experiment, title=title,
+        headers=["benchmark", parameter_name, "t_sota", "t_strategy",
+                 "speedup", "recursion_speedup"])
+    baselines = {}
+    for instance in instances:
+        baselines[instance.name] = _timed(instance, SequentialStrategy())
+    for value in values:
+        speedups = []
+        for instance in instances:
+            base = baselines[instance.name]
+            stats = _timed(instance, make_strategy(value))
+            speedup = (base.wall_time_seconds / stats.wall_time_seconds
+                       if stats.wall_time_seconds > 0 else float("inf"))
+            base_rec = base.counters.total_recursions()
+            rec = stats.counters.total_recursions()
+            rec_speedup = base_rec / rec if rec else float("inf")
+            speedups.append(speedup)
+            result.rows.append({
+                "benchmark": instance.name,
+                parameter_name: value,
+                "t_sota": round(base.wall_time_seconds, 4),
+                "t_strategy": round(stats.wall_time_seconds, 4),
+                "speedup": round(speedup, 3),
+                "recursion_speedup": round(rec_speedup, 3),
+            })
+        result.rows.append({
+            "benchmark": "average",
+            parameter_name: value,
+            "t_sota": None,
+            "t_strategy": None,
+            "speedup": round(sum(speedups) / len(speedups), 3),
+            "recursion_speedup": None,
+        })
+    result.notes = ("speedup = t_sota / t_strategy; the 'average' rows are "
+                    "the line drawn in the paper's figure")
+    return result
+
+
+def run_fig8(profile: str = "quick", k_values=DEFAULT_K_VALUES,
+             instances=None) -> ExperimentResult:
+    """Fig. 8: speed-up of the *k-operations* strategy over ``k``."""
+    return _run_parameter_sweep(
+        "fig8", "Fig. 8 -- speed-up for strategy k-operations", "k",
+        k_values, KOperationsStrategy, profile, instances)
+
+
+def run_fig9(profile: str = "quick", smax_values=DEFAULT_SMAX_VALUES,
+             instances=None) -> ExperimentResult:
+    """Fig. 9: speed-up of the *max-size* strategy over ``s_max``."""
+    return _run_parameter_sweep(
+        "fig9", "Fig. 9 -- speed-up for strategy max-size", "s_max",
+        smax_values, MaxSizeStrategy, profile, instances)
+
+
+# ----------------------------------------------------------------------
+# Table I and Table II: the knowledge-based strategies
+# ----------------------------------------------------------------------
+
+def _best_general(instance: BenchmarkInstance) -> tuple[str, float]:
+    """``t_general``: the best of the small general-strategy sweep."""
+    best_name = ""
+    best_time = float("inf")
+    for strategy in GENERAL_STRATEGY_CANDIDATES:
+        stats = _timed_best(instance, strategy)
+        if stats.wall_time_seconds < best_time:
+            best_time = stats.wall_time_seconds
+            best_name = strategy.describe()
+    return best_name, best_time
+
+
+def run_table1(profile: str = "quick", instances=None) -> ExperimentResult:
+    """Table I: Grover benchmarks under sota / general / DD-repeating."""
+    instances = instances if instances is not None else grover_suite(profile)
+    result = ExperimentResult(
+        experiment="table1",
+        title="Table I -- results for grover benchmarks "
+              "(strategy DD-repeating)",
+        headers=["benchmark", "t_sota", "t_general", "t_dd_repeating",
+                 "general_strategy", "speedup_vs_general"])
+    for instance in instances:
+        sota = _timed_best(instance, SequentialStrategy())
+        general_name, general_time = _best_general(instance)
+        repeating = _timed_best(instance, RepeatingBlockStrategy())
+        t_rep = repeating.wall_time_seconds
+        result.rows.append({
+            "benchmark": instance.name,
+            "t_sota": round(sota.wall_time_seconds, 4),
+            "t_general": round(general_time, 4),
+            "t_dd_repeating": round(t_rep, 4),
+            "general_strategy": general_name,
+            "speedup_vs_general": round(general_time / t_rep, 2)
+            if t_rep > 0 else float("inf"),
+        })
+    result.notes = ("t_general is the best of a small k/s_max sweep, as in "
+                    "the paper; DD-repeating combines each Grover iteration "
+                    "once and re-uses the matrix DD")
+    return result
+
+
+def run_table2(profile: str = "quick", instances=None) -> ExperimentResult:
+    """Table II: Shor benchmarks under sota / general / DD-construct."""
+    instances = instances if instances is not None else shor_suite(profile)
+    result = ExperimentResult(
+        experiment="table2",
+        title="Table II -- results for shor benchmarks "
+              "(strategy DD-construct)",
+        headers=["benchmark", "t_sota", "t_general", "t_dd_construct",
+                 "general_strategy", "speedup_vs_general"])
+    for instance in instances:
+        sota = _timed_best(instance, SequentialStrategy())
+        general_name, general_time = _best_general(instance)
+        construct = shor_dd_construct_statistics(
+            instance.metadata["modulus"], instance.metadata["base"],
+            seed=instance.metadata["seed"])
+        t_con = construct.wall_time_seconds
+        result.rows.append({
+            "benchmark": instance.name,
+            "t_sota": round(sota.wall_time_seconds, 4),
+            "t_general": round(general_time, 4),
+            "t_dd_construct": round(t_con, 4),
+            "general_strategy": general_name,
+            "speedup_vs_general": round(general_time / t_con, 1)
+            if t_con > 0 else float("inf"),
+        })
+    result.notes = ("DD-construct builds the modular-multiplication oracles "
+                    "directly as permutation DDs on n+1 qubits instead of "
+                    "simulating the 2n+3-qubit Beauregard decomposition")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: the size observation behind the whole idea
+# ----------------------------------------------------------------------
+
+def run_fig5_study(rows: int = 3, cols: int = 3, depth: int = 8,
+                   seed: int = 1) -> ExperimentResult:
+    """Measure the Fig. 5 effect on a supremacy-style circuit.
+
+    Finds the point of the simulation where the intermediate state DD is
+    largest, then compares computing ``v_{i+2} = M_{i+2} (M_{i+1} v_i)``
+    (Eq. 1) against ``v_{i+2} = (M_{i+2} M_{i+1}) v_i`` (Eq. 2) -- in DD
+    sizes and in recursive multiplication/addition calls.
+    """
+    from ..algorithms.supremacy import supremacy_circuit
+    from ..dd.gate_building import build_gate_dd
+
+    circuit = supremacy_circuit(rows, cols, depth, seed).circuit
+    operations = list(circuit.operations())
+    if len(operations) < 3:
+        raise ValueError("circuit too shallow for the Fig. 5 study")
+
+    def replay(package: Package, upto: int):
+        engine = SimulationEngine(package)
+        state = package.basis_state(circuit.num_qubits, 0)
+        for op in operations[:upto]:
+            state = package.multiply_matrix_vector(
+                engine.gate_dd(op, circuit.num_qubits), state)
+        return state
+
+    # Pass 1: find the step with the largest intermediate state DD.
+    package = Package()
+    engine = SimulationEngine(package)
+    state = package.basis_state(circuit.num_qubits, 0)
+    sizes = []
+    for op in operations:
+        state = package.multiply_matrix_vector(
+            engine.gate_dd(op, circuit.num_qubits), state)
+        sizes.append(package.count_nodes(state))
+    split = max(range(len(sizes) - 2), key=sizes.__getitem__)
+
+    result = ExperimentResult(
+        experiment="fig5",
+        title="Fig. 5 -- computational effect of rearranging parentheses",
+        headers=["quantity", "eq1 (MxV twice)", "eq2 (MxM first)"])
+
+    def measure(order: str) -> dict:
+        package = Package()
+        engine = SimulationEngine(package)
+        v_i = replay(package, split + 1)
+        m1 = engine.gate_dd(operations[split + 1], circuit.num_qubits)
+        m2 = engine.gate_dd(operations[split + 2], circuit.num_qubits)
+        before = package.counters.snapshot()
+        started = time.perf_counter()
+        if order == "eq1":
+            v_mid = package.multiply_matrix_vector(m1, v_i)
+            final = package.multiply_matrix_vector(m2, v_mid)
+            mid_nodes = package.count_nodes(v_mid)
+        else:
+            combined = package.multiply_matrix_matrix(m2, m1)
+            final = package.multiply_matrix_vector(combined, v_i)
+            mid_nodes = package.count_nodes(combined)
+        elapsed = time.perf_counter() - started
+        delta = package.counters.delta(before)
+        return {
+            "v_i_nodes": package.count_nodes(v_i),
+            "gate_nodes": (package.count_nodes(m1), package.count_nodes(m2)),
+            "intermediate_nodes": mid_nodes,
+            "final_nodes": package.count_nodes(final),
+            "recursions": delta.total_recursions(),
+            "time": elapsed,
+        }
+
+    eq1 = measure("eq1")
+    eq2 = measure("eq2")
+    for key, label in [
+            ("v_i_nodes", "state DD |v_i| (nodes)"),
+            ("gate_nodes", "gate DDs |M_i+1|,|M_i+2| (nodes)"),
+            ("intermediate_nodes", "intermediate DD (nodes)"),
+            ("final_nodes", "final state DD (nodes)"),
+            ("recursions", "recursive mult/add calls"),
+            ("time", "wall time (s)")]:
+        result.rows.append({"quantity": label,
+                            "eq1 (MxV twice)": eq1[key],
+                            "eq2 (MxM first)": eq2[key]})
+    result.notes = (f"split chosen at gate {split + 1}/{len(operations)} "
+                    "(largest intermediate state DD); eq2's intermediate is "
+                    "the combined matrix, eq1's is the intermediate state")
+    return result

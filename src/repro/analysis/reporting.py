@@ -1,0 +1,51 @@
+"""Plain-text and Markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+from .experiments import ExperimentResult
+
+__all__ = ["format_rows", "format_result", "write_markdown_table"]
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_rows(headers: list[str], rows: list[dict]) -> str:
+    """Render rows as an aligned ASCII table."""
+    table = [[_cell(row.get(h)) for h in headers] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in table)) if table else len(h)
+              for i, h in enumerate(headers)]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Full report for one experiment: title, table, notes."""
+    parts = [result.title, "=" * len(result.title),
+             format_rows(result.headers, result.rows)]
+    if result.notes:
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts) + "\n"
+
+
+def write_markdown_table(result: ExperimentResult) -> str:
+    """Render one experiment as a Markdown table (for EXPERIMENTS.md)."""
+    lines = [f"### {result.title}", ""]
+    lines.append("| " + " | ".join(result.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in result.headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_cell(row.get(h))
+                                       for h in result.headers) + " |")
+    if result.notes:
+        lines.extend(["", f"*{result.notes}*"])
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,6 @@
+"""Dense array-based baseline simulator (validation comparator)."""
+
+from .statevector import (StatevectorSimulator, apply_operation,
+                          simulate_statevector)
+
+__all__ = ["StatevectorSimulator", "apply_operation", "simulate_statevector"]

@@ -1,0 +1,92 @@
+"""Dense array-based Schrödinger simulator (the conventional comparator).
+
+This is the "array-based simulation" the paper contrasts DDs with: the state
+is a dense ``2^n`` numpy vector and every gate is applied by updating the
+amplitudes it touches.  It is exponential in memory by construction and used
+here (a) as ground truth to validate the DD simulator on small systems and
+(b) as the conventional baseline in benchmark sanity checks.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operation import Operation
+
+__all__ = ["StatevectorSimulator", "simulate_statevector", "apply_operation"]
+
+
+def apply_operation(state: np.ndarray, operation: Operation,
+                    num_qubits: int) -> np.ndarray:
+    """Apply one (multi-)controlled single-qubit gate to a dense state."""
+    u = operation.matrix()
+    target_mask = 1 << operation.target
+    indices = np.arange(state.shape[0])
+    selected = (indices & target_mask) == 0
+    for qubit, value in operation.controls:
+        selected &= ((indices >> qubit) & 1) == value
+    i0 = indices[selected]
+    i1 = i0 | target_mask
+    a0 = state[i0].copy()
+    a1 = state[i1]
+    state[i0] = u[0, 0] * a0 + u[0, 1] * a1
+    state[i1] = u[1, 0] * a0 + u[1, 1] * a1
+    return state
+
+
+class StatevectorSimulator:
+    """Minimal dense statevector simulator with the same gate model."""
+
+    def __init__(self, num_qubits: int) -> None:
+        self.num_qubits = num_qubits
+        self.state = np.zeros(1 << num_qubits, dtype=complex)
+        self.state[0] = 1.0
+
+    def set_basis_state(self, index: int) -> None:
+        self.state[:] = 0
+        self.state[index] = 1.0
+
+    def apply(self, operation: Operation) -> None:
+        apply_operation(self.state, operation, self.num_qubits)
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit size does not match simulator size")
+        for operation in circuit.operations():
+            self.apply(operation)
+        return self.state
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.state) ** 2
+
+    def measure_qubit(self, qubit: int, rng: Random) -> int:
+        """Measure one qubit, collapse the state, return the outcome."""
+        mask = 1 << qubit
+        indices = np.arange(self.state.shape[0])
+        p_one = float(np.sum(np.abs(self.state[(indices & mask) != 0]) ** 2))
+        outcome = 1 if rng.random() < p_one else 0
+        keep = ((indices & mask) != 0) == bool(outcome)
+        probability = p_one if outcome else 1.0 - p_one
+        self.state[~keep] = 0
+        self.state /= np.sqrt(probability)
+        return outcome
+
+    def sample(self, shots: int, rng: Random) -> dict[int, int]:
+        probabilities = self.probabilities()
+        counts: dict[int, int] = {}
+        cumulative = np.cumsum(probabilities)
+        for _ in range(shots):
+            outcome = int(np.searchsorted(cumulative, rng.random()))
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return counts
+
+
+def simulate_statevector(circuit: QuantumCircuit,
+                         initial_index: int = 0) -> np.ndarray:
+    """Convenience: dense final state of ``circuit`` from a basis state."""
+    simulator = StatevectorSimulator(circuit.num_qubits)
+    simulator.set_basis_state(initial_index)
+    return simulator.run(circuit)

@@ -1,0 +1,46 @@
+"""Quantum-circuit intermediate representation.
+
+Circuits are ordered lists of elementary (multi-)controlled single-qubit
+operations, optionally structured with :class:`RepeatedBlock` markers that
+the *DD-repeating* simulation strategy exploits.  An OpenQASM 2.0 subset
+reader/writer is included for interchange.
+"""
+
+from .circuit import Instruction, QuantumCircuit, RepeatedBlock
+from .decomposition import (decompose_ccu, decompose_controlled_u,
+                            decompose_mcx, decompose_to_two_qubit,
+                            matrix_sqrt_2x2, zyz_angles)
+from .gate import GATES, GateDefinition, gate_matrix, inverse_gate, is_diagonal_gate
+from .mapping import MappedCircuit, line_distance_cost, map_to_line
+from .operation import Operation
+from .optimization import (cancel_adjacent_inverses, drop_identity_gates,
+                           merge_rotations, optimise)
+from .qasm import QasmError, from_qasm, to_qasm
+
+__all__ = [
+    "GATES",
+    "GateDefinition",
+    "Instruction",
+    "MappedCircuit",
+    "Operation",
+    "QasmError",
+    "QuantumCircuit",
+    "RepeatedBlock",
+    "cancel_adjacent_inverses",
+    "decompose_ccu",
+    "decompose_controlled_u",
+    "decompose_mcx",
+    "decompose_to_two_qubit",
+    "drop_identity_gates",
+    "from_qasm",
+    "gate_matrix",
+    "inverse_gate",
+    "is_diagonal_gate",
+    "line_distance_cost",
+    "map_to_line",
+    "matrix_sqrt_2x2",
+    "merge_rotations",
+    "optimise",
+    "to_qasm",
+    "zyz_angles",
+]

@@ -1,0 +1,261 @@
+"""Quantum-circuit intermediate representation.
+
+A :class:`QuantumCircuit` is a qubit count plus an ordered list of
+*instructions*: elementary :class:`~repro.circuit.operation.Operation`\\ s or
+:class:`RepeatedBlock`\\ s.  Repeated blocks carry the structural knowledge
+the paper's *DD-repeating* strategy exploits (Sec. IV-B): a simulator that
+understands them combines a block's operations into one matrix DD once and
+re-uses it for every repetition; a simulator that does not simply iterates
+over :meth:`QuantumCircuit.operations`, which transparently unrolls blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from .operation import Operation
+
+__all__ = ["QuantumCircuit", "RepeatedBlock", "Instruction"]
+
+
+@dataclass(frozen=True)
+class RepeatedBlock:
+    """A sub-circuit applied ``repetitions`` times in a row."""
+
+    body: tuple["Instruction", ...]
+    repetitions: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 0:
+            raise ValueError("repetitions must be non-negative")
+        object.__setattr__(self, "body", tuple(self.body))
+
+    def operations(self) -> Iterator[Operation]:
+        """Unrolled elementary operations of one body pass."""
+        for instruction in self.body:
+            if isinstance(instruction, RepeatedBlock):
+                for _ in range(instruction.repetitions):
+                    yield from instruction.operations()
+            else:
+                yield instruction
+
+
+Instruction = Union[Operation, RepeatedBlock]
+
+
+class QuantumCircuit:
+    """An ordered sequence of quantum operations on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+
+    def _check_qubits(self, qubits: Iterable[int]) -> None:
+        for qubit in qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(f"qubit {qubit} out of range for circuit "
+                                 f"with {self.num_qubits} qubits")
+
+    def append(self, instruction: Instruction) -> "QuantumCircuit":
+        """Append an operation or repeated block; returns ``self`` for chaining."""
+        if isinstance(instruction, Operation):
+            self._check_qubits(instruction.qubits())
+        elif isinstance(instruction, RepeatedBlock):
+            for op in instruction.operations():
+                self._check_qubits(op.qubits())
+        else:
+            raise TypeError(f"cannot append {type(instruction).__name__}")
+        self.instructions.append(instruction)
+        return self
+
+    def extend(self, instructions: Iterable[Instruction]) -> "QuantumCircuit":
+        for instruction in instructions:
+            self.append(instruction)
+        return self
+
+    def add_operation(self, gate: str, target: int, controls=None,
+                      params: tuple = ()) -> "QuantumCircuit":
+        return self.append(Operation(gate, target, controls or (), params))
+
+    def add_repeated_block(self, body: "QuantumCircuit | Iterable[Instruction]",
+                           repetitions: int,
+                           label: str = "") -> "QuantumCircuit":
+        """Mark a sub-circuit as repeating ``repetitions`` times.
+
+        ``body`` may be another circuit (its instructions are taken) or any
+        iterable of instructions.
+        """
+        if isinstance(body, QuantumCircuit):
+            instructions = tuple(body.instructions)
+        else:
+            instructions = tuple(body)
+        return self.append(RepeatedBlock(instructions, repetitions, label))
+
+    # -- single-qubit gates -------------------------------------------
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("x", qubit)
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("y", qubit)
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("z", qubit)
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("h", qubit)
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("s", qubit)
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("sdg", qubit)
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("t", qubit)
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("tdg", qubit)
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("sx", qubit)
+
+    def sy(self, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("sy", qubit)
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("rx", qubit, params=(theta,))
+
+    def ry(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("ry", qubit, params=(theta,))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        return self.add_operation("rz", qubit, params=(theta,))
+
+    def p(self, lam: float, qubit: int) -> "QuantumCircuit":
+        """Phase gate ``diag(1, e^{i lam})``."""
+        return self.add_operation("p", qubit, params=(lam,))
+
+    # -- controlled gates ----------------------------------------------
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add_operation("x", target, controls=(control,))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add_operation("z", target, controls=(control,))
+
+    def cp(self, lam: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add_operation("p", target, controls=(control,),
+                                  params=(lam,))
+
+    def ccx(self, control1: int, control2: int,
+            target: int) -> "QuantumCircuit":
+        return self.add_operation("x", target, controls=(control1, control2))
+
+    def mcx(self, controls: Iterable[int], target: int) -> "QuantumCircuit":
+        return self.add_operation("x", target, controls=tuple(controls))
+
+    def mcz(self, controls: Iterable[int], target: int) -> "QuantumCircuit":
+        return self.add_operation("z", target, controls=tuple(controls))
+
+    def mcp(self, lam: float, controls: Iterable[int],
+            target: int) -> "QuantumCircuit":
+        return self.add_operation("p", target, controls=tuple(controls),
+                                  params=(lam,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP, expressed as three CX operations."""
+        return self.cx(a, b).cx(b, a).cx(a, b)
+
+    def cswap(self, control: int, a: int, b: int) -> "QuantumCircuit":
+        """Controlled SWAP (Fredkin), as CX + Toffoli + CX."""
+        self.cx(b, a)
+        self.add_operation("x", b, controls=(control, a))
+        return self.cx(b, a)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def operations(self) -> Iterator[Operation]:
+        """All elementary operations in order, with repeated blocks unrolled."""
+        for instruction in self.instructions:
+            if isinstance(instruction, RepeatedBlock):
+                for _ in range(instruction.repetitions):
+                    yield from instruction.operations()
+            else:
+                yield instruction
+
+    def num_operations(self) -> int:
+        """Elementary operation count with blocks unrolled."""
+        return sum(1 for _ in self.operations())
+
+    def count_gates(self) -> dict[str, int]:
+        """Histogram of gate names over the unrolled circuit."""
+        counts: dict[str, int] = {}
+        for op in self.operations():
+            counts[op.gate] = counts.get(op.gate, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def depth(self) -> int:
+        """Schedule depth: gates touching disjoint qubits run in parallel."""
+        level_per_qubit = [0] * self.num_qubits
+        depth = 0
+        for op in self.operations():
+            qubits = op.qubits()
+            start = max(level_per_qubit[q] for q in qubits)
+            for q in qubits:
+                level_per_qubit[q] = start + 1
+            depth = max(depth, start + 1)
+        return depth
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append all of ``other``'s instructions (must fit this qubit count)."""
+        if other.num_qubits > self.num_qubits:
+            raise ValueError(
+                f"cannot compose a {other.num_qubits}-qubit circuit into a "
+                f"{self.num_qubits}-qubit circuit")
+        return self.extend(other.instructions)
+
+    def inverse(self) -> "QuantumCircuit":
+        """The adjoint circuit: reversed order, each instruction inverted."""
+        result = QuantumCircuit(self.num_qubits, name=f"{self.name}_dg")
+        result.instructions = [_invert(i) for i in reversed(self.instructions)]
+        return result
+
+    def repeated(self, repetitions: int, label: str = "") -> RepeatedBlock:
+        """This circuit's instructions wrapped as a repeated block."""
+        return RepeatedBlock(tuple(self.instructions), repetitions,
+                             label or self.name)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (self.num_qubits == other.num_qubits
+                and self.instructions == other.instructions)
+
+    def __repr__(self) -> str:
+        return (f"QuantumCircuit(name={self.name!r}, "
+                f"num_qubits={self.num_qubits}, "
+                f"instructions={len(self.instructions)}, "
+                f"operations={self.num_operations()})")
+
+
+def _invert(instruction: Instruction) -> Instruction:
+    if isinstance(instruction, RepeatedBlock):
+        inverted_body = tuple(_invert(i) for i in reversed(instruction.body))
+        return RepeatedBlock(inverted_body, instruction.repetitions,
+                             instruction.label)
+    return instruction.inverse()

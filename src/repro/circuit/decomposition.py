@@ -1,0 +1,229 @@
+"""Gate decomposition: multi-controlled operations down to 1- and 2-qubit
+gates.
+
+The DD simulator applies multi-controlled gates natively (one linear-sized
+DD), but real devices -- and the line router in
+:mod:`repro.circuit.mapping` -- need one- and two-qubit gates.  This module
+provides the standard synthesis chain:
+
+* :func:`zyz_angles` -- any 2x2 unitary as ``e^{i gamma} Rz(phi) Ry(theta)
+  Rz(lam)`` (the ``gu`` gate's parametrisation);
+* :func:`decompose_controlled_u` -- a singly-controlled arbitrary gate as
+  CX + single-qubit gates (the textbook "ABC" construction);
+* :func:`decompose_ccu` -- a doubly-controlled gate via its controlled
+  square root (Barenco et al. construction);
+* :func:`decompose_mcx` -- k-controlled X via a Toffoli V-chain over
+  ancilla qubits;
+* :func:`decompose_to_two_qubit` -- a whole-circuit pass producing an
+  equivalent circuit (possibly with ancillas) whose operations touch at
+  most two qubits.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from .circuit import QuantumCircuit, RepeatedBlock
+from .operation import Operation
+
+__all__ = ["zyz_angles", "matrix_sqrt_2x2", "decompose_controlled_u",
+           "decompose_ccu", "decompose_mcx", "decompose_to_two_qubit"]
+
+
+def zyz_angles(matrix) -> tuple[float, float, float, float]:
+    """ZYZ Euler angles: ``matrix = e^{i gamma} U(theta, phi, lam)``.
+
+    Returns ``(theta, phi, lam, gamma)`` such that
+    ``gate_matrix("gu", result)`` reproduces ``matrix`` exactly (for any
+    2x2 unitary).
+    """
+    u = np.asarray(matrix, dtype=complex)
+    if u.shape != (2, 2):
+        raise ValueError("zyz_angles needs a 2x2 matrix")
+    determinant = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
+    if abs(abs(determinant) - 1.0) > 1e-9 or \
+            not np.allclose(u @ u.conj().T, np.eye(2), atol=1e-9):
+        raise ValueError("matrix is not unitary")
+    # factor the global phase: det(e^{-i gamma} u) = 1
+    gamma = cmath.phase(determinant) / 2.0
+    su = u * cmath.exp(-1j * gamma)
+    # su = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #       [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    cos_half = min(1.0, abs(su[0, 0]))
+    theta = 2.0 * math.acos(cos_half)
+    if abs(su[0, 0]) > 1e-12 and abs(su[1, 0]) > 1e-12:
+        plus = 2.0 * cmath.phase(su[1, 1])
+        minus = 2.0 * cmath.phase(su[1, 0])
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    elif abs(su[0, 0]) > 1e-12:   # diagonal: theta ~ 0
+        phi = 2.0 * cmath.phase(su[1, 1])
+        lam = 0.0
+    else:                          # anti-diagonal: theta ~ pi
+        phi = 2.0 * cmath.phase(su[1, 0])
+        lam = 0.0
+    # the SU(2) factorisation carries e^{-i(phi+lam)/2} into gamma
+    gamma_full = gamma - (phi + lam) / 2.0
+    return (theta, phi, lam, gamma_full)
+
+
+def matrix_sqrt_2x2(matrix) -> np.ndarray:
+    """Principal square root of a 2x2 unitary (eigen decomposition)."""
+    u = np.asarray(matrix, dtype=complex)
+    values, vectors = np.linalg.eig(u)
+    roots = np.sqrt(values.astype(complex))
+    return vectors @ np.diag(roots) @ np.linalg.inv(vectors)
+
+
+def _gu_op(matrix, target: int, controls=()) -> Operation:
+    return Operation("gu", target, controls=tuple(controls),
+                     params=zyz_angles(matrix))
+
+
+def decompose_controlled_u(matrix, control: int,
+                           target: int) -> list[Operation]:
+    """Singly-controlled arbitrary gate as CX + single-qubit gates.
+
+    The ABC construction: with ``matrix = e^{i g} Rz(phi) Ry(th) Rz(lam)``,
+
+    ``A = Rz(phi) Ry(th/2)``, ``B = Ry(-th/2) Rz(-(phi+lam)/2)``,
+    ``C = Rz((lam-phi)/2)`` satisfy ``A X B X C = Rz(phi) Ry(th) Rz(lam)``
+    and ``A B C = I``; the full phase ``alpha = g + (phi + lam)/2``
+    (``U = e^{i alpha} Rz Ry Rz``) becomes ``p(alpha)`` on the control.
+    """
+    theta, phi, lam, gamma = zyz_angles(matrix)
+    alpha = gamma + (phi + lam) / 2.0
+    operations: list[Operation] = []
+    # C
+    angle_c = (lam - phi) / 2.0
+    if angle_c:
+        operations.append(Operation("rz", target, params=(angle_c,)))
+    operations.append(Operation("x", target, controls=(control,)))
+    # B
+    angle_b = -(phi + lam) / 2.0
+    if angle_b:
+        operations.append(Operation("rz", target, params=(angle_b,)))
+    if theta:
+        operations.append(Operation("ry", target, params=(-theta / 2.0,)))
+    operations.append(Operation("x", target, controls=(control,)))
+    # A
+    if theta:
+        operations.append(Operation("ry", target, params=(theta / 2.0,)))
+    if phi:
+        operations.append(Operation("rz", target, params=(phi,)))
+    if alpha:
+        operations.append(Operation("p", control, params=(alpha,)))
+    return operations
+
+
+def decompose_ccu(matrix, control1: int, control2: int,
+                  target: int) -> list[Operation]:
+    """Doubly-controlled gate via its controlled square root.
+
+    ``CCU = CV(c2,t) CX(c1,c2) CV^dag(c2,t) CX(c1,c2) CV(c1,t)`` with
+    ``V = sqrt(U)`` (Barenco et al. 1995), each CV expanded by
+    :func:`decompose_controlled_u`.
+    """
+    v = matrix_sqrt_2x2(matrix)
+    v_dagger = np.conj(v).T
+    operations: list[Operation] = []
+    operations.extend(decompose_controlled_u(v, control2, target))
+    operations.append(Operation("x", control2, controls=(control1,)))
+    operations.extend(decompose_controlled_u(v_dagger, control2, target))
+    operations.append(Operation("x", control2, controls=(control1,)))
+    operations.extend(decompose_controlled_u(v, control1, target))
+    return operations
+
+
+def decompose_mcx(controls: list[int], target: int,
+                  ancillas: list[int]) -> list[Operation]:
+    """k-controlled X as a Toffoli V-chain over ``k - 2`` clean ancillas.
+
+    Ancillas must start in ``|0>`` and are returned to ``|0>``.  For
+    ``k <= 2`` no ancillas are needed and the operation passes through.
+    """
+    k = len(controls)
+    if k <= 2:
+        return [Operation("x", target, controls=tuple(controls))]
+    if len(ancillas) < k - 2:
+        raise ValueError(f"{k}-controlled X needs {k - 2} ancillas, "
+                         f"got {len(ancillas)}")
+    used = ancillas[:k - 2]
+    forward: list[Operation] = [
+        Operation("x", used[0], controls=(controls[0], controls[1]))]
+    for i in range(k - 3):
+        forward.append(Operation("x", used[i + 1],
+                                 controls=(controls[i + 2], used[i])))
+    middle = Operation("x", target, controls=(controls[-1], used[-1]))
+    backward = [op for op in reversed(forward)]
+    return forward + [middle] + backward
+
+
+def decompose_to_two_qubit(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite a circuit so every operation touches at most two qubits.
+
+    Multi-controlled X gates use the V-chain (ancillas appended to the
+    register as needed); doubly-controlled non-X gates use the Barenco
+    construction; higher-controlled non-X gates are first reduced to an
+    MCX sandwich via the phase-kickback identity where possible, otherwise
+    rejected.  Repeated blocks are decomposed in place.
+    """
+    # first pass: size the ancilla pool.  A k-controlled X needs k-2 chain
+    # ancillas; a k-controlled (k >= 3) non-X gate needs k-2 chain ancillas
+    # plus one AND-target ancilla.
+    extra = 0
+    for op in circuit.operations():
+        k = len(op.controls)
+        if k >= 3:
+            extra = max(extra, k - 2 if op.gate == "x" else k - 1)
+    total_qubits = circuit.num_qubits + extra
+    ancillas = list(range(circuit.num_qubits, total_qubits))
+
+    def rewrite(op: Operation) -> list[Operation]:
+        k = len(op.controls)
+        if k <= 1:
+            return [op]
+        if any(value == 0 for _, value in op.controls):
+            # normalise negative controls with X conjugation
+            negatives = [q for q, value in op.controls if value == 0]
+            positive = Operation(
+                op.gate, op.target,
+                controls=tuple((q, 1) for q, _ in op.controls),
+                params=op.params)
+            wrapped: list[Operation] = [Operation("x", q)
+                                        for q in negatives]
+            wrapped.extend(rewrite(positive))
+            wrapped.extend(Operation("x", q) for q in negatives)
+            return wrapped
+        control_qubits = [q for q, _ in op.controls]
+        if op.gate == "x" and k >= 3:
+            chain = decompose_mcx(control_qubits, op.target, ancillas)
+            return [sub for toffoli in chain for sub in rewrite(toffoli)]
+        if k == 2:
+            return decompose_ccu(op.matrix(), control_qubits[0],
+                                 control_qubits[1], op.target)
+        # k >= 3, non-X core: collapse the controls into one ancilla with
+        # an MCX pair, leaving a singly-controlled core gate
+        gather = decompose_mcx(control_qubits, ancillas[-1], ancillas[:-1])
+        gather = [sub for toffoli in gather for sub in rewrite(toffoli)]
+        core = decompose_controlled_u(op.matrix(), ancillas[-1], op.target)
+        return gather + core + gather
+
+    def transform(instructions) -> list:
+        result = []
+        for instruction in instructions:
+            if isinstance(instruction, RepeatedBlock):
+                result.append(RepeatedBlock(
+                    tuple(transform(instruction.body)),
+                    instruction.repetitions, instruction.label))
+            else:
+                result.extend(rewrite(instruction))
+        return result
+
+    decomposed = QuantumCircuit(total_qubits,
+                                name=f"{circuit.name}_2q")
+    decomposed.extend(transform(circuit.instructions))
+    return decomposed

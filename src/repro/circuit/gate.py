@@ -1,0 +1,164 @@
+"""Gate definitions: names, 2x2 matrices, parameters, inverses.
+
+Every elementary operation in the circuit IR is a (multi-)controlled
+single-qubit gate; this module is the registry of the single-qubit cores.
+The set covers everything the paper's benchmarks need: the Clifford+T
+gates, the ``X^1/2`` / ``Y^1/2`` gates of the Google supremacy circuits,
+and the rotations / phase gates of QFT-based arithmetic.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["GateDefinition", "GATES", "gate_matrix", "inverse_gate",
+           "is_diagonal_gate"]
+
+_SQRT2_INV = 1 / math.sqrt(2)
+
+
+def _const(matrix) -> Callable[[tuple], np.ndarray]:
+    array = np.array(matrix, dtype=complex)
+
+    def build(params: tuple) -> np.ndarray:
+        return array
+
+    return build
+
+
+def _rx(params: tuple) -> np.ndarray:
+    theta = params[0]
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(params: tuple) -> np.ndarray:
+    theta = params[0]
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(params: tuple) -> np.ndarray:
+    theta = params[0]
+    return np.array([[cmath.exp(-0.5j * theta), 0],
+                     [0, cmath.exp(0.5j * theta)]], dtype=complex)
+
+
+def _phase(params: tuple) -> np.ndarray:
+    lam = params[0]
+    return np.array([[1, 0], [0, cmath.exp(1j * lam)]], dtype=complex)
+
+
+def _u(params: tuple) -> np.ndarray:
+    theta, phi, lam = params
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [[c, -cmath.exp(1j * lam) * s],
+         [cmath.exp(1j * phi) * s, cmath.exp(1j * (phi + lam)) * c]],
+        dtype=complex)
+
+
+def _gu(params: tuple) -> np.ndarray:
+    """``u`` with an explicit global phase: ``e^{i gamma} U(theta,phi,lam)``.
+
+    The global phase matters once the gate is *controlled* -- it becomes a
+    relative phase -- so gate synthesis needs this 4-parameter family to
+    represent arbitrary 2x2 unitaries exactly.
+    """
+    theta, phi, lam, gamma = params
+    return cmath.exp(1j * gamma) * _u((theta, phi, lam))
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """A named single-qubit gate family."""
+
+    name: str
+    num_params: int
+    build_matrix: Callable[[tuple], np.ndarray]
+    #: name of the inverse gate; ``None`` means "same name, negated params"
+    inverse_name: str | None
+    #: diagonal gates commute with each other -- used by optimisations/tests
+    diagonal: bool = False
+
+    def matrix(self, params: tuple = ()) -> np.ndarray:
+        if len(params) != self.num_params:
+            raise ValueError(f"gate {self.name} expects {self.num_params} "
+                             f"parameter(s), got {len(params)}")
+        return self.build_matrix(tuple(params))
+
+
+GATES: dict[str, GateDefinition] = {}
+
+
+def _register(name: str, num_params: int, build, inverse_name: str | None,
+              diagonal: bool = False) -> None:
+    GATES[name] = GateDefinition(name, num_params, build, inverse_name,
+                                 diagonal)
+
+
+_register("id", 0, _const([[1, 0], [0, 1]]), "id", diagonal=True)
+_register("x", 0, _const([[0, 1], [1, 0]]), "x")
+_register("y", 0, _const([[0, -1j], [1j, 0]]), "y")
+_register("z", 0, _const([[1, 0], [0, -1]]), "z", diagonal=True)
+_register("h", 0, _const([[_SQRT2_INV, _SQRT2_INV],
+                          [_SQRT2_INV, -_SQRT2_INV]]), "h")
+_register("s", 0, _const([[1, 0], [0, 1j]]), "sdg", diagonal=True)
+_register("sdg", 0, _const([[1, 0], [0, -1j]]), "s", diagonal=True)
+_register("t", 0, _const([[1, 0], [0, cmath.exp(0.25j * math.pi)]]), "tdg",
+          diagonal=True)
+_register("tdg", 0, _const([[1, 0], [0, cmath.exp(-0.25j * math.pi)]]), "t",
+          diagonal=True)
+# X^(1/2) and Y^(1/2): the non-diagonal single-qubit gates of the Google
+# supremacy circuits (Boixo et al., paper ref. [11]).
+_register("sx", 0, _const([[0.5 + 0.5j, 0.5 - 0.5j],
+                           [0.5 - 0.5j, 0.5 + 0.5j]]), "sxdg")
+_register("sxdg", 0, _const([[0.5 - 0.5j, 0.5 + 0.5j],
+                             [0.5 + 0.5j, 0.5 - 0.5j]]), "sx")
+_register("sy", 0, _const([[0.5 + 0.5j, -0.5 - 0.5j],
+                           [0.5 + 0.5j, 0.5 + 0.5j]]), "sydg")
+_register("sydg", 0, _const([[0.5 - 0.5j, 0.5 - 0.5j],
+                             [-0.5 + 0.5j, 0.5 - 0.5j]]), "sy")
+_register("rx", 1, _rx, None)
+_register("ry", 1, _ry, None)
+_register("rz", 1, _rz, None, diagonal=True)
+_register("p", 1, _phase, None, diagonal=True)
+_register("u", 3, _u, "u")    # inverse handled specially below
+_register("gu", 4, _gu, "gu")  # inverse handled specially below
+
+
+def gate_matrix(name: str, params: tuple = ()) -> np.ndarray:
+    """The 2x2 unitary of gate ``name`` with ``params``."""
+    definition = GATES.get(name)
+    if definition is None:
+        raise KeyError(f"unknown gate {name!r}; known: {sorted(GATES)}")
+    return definition.matrix(params)
+
+
+def inverse_gate(name: str, params: tuple = ()) -> tuple[str, tuple]:
+    """``(name, params)`` of the inverse of the given gate."""
+    definition = GATES.get(name)
+    if definition is None:
+        raise KeyError(f"unknown gate {name!r}")
+    if name == "u":
+        theta, phi, lam = params
+        return "u", (-theta, -lam, -phi)
+    if name == "gu":
+        theta, phi, lam, gamma = params
+        return "gu", (-theta, -lam, -phi, -gamma)
+    if definition.inverse_name is not None:
+        return definition.inverse_name, params
+    return name, tuple(-value for value in params)
+
+
+def is_diagonal_gate(name: str) -> bool:
+    """Whether the gate's matrix is diagonal (phase-type gate)."""
+    definition = GATES.get(name)
+    if definition is None:
+        raise KeyError(f"unknown gate {name!r}")
+    return definition.diagonal

@@ -1,0 +1,95 @@
+"""The elementary instruction of the circuit IR.
+
+An :class:`Operation` is a (multi-)controlled single-qubit gate: one target,
+any number of positive/negative controls, and gate parameters.  This mirrors
+the operation model of the DD simulator the paper builds on, where e.g. a
+Toffoli is a single elementary operation (one DD, one multiplication), not a
+decomposition into two-qubit gates.
+
+Operations are immutable and hashable so they can key gate-DD caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .gate import gate_matrix, inverse_gate
+
+__all__ = ["Operation"]
+
+
+def _normalise_controls(controls) -> tuple[tuple[int, int], ...]:
+    """Normalise control specs to a sorted tuple of ``(qubit, value)``."""
+    if controls is None:
+        return ()
+    result = []
+    for item in controls:
+        if isinstance(item, tuple):
+            qubit, value = item
+        else:
+            qubit, value = item, 1
+        qubit = int(qubit)
+        value = int(value)
+        if value not in (0, 1):
+            raise ValueError(f"control value must be 0 or 1, got {value}")
+        result.append((qubit, value))
+    result.sort()
+    qubits = [qubit for qubit, _ in result]
+    if len(set(qubits)) != len(qubits):
+        raise ValueError(f"duplicate control qubits in {qubits}")
+    return tuple(result)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One (multi-)controlled single-qubit gate application."""
+
+    gate: str
+    target: int
+    controls: tuple[tuple[int, int], ...] = ()
+    params: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "controls",
+                           _normalise_controls(self.controls))
+        object.__setattr__(self, "params", tuple(self.params))
+        if any(qubit == self.target for qubit, _ in self.controls):
+            raise ValueError(f"qubit {self.target} is both target and control")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def control_qubits(self) -> tuple[int, ...]:
+        return tuple(qubit for qubit, _ in self.controls)
+
+    def qubits(self) -> tuple[int, ...]:
+        """All qubits this operation touches (controls + target)."""
+        return self.control_qubits + (self.target,)
+
+    def max_qubit(self) -> int:
+        return max(self.qubits())
+
+    def matrix(self) -> np.ndarray:
+        """The 2x2 core matrix acting on the target."""
+        return gate_matrix(self.gate, self.params)
+
+    def inverse(self) -> "Operation":
+        """The adjoint operation (controls are self-inverse)."""
+        name, params = inverse_gate(self.gate, self.params)
+        return Operation(name, self.target, self.controls, params)
+
+    def control_map(self) -> dict[int, int]:
+        """Controls as the ``{qubit: value}`` map the DD builder expects."""
+        return dict(self.controls)
+
+    def __str__(self) -> str:
+        label = self.gate
+        if self.params:
+            label += "(" + ",".join(f"{p:g}" for p in self.params) + ")"
+        if self.controls:
+            marks = ",".join(f"{q}" if v else f"!{q}"
+                             for q, v in self.controls)
+            return f"{label} q{self.target} ctrl[{marks}]"
+        return f"{label} q{self.target}"

@@ -1,0 +1,183 @@
+"""Peephole circuit optimisation passes.
+
+Light-weight, semantics-preserving rewrites on the elementary-operation
+stream.  These matter to the simulation study in two ways: (a) they shrink
+the benchmark circuits a simulator sees, and (b) they interact with the
+combining strategies (a cancelled pair is the extreme case of a combined
+product being the identity).  Every pass is verified against the DD-based
+equivalence checker in the test suite.
+
+Passes operate on fully unrolled operation lists; repeated-block structure
+is preserved by optimising block bodies independently.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from .circuit import QuantumCircuit, RepeatedBlock
+from .gate import is_diagonal_gate
+from .operation import Operation
+
+__all__ = ["cancel_adjacent_inverses", "merge_rotations",
+           "drop_identity_gates", "optimise"]
+
+_TWO_PI = 2 * math.pi
+
+#: gate pairs (unordered) that cancel when adjacent on identical
+#: target/controls
+_INVERSE_PAIRS = {
+    frozenset(("x",)), frozenset(("y",)), frozenset(("z",)),
+    frozenset(("h",)), frozenset(("id",)),
+    frozenset(("s", "sdg")), frozenset(("t", "tdg")),
+    frozenset(("sx", "sxdg")), frozenset(("sy", "sydg")),
+}
+
+#: rotation families that merge by adding parameters
+_MERGEABLE = {"rx", "ry", "rz", "p"}
+
+
+def _same_slot(a: Operation, b: Operation) -> bool:
+    return a.target == b.target and a.controls == b.controls
+
+
+def _commute_trivially(a: Operation, b: Operation) -> bool:
+    """Conservative commutation: disjoint qubits, or both diagonal.
+
+    A controlled gate whose core is diagonal is a diagonal matrix on the
+    full register, and diagonal matrices always commute.
+    """
+    if set(a.qubits()).isdisjoint(b.qubits()):
+        return True
+    return is_diagonal_gate(a.gate) and is_diagonal_gate(b.gate)
+
+
+def _cancels(a: Operation, b: Operation) -> bool:
+    if not _same_slot(a, b):
+        return False
+    if a.params or b.params:
+        return False
+    return frozenset((a.gate, b.gate)) in _INVERSE_PAIRS
+
+
+def _scan_cancel(operations: list[Operation]) -> tuple[list[Operation], bool]:
+    """One pass of adjacent-inverse cancellation (with trivial commuting)."""
+    result: list[Operation] = []
+    changed = False
+    for op in operations:
+        # look backwards over trivially commuting operations
+        index = len(result) - 1
+        while index >= 0:
+            candidate = result[index]
+            if _cancels(candidate, op):
+                del result[index]
+                changed = True
+                break
+            if not _commute_trivially(candidate, op):
+                result.append(op)
+                break
+            index -= 1
+        else:
+            result.append(op)
+    return result, changed
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent self-inverse pairs (H H, CX CX, S Sdg, ...).
+
+    The scan looks through trivially commuting neighbours, so ``H(0) X(1)
+    H(0)`` still cancels the Hadamards.  Iterates to a fixed point.
+    """
+    return _map_instruction_lists(circuit, _cancel_to_fixpoint)
+
+
+def _cancel_to_fixpoint(operations: list[Operation]) -> list[Operation]:
+    changed = True
+    while changed:
+        operations, changed = _scan_cancel(operations)
+    return operations
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse adjacent same-axis rotations (``rz(a) rz(b) -> rz(a+b)``)."""
+
+    def merge(operations: list[Operation]) -> list[Operation]:
+        result: list[Operation] = []
+        for op in operations:
+            if (op.gate in _MERGEABLE and result
+                    and result[-1].gate == op.gate
+                    and _same_slot(result[-1], op)):
+                angle = result[-1].params[0] + op.params[0]
+                result[-1] = Operation(op.gate, op.target, op.controls,
+                                       (angle,))
+                continue
+            result.append(op)
+        return result
+
+    return _map_instruction_lists(circuit, merge)
+
+
+def drop_identity_gates(circuit: QuantumCircuit,
+                        tolerance: float = 1e-12) -> QuantumCircuit:
+    """Remove ``id`` gates and rotations by (multiples of) zero angle."""
+
+    def keep(op: Operation) -> bool:
+        if op.gate == "id":
+            return False
+        if op.gate in ("rx", "ry"):
+            angle = op.params[0] % (2 * _TWO_PI)  # rx has period 4 pi
+            return min(angle, 2 * _TWO_PI - angle) > tolerance
+        if op.gate == "p":
+            angle = op.params[0] % _TWO_PI
+            return min(angle, _TWO_PI - angle) > tolerance
+        if op.gate == "rz":
+            angle = op.params[0] % (2 * _TWO_PI)
+            return min(angle, 2 * _TWO_PI - angle) > tolerance
+        return True
+
+    def drop(operations: list[Operation]) -> list[Operation]:
+        return [op for op in operations if keep(op)]
+
+    return _map_instruction_lists(circuit, drop)
+
+
+def optimise(circuit: QuantumCircuit, passes: int = 3) -> QuantumCircuit:
+    """Run all passes in sequence, ``passes`` times (or to a fixed point)."""
+    current = circuit
+    for _ in range(passes):
+        before = current.num_operations()
+        current = drop_identity_gates(
+            merge_rotations(cancel_adjacent_inverses(current)))
+        if current.num_operations() == before:
+            break
+    return current
+
+
+# ----------------------------------------------------------------------
+
+
+def _map_instruction_lists(circuit: QuantumCircuit, transform) -> QuantumCircuit:
+    """Apply ``transform`` to every contiguous operation run, per block."""
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    buffer: list[Operation] = []
+
+    def flush() -> None:
+        for op in transform(list(buffer)):
+            result.append(op)
+        buffer.clear()
+
+    for instruction in circuit.instructions:
+        if isinstance(instruction, RepeatedBlock):
+            flush()
+            body = QuantumCircuit(circuit.num_qubits)
+            for op in instruction.body:
+                body.append(op)
+            optimised_body = _map_instruction_lists(body, transform)
+            result.add_repeated_block(optimised_body,
+                                      instruction.repetitions,
+                                      instruction.label)
+        else:
+            buffer.append(instruction)
+    flush()
+    return result

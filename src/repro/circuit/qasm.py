@@ -1,0 +1,263 @@
+"""OpenQASM 2.0 subset reader and writer.
+
+Supports the gate set the benchmarks use: ``x y z h s sdg t tdg sx rx ry rz
+p/u1 cx cz cp/cu1 ccx swap``.  Multi-controlled X/Z/P operations are written
+as the non-standard-but-common names ``mcx``/``mcz``/``mcp`` so circuits
+round-trip; the reader accepts them back.  Parameter expressions may use
+``pi``, the four arithmetic operators, parentheses and unary minus.
+
+This is intentionally a pragmatic subset, not a full OpenQASM front end:
+``creg``/``measure``/``barrier`` lines are tolerated and ignored (the
+simulator measures final states itself), custom ``gate`` definitions are
+rejected with a clear error.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+import re
+
+from .circuit import QuantumCircuit, RepeatedBlock
+from .operation import Operation
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed or unsupported QASM input."""
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+_PLAIN_GATES = {"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+                "sxdg", "sy", "sydg"}
+_PARAM_GATES = {"rx", "ry", "rz", "p", "u"}
+
+
+def _format_param(value: float) -> str:
+    """Render a parameter, preferring exact multiples of pi."""
+    if value == 0:
+        return "0"
+    ratio = value / math.pi
+    for denominator in (1, 2, 3, 4, 6, 8, 16, 32, 64, 128, 256, 512, 1024):
+        numerator = ratio * denominator
+        if abs(numerator - round(numerator)) < 1e-12:
+            numerator = round(numerator)
+            if numerator == 0:
+                return "0"
+            prefix = "" if numerator > 0 else "-"
+            numerator = abs(numerator)
+            head = "pi" if numerator == 1 else f"{numerator}*pi"
+            return f"{prefix}{head}" if denominator == 1 \
+                else f"{prefix}{head}/{denominator}"
+    return repr(value)
+
+
+def _operation_to_qasm(op: Operation) -> str:
+    if any(value == 0 for _, value in op.controls):
+        raise QasmError("negative controls cannot be expressed in QASM 2; "
+                        "surround with X gates first")
+    controls = [qubit for qubit, _ in op.controls]
+    params = ""
+    if op.params:
+        params = "(" + ",".join(_format_param(p) for p in op.params) + ")"
+    args = ",".join(f"q[{qubit}]" for qubit in controls + [op.target])
+    if not controls:
+        if op.gate in _PLAIN_GATES or op.gate in _PARAM_GATES:
+            return f"{op.gate}{params} {args};"
+        raise QasmError(f"cannot serialise gate {op.gate!r}")
+    if op.gate == "x":
+        name = {1: "cx", 2: "ccx"}.get(len(controls), "mcx")
+    elif op.gate == "z":
+        name = {1: "cz"}.get(len(controls), "mcz")
+    elif op.gate == "p":
+        name = {1: "cp"}.get(len(controls), "mcp")
+    else:
+        if len(controls) != 1:
+            raise QasmError(f"cannot serialise multi-controlled {op.gate!r}")
+        name = "c" + op.gate
+    return f"{name}{params} {args};"
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit (repeated blocks are unrolled, with comments)."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for instruction in circuit.instructions:
+        if isinstance(instruction, RepeatedBlock):
+            label = instruction.label or "block"
+            lines.append(f"// repeat {label} x{instruction.repetitions}")
+            for _ in range(instruction.repetitions):
+                for op in instruction.operations():
+                    lines.append(_operation_to_qasm(op))
+            lines.append(f"// end repeat {label}")
+        else:
+            lines.append(_operation_to_qasm(instruction))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+_BINARY_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Pow: operator.pow,
+}
+
+
+def _eval_param(text: str) -> float:
+    """Safely evaluate a QASM parameter expression."""
+    try:
+        tree = ast.parse(text.strip().replace("pi", str(math.pi)),
+                         mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"bad parameter expression {text!r}") from exc
+
+    def evaluate(node) -> float:
+        if isinstance(node, ast.Expression):
+            return evaluate(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value,
+                                                         (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.BinOp) and type(node.op) in _BINARY_OPS:
+            return _BINARY_OPS[type(node.op)](evaluate(node.left),
+                                              evaluate(node.right))
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -evaluate(node.operand)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+            return evaluate(node.operand)
+        raise QasmError(f"unsupported construct in parameter {text!r}")
+
+    return evaluate(tree)
+
+
+_STATEMENT_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][\w]*)\s*"
+    r"(?:\(\s*(?P<params>[^)]*)\s*\))?\s*"
+    r"(?P<args>[^;]*);?$")
+
+_QUBIT_RE = re.compile(r"^(?P<reg>[a-zA-Z_][\w]*)\[(?P<index>\d+)\]$")
+
+#: gate name -> (core gate, number of leading control arguments)
+_READER_GATES = {
+    "id": ("id", 0), "x": ("x", 0), "y": ("y", 0), "z": ("z", 0),
+    "h": ("h", 0), "s": ("s", 0), "sdg": ("sdg", 0), "t": ("t", 0),
+    "tdg": ("tdg", 0), "sx": ("sx", 0), "sxdg": ("sxdg", 0),
+    "sy": ("sy", 0), "sydg": ("sydg", 0),
+    "rx": ("rx", 0), "ry": ("ry", 0), "rz": ("rz", 0),
+    "p": ("p", 0), "u1": ("p", 0), "u": ("u", 0), "u3": ("u", 0),
+    "u2": ("u", 0),  # u2(phi, lam) = u(pi/2, phi, lam); fixed up below
+    "cx": ("x", 1), "CX": ("x", 1), "cz": ("z", 1), "cy": ("y", 1),
+    "ch": ("h", 1), "cp": ("p", 1), "cu1": ("p", 1),
+    "crx": ("rx", 1), "cry": ("ry", 1), "crz": ("rz", 1),
+    "ccx": ("x", 2), "ccz": ("z", 2),
+}
+
+# The writer serialises any singly-controlled gate as "c<name>"; accept all
+# of them back (cs, ct, csx, csydg, ... -- non-standard but round-trip safe).
+for _name in ("s", "sdg", "t", "tdg", "sx", "sxdg", "sy", "sydg", "id",
+              "u", "gu"):
+    _READER_GATES.setdefault(f"c{_name}", (_name, 1))
+del _name
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 subset into a :class:`QuantumCircuit`."""
+    registers: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+    total_qubits = 0
+    operations: list[Operation] = []
+
+    def qubit_index(token: str) -> int:
+        token = token.strip()
+        match = _QUBIT_RE.match(token)
+        if not match:
+            raise QasmError(f"expected qubit reference, got {token!r}")
+        name = match.group("reg")
+        index = int(match.group("index"))
+        if name not in registers:
+            raise QasmError(f"unknown register {name!r}")
+        offset, size = registers[name]
+        if index >= size:
+            raise QasmError(f"index {index} out of range for register "
+                            f"{name!r} of size {size}")
+        return offset + index
+
+    # Strip comments, split on semicolons so multi-statement lines work.
+    cleaned = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in cleaned.split(";") if s.strip()]
+    for statement in statements:
+        if statement.startswith(("OPENQASM", "include")):
+            continue
+        match = _STATEMENT_RE.match(statement + ";")
+        if not match:
+            raise QasmError(f"cannot parse statement {statement!r}")
+        name = match.group("name")
+        params_text = match.group("params")
+        args_text = match.group("args").strip()
+        if name == "qreg":
+            reg_match = _QUBIT_RE.match(args_text)
+            if not reg_match:
+                raise QasmError(f"bad qreg declaration {statement!r}")
+            reg_name = reg_match.group("reg")
+            size = int(reg_match.group("index"))
+            registers[reg_name] = (total_qubits, size)
+            total_qubits += size
+            continue
+        if name in ("creg", "barrier", "measure", "reset"):
+            continue
+        if name == "gate":
+            raise QasmError("custom gate definitions are not supported by "
+                            "this reader")
+        params = ()
+        if params_text:
+            params = tuple(_eval_param(p) for p in params_text.split(","))
+        if name == "u2":
+            if len(params) != 2:
+                raise QasmError("u2 expects two parameters")
+            params = (math.pi / 2, params[0], params[1])
+        qubits = [qubit_index(token) for token in args_text.split(",")]
+        if name in ("mcx", "mcz", "mcp"):
+            core = {"mcx": "x", "mcz": "z", "mcp": "p"}[name]
+            operations.append(Operation(core, qubits[-1],
+                                        controls=tuple(qubits[:-1]),
+                                        params=params))
+            continue
+        if name == "swap":
+            a, b = qubits
+            operations.extend([Operation("x", b, controls=(a,)),
+                               Operation("x", a, controls=(b,)),
+                               Operation("x", b, controls=(a,))])
+            continue
+        if name == "cswap":
+            c, a, b = qubits
+            operations.extend([Operation("x", a, controls=(b,)),
+                               Operation("x", b, controls=(c, a)),
+                               Operation("x", a, controls=(b,))])
+            continue
+        entry = _READER_GATES.get(name)
+        if entry is None:
+            raise QasmError(f"unsupported gate {name!r}")
+        core, num_controls = entry
+        if len(qubits) != num_controls + 1:
+            raise QasmError(f"gate {name} expects {num_controls + 1} qubits, "
+                            f"got {len(qubits)}")
+        operations.append(Operation(core, qubits[-1],
+                                    controls=tuple(qubits[:num_controls]),
+                                    params=params))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declaration found")
+    circuit = QuantumCircuit(total_qubits, name="qasm_import")
+    circuit.extend(operations)
+    return circuit

@@ -1,0 +1,91 @@
+"""Quantum decision diagrams (QMDD-style, with edge weights).
+
+This subpackage is the simulation substrate of the reproduction: compact
+representations of state vectors and unitary matrices together with the
+arithmetic (addition, matrix-vector and matrix-matrix multiplication,
+Kronecker products) performed directly on the diagrams.
+
+Typical usage::
+
+    from repro.dd import Package, build_gate_dd
+
+    pkg = Package()
+    state = pkg.zero_state(3)
+    hadamard = [[2 ** -0.5, 2 ** -0.5], [2 ** -0.5, -(2 ** -0.5)]]
+    gate = build_gate_dd(pkg, hadamard, num_qubits=3, target=0)
+    state = pkg.multiply_matrix_vector(gate, state)
+"""
+
+from .approximation import ApproximationResult, prune_small_contributions
+from .complex_table import DEFAULT_TOLERANCE, ComplexTable
+from .convert import (matrix_from_numpy, matrix_to_numpy, vector_from_numpy,
+                      vector_to_numpy)
+from .edge import Edge
+from .export import level_histogram, size_report, to_dot
+from .function_construction import (build_controlled_permutation_dd,
+                                    build_permutation_dd,
+                                    controlled_unitary_dd,
+                                    modular_multiplication_permutation)
+from .gate_building import build_diagonal_dd, build_gate_dd, build_two_level_dd
+from .measurement import (all_probabilities, measure_qubit, project_qubit,
+                          qubit_probability, sample_bitstring, sample_counts)
+from .node import TERMINAL, MatrixNode, Terminal, VectorNode
+from .observables import (diagonal_expectation, expectation_value,
+                          pauli_expectation, pauli_string_dd)
+from .package import OperationCounters, Package
+from .reordering import (apply_index_permutation, permute_qubits, sift,
+                         swap_adjacent_levels)
+from .serialization import deserialize_dd, dumps_dd, loads_dd, serialize_dd
+from .states import (ghz_state, product_state, random_structured_state,
+                     uniform_superposition, w_state)
+
+__all__ = [
+    "ApproximationResult",
+    "DEFAULT_TOLERANCE",
+    "ComplexTable",
+    "Edge",
+    "MatrixNode",
+    "OperationCounters",
+    "Package",
+    "TERMINAL",
+    "Terminal",
+    "VectorNode",
+    "all_probabilities",
+    "apply_index_permutation",
+    "build_controlled_permutation_dd",
+    "build_diagonal_dd",
+    "build_gate_dd",
+    "build_permutation_dd",
+    "build_two_level_dd",
+    "controlled_unitary_dd",
+    "deserialize_dd",
+    "diagonal_expectation",
+    "dumps_dd",
+    "expectation_value",
+    "ghz_state",
+    "level_histogram",
+    "loads_dd",
+    "matrix_from_numpy",
+    "matrix_to_numpy",
+    "measure_qubit",
+    "modular_multiplication_permutation",
+    "pauli_expectation",
+    "pauli_string_dd",
+    "permute_qubits",
+    "product_state",
+    "project_qubit",
+    "prune_small_contributions",
+    "qubit_probability",
+    "random_structured_state",
+    "sample_bitstring",
+    "sample_counts",
+    "serialize_dd",
+    "sift",
+    "size_report",
+    "swap_adjacent_levels",
+    "uniform_superposition",
+    "w_state",
+    "to_dot",
+    "vector_from_numpy",
+    "vector_to_numpy",
+]

@@ -1,0 +1,67 @@
+"""Weighted DD edges.
+
+An edge is an (immutable) pair of a target node and a complex weight.  The
+amplitude of a basis state is the product of all edge weights on the path
+from the root edge to the terminal (paper Fig. 2c).  A weight of exactly 0
+denotes a zero sub-vector / sub-matrix ("0-stub"); by convention such edges
+point directly at the terminal regardless of their level.
+
+Weights stored in edges are always canonical representatives from the
+package's :class:`~repro.dd.complex_table.ComplexTable`, which is what makes
+structural hashing of nodes sound under floating-point noise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle breaker for type checkers
+    from .node import DDNode
+
+__all__ = ["Edge"]
+
+
+class Edge:
+    """A weighted pointer to a DD node."""
+
+    __slots__ = ("node", "weight")
+
+    def __init__(self, node: "DDNode", weight: complex) -> None:
+        self.node = node
+        self.weight = weight
+
+    def is_zero(self) -> bool:
+        """Whether this edge denotes the zero vector / matrix."""
+        return self.weight == 0
+
+    def is_terminal(self) -> bool:
+        """Whether this edge points at the terminal sink."""
+        return self.node.level == -1
+
+    @property
+    def level(self) -> int:
+        """Level of the node this edge points at (-1 for the terminal)."""
+        return self.node.level
+
+    def scaled(self, factor: complex) -> "Edge":
+        """This edge with its weight multiplied by ``factor`` (not interned).
+
+        Callers inside the package re-intern through the complex table; the
+        public API only hands out edges whose weights are canonical.
+        """
+        if factor == 0:
+            from .node import TERMINAL
+
+            return Edge(TERMINAL, 0j)
+        return Edge(self.node, self.weight * factor)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Edge):
+            return NotImplemented
+        return self.node is other.node and self.weight == other.weight
+
+    def __hash__(self) -> int:
+        return hash((id(self.node), self.weight))
+
+    def __repr__(self) -> str:
+        return f"Edge({self.node!r}, weight={self.weight})"

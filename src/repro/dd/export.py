@@ -1,0 +1,82 @@
+"""Introspection and export utilities for DDs.
+
+Graphical export (Graphviz dot) mirrors the figures of the paper: vector
+nodes with two successors, matrix nodes with four, 0-stubs, and edge-weight
+labels.  ``level_histogram`` and ``size_report`` are the measurement tools
+behind the Fig.-5-style size studies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .complex_table import polar_str
+from .edge import Edge
+
+__all__ = ["to_dot", "level_histogram", "size_report"]
+
+
+def _collect(edge: Edge):
+    """All reachable internal nodes, in deterministic discovery order."""
+    nodes = []
+    seen: set[int] = set()
+    stack = [edge.node] if edge.weight != 0 and edge.node.level != -1 else []
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        nodes.append(node)
+        for child in reversed(node.edges):
+            if child.weight != 0 and child.node.level != -1:
+                stack.append(child.node)
+    return nodes
+
+
+def to_dot(edge: Edge, name: str = "dd") -> str:
+    """Render a DD (vector or matrix) as a Graphviz dot string."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;",
+             '  root [shape=point, label=""];']
+    nodes = _collect(edge)
+    ids = {id(node): f"n{i}" for i, node in enumerate(nodes)}
+    lines.append('  terminal [shape=box, label="1"];')
+    if edge.weight == 0:
+        lines.append('  zero [shape=box, label="0"];')
+        lines.append("  root -> zero;")
+    else:
+        target = "terminal" if edge.node.level == -1 else ids[id(edge.node)]
+        lines.append(f'  root -> {target} [label="{polar_str(edge.weight)}"];')
+    for node in nodes:
+        node_id = ids[id(node)]
+        lines.append(f'  {node_id} [shape=circle, label="q{node.level}"];')
+        for index, child in enumerate(node.edges):
+            if child.weight == 0:
+                stub = f"{node_id}_z{index}"
+                lines.append(f'  {stub} [shape=plaintext, label="0"];')
+                lines.append(f"  {node_id} -> {stub} [style=dashed];")
+                continue
+            target = "terminal" if child.node.level == -1 \
+                else ids[id(child.node)]
+            label = "" if child.weight == 1 else polar_str(child.weight)
+            lines.append(
+                f'  {node_id} -> {target} [label="{label}", '
+                f'taillabel="{index}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def level_histogram(edge: Edge) -> dict[int, int]:
+    """Number of nodes per level -- the DD's 'width profile'."""
+    histogram: Counter[int] = Counter()
+    for node in _collect(edge):
+        histogram[node.level] += 1
+    return dict(sorted(histogram.items(), reverse=True))
+
+
+def size_report(edge: Edge, label: str = "dd") -> str:
+    """One-line human-readable size summary used by the Fig.-5 study."""
+    histogram = level_histogram(edge)
+    total = sum(histogram.values())
+    widths = ",".join(str(histogram.get(level, 0))
+                      for level in sorted(histogram, reverse=True))
+    return f"{label}: {total} nodes (per level top-down: {widths})"

@@ -1,0 +1,198 @@
+"""Measurement on state-vector DDs.
+
+Provides the probabilistic operations a simulator needs on top of the pure
+linear algebra: single-qubit measurement with state collapse (required by
+the semiclassical order-finding circuit of Shor's algorithm), full-register
+sampling, and probability queries.  All randomness is injected through a
+``random.Random`` (or numpy generator-like) object so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+from .edge import Edge
+from .node import VectorNode
+from .package import Package
+
+__all__ = [
+    "qubit_probability",
+    "measure_qubit",
+    "project_qubit",
+    "sample_bitstring",
+    "sample_counts",
+    "all_probabilities",
+]
+
+
+def _norm2_map(state: Edge) -> dict[int, float]:
+    """Squared norm of the (weight-1) sub-vector under each node."""
+    cache: dict[int, float] = {}
+
+    def norm2(node) -> float:
+        if node.level == -1:
+            return 1.0
+        ident = id(node)
+        found = cache.get(ident)
+        if found is not None:
+            return found
+        total = 0.0
+        for child in node.edges:
+            if child.weight != 0:
+                total += abs(child.weight) ** 2 * norm2(child.node)
+        cache[ident] = total
+        return total
+
+    if state.weight != 0:
+        norm2(state.node)
+    return cache
+
+
+def qubit_probability(package: Package, state: Edge, qubit: int) -> float:
+    """Probability that measuring ``qubit`` of ``state`` yields ``1``.
+
+    ``state`` need not be normalised; the result is normalised by
+    ``<state|state>``.
+    """
+    if state.weight == 0:
+        raise ValueError("cannot measure the zero vector")
+    if not 0 <= qubit <= state.node.level:
+        raise ValueError(f"qubit {qubit} out of range")
+    norms = _norm2_map(state)
+
+    def norm2(node) -> float:
+        return 1.0 if node.level == -1 else norms[id(node)]
+
+    cache: dict[int, float] = {}
+
+    def one_mass(node) -> float:
+        """Unnormalised probability mass with ``qubit = 1`` under ``node``."""
+        if node.level == qubit:
+            child = node.edges[1]
+            if child.weight == 0:
+                return 0.0
+            return abs(child.weight) ** 2 * norm2(child.node)
+        ident = id(node)
+        found = cache.get(ident)
+        if found is not None:
+            return found
+        total = 0.0
+        for child in node.edges:
+            if child.weight != 0:
+                total += abs(child.weight) ** 2 * one_mass(child.node)
+        cache[ident] = total
+        return total
+
+    total_norm = abs(state.weight) ** 2 * norm2(state.node)
+    if total_norm <= 0:
+        raise ValueError("state has zero norm")
+    return min(1.0, max(0.0,
+                        abs(state.weight) ** 2 * one_mass(state.node) / total_norm))
+
+
+def project_qubit(package: Package, state: Edge, qubit: int, value: int,
+                  renormalise: bool = True) -> Edge:
+    """Project ``state`` onto ``qubit = value`` (collapse after measurement).
+
+    Returns the zero edge if the outcome has no support.  With
+    ``renormalise`` (the default) the result is scaled back to unit norm.
+    """
+    if value not in (0, 1):
+        raise ValueError("measurement value must be 0 or 1")
+    cache: dict[int, Edge] = {}
+
+    def project(node) -> Edge:
+        if node.level < qubit:
+            # Only reachable through zero stubs; cannot happen for the
+            # quasi-reduced non-zero paths this walks.
+            return package.one
+        ident = id(node)
+        found = cache.get(ident)
+        if found is not None:
+            return found
+        if node.level == qubit:
+            kept = node.edges[value]
+            children = (kept, package.zero) if value == 0 \
+                else (package.zero, kept)
+            result = package.make_vector_node(node.level, children)
+        else:
+            children = []
+            for child in node.edges:
+                if child.weight == 0:
+                    children.append(package.zero)
+                else:
+                    sub = project(child.node)
+                    children.append(package._scaled(sub, child.weight))
+            result = package.make_vector_node(node.level, tuple(children))
+        cache[ident] = result
+        return result
+
+    if state.weight == 0:
+        return package.zero
+    projected = package._scaled(project(state.node), state.weight)
+    if projected.weight == 0 or not renormalise:
+        return projected
+    norm = math.sqrt(package.squared_norm(projected))
+    return package._scaled(projected, 1.0 / norm)
+
+
+def measure_qubit(package: Package, state: Edge, qubit: int,
+                  rng: Random) -> tuple[int, Edge, float]:
+    """Measure one qubit: returns ``(outcome, collapsed_state, p_of_outcome)``."""
+    p_one = qubit_probability(package, state, qubit)
+    outcome = 1 if rng.random() < p_one else 0
+    probability = p_one if outcome == 1 else 1.0 - p_one
+    collapsed = project_qubit(package, state, qubit, outcome)
+    if collapsed.weight == 0:
+        # Numerical corner: the sampled branch had (within tolerance) zero
+        # support.  Fall back to the other branch.
+        outcome = 1 - outcome
+        probability = 1.0 - probability
+        collapsed = project_qubit(package, state, qubit, outcome)
+    return outcome, collapsed, probability
+
+
+def sample_bitstring(package: Package, state: Edge, rng: Random) -> int:
+    """Draw one basis-state index from ``|amplitude|^2`` without collapsing."""
+    if state.weight == 0:
+        raise ValueError("cannot sample from the zero vector")
+    norms = _norm2_map(state)
+
+    def norm2(node) -> float:
+        return 1.0 if node.level == -1 else norms[id(node)]
+
+    index = 0
+    node = state.node
+    while node.level != -1:
+        masses = []
+        for child in node.edges:
+            if child.weight == 0:
+                masses.append(0.0)
+            else:
+                masses.append(abs(child.weight) ** 2 * norm2(child.node))
+        total = masses[0] + masses[1]
+        bit = 1 if rng.random() * total >= masses[0] else 0
+        if masses[bit] == 0.0:
+            bit = 1 - bit
+        if bit:
+            index |= 1 << node.level
+        node = node.edges[bit].node
+    return index
+
+
+def sample_counts(package: Package, state: Edge, shots: int,
+                  rng: Random) -> dict[int, int]:
+    """Histogram of ``shots`` independent basis-state samples."""
+    counts: dict[int, int] = {}
+    for _ in range(shots):
+        outcome = sample_bitstring(package, state, rng)
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return counts
+
+
+def all_probabilities(package: Package, state: Edge,
+                      num_qubits: int) -> list[float]:
+    """Dense list of all ``2^n`` outcome probabilities (small systems only)."""
+    return [abs(package.amplitude(state, i)) ** 2
+            for i in range(1 << num_qubits)]

@@ -1,0 +1,568 @@
+"""The DD package: construction and manipulation of quantum decision diagrams.
+
+This module is the heart of the reproduction.  It implements the QMDD-style
+decision diagrams of the paper's Section II-B:
+
+* state vectors are decomposed qubit by qubit into binary trees with shared
+  sub-structure and complex *edge weights* (paper Fig. 2c);
+* unitary matrices are decomposed into quadrants, giving nodes with four
+  successors (paper Sec. II-B);
+* the arithmetic the paper's whole argument rests on -- addition (Fig. 4),
+  matrix-vector multiplication (Fig. 3) and matrix-matrix multiplication --
+  is carried out directly on the diagrams with memoisation, so re-occurring
+  sub-problems are solved once.
+
+All diagrams are *quasi-reduced*: every non-zero edge from level ``z`` points
+to level ``z - 1``, zero blocks are 0-stub edges to the terminal, and the
+identity on ``m`` qubits costs exactly ``m`` nodes -- the size asymmetry
+between gate DDs (linear) and state DDs (potentially huge) that makes
+matrix-matrix multiplication attractive (paper Sec. III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .complex_table import DEFAULT_TOLERANCE, ComplexTable
+from .compute_table import ComputeTable
+from .edge import Edge
+from .node import TERMINAL, MatrixNode, VectorNode
+from .unique_table import UniqueTable
+
+__all__ = ["Package", "OperationCounters"]
+
+
+@dataclass
+class OperationCounters:
+    """Counts of recursive DD-operation calls.
+
+    These are the machine-independent cost metrics behind the paper's
+    figures: a matrix-vector product on a large state DD racks up many
+    ``mult_mv_recursions``, while combining two small gate DDs costs few
+    ``mult_mm_recursions`` -- the trade the combining strategies exploit.
+    """
+
+    add_recursions: int = 0
+    mult_mv_recursions: int = 0
+    mult_mm_recursions: int = 0
+    kron_recursions: int = 0
+    nodes_created: int = 0
+
+    def snapshot(self) -> "OperationCounters":
+        return OperationCounters(self.add_recursions, self.mult_mv_recursions,
+                                 self.mult_mm_recursions, self.kron_recursions,
+                                 self.nodes_created)
+
+    def delta(self, earlier: "OperationCounters") -> "OperationCounters":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return OperationCounters(
+            self.add_recursions - earlier.add_recursions,
+            self.mult_mv_recursions - earlier.mult_mv_recursions,
+            self.mult_mm_recursions - earlier.mult_mm_recursions,
+            self.kron_recursions - earlier.kron_recursions,
+            self.nodes_created - earlier.nodes_created,
+        )
+
+    def total_recursions(self) -> int:
+        return (self.add_recursions + self.mult_mv_recursions
+                + self.mult_mm_recursions + self.kron_recursions)
+
+
+@dataclass
+class _Tables:
+    """All memoisation state of one package, bundled for easy reset."""
+
+    vectors: UniqueTable = field(default_factory=lambda: UniqueTable(VectorNode))
+    matrices: UniqueTable = field(default_factory=lambda: UniqueTable(MatrixNode))
+    add_vec: ComputeTable = field(default_factory=lambda: ComputeTable("add_vec"))
+    add_mat: ComputeTable = field(default_factory=lambda: ComputeTable("add_mat"))
+    mult_mv: ComputeTable = field(default_factory=lambda: ComputeTable("mult_mv"))
+    mult_mm: ComputeTable = field(default_factory=lambda: ComputeTable("mult_mm"))
+    kron_vec: ComputeTable = field(default_factory=lambda: ComputeTable("kron_vec"))
+    kron_mat: ComputeTable = field(default_factory=lambda: ComputeTable("kron_mat"))
+    conj_t: ComputeTable = field(default_factory=lambda: ComputeTable("conj_t"))
+    inner: ComputeTable = field(default_factory=lambda: ComputeTable("inner"))
+
+
+class Package:
+    """A self-contained DD universe: complex table, unique tables, caches.
+
+    Diagrams from different packages must not be mixed; every simulation run
+    owns one package (or shares one deliberately).
+    """
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        self.complex_table = ComplexTable(tolerance)
+        self.tables = _Tables()
+        self.counters = OperationCounters()
+        self.zero = Edge(TERMINAL, 0j)
+        self.one = Edge(TERMINAL, self.complex_table.lookup(1 + 0j))
+        self._identity_cache: list[Edge] = [self.one]
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+
+    def terminal_edge(self, weight: complex) -> Edge:
+        """A terminal edge carrying ``weight`` (the 1x1 / scalar diagram)."""
+        weight = self.complex_table.lookup(weight)
+        if weight == 0:
+            return self.zero
+        return Edge(TERMINAL, weight)
+
+    def _normalise(self, edges: list[Edge]) -> tuple[complex, tuple[Edge, ...]]:
+        """Normalise successor edges; return (pushed-up factor, children)."""
+        lookup = self.complex_table.lookup
+        norm = 0j
+        norm_mag = -1.0
+        for e in edges:
+            mag = abs(e.weight)
+            if mag > norm_mag + self.complex_table.tolerance:
+                norm_mag = mag
+                norm = e.weight
+        if norm == 0:
+            return 0j, ()
+        children = []
+        for e in edges:
+            if e.weight == 0:
+                children.append(self.zero)
+                continue
+            w = lookup(e.weight / norm)
+            children.append(self.zero if w == 0 else Edge(e.node, w))
+        return norm, tuple(children)
+
+    def make_vector_node(self, level: int, edges: tuple[Edge, Edge]) -> Edge:
+        """Create (or find) the normalised node decomposing a vector at ``level``."""
+        norm, children = self._normalise(list(edges))
+        if norm == 0:
+            return self.zero
+        table = self.tables.vectors
+        before = len(table)
+        node = table.get_or_insert(level, children)
+        if len(table) != before:
+            self.counters.nodes_created += 1
+        return Edge(node, self.complex_table.lookup(norm))
+
+    def make_matrix_node(self, level: int,
+                         edges: tuple[Edge, Edge, Edge, Edge]) -> Edge:
+        """Create (or find) the normalised node decomposing a matrix at ``level``."""
+        norm, children = self._normalise(list(edges))
+        if norm == 0:
+            return self.zero
+        table = self.tables.matrices
+        before = len(table)
+        node = table.get_or_insert(level, children)
+        if len(table) != before:
+            self.counters.nodes_created += 1
+        return Edge(node, self.complex_table.lookup(norm))
+
+    # ------------------------------------------------------------------
+    # elementary state constructors
+    # ------------------------------------------------------------------
+
+    def zero_state(self, num_qubits: int) -> Edge:
+        """The all-zeros computational basis state ``|0...0>``."""
+        return self.basis_state(num_qubits, 0)
+
+    def basis_state(self, num_qubits: int, index: int) -> Edge:
+        """Computational basis state ``|index>`` on ``num_qubits`` qubits.
+
+        Bit ``k`` of ``index`` is the value of qubit ``k`` (little-endian).
+        """
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        if not 0 <= index < (1 << max(num_qubits, 1)) and num_qubits > 0:
+            raise ValueError(f"basis index {index} out of range for "
+                             f"{num_qubits} qubits")
+        edge = self.one
+        for level in range(num_qubits):
+            bit = (index >> level) & 1
+            children = (edge, self.zero) if bit == 0 else (self.zero, edge)
+            edge = self.make_vector_node(level, children)
+        return edge
+
+    def identity(self, num_qubits: int) -> Edge:
+        """The identity matrix DD on ``num_qubits`` qubits (``num_qubits`` nodes)."""
+        if num_qubits < 0:
+            raise ValueError("num_qubits must be non-negative")
+        cache = self._identity_cache
+        while len(cache) <= num_qubits:
+            below = cache[-1]
+            cache.append(self.make_matrix_node(
+                len(cache) - 1, (below, self.zero, self.zero, below)))
+        return cache[num_qubits]
+
+    # ------------------------------------------------------------------
+    # addition (paper Fig. 4)
+    # ------------------------------------------------------------------
+
+    def add_vectors(self, x: Edge, y: Edge) -> Edge:
+        """Sum of two state-vector DDs of equal qubit count."""
+        return self._add(x, y, self.tables.add_vec, self.make_vector_node, 2)
+
+    def add_matrices(self, x: Edge, y: Edge) -> Edge:
+        """Sum of two matrix DDs of equal qubit count."""
+        return self._add(x, y, self.tables.add_mat, self.make_matrix_node, 4)
+
+    def _add(self, x: Edge, y: Edge, cache: ComputeTable,
+             make_node, arity: int) -> Edge:
+        if x.weight == 0:
+            return y
+        if y.weight == 0:
+            return x
+        lookup = self.complex_table.lookup
+        if x.node is y.node:
+            return self._scaled(x, lookup(x.weight + y.weight) / x.weight
+                                if x.weight != 0 else 0)
+        self.counters.add_recursions += 1
+        # Addition is commutative; order operands for better cache reuse.
+        if id(x.node) > id(y.node):
+            x, y = y, x
+        ratio = lookup(y.weight / x.weight)
+        if ratio == 0:
+            return x
+        key = (x.node, y.node, ratio)
+        cached = cache.get(key)
+        if cached is None:
+            if x.node.level == -1:
+                cached = self.terminal_edge(1 + ratio)
+            else:
+                xs = x.node.edges
+                ys = y.node.edges
+                children = tuple(
+                    self._add(xs[i], ys[i].scaled(ratio), cache, make_node, arity)
+                    for i in range(arity)
+                )
+                cached = make_node(x.node.level, children)
+            cache.put(key, cached)
+        return self._scaled(cached, x.weight)
+
+    def _scaled(self, edge: Edge, factor: complex) -> Edge:
+        """``edge`` scaled by ``factor`` with the weight re-canonicalised."""
+        if factor == 0 or edge.weight == 0:
+            return self.zero
+        w = self.complex_table.lookup(edge.weight * factor)
+        if w == 0:
+            return self.zero
+        return Edge(edge.node, w)
+
+    # ------------------------------------------------------------------
+    # multiplication (paper Fig. 3 and Sec. III)
+    # ------------------------------------------------------------------
+
+    def multiply_matrix_vector(self, m: Edge, v: Edge) -> Edge:
+        """Apply matrix DD ``m`` to state DD ``v`` (one simulation step, Eq. 1)."""
+        w = m.weight * v.weight
+        if w == 0:
+            return self.zero
+        if m.node.level != v.node.level:
+            raise ValueError(
+                f"matrix level {m.node.level} != vector level {v.node.level}; "
+                "operands must cover the same qubits")
+        result = self._mult_mv(m.node, v.node)
+        return self._scaled(result, w)
+
+    def _mult_mv(self, mn, vn) -> Edge:
+        if mn.level == -1:
+            return self.one
+        self.counters.mult_mv_recursions += 1
+        key = (mn, vn)
+        cache = self.tables.mult_mv
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        level = mn.level
+        me = mn.edges
+        ve = vn.edges
+        children = []
+        for row in (0, 1):
+            parts = []
+            for col in (0, 1):
+                m_child = me[2 * row + col]
+                v_child = ve[col]
+                w = m_child.weight * v_child.weight
+                if w == 0:
+                    continue
+                sub = self._mult_mv(m_child.node, v_child.node)
+                parts.append(self._scaled(sub, w))
+            if not parts:
+                children.append(self.zero)
+            elif len(parts) == 1:
+                children.append(parts[0])
+            else:
+                children.append(self.add_vectors(parts[0], parts[1]))
+        result = self.make_vector_node(level, (children[0], children[1]))
+        cache.put(key, result)
+        return result
+
+    def multiply_matrix_matrix(self, a: Edge, b: Edge) -> Edge:
+        """Product ``a @ b`` of two matrix DDs (combining operations, Eq. 2)."""
+        w = a.weight * b.weight
+        if w == 0:
+            return self.zero
+        if a.node.level != b.node.level:
+            raise ValueError(
+                f"matrix levels differ ({a.node.level} vs {b.node.level}); "
+                "operands must cover the same qubits")
+        result = self._mult_mm(a.node, b.node)
+        return self._scaled(result, w)
+
+    def _mult_mm(self, an, bn) -> Edge:
+        if an.level == -1:
+            return self.one
+        self.counters.mult_mm_recursions += 1
+        key = (an, bn)
+        cache = self.tables.mult_mm
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        level = an.level
+        ae = an.edges
+        be = bn.edges
+        children = []
+        for row in (0, 1):
+            for col in (0, 1):
+                parts = []
+                for k in (0, 1):
+                    a_child = ae[2 * row + k]
+                    b_child = be[2 * k + col]
+                    w = a_child.weight * b_child.weight
+                    if w == 0:
+                        continue
+                    sub = self._mult_mm(a_child.node, b_child.node)
+                    parts.append(self._scaled(sub, w))
+                if not parts:
+                    children.append(self.zero)
+                elif len(parts) == 1:
+                    children.append(parts[0])
+                else:
+                    children.append(self.add_matrices(parts[0], parts[1]))
+        result = self.make_matrix_node(
+            level, (children[0], children[1], children[2], children[3]))
+        cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Kronecker products
+    # ------------------------------------------------------------------
+
+    def kron_vectors(self, top: Edge, bottom: Edge) -> Edge:
+        """``top (x) bottom``: ``top`` becomes the more-significant qubits."""
+        return self._kron(top, bottom, self.tables.kron_vec,
+                          self.make_vector_node)
+
+    def kron_matrices(self, top: Edge, bottom: Edge) -> Edge:
+        """``top (x) bottom`` for matrix DDs."""
+        return self._kron(top, bottom, self.tables.kron_mat,
+                          self.make_matrix_node)
+
+    def _kron(self, top: Edge, bottom: Edge, cache: ComputeTable,
+              make_node) -> Edge:
+        w = top.weight * bottom.weight
+        if w == 0:
+            return self.zero
+        shift = bottom.node.level + 1
+        result = self._kron_rec(top.node, bottom.node, shift, cache, make_node)
+        return self._scaled(result, w)
+
+    def _kron_rec(self, tn, bn, shift: int, cache: ComputeTable,
+                  make_node) -> Edge:
+        if tn.level == -1:
+            return Edge(bn, self.one.weight) if bn.level != -1 else self.one
+        self.counters.kron_recursions += 1
+        key = (tn, bn)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        children = []
+        for e in tn.edges:
+            if e.weight == 0:
+                children.append(self.zero)
+            else:
+                sub = self._kron_rec(e.node, bn, shift, cache, make_node)
+                children.append(self._scaled(sub, e.weight))
+        result = make_node(tn.level + shift, tuple(children))
+        cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # adjoint, inner products, amplitudes
+    # ------------------------------------------------------------------
+
+    def conjugate_transpose(self, m: Edge) -> Edge:
+        """The adjoint (dagger) of a matrix DD -- the inverse for unitaries."""
+        if m.weight == 0:
+            return self.zero
+        result = self._conj_t(m.node)
+        return self._scaled(result, m.weight.conjugate())
+
+    def _conj_t(self, mn) -> Edge:
+        if mn.level == -1:
+            return self.one
+        key = (mn,)
+        cache = self.tables.conj_t
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        e = mn.edges
+        children = []
+        for src in (0, 2, 1, 3):  # transpose swaps the off-diagonal quadrants
+            child = e[src]
+            if child.weight == 0:
+                children.append(self.zero)
+            else:
+                sub = self._conj_t(child.node)
+                children.append(self._scaled(sub, child.weight.conjugate()))
+        result = self.make_matrix_node(
+            mn.level, (children[0], children[1], children[2], children[3]))
+        cache.put(key, result)
+        return result
+
+    def outer_product(self, ket: Edge, bra: Edge) -> Edge:
+        """``|ket><bra|`` as a matrix DD (rank-1 operator).
+
+        The density matrix of a pure state is ``outer_product(v, v)``;
+        combined with a partial trace this yields reduced states and
+        entanglement measures directly from a state DD.
+        """
+        if ket.weight == 0 or bra.weight == 0:
+            return self.zero
+        if ket.node.level != bra.node.level:
+            raise ValueError("outer product of states with different "
+                             "qubit counts")
+        cache = self.tables.kron_mat  # reuse a matrix cache with a tag
+        w = ket.weight * bra.weight.conjugate()
+
+        def build(kn, bn) -> Edge:
+            if kn.level == -1:
+                return self.one
+            key = ("outer", kn, bn)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            children = []
+            for row in (0, 1):
+                for col in (0, 1):
+                    k_child = kn.edges[row]
+                    b_child = bn.edges[col]
+                    weight = k_child.weight * b_child.weight.conjugate()
+                    if weight == 0:
+                        children.append(self.zero)
+                    else:
+                        children.append(self._scaled(
+                            build(k_child.node, b_child.node), weight))
+            result = self.make_matrix_node(kn.level, tuple(children))
+            cache.put(key, result)
+            return result
+
+        return self._scaled(build(ket.node, bra.node), w)
+
+    def inner_product(self, a: Edge, b: Edge) -> complex:
+        """``<a|b>`` of two state DDs of equal qubit count."""
+        if a.weight == 0 or b.weight == 0:
+            return 0j
+        if a.node.level != b.node.level:
+            raise ValueError("inner product of states with different qubit counts")
+        return (a.weight.conjugate() * b.weight
+                * self._inner(a.node, b.node))
+
+    def _inner(self, an, bn) -> complex:
+        if an.level == -1:
+            return 1 + 0j
+        key = (an, bn)
+        cache = self.tables.inner
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        total = 0j
+        for ae, be in zip(an.edges, bn.edges):
+            if ae.weight == 0 or be.weight == 0:
+                continue
+            total += (ae.weight.conjugate() * be.weight
+                      * self._inner(ae.node, be.node))
+        cache.put(key, total)
+        return total
+
+    def squared_norm(self, v: Edge) -> float:
+        """``<v|v>`` -- 1.0 for a properly normalised quantum state."""
+        return self.inner_product(v, v).real
+
+    def fidelity(self, a: Edge, b: Edge) -> float:
+        """``|<a|b>|^2``, the standard state-overlap measure."""
+        return abs(self.inner_product(a, b)) ** 2
+
+    def amplitude(self, v: Edge, basis_index: int) -> complex:
+        """Amplitude of basis state ``|basis_index>`` (product of path weights)."""
+        w = v.weight
+        node = v.node
+        while node.level != -1:
+            if w == 0:
+                return 0j
+            bit = (basis_index >> node.level) & 1
+            edge = node.edges[bit]
+            w *= edge.weight
+            node = edge.node
+        return w
+
+    # ------------------------------------------------------------------
+    # diagram metrics and housekeeping
+    # ------------------------------------------------------------------
+
+    def count_nodes(self, edge: Edge) -> int:
+        """Number of internal nodes reachable from ``edge`` (terminal excluded).
+
+        This is the size measure the *max-size* strategy is parametrised on.
+        """
+        if edge.weight == 0 or edge.node.level == -1:
+            return 0
+        seen: set[int] = set()
+        stack = [edge.node]
+        while stack:
+            node = stack.pop()
+            ident = id(node)
+            if ident in seen:
+                continue
+            seen.add(ident)
+            for child in node.edges:
+                if child.weight != 0 and child.node.level != -1:
+                    stack.append(child.node)
+        return len(seen)
+
+    def clear_compute_tables(self) -> None:
+        """Drop all memoisation caches (results stay valid; only speed is lost)."""
+        t = self.tables
+        for cache in (t.add_vec, t.add_mat, t.mult_mv, t.mult_mm,
+                      t.kron_vec, t.kron_mat, t.conj_t, t.inner):
+            cache.clear()
+
+    def garbage_collect(self, roots: list[Edge]) -> int:
+        """Free all nodes not reachable from ``roots``; returns nodes removed.
+
+        Compute tables are cleared first since they pin arbitrary nodes.
+        The identity cache is treated as an implicit root.
+        """
+        self.clear_compute_tables()
+        live: set[int] = set()
+        stack = [e.node for e in roots if e.weight != 0]
+        stack.extend(e.node for e in self._identity_cache if e.weight != 0)
+        while stack:
+            node = stack.pop()
+            if node.level == -1:
+                continue
+            ident = id(node)
+            if ident in live:
+                continue
+            live.add(ident)
+            for child in node.edges:
+                if child.weight != 0:
+                    stack.append(child.node)
+        removed = self.tables.vectors.remove_unreferenced(live)
+        removed += self.tables.matrices.remove_unreferenced(live)
+        return removed
+
+    def live_node_count(self) -> int:
+        """Total nodes currently interned (vector + matrix tables)."""
+        return len(self.tables.vectors) + len(self.tables.matrices)
+
+    def reset_counters(self) -> None:
+        self.counters = OperationCounters()

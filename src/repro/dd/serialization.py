@@ -1,0 +1,107 @@
+"""Serialisation of decision diagrams.
+
+Serialises a DD to a JSON-compatible dictionary (and back) so states and
+operators can be checkpointed, diffed, or shipped between processes.  The
+format stores each distinct node once (exploiting the sharing that makes
+DDs compact), in bottom-up topological order:
+
+```json
+{
+  "kind": "vector",
+  "root": [nodeRef, re, im],
+  "nodes": [[level, [childRef, re, im], [childRef, re, im]], ...]
+}
+```
+
+``nodeRef`` is an index into ``nodes`` or ``-1`` for the terminal; zero
+edges are stored as ``[-1, 0.0, 0.0]``.  Loading re-interns everything
+through the target package, so loaded diagrams share structure with the
+diagrams already living there.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .edge import Edge
+from .node import MatrixNode, TERMINAL
+from .package import Package
+
+__all__ = ["serialize_dd", "deserialize_dd", "dumps_dd", "loads_dd"]
+
+_TERMINAL_REF = -1
+
+
+def serialize_dd(edge: Edge) -> dict[str, Any]:
+    """Serialise a vector or matrix DD to a JSON-compatible dict."""
+    kind = "matrix" if isinstance(edge.node, MatrixNode) else "vector"
+    nodes: list[list] = []
+    index_of: dict[int, int] = {}
+
+    def visit(node) -> int:
+        if node.level == -1:
+            return _TERMINAL_REF
+        found = index_of.get(id(node))
+        if found is not None:
+            return found
+        encoded_children = []
+        for child in node.edges:
+            if child.weight == 0:
+                encoded_children.append([_TERMINAL_REF, 0.0, 0.0])
+            else:
+                encoded_children.append([visit(child.node),
+                                         child.weight.real,
+                                         child.weight.imag])
+        index = len(nodes)
+        index_of[id(node)] = index
+        nodes.append([node.level, *encoded_children])
+        return index
+
+    if edge.weight == 0:
+        root = [_TERMINAL_REF, 0.0, 0.0]
+    else:
+        root = [visit(edge.node), edge.weight.real, edge.weight.imag]
+    return {"kind": kind, "root": root, "nodes": nodes}
+
+
+def deserialize_dd(package: Package, payload: dict[str, Any]) -> Edge:
+    """Rebuild a DD inside ``package`` from :func:`serialize_dd` output."""
+    kind = payload.get("kind")
+    if kind not in ("vector", "matrix"):
+        raise ValueError(f"unknown DD kind {kind!r}")
+    make_node = package.make_matrix_node if kind == "matrix" \
+        else package.make_vector_node
+    arity = 4 if kind == "matrix" else 2
+    nodes = payload["nodes"]
+    rebuilt: list[Edge] = []
+
+    def edge_from(encoded) -> Edge:
+        ref, re, im = encoded
+        weight = complex(re, im)
+        if weight == 0:
+            return package.zero
+        if ref == _TERMINAL_REF:
+            return package.terminal_edge(weight)
+        if not 0 <= ref < len(rebuilt):
+            raise ValueError(f"dangling node reference {ref}")
+        return package._scaled(rebuilt[ref], weight)
+
+    for entry in nodes:
+        level, *children = entry
+        if len(children) != arity:
+            raise ValueError(f"node at level {level} has {len(children)} "
+                             f"children, expected {arity}")
+        rebuilt.append(make_node(level, tuple(edge_from(child)
+                                              for child in children)))
+    return edge_from(payload["root"])
+
+
+def dumps_dd(edge: Edge, indent: int | None = None) -> str:
+    """Serialise a DD to a JSON string."""
+    return json.dumps(serialize_dd(edge), indent=indent)
+
+
+def loads_dd(package: Package, text: str) -> Edge:
+    """Load a DD from a JSON string produced by :func:`dumps_dd`."""
+    return deserialize_dd(package, json.loads(text))

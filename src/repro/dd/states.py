@@ -1,0 +1,101 @@
+"""Constructors for common quantum states, directly as DDs.
+
+Every state here is built *without* simulating a preparation circuit --
+construction is linear (or near-linear) in the qubit count, which is itself
+a demonstration of the representational power the paper builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from .edge import Edge
+from .package import Package
+
+__all__ = ["product_state", "uniform_superposition", "ghz_state", "w_state",
+           "random_structured_state"]
+
+
+def product_state(package: Package,
+                  qubit_amplitudes: Sequence[tuple[complex, complex]]) -> Edge:
+    """``(a_0|0> + b_0|1>) (x) ... `` -- one node per qubit, always.
+
+    ``qubit_amplitudes[k]`` is the ``(alpha, beta)`` pair of qubit ``k``
+    (little-endian: entry 0 is the least significant qubit).
+    """
+    edge = package.one
+    for level, (alpha, beta) in enumerate(qubit_amplitudes):
+        if alpha == 0 and beta == 0:
+            raise ValueError(f"qubit {level} has a zero amplitude pair")
+        children = (package._scaled(edge, complex(alpha)),
+                    package._scaled(edge, complex(beta)))
+        edge = package.make_vector_node(level, children)
+    return edge
+
+
+def uniform_superposition(package: Package, num_qubits: int) -> Edge:
+    """``H^{(x)n} |0...0>``: the state Grover starts from (n nodes)."""
+    amplitude = 1 / math.sqrt(2)
+    return product_state(package,
+                         [(amplitude, amplitude)] * num_qubits)
+
+
+def ghz_state(package: Package, num_qubits: int) -> Edge:
+    """``(|0...0> + |1...1>) / sqrt(2)`` -- 2n - 1 nodes."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    zeros = package.one
+    ones = package.one
+    for level in range(num_qubits - 1):
+        zeros = package.make_vector_node(level, (zeros, package.zero))
+        ones = package.make_vector_node(level, (package.zero, ones))
+    top = package.make_vector_node(
+        num_qubits - 1,
+        (package._scaled(zeros, 1 / math.sqrt(2)),
+         package._scaled(ones, 1 / math.sqrt(2))))
+    return top
+
+
+def w_state(package: Package, num_qubits: int) -> Edge:
+    """Equal superposition of all weight-1 basis states -- O(n) nodes.
+
+    Built bottom-up: on ``m`` qubits the W-type block decomposes as
+    ``|0>(x)W_m`` and ``|1>(x)Zero_m`` halves, both of which recur.
+    """
+    if num_qubits < 1:
+        raise ValueError("W state needs at least one qubit")
+    amplitude = 1 / math.sqrt(num_qubits)
+    # all_zero[m]: |0...0> on m qubits; single[m]: sum over weight-1 states
+    all_zero = package.one
+    single = package.zero
+    for level in range(num_qubits):
+        new_single_children = (
+            single,                                   # this qubit 0: below has the 1
+            package._scaled(all_zero, 1.0),           # this qubit is the 1
+        )
+        single = package.make_vector_node(level, new_single_children)
+        all_zero = package.make_vector_node(level, (all_zero, package.zero))
+    return package._scaled(single, amplitude)
+
+
+def random_structured_state(package: Package, num_qubits: int,
+                            rng, branches: int = 3) -> Edge:
+    """A random state with tunable DD size (useful for tests/benchmarks).
+
+    Superposes ``branches`` random computational basis states with random
+    complex amplitudes; the DD has at most ``branches * num_qubits`` nodes.
+    """
+    if branches < 1:
+        raise ValueError("need at least one branch")
+    total = package.zero
+    for _ in range(branches):
+        index = rng.randrange(1 << num_qubits)
+        amplitude = complex(rng.uniform(-1, 1), rng.uniform(-1, 1))
+        term = package._scaled(package.basis_state(num_qubits, index),
+                               amplitude)
+        total = package.add_vectors(total, term)
+    if total.weight == 0:  # pragma: no cover - astronomically unlikely
+        return package.basis_state(num_qubits, 0)
+    norm = math.sqrt(package.squared_norm(total))
+    return package._scaled(total, 1 / norm)

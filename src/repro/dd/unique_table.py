@@ -1,0 +1,61 @@
+"""Unique tables -- hash-consing for DD nodes.
+
+Every node is interned: before a new node is allocated, the table is checked
+for an existing node with the same level and (node-identity, canonical
+weight) successor tuple.  Because edge weights are canonicalised by the
+complex table first, structural equality reduces to tuple equality of
+``(id(child), weight)`` pairs, and node identity (``is``) afterwards equals
+DD equality -- the property all compute-table caching relies on.
+"""
+
+from __future__ import annotations
+
+from .edge import Edge
+from .node import MatrixNode, VectorNode
+
+__all__ = ["UniqueTable"]
+
+
+class UniqueTable:
+    """One hash-consing table for one node species (vector or matrix)."""
+
+    def __init__(self, node_class: type) -> None:
+        self._node_class = node_class
+        self._table: dict[tuple, VectorNode | MatrixNode] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @staticmethod
+    def _key(level: int, edges: tuple[Edge, ...]) -> tuple:
+        return (level,) + tuple(item for e in edges for item in (id(e.node), e.weight))
+
+    def get_or_insert(self, level: int, edges: tuple[Edge, ...]):
+        """Return the canonical node for ``(level, edges)``, creating it if new."""
+        self.lookups += 1
+        key = self._key(level, edges)
+        node = self._table.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        node = self._node_class(level, edges)
+        self._table[key] = node
+        return node
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.lookups = 0
+        self.hits = 0
+
+    def nodes(self):
+        """Iterate over all live nodes (used by garbage collection)."""
+        return self._table.values()
+
+    def remove_unreferenced(self, live: set[int]) -> int:
+        """Drop all nodes whose ``id`` is not in ``live``; return count removed."""
+        dead = [key for key, node in self._table.items() if id(node) not in live]
+        for key in dead:
+            del self._table[key]
+        return len(dead)

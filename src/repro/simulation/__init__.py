@@ -1,0 +1,48 @@
+"""DD-based circuit simulation: engine, strategies, instrumentation.
+
+The strategies implement the paper's Section IV:
+
+* :class:`SequentialStrategy` -- one matrix-vector multiplication per gate
+  (the state-of-the-art baseline, Eq. 1).
+* :class:`KOperationsStrategy` / :class:`MaxSizeStrategy` -- the general
+  combining strategies (Sec. IV-A, evaluated in Fig. 8 / Fig. 9).
+* :class:`RepeatingBlockStrategy` -- *DD-repeating* for circuits with
+  repeated blocks (Sec. IV-B, Table I).
+
+The *DD-construct* strategy (Sec. IV-B, Table II) lives with the algorithm
+that needs it: see :mod:`repro.algorithms.shor`.
+"""
+
+from .density import (DensityMatrixSimulator, amplitude_damping_kraus,
+                      bit_flip_kraus, depolarizing_kraus, phase_flip_kraus)
+from .engine import SimulationEngine
+from .noise import (NoiseModel, noisy_counts, noisy_trajectory_circuit,
+                    simulate_trajectory)
+from .result import SimulationResult
+from .statistics import SimulationStatistics
+from .strategies import (AdaptiveStrategy, KOperationsStrategy,
+                         MaxSizeStrategy, RepeatingBlockStrategy,
+                         SequentialStrategy, SimulationStrategy,
+                         strategy_from_spec)
+
+__all__ = [
+    "AdaptiveStrategy",
+    "DensityMatrixSimulator",
+    "KOperationsStrategy",
+    "amplitude_damping_kraus",
+    "bit_flip_kraus",
+    "depolarizing_kraus",
+    "phase_flip_kraus",
+    "MaxSizeStrategy",
+    "NoiseModel",
+    "noisy_counts",
+    "noisy_trajectory_circuit",
+    "simulate_trajectory",
+    "RepeatingBlockStrategy",
+    "SequentialStrategy",
+    "SimulationEngine",
+    "SimulationResult",
+    "SimulationStatistics",
+    "SimulationStrategy",
+    "strategy_from_spec",
+]

@@ -1,0 +1,153 @@
+"""The simulation engine.
+
+Owns the DD package, builds gate DDs (with caching -- a circuit applying the
+same Hadamard a thousand times builds its DD once), drives a
+:class:`~repro.simulation.strategies.SimulationStrategy` over a circuit, and
+records statistics.  Memory is kept bounded by an optional garbage-collection
+threshold: when the package's unique tables outgrow it, everything not
+reachable from the run's roots (state, pending product, cached gate and
+block DDs) is freed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operation import Operation
+from ..dd.edge import Edge
+from ..dd.gate_building import build_gate_dd
+from ..dd.package import Package
+from .result import SimulationResult
+from .statistics import SimulationStatistics
+from .strategies import SequentialStrategy, SimulationStrategy
+
+__all__ = ["SimulationEngine"]
+
+
+class _Run:
+    """Mutable state of one simulation run, shared with the strategy."""
+
+    def __init__(self, engine: "SimulationEngine", num_qubits: int,
+                 state: Edge, statistics: SimulationStatistics) -> None:
+        self.engine = engine
+        self.package = engine.package
+        self.num_qubits = num_qubits
+        self.state = state
+        self.statistics = statistics
+        self._pending: Edge | None = None
+        self._extra_roots: list[Edge] = []
+
+    # -- operations the strategies use ---------------------------------
+
+    def gate_dd(self, operation: Operation) -> Edge:
+        """The operation's matrix DD on the full register (cached)."""
+        return self.engine.gate_dd(operation, self.num_qubits)
+
+    def apply_matrix(self, matrix: Edge) -> None:
+        """One simulation step: ``state <- matrix x state`` (Eq. 1 step)."""
+        self.state = self.package.multiply_matrix_vector(matrix, self.state)
+        self.statistics.matrix_vector_mults += 1
+        self.statistics.record_state_size(self.package.count_nodes(self.state))
+        self.engine.maybe_collect(self)
+
+    def combine(self, later: Edge, earlier: Edge) -> Edge:
+        """Combine two operation matrices: ``later @ earlier`` (Eq. 2 step)."""
+        product = self.package.multiply_matrix_matrix(later, earlier)
+        self.statistics.matrix_matrix_mults += 1
+        self.statistics.record_matrix_size(self.package.count_nodes(product))
+        return product
+
+    def note_operation(self, count: int = 1) -> None:
+        self.statistics.operations_applied += count
+
+    def set_pending(self, product: Edge | None) -> None:
+        """Tell the engine which product must survive garbage collection."""
+        self._pending = product
+
+    def add_root(self, edge: Edge) -> None:
+        """Pin an extra DD (e.g. a combined block matrix) across collections."""
+        self._extra_roots.append(edge)
+
+    def roots(self) -> list[Edge]:
+        roots = [self.state]
+        if self._pending is not None:
+            roots.append(self._pending)
+        roots.extend(self._extra_roots)
+        return roots
+
+
+class SimulationEngine:
+    """Simulates quantum circuits on decision diagrams.
+
+    Parameters
+    ----------
+    package:
+        The DD package to use; a fresh one is created when omitted.  Sharing
+        a package across runs lets results be compared with
+        :meth:`SimulationResult.fidelity_with` and re-uses gate DDs.
+    gc_node_limit:
+        When the package holds more than this many nodes after a simulation
+        step, unreachable nodes are collected.  ``None`` disables collection.
+    """
+
+    def __init__(self, package: Package | None = None,
+                 gc_node_limit: int | None = 500_000) -> None:
+        self.package = package or Package()
+        self.gc_node_limit = gc_node_limit
+        self._gate_cache: dict[tuple[Operation, int], Edge] = {}
+
+    # ------------------------------------------------------------------
+
+    def gate_dd(self, operation: Operation, num_qubits: int) -> Edge:
+        """Build (or fetch) the full-register matrix DD of an operation."""
+        key = (operation, num_qubits)
+        cached = self._gate_cache.get(key)
+        if cached is None:
+            cached = build_gate_dd(self.package, operation.matrix(),
+                                   num_qubits, operation.target,
+                                   operation.control_map())
+            self._gate_cache[key] = cached
+        return cached
+
+    def initial_state(self, num_qubits: int, basis_index: int = 0) -> Edge:
+        return self.package.basis_state(num_qubits, basis_index)
+
+    def simulate(self, circuit: QuantumCircuit,
+                 strategy: SimulationStrategy | None = None,
+                 initial_state: Edge | None = None) -> SimulationResult:
+        """Run ``circuit`` under ``strategy`` (sequential baseline by default)."""
+        strategy = strategy or SequentialStrategy()
+        state = initial_state if initial_state is not None \
+            else self.initial_state(circuit.num_qubits)
+        statistics = SimulationStatistics(
+            strategy=strategy.describe(),
+            circuit_name=circuit.name,
+            num_qubits=circuit.num_qubits,
+        )
+        statistics.record_state_size(self.package.count_nodes(state))
+        run = _Run(self, circuit.num_qubits, state, statistics)
+        counters_before = self.package.counters.snapshot()
+        started = time.perf_counter()
+        strategy.execute(run, circuit)
+        statistics.wall_time_seconds = time.perf_counter() - started
+        statistics.counters = self.package.counters.delta(counters_before)
+        statistics.final_state_nodes = self.package.count_nodes(run.state)
+        return SimulationResult(state=run.state, package=self.package,
+                                statistics=statistics)
+
+    # ------------------------------------------------------------------
+
+    def maybe_collect(self, run: _Run) -> None:
+        """Garbage-collect the package when it exceeds the node limit."""
+        if self.gc_node_limit is None:
+            return
+        if self.package.live_node_count() <= self.gc_node_limit:
+            return
+        roots = run.roots()
+        roots.extend(self._gate_cache.values())
+        self.package.garbage_collect(roots)
+
+    def clear_caches(self) -> None:
+        """Drop the engine's gate-DD cache (package caches are untouched)."""
+        self._gate_cache.clear()

@@ -1,0 +1,120 @@
+"""Stochastic Pauli noise via trajectory simulation.
+
+Real devices (the reason simulators exist, per the paper's introduction)
+apply every gate imperfectly.  The standard way to model this on a pure-
+state simulator is *quantum trajectories*: after each gate, each touched
+qubit suffers a random Pauli error with some probability; averaging over
+many trajectories reproduces the depolarising channel.  Each trajectory is
+an ordinary circuit, so the whole strategy machinery (combining included)
+applies unchanged -- noise composes with every simulation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operation import Operation
+from ..simulation.engine import SimulationEngine
+from ..simulation.result import SimulationResult
+from ..simulation.strategies import SimulationStrategy
+
+__all__ = ["NoiseModel", "noisy_trajectory_circuit", "simulate_trajectory",
+           "noisy_counts"]
+
+_PAULIS = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Per-gate stochastic Pauli noise parameters.
+
+    ``gate_error``: probability that each qubit touched by a gate suffers a
+    uniformly random Pauli error afterwards (depolarising-style).
+    ``measurement_flip``: probability that a classical readout bit flips.
+    """
+
+    gate_error: float = 0.0
+    measurement_flip: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("gate_error", "measurement_flip"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+    @property
+    def is_noiseless(self) -> bool:
+        return self.gate_error == 0.0 and self.measurement_flip == 0.0
+
+
+def noisy_trajectory_circuit(circuit: QuantumCircuit, noise: NoiseModel,
+                             rng: Random) -> QuantumCircuit:
+    """One random trajectory: the circuit with sampled Pauli errors inserted.
+
+    Deterministic given ``rng``'s state; repeated blocks are unrolled
+    (every repetition gets independent errors, as on hardware).
+    """
+    trajectory = QuantumCircuit(circuit.num_qubits,
+                                name=f"{circuit.name}_trajectory")
+    for operation in circuit.operations():
+        trajectory.append(operation)
+        if noise.gate_error <= 0.0:
+            continue
+        for qubit in operation.qubits():
+            if rng.random() < noise.gate_error:
+                trajectory.append(Operation(rng.choice(_PAULIS), qubit))
+    return trajectory
+
+
+def simulate_trajectory(circuit: QuantumCircuit, noise: NoiseModel,
+                        rng: Random,
+                        strategy: SimulationStrategy | None = None,
+                        engine: SimulationEngine | None = None
+                        ) -> SimulationResult:
+    """Simulate one noisy trajectory of ``circuit``."""
+    engine = engine or SimulationEngine()
+    return engine.simulate(noisy_trajectory_circuit(circuit, noise, rng),
+                           strategy)
+
+
+def _flip_bits(index: int, num_qubits: int, probability: float,
+               rng: Random) -> int:
+    if probability <= 0.0:
+        return index
+    for qubit in range(num_qubits):
+        if rng.random() < probability:
+            index ^= 1 << qubit
+    return index
+
+
+def noisy_counts(circuit: QuantumCircuit, noise: NoiseModel,
+                 trajectories: int, shots_per_trajectory: int = 1,
+                 seed: int = 0,
+                 strategy: SimulationStrategy | None = None) -> dict[int, int]:
+    """Measurement histogram under the noise model.
+
+    Runs ``trajectories`` independent noisy circuits, draws
+    ``shots_per_trajectory`` samples from each, and applies classical
+    readout flips.  With ``noise.is_noiseless`` a single trajectory is
+    simulated (trajectories only differ by their errors).
+    """
+    if trajectories < 1:
+        raise ValueError("need at least one trajectory")
+    rng = Random(seed)
+    counts: dict[int, int] = {}
+    effective_trajectories = 1 if noise.is_noiseless else trajectories
+    shots = shots_per_trajectory
+    if noise.is_noiseless:
+        shots = trajectories * shots_per_trajectory
+    for _ in range(effective_trajectories):
+        result = simulate_trajectory(circuit, noise, rng, strategy)
+        for _ in range(shots):
+            from ..dd.measurement import sample_bitstring
+
+            outcome = sample_bitstring(result.package, result.state, rng)
+            outcome = _flip_bits(outcome, circuit.num_qubits,
+                                 noise.measurement_flip, rng)
+            counts[outcome] = counts.get(outcome, 0) + 1
+    return counts

@@ -1,0 +1,72 @@
+"""Simulation results: final state plus the measurements taken on the way."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from ..dd.edge import Edge
+from ..dd.measurement import all_probabilities, sample_counts
+from ..dd.package import Package
+from .statistics import SimulationStatistics
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Final state DD of a run together with its statistics.
+
+    The result keeps a reference to the :class:`Package` that owns the state
+    DD, so amplitudes and samples can be queried after the run.
+    """
+
+    state: Edge
+    package: Package
+    statistics: SimulationStatistics
+
+    @property
+    def num_qubits(self) -> int:
+        return self.statistics.num_qubits
+
+    def amplitude(self, basis_index: int) -> complex:
+        """Amplitude of computational basis state ``|basis_index>``."""
+        return self.package.amplitude(self.state, basis_index)
+
+    def probability(self, basis_index: int) -> float:
+        return abs(self.amplitude(basis_index)) ** 2
+
+    def probabilities(self) -> list[float]:
+        """All ``2^n`` outcome probabilities (exponential; small systems only)."""
+        return all_probabilities(self.package, self.state, self.num_qubits)
+
+    def sample(self, shots: int, rng: Random | None = None) -> dict[int, int]:
+        """Measurement histogram over ``shots`` shots."""
+        return sample_counts(self.package, self.state, shots,
+                             rng or Random(0))
+
+    def state_nodes(self) -> int:
+        """Node count of the final state DD."""
+        return self.package.count_nodes(self.state)
+
+    def fidelity_with(self, other: "SimulationResult") -> float:
+        """``|<self|other>|^2`` -- 1.0 when two strategies agree."""
+        if self.package is not other.package:
+            raise ValueError("states live in different DD packages; "
+                             "simulate with a shared package to compare")
+        return self.package.fidelity(self.state, other.state)
+
+    def expectation(self, pauli) -> float:
+        """Expectation value of a Pauli string (see
+        :func:`repro.dd.observables.pauli_expectation`)."""
+        from ..dd.observables import pauli_expectation
+
+        return pauli_expectation(self.package, pauli, self.state,
+                                 self.num_qubits)
+
+    def entanglement_entropy(self, subsystem, base: float = 2.0) -> float:
+        """Von Neumann entropy of ``subsystem`` vs. the rest (in bits)."""
+        from ..analysis.entanglement import entanglement_entropy
+
+        return entanglement_entropy(self.package, self.state, subsystem,
+                                    base=base)

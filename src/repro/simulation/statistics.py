@@ -1,0 +1,82 @@
+"""Per-run instrumentation.
+
+The paper's argument is about *where the multiplication effort goes*: how
+many matrix-vector multiplications touch the (large) state DD, how many
+matrix-matrix multiplications combine (small) operation DDs, and how big the
+involved diagrams get.  :class:`SimulationStatistics` records exactly those
+quantities, plus machine-independent recursive-call counters from the DD
+package, so strategy comparisons do not depend on wall-clock noise alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dd.package import OperationCounters
+
+__all__ = ["SimulationStatistics"]
+
+
+@dataclass
+class SimulationStatistics:
+    """Everything measured during one simulation run."""
+
+    strategy: str = ""
+    circuit_name: str = ""
+    num_qubits: int = 0
+    #: elementary operations consumed (repeated blocks unrolled)
+    operations_applied: int = 0
+    #: top-level matrix-vector multiplications (state updates, Eq. 1 steps)
+    matrix_vector_mults: int = 0
+    #: top-level matrix-matrix multiplications (operation combining, Eq. 2)
+    matrix_matrix_mults: int = 0
+    #: matrix applications answered by a re-used combined DD (DD-repeating)
+    reused_block_applications: int = 0
+    #: oracle DDs constructed directly from function specs (DD-construct)
+    direct_constructions: int = 0
+    peak_state_nodes: int = 0
+    peak_matrix_nodes: int = 0
+    final_state_nodes: int = 0
+    wall_time_seconds: float = 0.0
+    #: recursive-call deltas accumulated in the DD package during the run
+    counters: OperationCounters = field(default_factory=OperationCounters)
+
+    def record_state_size(self, nodes: int) -> None:
+        if nodes > self.peak_state_nodes:
+            self.peak_state_nodes = nodes
+
+    def record_matrix_size(self, nodes: int) -> None:
+        if nodes > self.peak_matrix_nodes:
+            self.peak_matrix_nodes = nodes
+
+    def merge(self, other: "SimulationStatistics") -> None:
+        """Accumulate another run's numbers (used by multi-segment drivers)."""
+        self.operations_applied += other.operations_applied
+        self.matrix_vector_mults += other.matrix_vector_mults
+        self.matrix_matrix_mults += other.matrix_matrix_mults
+        self.reused_block_applications += other.reused_block_applications
+        self.direct_constructions += other.direct_constructions
+        self.peak_state_nodes = max(self.peak_state_nodes,
+                                    other.peak_state_nodes)
+        self.peak_matrix_nodes = max(self.peak_matrix_nodes,
+                                     other.peak_matrix_nodes)
+        self.final_state_nodes = other.final_state_nodes
+        self.wall_time_seconds += other.wall_time_seconds
+        self.counters.add_recursions += other.counters.add_recursions
+        self.counters.mult_mv_recursions += other.counters.mult_mv_recursions
+        self.counters.mult_mm_recursions += other.counters.mult_mm_recursions
+        self.counters.kron_recursions += other.counters.kron_recursions
+        self.counters.nodes_created += other.counters.nodes_created
+
+    def summary(self) -> str:
+        """Compact human-readable one-paragraph report."""
+        return (
+            f"[{self.strategy}] {self.circuit_name}: "
+            f"{self.operations_applied} ops -> "
+            f"{self.matrix_vector_mults} MxV + "
+            f"{self.matrix_matrix_mults} MxM mults "
+            f"({self.reused_block_applications} reused, "
+            f"{self.direct_constructions} direct), "
+            f"peak state {self.peak_state_nodes} / "
+            f"matrix {self.peak_matrix_nodes} nodes, "
+            f"{self.wall_time_seconds:.3f}s")

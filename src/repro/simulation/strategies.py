@@ -1,0 +1,307 @@
+"""Operation-combining strategies (the paper's Section IV).
+
+A strategy decides *when* accumulated gate matrices are applied to the state
+vector.  All strategies consume the same stream of elementary operations and
+produce the same final state; they differ only in how they interleave
+matrix-matrix multiplications (combining operations, Eq. 2) with
+matrix-vector multiplications (simulation steps, Eq. 1):
+
+* :class:`SequentialStrategy` -- the state of the art the paper improves on:
+  one matrix-vector multiplication per gate (pure Eq. 1).
+* :class:`KOperationsStrategy` -- combine every ``k`` consecutive gates into
+  one matrix before touching the state (Sec. IV-A, Fig. 8).
+* :class:`MaxSizeStrategy` -- combine gates until the product DD exceeds
+  ``s_max`` nodes, then apply it (Sec. IV-A, Fig. 9).
+* :class:`RepeatingBlockStrategy` -- *DD-repeating* (Sec. IV-B): combine the
+  body of a :class:`~repro.circuit.circuit.RepeatedBlock` once and re-use the
+  resulting matrix DD for every repetition.
+
+Strategies are streaming objects: the engine calls :meth:`feed` per
+elementary operation and :meth:`flush` at boundaries, so they compose (the
+repeating strategy delegates non-block segments to any inner strategy).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..circuit.circuit import QuantumCircuit, RepeatedBlock
+from ..dd.edge import Edge
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import _Run
+
+__all__ = [
+    "AdaptiveStrategy",
+    "SimulationStrategy",
+    "SequentialStrategy",
+    "KOperationsStrategy",
+    "MaxSizeStrategy",
+    "RepeatingBlockStrategy",
+    "strategy_from_spec",
+]
+
+
+class SimulationStrategy:
+    """Base class: drives a circuit through a run, one operation at a time."""
+
+    name = "abstract"
+
+    def describe(self) -> str:
+        """Parametrised display name (e.g. ``k-operations(k=4)``)."""
+        return self.name
+
+    # -- streaming interface -------------------------------------------
+
+    def begin(self, run: "_Run") -> None:
+        """Reset per-run state.  Called once before the first operation."""
+
+    def feed(self, run: "_Run", operation) -> None:
+        """Consume one elementary operation."""
+        raise NotImplementedError
+
+    def flush(self, run: "_Run") -> None:
+        """Apply any pending combined matrix to the state."""
+
+    # -- circuit driver -------------------------------------------------
+
+    def execute(self, run: "_Run", circuit: QuantumCircuit) -> None:
+        self.begin(run)
+        for instruction in circuit.instructions:
+            if isinstance(instruction, RepeatedBlock):
+                self.handle_block(run, instruction)
+            else:
+                self.feed(run, instruction)
+        self.flush(run)
+
+    def handle_block(self, run: "_Run", block: RepeatedBlock) -> None:
+        """Default block handling: unroll (no structural knowledge used)."""
+        for _ in range(block.repetitions):
+            for operation in block.operations():
+                self.feed(run, operation)
+
+
+class SequentialStrategy(SimulationStrategy):
+    """State-of-the-art baseline: one matrix-vector multiplication per gate."""
+
+    name = "sequential"
+
+    def feed(self, run: "_Run", operation) -> None:
+        run.apply_matrix(run.gate_dd(operation))
+        run.note_operation()
+
+
+class _AccumulatingStrategy(SimulationStrategy):
+    """Shared machinery for strategies that build up a product matrix."""
+
+    def begin(self, run: "_Run") -> None:
+        self._product: Edge | None = None
+        run.set_pending(None)
+
+    def flush(self, run: "_Run") -> None:
+        if self._product is not None:
+            run.apply_matrix(self._product)
+            self._product = None
+            run.set_pending(None)
+
+    def _absorb(self, run: "_Run", operation) -> Edge:
+        """Multiply the operation's DD onto the pending product (left side)."""
+        gate = run.gate_dd(operation)
+        if self._product is None:
+            self._product = gate
+        else:
+            # Later operations act later: M_new @ M_accumulated.
+            self._product = run.combine(gate, self._product)
+        run.set_pending(self._product)
+        run.note_operation()
+        return self._product
+
+
+class KOperationsStrategy(_AccumulatingStrategy):
+    """Combine every ``k`` consecutive operations before a simulation step.
+
+    ``k = 1`` degenerates to the sequential baseline (every gate is applied
+    immediately); very large ``k`` approaches pure Eq. 2.
+    """
+
+    name = "k-operations"
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.k = k
+
+    def describe(self) -> str:
+        return f"k-operations(k={self.k})"
+
+    def begin(self, run: "_Run") -> None:
+        super().begin(run)
+        self._pending_count = 0
+
+    def feed(self, run: "_Run", operation) -> None:
+        self._absorb(run, operation)
+        self._pending_count += 1
+        if self._pending_count >= self.k:
+            self.flush(run)
+            self._pending_count = 0
+
+    def flush(self, run: "_Run") -> None:
+        super().flush(run)
+        self._pending_count = 0
+
+
+class MaxSizeStrategy(_AccumulatingStrategy):
+    """Combine operations until the product DD exceeds ``s_max`` nodes.
+
+    Parametrising on the DD size rather than the operation count adapts to
+    how expensive the product actually became (Sec. IV-A, second strategy).
+    The product that first exceeds the bound is applied, so progress is
+    guaranteed even when a single gate is larger than ``s_max``.
+    """
+
+    name = "max-size"
+
+    def __init__(self, s_max: int) -> None:
+        if s_max < 1:
+            raise ValueError(f"s_max must be at least 1, got {s_max}")
+        self.s_max = s_max
+
+    def describe(self) -> str:
+        return f"max-size(s_max={self.s_max})"
+
+    def feed(self, run: "_Run", operation) -> None:
+        product = self._absorb(run, operation)
+        if run.package.count_nodes(product) > self.s_max:
+            self.flush(run)
+
+
+class AdaptiveStrategy(_AccumulatingStrategy):
+    """Combine operations while the product stays small *relative to the
+    state DD* -- an extension beyond the paper's fixed parametrisations.
+
+    The paper's cost analysis (Sec. III) says combining pays off while the
+    product DD is small compared to the state DD it spares from repeated
+    multiplication.  This strategy measures exactly that: operations are
+    combined while ``|product| <= ratio * |state|`` (clamped to
+    ``[floor, ceiling]``), so the threshold adapts as the state grows or
+    shrinks during simulation -- no manual ``k`` / ``s_max`` tuning.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, ratio: float = 0.5, floor: int = 4,
+                 ceiling: int = 4096) -> None:
+        if ratio <= 0:
+            raise ValueError(f"ratio must be positive, got {ratio}")
+        if floor < 1 or ceiling < floor:
+            raise ValueError("need 1 <= floor <= ceiling")
+        self.ratio = ratio
+        self.floor = floor
+        self.ceiling = ceiling
+
+    def describe(self) -> str:
+        return f"adaptive(ratio={self.ratio:g})"
+
+    def begin(self, run: "_Run") -> None:
+        super().begin(run)
+        self._state_nodes = run.package.count_nodes(run.state)
+
+    def _threshold(self) -> int:
+        scaled = int(self.ratio * self._state_nodes)
+        return min(self.ceiling, max(self.floor, scaled))
+
+    def feed(self, run: "_Run", operation) -> None:
+        product = self._absorb(run, operation)
+        if run.package.count_nodes(product) > self._threshold():
+            self.flush(run)
+
+    def flush(self, run: "_Run") -> None:
+        super().flush(run)
+        # The state only changes when a product is applied; re-measure here
+        # instead of on every feed (which would cost as much as the
+        # multiplication it tries to avoid).
+        self._state_nodes = run.package.count_nodes(run.state)
+
+
+class RepeatingBlockStrategy(SimulationStrategy):
+    """*DD-repeating*: combine a repeated block once, re-use it every pass.
+
+    Non-block segments are delegated to ``inner`` (any other strategy; the
+    sequential baseline by default).  The combined matrix DD of each distinct
+    block is cached, so a Grover iteration costs matrix-matrix combination
+    work exactly once and one matrix-vector multiplication per repetition
+    afterwards -- with no further combining (Sec. IV-B).
+    """
+
+    name = "dd-repeating"
+
+    def __init__(self, inner: SimulationStrategy | None = None) -> None:
+        self.inner = inner or SequentialStrategy()
+        if isinstance(self.inner, RepeatingBlockStrategy):
+            raise ValueError("inner strategy must not itself be "
+                             "a RepeatingBlockStrategy")
+
+    def describe(self) -> str:
+        return f"dd-repeating(inner={self.inner.describe()})"
+
+    def begin(self, run: "_Run") -> None:
+        self.inner.begin(run)
+        self._block_cache: dict[int, Edge] = {}
+
+    def feed(self, run: "_Run", operation) -> None:
+        self.inner.feed(run, operation)
+
+    def flush(self, run: "_Run") -> None:
+        self.inner.flush(run)
+
+    def handle_block(self, run: "_Run", block: RepeatedBlock) -> None:
+        if block.repetitions == 0:
+            return
+        # The pending inner product (if any) must hit the state first; the
+        # block matrix is re-used across repetitions and cannot absorb it.
+        self.inner.flush(run)
+        body_size = sum(1 for _ in block.operations())
+        combined = self._block_cache.get(id(block))
+        if combined is None:
+            combined = self._combine_block(run, block)
+            self._block_cache[id(block)] = combined
+            run.add_root(combined)
+            reused = block.repetitions - 1
+        else:
+            reused = block.repetitions
+        # Every repetition logically consumes the block's operations, even
+        # though only the first combination did multiplication work.
+        run.note_operation(body_size * block.repetitions)
+        run.statistics.reused_block_applications += reused
+        for _ in range(block.repetitions):
+            run.apply_matrix(combined)
+
+    def _combine_block(self, run: "_Run", block: RepeatedBlock) -> Edge:
+        product: Edge | None = None
+        for operation in block.operations():
+            gate = run.gate_dd(operation)
+            product = gate if product is None else run.combine(gate, product)
+        if product is None:  # empty block body: identity
+            return run.package.identity(run.num_qubits)
+        return product
+
+
+def strategy_from_spec(spec: str) -> SimulationStrategy:
+    """Parse strategy specs like ``sequential``, ``k=8``, ``smax=128``,
+    ``repeating`` or ``repeating:k=8`` (inner strategy after the colon)."""
+    spec = spec.strip().lower()
+    if spec in ("sequential", "sota", "baseline"):
+        return SequentialStrategy()
+    if spec.startswith("repeating"):
+        _, _, inner = spec.partition(":")
+        return RepeatingBlockStrategy(strategy_from_spec(inner) if inner
+                                      else None)
+    if spec.startswith("k="):
+        return KOperationsStrategy(int(spec[2:]))
+    if spec.startswith("smax="):
+        return MaxSizeStrategy(int(spec[5:]))
+    if spec == "adaptive":
+        return AdaptiveStrategy()
+    if spec.startswith("adaptive="):
+        return AdaptiveStrategy(ratio=float(spec[len("adaptive="):]))
+    raise ValueError(f"unknown strategy spec {spec!r}")

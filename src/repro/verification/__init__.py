@@ -1,0 +1,14 @@
+"""DD-based circuit verification (equivalence checking).
+
+Equivalence checking is the classic *other* use of the paper's machinery:
+it is pure matrix-matrix multiplication (Eq. 2, followed completely), and
+the canonicity of decision diagrams reduces the final unitary comparison to
+a pointer check.
+"""
+
+from .functional import OracleCheckResult, check_implements_function
+from .unitary import EquivalenceResult, check_equivalence, circuit_unitary_dd
+
+__all__ = ["EquivalenceResult", "OracleCheckResult",
+           "check_equivalence", "check_implements_function",
+           "circuit_unitary_dd"]

@@ -1,0 +1,102 @@
+"""Quantum amplitude estimation and the controlled-circuit transformer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (amplitude_estimation_circuit,
+                              controlled_circuit,
+                              estimate_from_distribution)
+from repro.baseline import simulate_statevector
+from repro.circuit import QuantumCircuit
+from repro.simulation import RepeatingBlockStrategy, SimulationEngine
+
+
+class TestControlledCircuit:
+    def test_every_operation_gains_the_control(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).t(1)
+        controlled = controlled_circuit(qc, control=2)
+        for op in controlled.operations():
+            assert (2, 1) in op.controls
+
+    def test_control_off_is_identity(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1).sx(1)
+        controlled = controlled_circuit(qc, control=2)
+        out = simulate_statevector(controlled, 0b01)
+        assert abs(out[0b01]) == pytest.approx(1.0)
+
+    def test_control_on_applies_circuit(self):
+        qc = QuantumCircuit(2)
+        qc.x(0).cx(0, 1)
+        controlled = controlled_circuit(qc, control=2)
+        out = simulate_statevector(controlled, 0b100)
+        assert abs(out[0b111]) == pytest.approx(1.0)
+
+    def test_matches_dense_controlled_unitary(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cp(0.7, 0, 1).sx(1)
+        controlled = controlled_circuit(qc, control=2)
+        u = np.zeros((4, 4), dtype=complex)
+        for column in range(4):
+            u[:, column] = simulate_statevector(qc, column)
+        for column in range(4):
+            on = simulate_statevector(controlled, column | 0b100)
+            assert np.allclose(on[4:], u[:, column], atol=1e-9)
+
+    def test_blocks_preserved(self):
+        qc = QuantumCircuit(1)
+        body = QuantumCircuit(1)
+        body.x(0)
+        qc.add_repeated_block(body, 3)
+        controlled = controlled_circuit(qc, control=1)
+        from repro.circuit import RepeatedBlock
+        assert isinstance(controlled.instructions[0], RepeatedBlock)
+        out = simulate_statevector(controlled, 0b10)
+        assert abs(out[0b11]) == pytest.approx(1.0)  # 3 X applications
+
+    def test_colliding_control_rejected(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            controlled_circuit(qc, control=1)
+
+
+class TestAmplitudeEstimation:
+    @pytest.mark.parametrize("n,marked,counting", [
+        (3, 0, 4), (4, 5, 5), (4, (3, 7), 5), (5, (1, 2, 3, 4), 5),
+    ])
+    def test_estimate_within_grid_resolution(self, n, marked, counting):
+        instance = amplitude_estimation_circuit(n, marked, counting)
+        result = SimulationEngine().simulate(instance.circuit,
+                                             RepeatingBlockStrategy())
+        estimate = estimate_from_distribution(instance, result)
+        # QPE grid resolution bounds the phase error by 1/2^m; propagate
+        # through a = cos^2(pi phase): |da| <= pi / 2^m
+        tolerance = math.pi / (1 << counting) + 1e-9
+        assert abs(estimate - instance.true_probability) <= tolerance
+
+    def test_more_counting_bits_tighten_the_estimate(self):
+        coarse = amplitude_estimation_circuit(4, 5, 3)
+        fine = amplitude_estimation_circuit(4, 5, 6)
+        engine = SimulationEngine()
+        coarse_est = estimate_from_distribution(
+            coarse, engine.simulate(coarse.circuit,
+                                    RepeatingBlockStrategy()))
+        fine_est = estimate_from_distribution(
+            fine, SimulationEngine().simulate(fine.circuit,
+                                              RepeatingBlockStrategy()))
+        true = coarse.true_probability
+        assert abs(fine_est - true) <= abs(coarse_est - true) + 1e-9
+
+    def test_outcome_conversion_symmetry(self):
+        instance = amplitude_estimation_circuit(3, 1, 4)
+        # outcomes y and 2^m - y estimate the same amplitude
+        for y in range(1, 8):
+            assert instance.probability_from_outcome(y) == pytest.approx(
+                instance.probability_from_outcome(16 - y))
+
+    def test_invalid_counting_rejected(self):
+        with pytest.raises(ValueError):
+            amplitude_estimation_circuit(3, 1, 0)

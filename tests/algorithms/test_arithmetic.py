@@ -1,0 +1,170 @@
+"""Beauregard arithmetic blocks on computational basis states."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (append_add_const, append_cmult_mod,
+                              append_controlled_ua, append_phi_add_const,
+                              append_phi_add_const_mod, append_iqft,
+                              append_qft)
+from repro.baseline import simulate_statevector
+from repro.circuit import QuantumCircuit
+
+
+def assert_maps_basis(circuit, initial, expected):
+    out = simulate_statevector(circuit, initial)
+    winner = int(np.argmax(np.abs(out)))
+    assert abs(out[winner]) == pytest.approx(1.0, abs=1e-7), \
+        f"output not a basis state (max {abs(out[winner])})"
+    assert winner == expected, f"got {winner:b}, expected {expected:b}"
+
+
+class TestPlainAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 12), (15, 15)])
+    def test_addition_mod_power_of_two(self, a, b):
+        m = 4
+        qc = QuantumCircuit(m)
+        append_add_const(qc, list(range(m)), a)
+        assert_maps_basis(qc, b, (a + b) % (1 << m))
+
+    def test_subtraction_via_negative_constant(self):
+        m = 4
+        qc = QuantumCircuit(m)
+        append_qft(qc, list(range(m)))
+        append_phi_add_const(qc, list(range(m)), 5, subtract=True)
+        append_iqft(qc, list(range(m)))
+        assert_maps_basis(qc, 9, 4)
+        assert_maps_basis(qc, 2, (2 - 5) % 16)
+
+    def test_controlled_adder_respects_control(self):
+        m = 3
+        qc = QuantumCircuit(m + 1)
+        append_qft(qc, list(range(m)))
+        append_phi_add_const(qc, list(range(m)), 3, controls=(m,))
+        append_iqft(qc, list(range(m)))
+        assert_maps_basis(qc, 2, 2)                      # control off
+        assert_maps_basis(qc, 2 | (1 << m), 5 | (1 << m))  # control on
+
+    def test_adder_superposition_linearity(self):
+        m = 3
+        qc = QuantumCircuit(m)
+        qc.h(0)  # (|0> + |1>)/sqrt2
+        append_add_const(qc, list(range(m)), 3)
+        out = simulate_statevector(qc, 0)
+        assert abs(out[3]) == pytest.approx(2 ** -0.5, abs=1e-9)
+        assert abs(out[4]) == pytest.approx(2 ** -0.5, abs=1e-9)
+
+
+class TestModularAdder:
+    MODULUS = 11
+    BITS = 4  # modulus fits in 4 bits, register has 5
+
+    def _circuit(self, value, controls=()):
+        register = list(range(self.BITS + 1))
+        num_qubits = self.BITS + 2 + len(controls)
+        qc = QuantumCircuit(num_qubits)
+        append_qft(qc, register)
+        append_phi_add_const_mod(qc, register, value, self.MODULUS,
+                                 ancilla=self.BITS + 1, controls=controls)
+        append_iqft(qc, register)
+        return qc
+
+    @pytest.mark.parametrize("a", [0, 1, 6, 10])
+    @pytest.mark.parametrize("b", [0, 4, 10])
+    def test_modular_addition(self, a, b):
+        qc = self._circuit(a)
+        assert_maps_basis(qc, b, (a + b) % self.MODULUS)
+
+    def test_ancilla_returns_to_zero(self):
+        qc = self._circuit(7)
+        out = simulate_statevector(qc, 9)
+        winner = int(np.argmax(np.abs(out)))
+        assert (winner >> (self.BITS + 1)) & 1 == 0
+
+    def test_value_reduced_mod_n(self):
+        qc = self._circuit(self.MODULUS + 4)  # same as adding 4
+        assert_maps_basis(qc, 3, 7)
+
+    def test_doubly_controlled(self):
+        controls = (self.BITS + 2, self.BITS + 3)
+        qc = self._circuit(5, controls=controls)
+        both = (1 << controls[0]) | (1 << controls[1])
+        assert_maps_basis(qc, 4 | both, 9 | both)       # both controls on
+        assert_maps_basis(qc, 4 | (1 << controls[0]), 4 | (1 << controls[0]))
+
+    def test_register_too_small_rejected(self):
+        qc = QuantumCircuit(6)
+        with pytest.raises(ValueError):
+            append_phi_add_const_mod(qc, [0, 1, 2, 3], 11, 11, ancilla=5)
+
+
+class TestControlledMultiplier:
+    MODULUS = 13
+
+    def _layout(self):
+        n = 4
+        b_register = list(range(n + 1))
+        x_register = list(range(n + 1, 2 * n + 1))
+        ancilla = 2 * n + 1
+        control = 2 * n + 2
+        return n, b_register, x_register, ancilla, control
+
+    def test_multiply_accumulate(self):
+        n, b_reg, x_reg, anc, ctrl = self._layout()
+        qc = QuantumCircuit(2 * n + 3)
+        append_cmult_mod(qc, ctrl, x_reg, b_reg, 7, self.MODULUS, anc)
+        for x, b in [(0, 0), (1, 0), (5, 3), (12, 12)]:
+            initial = b | (x << (n + 1)) | (1 << ctrl)
+            expected = ((b + 7 * x) % self.MODULUS) | (x << (n + 1)) \
+                | (1 << ctrl)
+            assert_maps_basis(qc, initial, expected)
+
+    def test_control_off_is_identity(self):
+        n, b_reg, x_reg, anc, ctrl = self._layout()
+        qc = QuantumCircuit(2 * n + 3)
+        append_cmult_mod(qc, ctrl, x_reg, b_reg, 7, self.MODULUS, anc)
+        initial = 3 | (5 << (n + 1))
+        assert_maps_basis(qc, initial, initial)
+
+    def test_inverse_flag_subtracts(self):
+        n, b_reg, x_reg, anc, ctrl = self._layout()
+        qc = QuantumCircuit(2 * n + 3)
+        append_cmult_mod(qc, ctrl, x_reg, b_reg, 7, self.MODULUS, anc)
+        append_cmult_mod(qc, ctrl, x_reg, b_reg, 7, self.MODULUS, anc,
+                         inverse=True)
+        initial = 4 | (9 << (n + 1)) | (1 << ctrl)
+        assert_maps_basis(qc, initial, initial)
+
+
+class TestControlledUa:
+    @pytest.mark.parametrize("modulus,multiplier", [(15, 7), (15, 2),
+                                                    (13, 5), (21, 8)])
+    def test_in_place_modular_multiplication(self, modulus, multiplier):
+        n = modulus.bit_length()
+        b_reg = list(range(n + 1))
+        x_reg = list(range(n + 1, 2 * n + 1))
+        anc = 2 * n + 1
+        ctrl = 2 * n + 2
+        qc = QuantumCircuit(2 * n + 3)
+        append_controlled_ua(qc, ctrl, x_reg, b_reg, multiplier, modulus, anc)
+        for x in (1, 2, modulus - 1):
+            initial = (x << (n + 1)) | (1 << ctrl)
+            expected = (((multiplier * x) % modulus) << (n + 1)) | (1 << ctrl)
+            assert_maps_basis(qc, initial, expected)
+
+    def test_non_coprime_multiplier_rejected(self):
+        qc = QuantumCircuit(11)
+        with pytest.raises(ValueError):
+            append_controlled_ua(qc, 10, [5, 6, 7, 8], [0, 1, 2, 3, 4],
+                                 6, 15, 9)
+
+    def test_gate_count_documents_the_cost(self):
+        """The elementary decomposition costs thousands of gates -- the cost
+        DD-construct eliminates (one directly-built DD instead)."""
+        modulus, multiplier = 15, 7
+        n = modulus.bit_length()
+        qc = QuantumCircuit(2 * n + 3)
+        append_controlled_ua(qc, 2 * n + 2, list(range(n + 1, 2 * n + 1)),
+                             list(range(n + 1)), multiplier, modulus,
+                             2 * n + 1)
+        assert qc.num_operations() > 500

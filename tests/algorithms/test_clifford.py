@@ -1,0 +1,69 @@
+"""Random Clifford circuit generation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.clifford import random_clifford_circuit
+from repro.baseline import simulate_statevector
+from repro.dd import vector_to_numpy
+from repro.simulation import SimulationEngine
+
+
+class TestGeneration:
+    def test_gate_set_restricted(self):
+        instance = random_clifford_circuit(5, 10, seed=1)
+        gates = set(instance.circuit.count_gates())
+        assert gates <= {"h", "s", "x"}  # x only as the CX core
+
+    def test_x_gates_are_all_controlled(self):
+        instance = random_clifford_circuit(5, 10, seed=2)
+        for op in instance.circuit.operations():
+            if op.gate == "x":
+                assert len(op.controls) == 1
+
+    def test_deterministic(self):
+        a = random_clifford_circuit(4, 8, seed=3).circuit
+        b = random_clifford_circuit(4, 8, seed=3).circuit
+        assert a == b
+
+    def test_two_qubit_fraction_extremes(self):
+        none = random_clifford_circuit(4, 6, seed=1,
+                                       two_qubit_fraction=0.0)
+        assert "x" not in none.circuit.count_gates()
+        heavy = random_clifford_circuit(6, 6, seed=1,
+                                        two_qubit_fraction=1.0)
+        assert heavy.circuit.count_gates().get("x", 0) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_clifford_circuit(0, 5)
+        with pytest.raises(ValueError):
+            random_clifford_circuit(3, 0)
+        with pytest.raises(ValueError):
+            random_clifford_circuit(3, 3, two_qubit_fraction=2.0)
+
+
+class TestSimulation:
+    def test_matches_dense(self):
+        instance = random_clifford_circuit(6, 12, seed=5)
+        result = SimulationEngine().simulate(instance.circuit)
+        assert np.allclose(vector_to_numpy(result.state, 6),
+                           simulate_statevector(instance.circuit),
+                           atol=1e-9)
+
+    def test_stabilizer_amplitudes_are_uniform_magnitude(self):
+        """Stabilizer states have all non-zero amplitudes of equal
+        magnitude -- a structural invariant of Clifford circuits."""
+        instance = random_clifford_circuit(6, 15, seed=7)
+        result = SimulationEngine().simulate(instance.circuit)
+        amplitudes = vector_to_numpy(result.state, 6)
+        magnitudes = np.abs(amplitudes[np.abs(amplitudes) > 1e-9])
+        assert np.allclose(magnitudes, magnitudes[0], atol=1e-9)
+
+    def test_dd_smaller_than_supremacy_at_same_size(self):
+        from repro.algorithms import supremacy_circuit
+        clifford = random_clifford_circuit(9, 12, seed=1)
+        chaotic = supremacy_circuit(3, 3, 12, seed=1)
+        c_stats = SimulationEngine().simulate(clifford.circuit).statistics
+        s_stats = SimulationEngine().simulate(chaotic.circuit).statistics
+        assert c_stats.peak_state_nodes < s_stats.peak_state_nodes

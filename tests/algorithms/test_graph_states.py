@@ -1,0 +1,78 @@
+"""Graph-state preparation and stabilizer verification."""
+
+import pytest
+
+from repro.algorithms.graph_states import (graph_state_circuit,
+                                           verify_graph_state_stabilizers)
+from repro.algorithms.qaoa import grid_graph, ring_graph
+from repro.analysis import entanglement_entropy
+from repro.simulation import SimulationEngine
+
+
+class TestConstruction:
+    def test_gate_structure(self):
+        instance = graph_state_circuit(ring_graph(4), 4)
+        counts = instance.circuit.count_gates()
+        assert counts == {"h": 4, "z": 4}
+
+    def test_duplicate_edges_collapsed(self):
+        instance = graph_state_circuit([(0, 1), (1, 0), (0, 1)], 2)
+        assert instance.edges == [(0, 1)]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            graph_state_circuit([(1, 1)], 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            graph_state_circuit([(0, 9)], 3)
+
+    def test_neighbours(self):
+        instance = graph_state_circuit([(0, 1), (1, 2), (0, 3)], 4)
+        assert instance.neighbours(0) == [1, 3]
+        assert instance.neighbours(2) == [1]
+
+
+class TestStabilizers:
+    @pytest.mark.parametrize("edges,n", [
+        (ring_graph(5), 5),
+        (grid_graph(2, 3), 6),
+        ([(0, 1)], 2),
+        ([], 3),
+    ])
+    def test_all_stabilizers_plus_one(self, edges, n):
+        instance = graph_state_circuit(edges, n)
+        engine = SimulationEngine()
+        result = engine.simulate(instance.circuit)
+        assert verify_graph_state_stabilizers(engine.package, result.state,
+                                              instance)
+
+    def test_wrong_state_fails_stabilizers(self):
+        instance = graph_state_circuit(ring_graph(4), 4)
+        engine = SimulationEngine()
+        assert not verify_graph_state_stabilizers(
+            engine.package, engine.package.zero_state(4), instance)
+
+
+class TestEntanglementStructure:
+    def test_edgeless_graph_is_product(self):
+        instance = graph_state_circuit([], 4)
+        engine = SimulationEngine()
+        result = engine.simulate(instance.circuit)
+        assert entanglement_entropy(engine.package, result.state, [0, 1]) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_edge_gives_one_bit(self):
+        instance = graph_state_circuit([(0, 3)], 4)
+        engine = SimulationEngine()
+        result = engine.simulate(instance.circuit)
+        assert entanglement_entropy(engine.package, result.state, [0]) \
+            == pytest.approx(1.0, abs=1e-9)
+
+    def test_cut_entropy_counts_crossing_edges_on_a_path(self):
+        # path graph 0-1-2-3: the (01 | 23) cut crosses one edge -> 1 bit
+        instance = graph_state_circuit([(0, 1), (1, 2), (2, 3)], 4)
+        engine = SimulationEngine()
+        result = engine.simulate(instance.circuit)
+        assert entanglement_entropy(engine.package, result.state, [0, 1]) \
+            == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,173 @@
+"""Grover benchmark generator: ground truth and strategy interaction."""
+
+import math
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.algorithms import grover_circuit, optimal_iterations, \
+    success_probability
+from repro.baseline import simulate_statevector
+from repro.circuit import RepeatedBlock
+from repro.dd import sample_counts, vector_to_numpy
+from repro.simulation import (RepeatingBlockStrategy, SequentialStrategy,
+                              SimulationEngine)
+
+
+class TestClosedForm:
+    def test_optimal_iterations_scaling(self):
+        assert optimal_iterations(4) == 3
+        assert optimal_iterations(8) == 12
+        assert optimal_iterations(10) == 25
+
+    def test_success_probability_at_optimum_is_high(self):
+        # small n: ~0.96; converges towards 1 with growing n
+        for n in (4, 6, 8, 10):
+            assert success_probability(n, optimal_iterations(n)) > 0.95
+        assert success_probability(12, optimal_iterations(12)) > 0.999
+
+    def test_success_probability_zero_iterations(self):
+        assert success_probability(4, 0) == pytest.approx(1 / 16)
+
+    def test_overrotation_decreases_probability(self):
+        n = 6
+        optimum = optimal_iterations(n)
+        assert success_probability(n, 2 * optimum) \
+            < success_probability(n, optimum)
+
+
+class TestCircuitStructure:
+    def test_phase_oracle_uses_n_qubits(self):
+        instance = grover_circuit(5, 3)
+        assert instance.circuit.num_qubits == 5
+
+    def test_ancilla_oracle_uses_extra_qubit(self):
+        instance = grover_circuit(5, 3, oracle_style="ancilla")
+        assert instance.circuit.num_qubits == 6
+
+    def test_iteration_is_repeated_block(self):
+        instance = grover_circuit(4, 7)
+        blocks = [i for i in instance.circuit.instructions
+                  if isinstance(i, RepeatedBlock)]
+        assert len(blocks) == 1
+        assert blocks[0].repetitions == instance.iterations
+
+    def test_unrolled_variant_has_no_blocks(self):
+        instance = grover_circuit(4, 7, mark_repetition=False)
+        assert not any(isinstance(i, RepeatedBlock)
+                       for i in instance.circuit.instructions)
+
+    def test_both_variants_simulate_identically(self):
+        blocked = grover_circuit(4, 5).circuit
+        unrolled = grover_circuit(4, 5, mark_repetition=False).circuit
+        assert np.allclose(simulate_statevector(blocked),
+                           simulate_statevector(unrolled))
+
+    def test_invalid_marked_rejected(self):
+        with pytest.raises(ValueError):
+            grover_circuit(4, 16)
+
+    def test_too_few_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            grover_circuit(1, 0)
+
+    def test_unknown_oracle_style_rejected(self):
+        with pytest.raises(ValueError):
+            grover_circuit(4, 0, oracle_style="magic")
+
+    def test_name_follows_paper_scheme(self):
+        assert grover_circuit(9, 1).name == "grover_9"
+
+
+class TestSimulatedSuccess:
+    @pytest.mark.parametrize("n,marked", [(4, 0), (4, 13), (6, 42), (8, 200)])
+    def test_phase_oracle_matches_closed_form(self, n, marked):
+        instance = grover_circuit(n, marked)
+        result = SimulationEngine().simulate(instance.circuit)
+        measured = instance.measured_success_probability(result)
+        assert measured == pytest.approx(
+            instance.expected_success_probability(), abs=1e-9)
+
+    def test_ancilla_oracle_matches_closed_form(self):
+        instance = grover_circuit(5, 17, oracle_style="ancilla")
+        result = SimulationEngine().simulate(instance.circuit)
+        assert instance.measured_success_probability(result) == \
+            pytest.approx(instance.expected_success_probability(), abs=1e-9)
+
+    def test_explicit_iteration_count(self):
+        instance = grover_circuit(5, 9, iterations=2)
+        result = SimulationEngine().simulate(instance.circuit)
+        assert instance.measured_success_probability(result) == \
+            pytest.approx(success_probability(5, 2), abs=1e-9)
+
+    def test_sampling_finds_marked_element(self):
+        instance = grover_circuit(6, 33)
+        result = SimulationEngine().simulate(instance.circuit)
+        counts = sample_counts(result.package, result.state, 100, Random(4))
+        assert counts.get(33, 0) > 95
+
+    def test_dd_repeating_gives_same_state(self):
+        instance = grover_circuit(7, 100)
+        sequential = SimulationEngine().simulate(instance.circuit,
+                                                 SequentialStrategy())
+        repeating = SimulationEngine().simulate(instance.circuit,
+                                                RepeatingBlockStrategy())
+        n = instance.circuit.num_qubits
+        assert np.allclose(vector_to_numpy(sequential.state, n),
+                           vector_to_numpy(repeating.state, n), atol=1e-8)
+
+    def test_dd_repeating_needs_one_combine_pass(self):
+        instance = grover_circuit(8, 11)
+        stats = SimulationEngine().simulate(
+            instance.circuit, RepeatingBlockStrategy()).statistics
+        body_size = sum(1 for _ in instance.circuit.instructions[-1]
+                        .operations())
+        # exactly body_size-1 combinations, ever; one MxV per iteration
+        assert stats.matrix_matrix_mults == body_size - 1
+        assert stats.matrix_vector_mults == instance.iterations + \
+            (instance.circuit.num_operations()
+             - body_size * instance.iterations)
+
+    def test_grover_state_dd_stays_compact(self):
+        # Grover states have only a handful of distinct amplitudes: their
+        # DDs stay near-linear, which is why sota is already fast and the
+        # remaining win comes from re-use (Table I).
+        instance = grover_circuit(10, 123)
+        stats = SimulationEngine().simulate(instance.circuit).statistics
+        assert stats.peak_state_nodes < 4 * 10
+
+
+class TestMultipleMarkedElements:
+    def test_success_probability_formula(self):
+        # m marked: theta = asin(sqrt(m/N))
+        assert success_probability(4, 0, num_marked=4) == pytest.approx(0.25)
+
+    def test_optimal_iterations_shrink_with_more_solutions(self):
+        assert optimal_iterations(10, 4) < optimal_iterations(10, 1)
+
+    def test_simulated_multi_marked_matches_closed_form(self):
+        marked = (3, 12, 40)
+        instance = grover_circuit(6, marked)
+        result = SimulationEngine().simulate(instance.circuit)
+        assert instance.measured_success_probability(result) == \
+            pytest.approx(instance.expected_success_probability(), abs=1e-9)
+
+    def test_marked_elements_equally_likely(self):
+        marked = (5, 9)
+        instance = grover_circuit(5, marked)
+        result = SimulationEngine().simulate(instance.circuit)
+        assert result.probability(5) == pytest.approx(result.probability(9),
+                                                      abs=1e-9)
+
+    def test_duplicates_deduplicated(self):
+        instance = grover_circuit(4, (7, 7, 7))
+        assert instance.marked == (7,)
+
+    def test_whole_database_rejected(self):
+        with pytest.raises(ValueError):
+            grover_circuit(2, (0, 1, 2, 3))
+
+    def test_empty_marked_rejected(self):
+        with pytest.raises(ValueError):
+            grover_circuit(3, ())

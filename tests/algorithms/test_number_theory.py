@@ -1,0 +1,128 @@
+"""Classical number theory behind Shor's algorithm."""
+
+from fractions import Fraction
+from random import Random
+
+import pytest
+
+from repro.algorithms import (continued_fraction_convergents,
+                              factors_from_order, is_probable_prime,
+                              modular_inverse, multiplicative_order,
+                              phase_to_order, random_shor_base)
+
+
+class TestModularInverse:
+    @pytest.mark.parametrize("a,n", [(3, 7), (7, 15), (5, 21), (17, 55)])
+    def test_inverse_property(self, a, n):
+        assert (a * modular_inverse(a, n)) % n == 1
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            modular_inverse(6, 15)
+
+
+class TestMultiplicativeOrder:
+    @pytest.mark.parametrize("a,n,expected", [
+        (7, 15, 4), (2, 15, 4), (4, 15, 2), (2, 21, 6), (5, 33, 10),
+        (17, 55, 20), (39, 77, 30),
+    ])
+    def test_known_orders(self, a, n, expected):
+        assert multiplicative_order(a, n) == expected
+
+    def test_order_divides_totient_property(self):
+        n = 35  # totient 24
+        for a in (2, 3, 4, 6, 8):
+            order = multiplicative_order(a, n)
+            assert pow(a, order, n) == 1
+            assert 24 % order == 0
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            multiplicative_order(5, 15)
+
+
+class TestContinuedFractions:
+    def test_convergents_of_known_fraction(self):
+        convergents = list(continued_fraction_convergents(415, 93))
+        # 415/93 = [4; 2, 6, 7]
+        assert convergents == [Fraction(4), Fraction(9, 2),
+                               Fraction(58, 13), Fraction(415, 93)]
+
+    def test_final_convergent_is_exact(self):
+        convergents = list(continued_fraction_convergents(64, 256))
+        assert convergents[-1] == Fraction(64, 256)
+
+    def test_zero_numerator(self):
+        assert list(continued_fraction_convergents(0, 8)) == [Fraction(0)]
+
+    def test_invalid_denominator(self):
+        with pytest.raises(ValueError):
+            list(continued_fraction_convergents(1, 0))
+
+
+class TestPhaseToOrder:
+    def test_exact_phase_recovers_order(self):
+        # y/2^8 = 64/256 = 1/4 -> order 4 (N=15, a=7)
+        assert phase_to_order(64, 8, 15, 7) == 4
+
+    def test_shared_factor_phase_recovers_order(self):
+        # s/r = 2/4 = 1/2: denominator 2, but the order is 4 -> multiples
+        assert phase_to_order(128, 8, 15, 7) == 4
+
+    def test_noisy_phase_recovers_order(self):
+        # close to 1/3 for an order-6 case: 85/256 ~ 1/3
+        assert phase_to_order(85, 8, 21, 2) in (3, 6)
+
+    def test_zero_phase_gives_none(self):
+        assert phase_to_order(0, 8, 15, 7) is None
+
+    def test_garbage_phase_gives_none(self):
+        # 1/256 has no convergent related to ord(17 mod 55) = 20
+        assert phase_to_order(1, 8, 55, 17) is None
+
+    def test_small_orders_recovered_even_from_poor_phases(self):
+        # With tiny orders the multiple search rescues almost any phase --
+        # a documented behaviour, not an accident.
+        assert phase_to_order(1, 4, 15, 7) == 4
+
+
+class TestFactorsFromOrder:
+    def test_successful_case(self):
+        assert factors_from_order(7, 4, 15) in ((3, 5), (5, 3))
+
+    def test_odd_order_fails(self):
+        assert factors_from_order(4, 3, 21) is None  # ord(4 mod 21) = 3
+
+    def test_unlucky_half_power(self):
+        # a^(r/2) = -1 mod N gives trivial factors
+        assert factors_from_order(14, 2, 15) is None  # 14 = -1 mod 15
+
+    def test_factors_multiply_back(self):
+        factors = factors_from_order(2, 6, 21)
+        assert factors is not None
+        assert factors[0] * factors[1] == 21
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", [2, 3, 5, 7, 11, 101, 1009, 7919, 104729])
+    def test_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", [0, 1, 4, 9, 15, 21, 1001, 104730,
+                                   341, 561, 1729])  # incl. Carmichaels
+    def test_composites(self, c):
+        assert not is_probable_prime(c)
+
+
+class TestRandomBase:
+    def test_base_is_coprime_and_in_range(self):
+        rng = Random(0)
+        for _ in range(50):
+            a = random_shor_base(21, rng)
+            assert 2 <= a < 21
+            import math
+            assert math.gcd(a, 21) == 1
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            random_shor_base(3, Random(0))

@@ -1,0 +1,80 @@
+"""Bernstein-Vazirani and Deutsch-Jozsa."""
+
+import pytest
+
+from repro.algorithms import (bernstein_vazirani_circuit,
+                              deutsch_jozsa_circuit)
+from repro.simulation import (KOperationsStrategy, SequentialStrategy,
+                              SimulationEngine)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0, 1, 0b1010, 0b1111, 0b0110])
+    def test_secret_recovered_deterministically(self, secret):
+        instance = bernstein_vazirani_circuit(4, secret)
+        result = SimulationEngine().simulate(instance.circuit)
+        # the data register reads exactly the secret; ancilla stays in |->
+        p = sum(result.probability(secret | (a << 4)) for a in (0, 1))
+        assert p == pytest.approx(1.0, abs=1e-9)
+        assert instance.expected_outcome(secret | (1 << 4))
+
+    def test_single_query(self):
+        instance = bernstein_vazirani_circuit(8, 0b10110101)
+        x_count = instance.circuit.count_gates().get("x", 0)
+        # one CX per secret bit plus the ancilla-preparation X
+        assert x_count == bin(0b10110101).count("1") + 1
+
+    def test_state_dd_stays_linear(self):
+        instance = bernstein_vazirani_circuit(16, 0b1010101010101010)
+        stats = SimulationEngine().simulate(instance.circuit).statistics
+        assert stats.peak_state_nodes <= 2 * 17
+
+    def test_strategies_agree(self):
+        instance = bernstein_vazirani_circuit(6, 0b101101)
+        a = SimulationEngine().simulate(instance.circuit,
+                                        SequentialStrategy())
+        b = SimulationEngine().simulate(instance.circuit,
+                                        KOperationsStrategy(4))
+        for index in (0b101101, 0b101101 | (1 << 6)):
+            assert a.probability(index) == pytest.approx(b.probability(index))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(0, 0)
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit(3, 8)
+
+
+class TestDeutschJozsa:
+    def test_constant_oracle_reads_zero(self):
+        instance = deutsch_jozsa_circuit(5, constant=True)
+        result = SimulationEngine().simulate(instance.circuit)
+        p_zero = sum(result.probability(a << 5) for a in (0, 1))
+        assert p_zero == pytest.approx(1.0, abs=1e-9)
+        assert instance.is_constant_outcome(0)
+
+    @pytest.mark.parametrize("mask", [0b11111, 0b00101, 0b10000])
+    def test_balanced_oracle_never_reads_zero(self, mask):
+        instance = deutsch_jozsa_circuit(5, constant=False,
+                                         balanced_mask=mask)
+        result = SimulationEngine().simulate(instance.circuit)
+        p_zero = sum(result.probability(a << 5) for a in (0, 1))
+        assert p_zero == pytest.approx(0.0, abs=1e-9)
+
+    def test_balanced_reads_the_mask(self):
+        # for parity oracles DJ actually reveals the mask, like BV
+        instance = deutsch_jozsa_circuit(4, constant=False,
+                                         balanced_mask=0b0110)
+        result = SimulationEngine().simulate(instance.circuit)
+        p = sum(result.probability(0b0110 | (a << 4)) for a in (0, 1))
+        assert p == pytest.approx(1.0, abs=1e-9)
+
+    def test_invalid_mask_rejected(self):
+        with pytest.raises(ValueError):
+            deutsch_jozsa_circuit(3, constant=False, balanced_mask=0)
+        with pytest.raises(ValueError):
+            deutsch_jozsa_circuit(3, constant=False, balanced_mask=8)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            deutsch_jozsa_circuit(0, constant=True)

@@ -1,0 +1,72 @@
+"""Quantum phase estimation against its closed-form distribution."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (ideal_outcome_distribution,
+                              phase_estimation_circuit)
+from repro.simulation import (KOperationsStrategy, SequentialStrategy,
+                              SimulationEngine)
+
+
+class TestExactPhases:
+    @pytest.mark.parametrize("numerator,bits", [(1, 3), (3, 3), (5, 4),
+                                                (0, 3), (7, 3)])
+    def test_exact_phase_is_deterministic(self, numerator, bits):
+        theta = numerator / (1 << bits)
+        instance = phase_estimation_circuit(theta, bits)
+        result = SimulationEngine().simulate(instance.circuit)
+        # eigen qubit is |1>, counting register reads the numerator exactly
+        outcome = numerator | (1 << bits)
+        assert result.probability(outcome) == pytest.approx(1.0, abs=1e-9)
+        assert instance.estimate_from_outcome(outcome) == pytest.approx(theta)
+
+    def test_phase_wraps_modulo_one(self):
+        instance = phase_estimation_circuit(1.25, 2)
+        assert instance.theta == pytest.approx(0.25)
+
+
+class TestInexactPhases:
+    def test_distribution_matches_closed_form(self):
+        theta, bits = 0.3, 4
+        instance = phase_estimation_circuit(theta, bits)
+        result = SimulationEngine().simulate(instance.circuit)
+        expected = ideal_outcome_distribution(theta, bits)
+        size = 1 << bits
+        eigen_mask = 1 << bits
+        measured = [result.probability(y | eigen_mask) for y in range(size)]
+        assert np.allclose(measured, expected, atol=1e-9)
+
+    def test_peak_at_best_outcome(self):
+        theta, bits = 0.3, 5
+        instance = phase_estimation_circuit(theta, bits)
+        result = SimulationEngine().simulate(instance.circuit)
+        eigen_mask = 1 << bits
+        probabilities = [result.probability(y | eigen_mask)
+                         for y in range(1 << bits)]
+        assert int(np.argmax(probabilities)) == instance.best_outcome()
+
+    def test_peak_probability_bound(self):
+        # ideal QPE peaks at >= 4/pi^2 ~ 0.405 for any theta
+        theta, bits = 0.123, 4
+        distribution = ideal_outcome_distribution(theta, bits)
+        assert max(distribution) > 4 / np.pi ** 2
+
+
+class TestHarness:
+    def test_strategies_agree(self):
+        instance = phase_estimation_circuit(0.37, 4)
+        a = SimulationEngine().simulate(instance.circuit,
+                                        SequentialStrategy())
+        b = SimulationEngine().simulate(instance.circuit,
+                                        KOperationsStrategy(5))
+        pa = [a.probability(i) for i in range(1 << 5)]
+        pb = [b.probability(i) for i in range(1 << 5)]
+        assert np.allclose(pa, pb, atol=1e-9)
+
+    def test_invalid_counting_bits(self):
+        with pytest.raises(ValueError):
+            phase_estimation_circuit(0.5, 0)
+
+    def test_distribution_sums_to_one(self):
+        assert sum(ideal_outcome_distribution(0.77, 4)) == pytest.approx(1.0)

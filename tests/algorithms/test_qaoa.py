@@ -1,0 +1,120 @@
+"""QAOA MaxCut circuits and cost evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (classical_maxcut_optimum, grid_graph,
+                              maxcut_expectation, maxcut_value,
+                              optimise_qaoa_angles, qaoa_maxcut_circuit,
+                              ring_graph)
+from repro.baseline import simulate_statevector
+from repro.dd import vector_to_numpy
+from repro.simulation import KOperationsStrategy, SimulationEngine
+
+
+class TestGraphs:
+    def test_ring_edges(self):
+        assert ring_graph(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_graph(2)
+
+    def test_grid_edge_count(self):
+        edges = grid_graph(3, 4)
+        assert len(edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_maxcut_value(self):
+        edges = [(0, 1), (1, 2)]
+        assert maxcut_value(edges, 0b010) == 2
+        assert maxcut_value(edges, 0b000) == 0
+
+    def test_classical_optimum_ring(self):
+        assert classical_maxcut_optimum(ring_graph(4), 4) == 4
+        assert classical_maxcut_optimum(ring_graph(5), 5) == 4
+
+    def test_classical_optimum_bipartite_grid(self):
+        edges = grid_graph(2, 3)
+        assert classical_maxcut_optimum(edges, 6) == len(edges)
+
+
+class TestCircuit:
+    def test_gate_structure(self):
+        instance = qaoa_maxcut_circuit(ring_graph(4), 4, [0.3], [0.2])
+        counts = instance.circuit.count_gates()
+        assert counts["h"] == 4
+        assert counts["x"] == 2 * 4      # CX pairs around each RZ
+        assert counts["rz"] == 4
+        assert counts["rx"] == 4
+
+    def test_matches_dense_simulation(self):
+        instance = qaoa_maxcut_circuit(ring_graph(4), 4, [0.5, 0.2],
+                                       [0.3, 0.7])
+        result = SimulationEngine().simulate(instance.circuit)
+        assert np.allclose(vector_to_numpy(result.state, 4),
+                           simulate_statevector(instance.circuit),
+                           atol=1e-9)
+
+    def test_mismatched_angles_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(ring_graph(3), 3, [0.1], [0.1, 0.2])
+
+    def test_no_layers_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit(ring_graph(3), 3, [], [])
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit([(0, 0)], 2, [0.1], [0.1])
+        with pytest.raises(ValueError):
+            qaoa_maxcut_circuit([(0, 5)], 2, [0.1], [0.1])
+
+
+class TestExpectation:
+    def test_zero_angles_give_half_edges(self):
+        # gamma=beta=0 leaves the uniform superposition: <cut> = |E|/2
+        edges = ring_graph(4)
+        instance = qaoa_maxcut_circuit(edges, 4, [1e-12], [1e-12])
+        value = maxcut_expectation(instance)
+        assert value == pytest.approx(len(edges) / 2, abs=1e-6)
+
+    def test_matches_dense_expectation(self):
+        edges = ring_graph(4)
+        instance = qaoa_maxcut_circuit(edges, 4, [0.4], [0.6])
+        dense = simulate_statevector(instance.circuit)
+        expected = sum(abs(a) ** 2 * maxcut_value(edges, x)
+                       for x, a in enumerate(dense))
+        assert maxcut_expectation(instance) == pytest.approx(expected,
+                                                             abs=1e-8)
+
+    def test_known_p1_ring_optimum(self):
+        # p=1 QAOA on the ring achieves 3/4 of the edges at the optimal
+        # angles; any grid search result must respect the cut <= optimum.
+        edges = ring_graph(6)
+        instance, value = optimise_qaoa_angles(edges, 6, layers=1,
+                                               grid_points=6)
+        assert value <= classical_maxcut_optimum(edges, 6) + 1e-9
+        assert value > len(edges) / 2  # beats random guessing
+
+    def test_expectation_with_strategy(self):
+        edges = grid_graph(2, 3)
+        instance = qaoa_maxcut_circuit(edges, 6, [0.37], [0.62])
+        plain = maxcut_expectation(instance)
+        combined = maxcut_expectation(instance,
+                                      strategy=KOperationsStrategy(6))
+        assert plain == pytest.approx(combined, abs=1e-9)
+
+
+class TestAngleSearch:
+    def test_grid_search_improves_over_worst(self):
+        edges = ring_graph(4)
+        _, best = optimise_qaoa_angles(edges, 4, layers=1, grid_points=4)
+        worst = maxcut_expectation(
+            qaoa_maxcut_circuit(edges, 4, [math.pi / 2], [math.pi / 4]))
+        assert best >= worst - 1e-9
+
+    def test_invalid_layers_rejected(self):
+        with pytest.raises(ValueError):
+            optimise_qaoa_angles(ring_graph(3), 3, layers=0)

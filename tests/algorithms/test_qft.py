@@ -1,0 +1,85 @@
+"""QFT circuits against the DFT matrix and the Fourier-phase convention."""
+
+import cmath
+
+import numpy as np
+import pytest
+
+from repro.algorithms import append_iqft, append_qft, qft_circuit
+from repro.baseline import simulate_statevector
+from repro.circuit import QuantumCircuit
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    size = 1 << circuit.num_qubits
+    unitary = np.zeros((size, size), dtype=complex)
+    for column in range(size):
+        unitary[:, column] = simulate_statevector(circuit, column)
+    return unitary
+
+
+def dft_matrix(num_qubits: int) -> np.ndarray:
+    size = 1 << num_qubits
+    omega = cmath.exp(2j * cmath.pi / size)
+    return np.array([[omega ** (i * j) for j in range(size)]
+                     for i in range(size)]) / np.sqrt(size)
+
+
+class TestQftCircuit:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_qft_equals_dft(self, n):
+        assert np.allclose(circuit_unitary(qft_circuit(n)), dft_matrix(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_inverse_qft(self, n):
+        unitary = circuit_unitary(qft_circuit(n, inverse=True))
+        assert np.allclose(unitary, dft_matrix(n).conj().T)
+
+    def test_qft_then_inverse_is_identity(self):
+        qc = qft_circuit(3)
+        qc.compose(qft_circuit(3, inverse=True))
+        assert np.allclose(circuit_unitary(qc), np.eye(8))
+
+    def test_gate_count_is_quadratic(self):
+        n = 5
+        qc = qft_circuit(n, do_swaps=False)
+        assert qc.num_operations() == n + n * (n - 1) // 2
+
+    def test_without_swaps_differs_by_bit_reversal(self):
+        n = 3
+        unitary = circuit_unitary(qft_circuit(n, do_swaps=False))
+        reversal = np.zeros((8, 8))
+        for i in range(8):
+            j = int(f"{i:03b}"[::-1], 2)
+            reversal[j, i] = 1
+        assert np.allclose(reversal @ unitary, dft_matrix(n))
+
+
+class TestFourierPhaseConvention:
+    """The no-swap QFT must produce the phases Draper arithmetic assumes."""
+
+    @pytest.mark.parametrize("value", [0, 1, 5, 7])
+    def test_qubit_j_carries_value_over_2_to_j_plus_1(self, value):
+        n = 3
+        qc = QuantumCircuit(n)
+        append_qft(qc, list(range(n)))
+        state = simulate_statevector(qc, value)
+        # expected: product state, qubit j = (|0> + e^{2 pi i value/2^{j+1}} |1>)/sqrt2
+        expected = np.array([1.0 + 0j])
+        for j in reversed(range(n)):  # most significant qubit first
+            phase = cmath.exp(2j * cmath.pi * value / (1 << (j + 1)))
+            expected = np.kron(expected, np.array([1, phase]) / np.sqrt(2))
+        assert np.allclose(state, expected)
+
+    def test_append_iqft_undoes_append_qft(self):
+        qc = QuantumCircuit(4)
+        qubits = [1, 2, 3]  # sub-register, not starting at 0
+        append_qft(qc, qubits)
+        append_iqft(qc, qubits)
+        assert np.allclose(circuit_unitary(qc), np.eye(16))
+
+    def test_swapped_variants_are_inverses(self):
+        qc = QuantumCircuit(3)
+        append_qft(qc, [0, 1, 2], do_swaps=True)
+        append_iqft(qc, [0, 1, 2], do_swaps=True)
+        assert np.allclose(circuit_unitary(qc), np.eye(8))

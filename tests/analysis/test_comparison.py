@@ -1,0 +1,53 @@
+"""The one-call strategy comparison utility."""
+
+import pytest
+
+from repro.analysis import compare_strategies, default_strategy_lineup
+from repro.algorithms import grover_circuit
+from repro.circuit import QuantumCircuit
+from repro.simulation import KOperationsStrategy, SequentialStrategy
+
+
+def small_circuit() -> QuantumCircuit:
+    qc = QuantumCircuit(3, name="bell_plus")
+    qc.h(0).cx(0, 1).t(1).cx(1, 2).h(2)
+    return qc
+
+
+class TestCompare:
+    def test_default_lineup_runs(self):
+        result = compare_strategies(small_circuit())
+        assert len(result.rows) == len(default_strategy_lineup())
+        assert result.rows[0]["strategy"] == "sequential"
+        assert all(row["MxV"] >= 1 for row in result.rows)
+
+    def test_custom_lineup(self):
+        result = compare_strategies(
+            small_circuit(),
+            strategies=[SequentialStrategy(), KOperationsStrategy(2)])
+        assert len(result.rows) == 2
+        assert result.rows[1]["MxM"] == 2
+
+    def test_speedup_relative_to_first(self):
+        result = compare_strategies(
+            small_circuit(),
+            strategies=[SequentialStrategy(), KOperationsStrategy(5)])
+        assert result.rows[0]["speedup"] == pytest.approx(1.0)
+
+    def test_verification_on_structured_circuit(self):
+        instance = grover_circuit(5, 7)
+        result = compare_strategies(instance.circuit)
+        assert "verified" in result.notes
+
+    def test_verification_can_be_disabled(self):
+        result = compare_strategies(small_circuit(),
+                                    verify_agreement=False)
+        assert "disabled" in result.notes
+
+    def test_empty_lineup_rejected(self):
+        with pytest.raises(ValueError):
+            compare_strategies(small_circuit(), strategies=[])
+
+    def test_title_mentions_circuit(self):
+        result = compare_strategies(small_circuit())
+        assert "bell_plus" in result.title

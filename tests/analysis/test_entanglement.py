@@ -1,0 +1,110 @@
+"""Outer products, reduced density matrices, entanglement entropies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.entanglement import (entanglement_entropy,
+                                         reduced_density_matrix,
+                                         schmidt_coefficients)
+from repro.dd import (Package, ghz_state, matrix_to_numpy, product_state,
+                      uniform_superposition, vector_from_numpy, w_state)
+
+
+class TestOuterProduct:
+    def test_matches_dense_outer_product(self, package):
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=8) + 1j * rng.normal(size=8)
+        w = rng.normal(size=8) + 1j * rng.normal(size=8)
+        result = package.outer_product(vector_from_numpy(package, v),
+                                       vector_from_numpy(package, w))
+        assert np.allclose(matrix_to_numpy(result, 3), np.outer(v, w.conj()))
+
+    def test_zero_operand(self, package):
+        v = package.basis_state(2, 1)
+        assert package.outer_product(v, package.zero).weight == 0
+
+    def test_size_mismatch_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.outer_product(package.basis_state(2, 0),
+                                  package.basis_state(3, 0))
+
+    def test_density_matrix_of_basis_state(self, package):
+        v = package.basis_state(2, 2)
+        rho = package.outer_product(v, v)
+        dense = matrix_to_numpy(rho, 2)
+        expected = np.zeros((4, 4))
+        expected[2, 2] = 1
+        assert np.allclose(dense, expected)
+
+
+class TestReducedDensity:
+    def test_product_state_reduction_is_pure(self, package):
+        state = product_state(package, [(0.6, 0.8), (1, 0), (0, 1)])
+        rho = reduced_density_matrix(package, state, keep=[0])
+        dense = matrix_to_numpy(rho, 1)
+        expected = np.outer([0.6, 0.8], [0.6, 0.8])
+        assert np.allclose(dense, expected)
+
+    def test_ghz_reduction_is_classical_mixture(self, package):
+        state = ghz_state(package, 4)
+        rho = reduced_density_matrix(package, state, keep=[0, 1])
+        dense = matrix_to_numpy(rho, 2)
+        expected = np.zeros((4, 4))
+        expected[0, 0] = expected[3, 3] = 0.5
+        assert np.allclose(dense, expected)
+
+    def test_empty_keep_rejected(self, package):
+        with pytest.raises(ValueError):
+            reduced_density_matrix(package, package.basis_state(2, 0), [])
+
+    def test_out_of_range_rejected(self, package):
+        with pytest.raises(ValueError):
+            reduced_density_matrix(package, package.basis_state(2, 0), [5])
+
+
+class TestEntropy:
+    def test_product_state_has_zero_entropy(self, package):
+        state = uniform_superposition(package, 4)
+        assert entanglement_entropy(package, state, [0, 1]) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_ghz_has_one_bit_across_any_cut(self, package):
+        state = ghz_state(package, 5)
+        for cut in ([0], [0, 1], [0, 1, 2]):
+            assert entanglement_entropy(package, state, cut) \
+                == pytest.approx(1.0, abs=1e-9)
+
+    def test_bell_state_maximal_for_one_qubit(self, package):
+        state = vector_from_numpy(package,
+                                  np.array([1, 0, 0, 1]) / math.sqrt(2))
+        assert entanglement_entropy(package, state, [0]) \
+            == pytest.approx(1.0)
+
+    def test_w_state_entropy_known_value(self, package):
+        # one qubit of W_n: eigenvalues 1/n and (n-1)/n
+        n = 4
+        state = w_state(package, n)
+        expected = -(1 / n) * math.log2(1 / n) \
+            - ((n - 1) / n) * math.log2((n - 1) / n)
+        assert entanglement_entropy(package, state, [0]) \
+            == pytest.approx(expected, abs=1e-9)
+
+    def test_schmidt_coefficients_sum_to_one(self, package):
+        state = ghz_state(package, 3)
+        coefficients = schmidt_coefficients(package, state, [0, 1])
+        assert sum(coefficients) == pytest.approx(1.0, abs=1e-9)
+
+    def test_random_circuit_grows_entanglement(self, package):
+        from repro.algorithms import supremacy_circuit
+        from repro.simulation import SimulationEngine
+        instance = supremacy_circuit(2, 3, 8, seed=4)
+        result = SimulationEngine(package).simulate(instance.circuit)
+        entropy = entanglement_entropy(package, result.state, [0, 1, 2])
+        assert entropy > 1.0  # well entangled across the cut
+
+    def test_natural_log_base(self, package):
+        state = ghz_state(package, 2)
+        nats = entanglement_entropy(package, state, [0], base=math.e)
+        assert nats == pytest.approx(math.log(2), abs=1e-9)

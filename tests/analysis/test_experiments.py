@@ -1,0 +1,111 @@
+"""Experiment runners: structure and the paper's qualitative claims.
+
+These tests run the real experiment harness on miniature instances, so they
+validate the shapes the reproduction must preserve (combining helps, the
+extremes lose, DD-repeating and DD-construct win) without taking benchmark-
+scale time.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (run_fig5_study, run_fig8, run_fig9,
+                                        run_table1, run_table2)
+from repro.analysis.instances import (_grover_instance, _shor_instance,
+                                      _supremacy_instance)
+
+
+@pytest.fixture(scope="module")
+def mini_instances():
+    return [_grover_instance(6, 13), _supremacy_instance(2, 3, 8, 1)]
+
+
+class TestFig8:
+    def test_structure(self, mini_instances):
+        result = run_fig8(instances=mini_instances, k_values=(1, 2, 4))
+        assert result.experiment == "fig8"
+        benchmarks = {row["benchmark"] for row in result.rows}
+        assert "grover_6" in benchmarks
+        assert "average" in benchmarks
+        # one row per (instance, k) plus one average row per k
+        assert len(result.rows) == 3 * (len(mini_instances) + 1)
+
+    def test_speedups_positive(self, mini_instances):
+        result = run_fig8(instances=mini_instances, k_values=(2,))
+        for row in result.rows:
+            if row["benchmark"] != "average":
+                assert row["speedup"] > 0
+                assert row["t_sota"] > 0
+
+    def test_recursion_speedup_of_combining(self, mini_instances):
+        """Machine-independent version of the Fig. 8 claim on the random
+        circuit: moderate k reduces total recursive work."""
+        result = run_fig8(instances=[_supremacy_instance(3, 3, 10, 1)],
+                          k_values=(8,))
+        row = result.rows[0]
+        assert row["recursion_speedup"] > 1.0
+
+
+class TestFig9:
+    def test_structure(self, mini_instances):
+        result = run_fig9(instances=mini_instances, smax_values=(4, 64))
+        assert result.experiment == "fig9"
+        assert any(row["s_max"] == 64 for row in result.rows)
+
+    def test_column_accessor(self, mini_instances):
+        result = run_fig9(instances=mini_instances, smax_values=(4,))
+        speedups = result.column("speedup")
+        assert len(speedups) == len(result.rows)
+
+
+class TestTable1:
+    def test_dd_repeating_beats_general_on_grover(self):
+        # timing jitter on ~50 ms runs occasionally flips single-run
+        # comparisons; take the best of two runs, as a benchmarker would
+        rows = [run_table1(instances=[_grover_instance(10, 77)]).rows[0]
+                for _ in range(2)]
+        t_rep = min(row["t_dd_repeating"] for row in rows)
+        t_general = min(row["t_general"] for row in rows)
+        t_sota = min(row["t_sota"] for row in rows)
+        assert t_rep < t_general
+        assert t_rep < t_sota
+
+    def test_headers_match_paper_columns(self):
+        result = run_table1(instances=[_grover_instance(6, 3)])
+        for column in ("t_sota", "t_general", "t_dd_repeating"):
+            assert column in result.headers
+
+
+class TestTable2:
+    def test_dd_construct_orders_of_magnitude_faster(self):
+        result = run_table2(instances=[_shor_instance(15, 7)])
+        row = result.rows[0]
+        # the typical margin is ~100x; the loose thresholds absorb CI
+        # timing jitter (dd-construct runs take only milliseconds)
+        assert row["t_dd_construct"] < row["t_sota"] / 5
+        assert row["speedup_vs_general"] > 5
+
+    def test_headers_match_paper_columns(self):
+        result = run_table2(instances=[_shor_instance(15, 7)])
+        for column in ("t_sota", "t_general", "t_dd_construct"):
+            assert column in result.headers
+
+
+class TestFig5Study:
+    def test_combined_matrix_smaller_than_intermediate_state(self):
+        result = run_fig5_study(rows=3, cols=3, depth=8, seed=1)
+        by_quantity = {row["quantity"]: row for row in result.rows}
+        intermediate = by_quantity["intermediate DD (nodes)"]
+        # Eq. 2's intermediate (combined gate matrix) is far smaller than
+        # Eq. 1's (the intermediate state vector) -- the Fig. 5 observation.
+        assert intermediate["eq2 (MxM first)"] \
+            < intermediate["eq1 (MxV twice)"]
+
+    def test_final_states_have_equal_size(self):
+        result = run_fig5_study(rows=3, cols=3, depth=8, seed=1)
+        by_quantity = {row["quantity"]: row for row in result.rows}
+        final = by_quantity["final state DD (nodes)"]
+        assert final["eq1 (MxV twice)"] == final["eq2 (MxM first)"]
+
+    def test_too_shallow_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            run_fig5_study(rows=1, cols=1, depth=1)

@@ -1,0 +1,82 @@
+"""Benchmark-instance registry."""
+
+import pytest
+
+from repro.analysis import default_suite, get_instance, quick_suite
+from repro.analysis.instances import (grover_suite, shor_suite,
+                                      supremacy_suite)
+from repro.simulation import SequentialStrategy
+
+
+class TestSuites:
+    def test_quick_suite_covers_all_kinds(self):
+        kinds = {instance.kind for instance in quick_suite()}
+        assert kinds == {"grover", "shor", "supremacy"}
+
+    def test_default_suite_superset_of_quick_names(self):
+        quick_names = {i.name for i in quick_suite()}
+        default_names = {i.name for i in default_suite()}
+        assert quick_names <= default_names
+
+    def test_names_follow_paper_scheme(self):
+        for instance in quick_suite():
+            if instance.kind == "grover":
+                assert instance.name.startswith("grover_")
+            elif instance.kind == "shor":
+                parts = instance.name.split("_")
+                assert parts[0] == "shor" and len(parts) == 4
+            else:
+                assert instance.name.startswith("supremacy_")
+
+    def test_profiles_scale_monotonically(self):
+        for suite in (grover_suite, shor_suite, supremacy_suite):
+            assert len(suite("quick")) <= len(suite("default")) \
+                <= len(suite("full"))
+
+    def test_get_instance_by_name(self):
+        instance = get_instance("grover_8")
+        assert instance.kind == "grover"
+
+    def test_get_unknown_instance(self):
+        with pytest.raises(KeyError):
+            get_instance("nonexistent_benchmark")
+
+
+class TestRunners:
+    def test_grover_instance_runs(self):
+        instance = get_instance("grover_8")
+        stats = instance.run(SequentialStrategy())
+        assert stats.operations_applied > 0
+        assert stats.wall_time_seconds > 0
+
+    def test_circuit_cached_between_runs(self):
+        instance = get_instance("supremacy_10_9")
+        first = instance.run(SequentialStrategy())
+        second = instance.run(SequentialStrategy())
+        # same circuit, fresh engines: identical logical work
+        assert first.operations_applied == second.operations_applied
+        assert first.matrix_vector_mults == second.matrix_vector_mults
+
+    def test_shor_instance_runs(self):
+        instance = get_instance("shor_15_7_11")
+        stats = instance.run(SequentialStrategy())
+        assert stats.matrix_vector_mults > 1000
+        assert stats.num_qubits == 11
+
+
+class TestExtendedSuite:
+    def test_extended_families_present(self):
+        from repro.analysis.instances import extended_suite
+        kinds = {instance.kind for instance in extended_suite()}
+        assert kinds == {"oracle", "clifford", "graph"}
+
+    def test_extended_instances_run(self):
+        from repro.analysis.instances import extended_suite
+        for instance in extended_suite():
+            stats = instance.run(SequentialStrategy())
+            assert stats.operations_applied > 0
+
+    def test_extended_instances_resolvable_by_name(self):
+        assert get_instance("bv_12").kind == "oracle"
+        assert get_instance("clifford_16_10").kind == "clifford"
+        assert get_instance("graph_state_3x4").kind == "graph"

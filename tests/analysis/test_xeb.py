@@ -1,0 +1,82 @@
+"""Cross-entropy benchmarking utilities."""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.algorithms import supremacy_circuit
+from repro.analysis.xeb import (linear_xeb_fidelity, log_xeb_fidelity,
+                                porter_thomas_statistic, xeb_from_samples)
+from repro.simulation import SimulationEngine
+
+
+class TestLinearXeb:
+    def test_uniform_probabilities_score_zero(self):
+        dimension = 64
+        probabilities = [1 / dimension] * 100
+        assert linear_xeb_fidelity(probabilities, dimension) \
+            == pytest.approx(0.0)
+
+    def test_porter_thomas_expectation(self):
+        # under PT, E[D p] = 2 -> F = 1
+        assert linear_xeb_fidelity([2 / 64] * 10, 64) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            linear_xeb_fidelity([], 4)
+
+
+class TestLogXeb:
+    def test_positive_for_pt_like_probabilities(self):
+        dimension = 256
+        # samples at exactly 2/D would give log 2 - (1 - gamma) > 0-ish
+        value = log_xeb_fidelity([2 / dimension] * 5, dimension)
+        assert value == pytest.approx(math.log(2) + 0.5772156649015329,
+                                      abs=1e-9)
+
+    def test_zero_probability_rejected(self):
+        with pytest.raises(ValueError):
+            log_xeb_fidelity([0.0], 4)
+
+
+class TestPorterThomas:
+    def test_uniform_second_moment_is_one(self):
+        dimension = 32
+        assert porter_thomas_statistic([1 / dimension] * dimension,
+                                       dimension) == pytest.approx(1.0)
+
+    def test_needs_full_distribution(self):
+        with pytest.raises(ValueError):
+            porter_thomas_statistic([0.5, 0.5], 4)
+
+    def test_random_circuit_approaches_two(self):
+        instance = supremacy_circuit(3, 3, 10, seed=1)
+        result = SimulationEngine().simulate(instance.circuit)
+        statistic = porter_thomas_statistic(
+            result.probabilities(), 1 << instance.num_qubits)
+        # deep random circuits converge towards 2 (Porter-Thomas); at this
+        # small dimension (512) finite-size fluctuation is substantial
+        assert 1.2 < statistic < 3.2
+
+
+class TestEndToEnd:
+    def test_self_samples_score_near_one(self):
+        instance = supremacy_circuit(3, 3, 10, seed=2)
+        result = SimulationEngine().simulate(instance.circuit)
+        fidelity = xeb_from_samples(result.package, result.state,
+                                    instance.num_qubits, num_samples=400,
+                                    rng=Random(7))
+        # ideal self-sampling scores (second moment - 1): near 1 for a
+        # converged Porter-Thomas distribution, clearly above uniform's 0
+        assert 0.4 < fidelity < 2.2
+
+    def test_uniform_samples_score_near_zero(self):
+        instance = supremacy_circuit(3, 3, 10, seed=2)
+        result = SimulationEngine().simulate(instance.circuit)
+        rng = Random(9)
+        uniform = [rng.randrange(1 << instance.num_qubits)
+                   for _ in range(400)]
+        fidelity = xeb_from_samples(result.package, result.state,
+                                    instance.num_qubits, samples=uniform)
+        assert -0.4 < fidelity < 0.4

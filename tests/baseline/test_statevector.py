@@ -1,0 +1,94 @@
+"""The dense numpy comparator itself must be trustworthy."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.baseline import (StatevectorSimulator, apply_operation,
+                            simulate_statevector)
+from repro.circuit import Operation, QuantumCircuit
+
+
+class TestApplyOperation:
+    def test_x_flips_target(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        apply_operation(state, Operation("x", 1), 2)
+        assert state[2] == 1
+
+    def test_controlled_gate_respects_control(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        apply_operation(state, Operation("x", 1, controls=(0,)), 2)
+        assert state[0] == 1  # control off: unchanged
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1
+        apply_operation(state, Operation("x", 1, controls=(0,)), 2)
+        assert state[3] == 1
+
+    def test_negative_control(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        apply_operation(state, Operation("x", 1, controls=((0, 0),)), 2)
+        assert state[2] == 1
+
+    def test_hadamard_normalisation(self):
+        state = np.zeros(2, dtype=complex)
+        state[0] = 1
+        apply_operation(state, Operation("h", 0), 1)
+        assert np.allclose(np.abs(state), [2 ** -0.5] * 2)
+
+
+class TestSimulator:
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        state = simulate_statevector(qc)
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0, 0, 0.5])
+
+    def test_initial_basis_state(self):
+        qc = QuantumCircuit(3)
+        qc.x(0)
+        state = simulate_statevector(qc, initial_index=0b100)
+        assert abs(state[0b101]) == pytest.approx(1.0)
+
+    def test_size_mismatch_rejected(self):
+        simulator = StatevectorSimulator(2)
+        qc = QuantumCircuit(3)
+        with pytest.raises(ValueError):
+            simulator.run(qc)
+
+    def test_probabilities(self):
+        simulator = StatevectorSimulator(1)
+        simulator.apply(Operation("h", 0))
+        assert np.allclose(simulator.probabilities(), [0.5, 0.5])
+
+    def test_measure_collapses(self):
+        simulator = StatevectorSimulator(2)
+        simulator.apply(Operation("h", 0))
+        simulator.apply(Operation("x", 1, controls=(0,)))
+        outcome = simulator.measure_qubit(0, Random(5))
+        expected_index = 3 if outcome else 0
+        assert abs(simulator.state[expected_index]) == pytest.approx(1.0)
+
+    def test_measure_statistics(self):
+        ones = 0
+        for seed in range(100):
+            simulator = StatevectorSimulator(1)
+            simulator.apply(Operation("h", 0))
+            ones += simulator.measure_qubit(0, Random(seed))
+        assert 25 < ones < 75
+
+    def test_sample(self):
+        simulator = StatevectorSimulator(2)
+        simulator.apply(Operation("h", 0))
+        counts = simulator.sample(100, Random(2))
+        assert sum(counts.values()) == 100
+        assert set(counts) <= {0, 1}
+
+    def test_norm_preserved_through_circuit(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).t(2).ccx(0, 1, 2).sx(1)
+        state = simulate_statevector(qc)
+        assert np.linalg.norm(state) == pytest.approx(1.0)

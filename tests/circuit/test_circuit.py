@@ -1,0 +1,187 @@
+"""Circuit IR: builders, repeated blocks, inversion, composition, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.baseline import simulate_statevector
+from repro.circuit import Operation, QuantumCircuit, RepeatedBlock
+
+from ..conftest import circuits
+
+
+class TestBuilding:
+    def test_gate_helpers_append_operations(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).ccx(0, 1, 2).rz(0.5, 2).p(0.3, 1)
+        assert qc.num_operations() == 5
+        assert qc.instructions[1] == Operation("x", 1, controls=(0,))
+
+    def test_qubit_range_checked(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            qc.x(2)
+        with pytest.raises(ValueError):
+            qc.cx(0, 5)
+
+    def test_zero_qubit_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_append_rejects_garbage(self):
+        qc = QuantumCircuit(1)
+        with pytest.raises(TypeError):
+            qc.append("h 0")
+
+    def test_swap_is_three_cx(self):
+        qc = QuantumCircuit(2)
+        qc.swap(0, 1)
+        assert qc.count_gates() == {"x": 3}
+        # and it actually swaps
+        out = simulate_statevector(qc, 0b01)
+        assert abs(out[0b10]) == pytest.approx(1.0)
+
+    def test_cswap_swaps_only_when_control_set(self):
+        qc = QuantumCircuit(3)
+        qc.cswap(2, 0, 1)
+        swapped = simulate_statevector(qc, 0b101)
+        assert abs(swapped[0b110]) == pytest.approx(1.0)
+        untouched = simulate_statevector(qc, 0b001)
+        assert abs(untouched[0b001]) == pytest.approx(1.0)
+
+    def test_mcx_mcz_mcp(self):
+        qc = QuantumCircuit(4)
+        qc.mcx([0, 1, 2], 3).mcz([0, 1], 2).mcp(0.5, [3], 0)
+        ops = list(qc.operations())
+        assert ops[0].controls == ((0, 1), (1, 1), (2, 1))
+        assert ops[1].gate == "z"
+        assert ops[2].params == (0.5,)
+
+
+class TestRepeatedBlocks:
+    def test_block_unrolls_in_operations(self):
+        qc = QuantumCircuit(2)
+        body = QuantumCircuit(2)
+        body.h(0).cx(0, 1)
+        qc.add_repeated_block(body, 3)
+        assert qc.num_operations() == 6
+        assert len(qc.instructions) == 1
+
+    def test_block_equivalent_to_unrolled_simulation(self):
+        blocked = QuantumCircuit(2)
+        body = QuantumCircuit(2)
+        body.h(0).cx(0, 1).t(1)
+        blocked.add_repeated_block(body, 4)
+        unrolled = QuantumCircuit(2)
+        for _ in range(4):
+            unrolled.compose(body)
+        assert np.allclose(simulate_statevector(blocked),
+                           simulate_statevector(unrolled))
+
+    def test_nested_blocks_unroll(self):
+        inner = RepeatedBlock((Operation("x", 0),), 2)
+        outer = RepeatedBlock((inner, Operation("h", 1)), 3)
+        qc = QuantumCircuit(2)
+        qc.append(outer)
+        gates = [op.gate for op in qc.operations()]
+        assert gates == ["x", "x", "h"] * 3
+
+    def test_zero_repetitions_allowed(self):
+        qc = QuantumCircuit(1)
+        qc.add_repeated_block([Operation("x", 0)], 0)
+        assert qc.num_operations() == 0
+
+    def test_negative_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedBlock((Operation("x", 0),), -1)
+
+    def test_block_qubits_validated(self):
+        qc = QuantumCircuit(1)
+        with pytest.raises(ValueError):
+            qc.add_repeated_block([Operation("x", 5)], 2)
+
+    def test_repeated_helper(self):
+        body = QuantumCircuit(2, name="body")
+        body.h(0)
+        block = body.repeated(5)
+        assert block.repetitions == 5
+        assert block.label == "body"
+
+
+class TestInversion:
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).s(1).cx(0, 1)
+        inv = qc.inverse()
+        gates = [op.gate for op in inv.operations()]
+        assert gates == ["x", "sdg", "h"]
+
+    def test_circuit_times_inverse_is_identity(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).t(2).rz(0.7, 1).ccx(0, 1, 2).sx(2)
+        qc.compose(qc.inverse())
+        out = simulate_statevector(qc, 5)
+        assert abs(out[5]) == pytest.approx(1.0, abs=1e-9)
+
+    def test_inverse_of_repeated_block(self):
+        qc = QuantumCircuit(2)
+        body = QuantumCircuit(2)
+        body.h(0).s(0).cx(0, 1)
+        qc.add_repeated_block(body, 3)
+        qc.compose(qc.inverse())
+        out = simulate_statevector(qc, 1)
+        assert abs(out[1]) == pytest.approx(1.0, abs=1e-9)
+
+    @given(circuits(max_qubits=3, max_operations=8))
+    def test_inverse_property(self, qc):
+        qc_and_back = QuantumCircuit(qc.num_qubits)
+        qc_and_back.compose(qc)
+        qc_and_back.compose(qc.inverse())
+        out = simulate_statevector(qc_and_back, 0)
+        assert abs(out[0]) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestStructureQueries:
+    def test_count_gates(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1).cx(0, 1).t(0)
+        assert qc.count_gates() == {"h": 2, "t": 1, "x": 1}
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).h(1).h(2).h(3)   # all parallel -> depth 1
+        qc.cx(0, 1).cx(2, 3)     # parallel -> depth 2
+        qc.cx(1, 2)              # depth 3
+        assert qc.depth() == 3
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(2).depth() == 0
+
+    def test_compose_size_check(self):
+        small = QuantumCircuit(2)
+        big = QuantumCircuit(3)
+        big.x(2)
+        with pytest.raises(ValueError):
+            small.compose(big)
+
+    def test_compose_smaller_into_larger(self):
+        big = QuantumCircuit(3)
+        small = QuantumCircuit(2)
+        small.h(0)
+        big.compose(small)
+        assert big.num_operations() == 1
+
+    def test_equality(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.h(0)
+        assert a == b
+        b.x(1)
+        assert a != b
+
+    def test_repr_mentions_counts(self):
+        qc = QuantumCircuit(2, name="demo")
+        qc.h(0)
+        assert "demo" in repr(qc)
+        assert "operations=1" in repr(qc)

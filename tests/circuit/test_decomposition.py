@@ -1,0 +1,202 @@
+"""Gate synthesis: ZYZ angles, controlled-U, Toffoli chains, full pass."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.baseline import simulate_statevector
+from repro.circuit import Operation, QuantumCircuit, gate_matrix
+from repro.circuit.decomposition import (decompose_ccu,
+                                         decompose_controlled_u,
+                                         decompose_mcx,
+                                         decompose_to_two_qubit,
+                                         matrix_sqrt_2x2, zyz_angles)
+
+from ..conftest import circuits, operations
+
+
+def random_unitary(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    z = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, r = np.linalg.qr(z)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def ops_unitary(operations_list, num_qubits: int) -> np.ndarray:
+    circuit = QuantumCircuit(num_qubits)
+    circuit.extend(operations_list)
+    size = 1 << num_qubits
+    unitary = np.zeros((size, size), dtype=complex)
+    for column in range(size):
+        unitary[:, column] = simulate_statevector(circuit, column)
+    return unitary
+
+
+class TestZyz:
+    @pytest.mark.parametrize("name,params", [
+        ("x", ()), ("h", ()), ("s", ()), ("t", ()), ("sx", ()),
+        ("rz", (0.7,)), ("ry", (-1.2,)), ("p", (2.5,)),
+    ])
+    def test_reconstructs_standard_gates(self, name, params):
+        matrix = gate_matrix(name, params)
+        assert np.allclose(gate_matrix("gu", zyz_angles(matrix)), matrix)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reconstructs_random_unitaries(self, seed):
+        matrix = random_unitary(seed)
+        assert np.allclose(gate_matrix("gu", zyz_angles(matrix)), matrix,
+                           atol=1e-9)
+
+    def test_identity(self):
+        assert np.allclose(gate_matrix("gu", zyz_angles(np.eye(2))),
+                           np.eye(2))
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            zyz_angles([[1, 0], [0, 2]])
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.eye(3))
+
+
+class TestMatrixSqrt:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_square_of_sqrt(self, seed):
+        matrix = random_unitary(seed + 100)
+        root = matrix_sqrt_2x2(matrix)
+        assert np.allclose(root @ root, matrix, atol=1e-9)
+
+    def test_sqrt_of_x_known(self):
+        root = matrix_sqrt_2x2(gate_matrix("x"))
+        assert np.allclose(root @ root, gate_matrix("x"))
+
+
+class TestControlledU:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_native_controlled_gate(self, seed):
+        matrix = random_unitary(seed + 50)
+        decomposed = decompose_controlled_u(matrix, control=0, target=1)
+        native = ops_unitary(
+            [Operation("gu", 1, controls=(0,), params=zyz_angles(matrix))],
+            2)
+        assert np.allclose(ops_unitary(decomposed, 2), native, atol=1e-9)
+
+    def test_only_two_qubit_gates(self):
+        decomposed = decompose_controlled_u(random_unitary(1), 0, 1)
+        assert all(len(op.qubits()) <= 2 for op in decomposed)
+
+    def test_phase_gate_gets_control_phase(self):
+        decomposed = decompose_controlled_u(gate_matrix("t"), 0, 1)
+        native = ops_unitary([Operation("t", 1, controls=(0,))], 2)
+        assert np.allclose(ops_unitary(decomposed, 2), native, atol=1e-9)
+
+
+class TestCcu:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_native_doubly_controlled(self, seed):
+        matrix = random_unitary(seed + 30)
+        decomposed = decompose_ccu(matrix, 0, 1, 2)
+        native = ops_unitary(
+            [Operation("gu", 2, controls=(0, 1), params=zyz_angles(matrix))],
+            3)
+        assert np.allclose(ops_unitary(decomposed, 3), native, atol=1e-9)
+
+    def test_toffoli_via_ccu(self):
+        decomposed = decompose_ccu(gate_matrix("x"), 0, 1, 2)
+        native = ops_unitary([Operation("x", 2, controls=(0, 1))], 3)
+        assert np.allclose(ops_unitary(decomposed, 3), native, atol=1e-9)
+        assert all(len(op.qubits()) <= 2 for op in decomposed)
+
+
+class TestMcxChain:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_v_chain_matches_mcx_on_clean_ancillas(self, k):
+        controls = list(range(k))
+        target = k
+        ancillas = list(range(k + 1, k + 1 + k - 2))
+        total = k + 1 + k - 2
+        decomposed = decompose_mcx(controls, target, ancillas)
+        circuit = QuantumCircuit(total)
+        circuit.extend(decomposed)
+        for pattern in range(1 << k):
+            initial = pattern
+            out = simulate_statevector(circuit, initial)
+            expected = pattern | (1 << target) \
+                if pattern == (1 << k) - 1 else pattern
+            assert abs(out[expected]) == pytest.approx(1.0, abs=1e-9), \
+                f"pattern {pattern:b}"
+
+    def test_small_arities_pass_through(self):
+        assert decompose_mcx([0], 1, []) == [Operation("x", 1,
+                                                       controls=(0,))]
+        assert len(decompose_mcx([0, 1], 2, [])) == 1
+
+    def test_insufficient_ancillas_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_mcx([0, 1, 2, 3], 4, [5])
+
+
+class TestFullPass:
+    def test_output_is_two_qubit_only(self):
+        qc = QuantumCircuit(5)
+        qc.h(0).mcx([0, 1, 2, 3], 4).mcz([0, 1], 2).ccx(1, 2, 3)
+        decomposed = decompose_to_two_qubit(qc)
+        assert all(len(op.qubits()) <= 2
+                   for op in decomposed.operations())
+
+    def test_semantics_preserved_on_original_qubits(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).h(1).h(2).mcx([0, 1, 2], 3).t(3).ccx(0, 2, 1)
+        decomposed = decompose_to_two_qubit(qc)
+        original = simulate_statevector(qc)
+        wide = simulate_statevector(decomposed)
+        # ancillas end in |0>: the amplitudes on the original subspace match
+        size = 1 << qc.num_qubits
+        assert np.allclose(wide[:size], original, atol=1e-9)
+        assert np.allclose(wide[size:], 0, atol=1e-9)
+
+    def test_negative_controls_handled(self):
+        qc = QuantumCircuit(3)
+        qc.add_operation("z", 2, controls=((0, 0), (1, 1)))
+        decomposed = decompose_to_two_qubit(qc)
+        original = simulate_statevector(qc, 0b010)
+        wide = simulate_statevector(decomposed, 0b010)
+        assert np.allclose(wide[:8], original, atol=1e-9)
+
+    def test_multi_controlled_phase_gate(self):
+        qc = QuantumCircuit(4)
+        qc.mcp(0.77, [0, 1, 2], 3)
+        decomposed = decompose_to_two_qubit(qc)
+        original = simulate_statevector(qc, 0b1111)
+        wide = simulate_statevector(decomposed, 0b1111)
+        assert np.allclose(wide[:16], original, atol=1e-9)
+
+    def test_no_multi_controls_is_identity_transform(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        decomposed = decompose_to_two_qubit(qc)
+        assert decomposed.num_qubits == 2
+        assert list(decomposed.operations()) == list(qc.operations())
+
+    def test_repeated_blocks_survive(self):
+        qc = QuantumCircuit(3)
+        body = QuantumCircuit(3)
+        body.ccx(0, 1, 2)
+        qc.add_repeated_block(body, 2)
+        decomposed = decompose_to_two_qubit(qc)
+        from repro.circuit import RepeatedBlock
+        assert any(isinstance(i, RepeatedBlock)
+                   for i in decomposed.instructions)
+
+    def test_route_after_decomposition(self):
+        """The full compiler chain: decompose, then route to a line."""
+        from repro.circuit.mapping import map_to_line
+        qc = QuantumCircuit(4)
+        qc.h(0).mcx([0, 1, 2], 3).t(2)
+        decomposed = decompose_to_two_qubit(qc)
+        mapped = map_to_line(decomposed)
+        for op in mapped.circuit.operations():
+            qubits = op.qubits()
+            if len(qubits) == 2:
+                assert abs(qubits[0] - qubits[1]) == 1

@@ -1,0 +1,118 @@
+"""Gate registry: matrices, unitarity, inverses, diagonality."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import GATES, gate_matrix, inverse_gate, is_diagonal_gate
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", sorted(set(GATES) - {"rx", "ry", "rz",
+                                                          "p", "u", "gu"}))
+    def test_fixed_gates_are_unitary(self, name):
+        u = gate_matrix(name)
+        assert np.allclose(u @ u.conj().T, np.eye(2))
+
+    def test_gu_gate_is_unitary_and_phased(self):
+        u = gate_matrix("gu", (0.3, 0.5, 0.7, 0.9))
+        assert np.allclose(u @ u.conj().T, np.eye(2))
+        bare = gate_matrix("u", (0.3, 0.5, 0.7))
+        assert np.allclose(u, np.exp(0.9j) * bare)
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p"])
+    @pytest.mark.parametrize("theta", [0.0, 0.3, np.pi / 2, -1.7])
+    def test_parametric_gates_are_unitary(self, name, theta):
+        u = gate_matrix(name, (theta,))
+        assert np.allclose(u @ u.conj().T, np.eye(2))
+
+    def test_x_matrix(self):
+        assert np.allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+
+    def test_hadamard_matrix(self):
+        h = gate_matrix("h")
+        assert np.allclose(h, np.array([[1, 1], [1, -1]]) / np.sqrt(2))
+
+    def test_sx_squares_to_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_sy_squares_to_y(self):
+        sy = gate_matrix("sy")
+        assert np.allclose(sy @ sy, gate_matrix("y"))
+
+    def test_s_squares_to_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_squares_to_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_rz_equals_phase_up_to_global_phase(self):
+        theta = 0.7
+        rz = gate_matrix("rz", (theta,))
+        p = gate_matrix("p", (theta,))
+        ratio = p[0, 0] / rz[0, 0]
+        assert np.allclose(rz * ratio, p)
+
+    def test_u_gate_generalises(self):
+        assert np.allclose(gate_matrix("u", (np.pi, 0, np.pi)),
+                           gate_matrix("x"))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            gate_matrix("frobnicate")
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rx", ())
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", sorted(set(GATES) - {"u", "gu"}))
+    def test_inverse_composes_to_identity(self, name):
+        params = (0.37,) * GATES[name].num_params
+        inv_name, inv_params = inverse_gate(name, params)
+        product = gate_matrix(inv_name, inv_params) @ gate_matrix(name, params)
+        assert np.allclose(product, np.eye(2))
+
+    def test_u_inverse(self):
+        params = (0.3, 0.5, 0.7)
+        inv_name, inv_params = inverse_gate("u", params)
+        product = gate_matrix(inv_name, inv_params) @ gate_matrix("u", params)
+        assert np.allclose(product, np.eye(2))
+
+    def test_s_inverse_is_sdg(self):
+        assert inverse_gate("s") == ("sdg", ())
+        assert inverse_gate("sdg") == ("s", ())
+
+    def test_rotation_inverse_negates(self):
+        assert inverse_gate("ry", (0.4,)) == ("ry", (-0.4,))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            inverse_gate("nope")
+
+
+class TestDiagonality:
+    @pytest.mark.parametrize("name,expected", [
+        ("z", True), ("s", True), ("t", True), ("rz", True), ("p", True),
+        ("x", False), ("h", False), ("sx", False), ("ry", False),
+    ])
+    def test_flag_matches_matrix(self, name, expected):
+        assert is_diagonal_gate(name) is expected
+        params = (0.3,) * GATES[name].num_params
+        u = gate_matrix(name, params)
+        actually_diagonal = bool(np.allclose(u, np.diag(np.diag(u))))
+        assert actually_diagonal is expected
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError):
+            is_diagonal_gate("nope")
+
+
+def test_gu_inverse_composes_to_identity():
+    params = (0.3, 0.5, 0.7, 0.9)
+    inv_name, inv_params = inverse_gate("gu", params)
+    product = gate_matrix(inv_name, inv_params) @ gate_matrix("gu", params)
+    assert np.allclose(product, np.eye(2))

@@ -1,0 +1,107 @@
+"""Linear nearest-neighbour routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.mapping import (line_distance_cost, map_to_line,
+                                   MappedCircuit)
+from repro.dd import vector_to_numpy
+from repro.simulation import SimulationEngine
+
+from ..conftest import circuits
+
+
+def assert_all_gates_local(circuit: QuantumCircuit) -> None:
+    for op in circuit.operations():
+        qubits = op.qubits()
+        if len(qubits) == 2:
+            assert abs(qubits[0] - qubits[1]) == 1, f"non-local: {op}"
+
+
+def simulate_logical(circuit: QuantumCircuit) -> np.ndarray:
+    engine = SimulationEngine()
+    return vector_to_numpy(engine.simulate(circuit).state,
+                           circuit.num_qubits)
+
+
+def simulate_mapped(mapped: MappedCircuit) -> np.ndarray:
+    engine = SimulationEngine()
+    result = engine.simulate(mapped.circuit)
+    logical = mapped.unpermuted_state(engine.package, result.state)
+    return vector_to_numpy(logical, mapped.circuit.num_qubits)
+
+
+class TestRouting:
+    def test_adjacent_gates_untouched(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1).cx(1, 2)
+        mapped = map_to_line(qc)
+        assert mapped.swaps_inserted == 0
+        assert mapped.final_layout == [0, 1, 2]
+
+    def test_distant_gate_gets_swaps(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 3)
+        mapped = map_to_line(qc)
+        assert mapped.swaps_inserted == 2
+        assert_all_gates_local(mapped.circuit)
+
+    def test_single_qubit_gates_follow_layout(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)   # moves qubit 0 next to 2
+        qc.h(0)       # must land on qubit 0's new physical position
+        mapped = map_to_line(qc)
+        h_ops = [op for op in mapped.circuit.operations() if op.gate == "h"]
+        assert h_ops[0].target == mapped.physical_of(0)
+
+    def test_semantics_preserved_simple(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).cx(0, 3).t(3).cx(3, 1).sx(2).cx(1, 0)
+        mapped = map_to_line(qc)
+        assert_all_gates_local(mapped.circuit)
+        assert np.allclose(simulate_logical(qc), simulate_mapped(mapped),
+                           atol=1e-9)
+
+    def test_multi_controlled_rejected(self):
+        qc = QuantumCircuit(3)
+        qc.ccx(0, 1, 2)
+        with pytest.raises(ValueError):
+            map_to_line(qc)
+
+    @given(circuits(min_qubits=2, max_qubits=5, max_operations=10))
+    def test_property_routing_preserves_state(self, qc):
+        try:
+            mapped = map_to_line(qc)
+        except ValueError:
+            return  # random circuit contained a multi-controlled gate
+        assert_all_gates_local(mapped.circuit)
+        assert np.allclose(simulate_logical(qc), simulate_mapped(mapped),
+                           atol=1e-6)
+
+
+class TestBookkeeping:
+    def test_logical_index_translation(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        mapped = map_to_line(qc)
+        for physical_index in range(8):
+            logical = mapped.logical_index(physical_index)
+            # re-applying the layout must invert the translation
+            rebuilt = 0
+            for logical_qubit in range(3):
+                if (logical >> logical_qubit) & 1:
+                    rebuilt |= 1 << mapped.physical_of(logical_qubit)
+            assert rebuilt == physical_index
+
+    def test_line_distance_cost(self):
+        qc = QuantumCircuit(5)
+        qc.cx(0, 4).cx(1, 2)
+        assert line_distance_cost(qc) == 3
+
+    def test_router_not_worse_than_three_times_lower_bound(self):
+        qc = QuantumCircuit(6)
+        qc.cx(0, 5).cx(5, 0).cx(2, 4)
+        mapped = map_to_line(qc)
+        assert mapped.swaps_inserted <= 3 * max(line_distance_cost(qc), 1)

@@ -1,0 +1,74 @@
+"""Operation dataclass: normalisation, inverses, hashing."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Operation
+
+
+class TestConstruction:
+    def test_controls_normalised_and_sorted(self):
+        op = Operation("x", 0, controls=(3, (1, 0), 2))
+        assert op.controls == ((1, 0), (2, 1), (3, 1))
+
+    def test_bare_control_defaults_positive(self):
+        op = Operation("x", 0, controls=(5,))
+        assert op.controls == ((5, 1),)
+
+    def test_duplicate_controls_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", 0, controls=(1, (1, 0)))
+
+    def test_target_in_controls_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", 2, controls=(2,))
+
+    def test_bad_control_value_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("x", 0, controls=((1, 5),))
+
+    def test_qubits_lists_controls_then_target(self):
+        op = Operation("x", 0, controls=(2, 1))
+        assert op.qubits() == (1, 2, 0)
+        assert op.max_qubit() == 2
+
+    def test_params_become_tuple(self):
+        op = Operation("rx", 0, params=[0.5])
+        assert op.params == (0.5,)
+
+
+class TestBehaviour:
+    def test_matrix_delegates_to_registry(self):
+        op = Operation("h", 0)
+        assert np.allclose(op.matrix(),
+                           np.array([[1, 1], [1, -1]]) / np.sqrt(2))
+
+    def test_inverse_keeps_controls(self):
+        op = Operation("s", 1, controls=(0,))
+        inv = op.inverse()
+        assert inv.gate == "sdg"
+        assert inv.controls == op.controls
+        assert inv.target == op.target
+
+    def test_inverse_negates_rotation(self):
+        assert Operation("rz", 0, params=(0.3,)).inverse().params == (-0.3,)
+
+    def test_double_inverse_is_identity(self):
+        op = Operation("t", 2, controls=((1, 0),))
+        assert op.inverse().inverse() == op
+
+    def test_hashable_and_equal(self):
+        a = Operation("x", 0, controls=(1,), params=())
+        b = Operation("x", 0, controls=((1, 1),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_control_map(self):
+        op = Operation("x", 0, controls=((1, 0), 2))
+        assert op.control_map() == {1: 0, 2: 1}
+
+    def test_str_mentions_gate_and_qubits(self):
+        op = Operation("rx", 3, controls=((1, 0),), params=(0.5,))
+        text = str(op)
+        assert "rx" in text and "q3" in text and "!1" in text

@@ -1,0 +1,148 @@
+"""Peephole optimisation passes, verified with the equivalence checker."""
+
+import math
+
+import pytest
+from hypothesis import given
+
+from repro.circuit import Operation, QuantumCircuit
+from repro.circuit.optimization import (cancel_adjacent_inverses,
+                                        drop_identity_gates, merge_rotations,
+                                        optimise)
+from repro.verification import check_equivalence
+
+from ..conftest import circuits
+
+
+class TestCancellation:
+    def test_adjacent_hh_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).h(0)
+        assert cancel_adjacent_inverses(qc).num_operations() == 0
+
+    def test_cx_pair_cancels(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1).cx(0, 1)
+        assert cancel_adjacent_inverses(qc).num_operations() == 0
+
+    def test_s_sdg_cancels(self):
+        qc = QuantumCircuit(1)
+        qc.s(0).sdg(0)
+        assert cancel_adjacent_inverses(qc).num_operations() == 0
+
+    def test_different_controls_do_not_cancel(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2).cx(1, 2)
+        assert cancel_adjacent_inverses(qc).num_operations() == 2
+
+    def test_cancellation_through_commuting_gate(self):
+        qc = QuantumCircuit(2)
+        qc.h(0).x(1).h(0)  # X(1) is on a disjoint qubit
+        optimised = cancel_adjacent_inverses(qc)
+        assert [op.gate for op in optimised.operations()] == ["x"]
+
+    def test_cancellation_through_diagonal_gate(self):
+        qc = QuantumCircuit(2)
+        qc.z(0).cz(0, 1).z(0)  # all diagonal: Zs meet and cancel
+        optimised = cancel_adjacent_inverses(qc)
+        assert [op.gate for op in optimised.operations()] == ["z"]
+        assert list(optimised.operations())[0].controls  # the CZ survived
+
+    def test_blocked_by_non_commuting_gate(self):
+        qc = QuantumCircuit(1)
+        qc.h(0).t(0).h(0)
+        assert cancel_adjacent_inverses(qc).num_operations() == 3
+
+    def test_cascading_cancellation(self):
+        qc = QuantumCircuit(1)
+        qc.x(0).h(0).h(0).x(0)  # inner pair exposes the outer pair
+        assert cancel_adjacent_inverses(qc).num_operations() == 0
+
+
+class TestRotationMerging:
+    def test_same_axis_merge(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0).rz(0.4, 0)
+        merged = merge_rotations(qc)
+        ops = list(merged.operations())
+        assert len(ops) == 1
+        assert ops[0].params[0] == pytest.approx(0.7)
+
+    def test_different_axes_not_merged(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0).rx(0.4, 0)
+        assert merge_rotations(qc).num_operations() == 2
+
+    def test_controlled_phases_merge(self):
+        qc = QuantumCircuit(2)
+        qc.cp(0.2, 0, 1).cp(0.5, 0, 1)
+        ops = list(merge_rotations(qc).operations())
+        assert len(ops) == 1
+        assert ops[0].params[0] == pytest.approx(0.7)
+
+    def test_different_controls_not_merged(self):
+        qc = QuantumCircuit(3)
+        qc.cp(0.2, 0, 2).cp(0.5, 1, 2)
+        assert merge_rotations(qc).num_operations() == 2
+
+
+class TestIdentityDropping:
+    def test_id_gate_dropped(self):
+        qc = QuantumCircuit(1)
+        qc.add_operation("id", 0)
+        assert drop_identity_gates(qc).num_operations() == 0
+
+    def test_zero_rotation_dropped(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.0, 0).p(0.0, 0).rx(0.0, 0)
+        assert drop_identity_gates(qc).num_operations() == 0
+
+    def test_full_period_phase_dropped(self):
+        qc = QuantumCircuit(1)
+        qc.p(2 * math.pi, 0)
+        assert drop_identity_gates(qc).num_operations() == 0
+
+    def test_rz_two_pi_not_dropped(self):
+        # rz(2 pi) = -I: a global phase for a bare gate, but a REAL phase
+        # for a controlled one -- it must survive.
+        qc = QuantumCircuit(2)
+        qc.add_operation("rz", 1, controls=(0,), params=(2 * math.pi,))
+        assert drop_identity_gates(qc).num_operations() == 1
+
+    def test_nonzero_rotation_kept(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.001, 0)
+        assert drop_identity_gates(qc).num_operations() == 1
+
+
+class TestOptimise:
+    def test_pipeline_reduces_and_preserves(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).h(0).rz(0.3, 1).rz(-0.3, 1).cx(0, 2).t(2).tdg(2).cx(0, 2)
+        optimised = optimise(qc)
+        assert optimised.num_operations() == 0
+
+    def test_semantics_preserved_on_real_circuit(self):
+        from repro.algorithms import grover_circuit
+        circuit = grover_circuit(4, 9, mark_repetition=False).circuit
+        optimised = optimise(circuit)
+        assert check_equivalence(circuit, optimised).equivalent
+
+    def test_repeated_blocks_preserved_and_optimised(self):
+        qc = QuantumCircuit(2)
+        body = QuantumCircuit(2)
+        body.h(0).h(0).cx(0, 1)  # the HH pair should vanish from the body
+        qc.add_repeated_block(body, 3)
+        optimised = optimise(qc)
+        from repro.circuit import RepeatedBlock
+        block = optimised.instructions[0]
+        assert isinstance(block, RepeatedBlock)
+        assert block.repetitions == 3
+        assert sum(1 for _ in block.operations()) == 1
+        assert check_equivalence(qc, optimised).equivalent
+
+    @given(circuits(max_qubits=3, max_operations=10))
+    def test_property_optimise_preserves_unitary(self, qc):
+        optimised = optimise(qc)
+        assert optimised.num_operations() <= qc.num_operations()
+        assert check_equivalence(qc, optimised, method="pointer").equivalent

@@ -1,0 +1,176 @@
+"""OpenQASM subset reader/writer: round trips and error handling."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_statevector
+from repro.circuit import (Operation, QasmError, QuantumCircuit, from_qasm,
+                           to_qasm)
+
+
+def round_trip(circuit: QuantumCircuit) -> QuantumCircuit:
+    return from_qasm(to_qasm(circuit))
+
+
+class TestWriter:
+    def test_header_and_register(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        text = to_qasm(qc)
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_controlled_names(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1).cz(1, 2).ccx(0, 1, 2).cp(math.pi / 2, 0, 3)
+        text = to_qasm(qc)
+        assert "cx q[0],q[1];" in text
+        assert "cz q[1],q[2];" in text
+        assert "ccx q[0],q[1],q[2];" in text
+        assert "cp(pi/2) q[0],q[3];" in text
+
+    def test_multi_controlled_use_mc_names(self):
+        qc = QuantumCircuit(4)
+        qc.mcx([0, 1, 2], 3)
+        assert "mcx q[0],q[1],q[2],q[3];" in to_qasm(qc)
+
+    def test_pi_multiples_formatted(self):
+        qc = QuantumCircuit(1)
+        qc.rz(math.pi, 0).rz(-math.pi / 4, 0).rz(3 * math.pi / 8, 0)
+        text = to_qasm(qc)
+        assert "rz(pi)" in text
+        assert "rz(-pi/4)" in text
+        assert "rz(3*pi/8)" in text
+
+    def test_negative_controls_rejected(self):
+        qc = QuantumCircuit(2)
+        qc.append(Operation("x", 1, controls=((0, 0),)))
+        with pytest.raises(QasmError):
+            to_qasm(qc)
+
+    def test_repeated_block_unrolled_with_comment(self):
+        qc = QuantumCircuit(1)
+        body = QuantumCircuit(1)
+        body.x(0)
+        qc.add_repeated_block(body, 2, label="loop")
+        text = to_qasm(qc)
+        assert "// repeat loop x2" in text
+        assert text.count("x q[0];") == 2
+
+
+class TestReader:
+    def test_basic_parse(self):
+        qc = from_qasm("""
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            h q[0];
+            cx q[0],q[1];
+        """)
+        assert qc.num_qubits == 2
+        assert [op.gate for op in qc.operations()] == ["h", "x"]
+
+    def test_parameter_expressions(self):
+        qc = from_qasm("qreg q[1]; rz(pi/2) q[0]; rx(-3*pi/4) q[0]; "
+                       "p(0.25) q[0];")
+        ops = list(qc.operations())
+        assert ops[0].params[0] == pytest.approx(math.pi / 2)
+        assert ops[1].params[0] == pytest.approx(-3 * math.pi / 4)
+        assert ops[2].params[0] == pytest.approx(0.25)
+
+    def test_multiple_registers_are_concatenated(self):
+        qc = from_qasm("qreg a[2]; qreg b[1]; x a[1]; h b[0];")
+        assert qc.num_qubits == 3
+        ops = list(qc.operations())
+        assert ops[0].target == 1
+        assert ops[1].target == 2
+
+    def test_u1_maps_to_phase(self):
+        qc = from_qasm("qreg q[1]; u1(pi/8) q[0];")
+        assert list(qc.operations())[0].gate == "p"
+
+    def test_swap_expanded(self):
+        qc = from_qasm("qreg q[2]; swap q[0],q[1];")
+        assert qc.num_operations() == 3
+
+    def test_comments_and_ignorable_statements(self):
+        qc = from_qasm("""
+            OPENQASM 2.0;
+            qreg q[1]; creg c[1];
+            // a comment
+            x q[0]; barrier q[0]; measure q[0] -> c[0];
+        """)
+        assert qc.num_operations() == 1
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; warp q[0];")
+
+    def test_custom_gate_definition_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; gate foo a { x a; }")
+
+    def test_missing_register_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("x q[0];")
+
+    def test_index_out_of_range_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; x q[3];")
+
+    def test_unsafe_expression_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; rz(__import__('os')) q[0];")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[2]; cx q[0];")
+
+
+class TestRoundTrip:
+    def test_structure_round_trip(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).t(2).rz(0.5, 1).ccx(0, 1, 2).sdg(2)
+        qc.mcx([0, 1], 2).cp(math.pi / 8, 1, 0)
+        recovered = round_trip(qc)
+        assert list(recovered.operations()) == list(qc.operations())
+
+    def test_semantic_round_trip(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).sx(1).cx(0, 2).rz(1.234567, 1).cp(0.777, 2, 0)
+        recovered = round_trip(qc)
+        assert np.allclose(simulate_statevector(qc),
+                           simulate_statevector(recovered))
+
+    def test_mc_gates_round_trip(self):
+        qc = QuantumCircuit(5)
+        qc.mcx([0, 1, 2, 3], 4).mcz([0, 1], 4).mcp(0.5, [1, 2], 3)
+        recovered = round_trip(qc)
+        assert list(recovered.operations()) == list(qc.operations())
+
+
+class TestExtendedGates:
+    def test_u2_maps_to_u(self):
+        qc = from_qasm("qreg q[1]; u2(0, pi) q[0];")
+        op = list(qc.operations())[0]
+        assert op.gate == "u"
+        assert op.params[0] == pytest.approx(math.pi / 2)
+        # u2(0, pi) is the Hadamard up to global phase
+        from repro.circuit import gate_matrix
+        u = gate_matrix("u", op.params)
+        h = gate_matrix("h")
+        ratio = u[0, 0] / h[0, 0]
+        assert np.allclose(u, ratio * h)
+
+    def test_u2_wrong_arity_rejected(self):
+        with pytest.raises(QasmError):
+            from_qasm("qreg q[1]; u2(0) q[0];")
+
+    def test_u3_three_params(self):
+        qc = from_qasm("qreg q[1]; u3(pi/2, 0, pi) q[0];")
+        op = list(qc.operations())[0]
+        assert op.gate == "u"
+        assert len(op.params) == 3

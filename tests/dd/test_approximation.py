@@ -1,0 +1,93 @@
+"""State approximation by branch pruning."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import (Package, prune_small_contributions, vector_from_numpy,
+                      vector_to_numpy)
+
+
+def lopsided_state(package, epsilon: float):
+    """Mostly |00>, with a tiny amplitude on |11>."""
+    vec = np.array([math.sqrt(1 - epsilon ** 2), 0, 0, epsilon])
+    return vector_from_numpy(package, vec)
+
+
+class TestPruning:
+    def test_zero_budget_is_identity(self, package):
+        state = lopsided_state(package, 0.1)
+        result = prune_small_contributions(package, state, 0.0)
+        assert result.state is state
+        assert result.fidelity == 1.0
+        assert result.edges_cut == 0
+
+    def test_tiny_branch_pruned(self, package):
+        epsilon = 1e-3
+        state = lopsided_state(package, epsilon)
+        result = prune_small_contributions(package, state, 1e-4)
+        assert result.edges_cut >= 1
+        dense = vector_to_numpy(result.state, 2)
+        assert dense[3] == 0
+        assert abs(dense[0]) == pytest.approx(1.0)
+
+    def test_fidelity_reported_accurately(self, package):
+        epsilon = 0.01
+        state = lopsided_state(package, epsilon)
+        result = prune_small_contributions(package, state, 1e-3)
+        expected_fidelity = 1 - epsilon ** 2
+        assert result.fidelity == pytest.approx(expected_fidelity, abs=1e-9)
+
+    def test_result_is_normalised(self, package):
+        state = lopsided_state(package, 0.05)
+        result = prune_small_contributions(package, state, 0.01)
+        assert package.squared_norm(result.state) == pytest.approx(1.0)
+
+    def test_budget_respected(self, package):
+        # state with 4 branches of masses 0.4, 0.3, 0.2, 0.1
+        amplitudes = np.sqrt(np.array([0.4, 0.3, 0.2, 0.1]))
+        state = vector_from_numpy(package, amplitudes)
+        result = prune_small_contributions(package, state, 0.15)
+        # only the 0.1 branch fits in the budget
+        assert result.fidelity == pytest.approx(0.9, abs=1e-9)
+
+    def test_large_branches_survive(self, package):
+        amplitudes = np.array([0.6, 0.0, 0.0, 0.8])
+        state = vector_from_numpy(package, amplitudes)
+        result = prune_small_contributions(package, state, 0.1)
+        dense = vector_to_numpy(result.state, 2)
+        assert abs(dense[0]) > 0 and abs(dense[3]) > 0
+
+    def test_node_count_shrinks(self, package):
+        # many tiny independent branches on top of one dominant one
+        rng = np.random.default_rng(5)
+        vec = np.zeros(64)
+        vec[0] = 1.0
+        noise_indices = rng.choice(np.arange(1, 64), size=10, replace=False)
+        vec[noise_indices] = 1e-4
+        vec /= np.linalg.norm(vec)
+        state = vector_from_numpy(package, vec)
+        result = prune_small_contributions(package, state, 1e-6)
+        assert result.nodes_after < result.nodes_before
+        assert result.fidelity > 0.999999
+
+    def test_everything_cut_refused(self, package):
+        state = package.basis_state(2, 1)
+        # budget below 1.0 never allows cutting the only branch (mass 1.0)
+        result = prune_small_contributions(package, state, 0.9)
+        assert result.state.weight != 0
+        assert result.fidelity == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_budget_rejected(self, package):
+        state = package.basis_state(1, 0)
+        with pytest.raises(ValueError):
+            prune_small_contributions(package, state, 1.0)
+        with pytest.raises(ValueError):
+            prune_small_contributions(package, state, -0.1)
+
+    def test_zero_state_rejected(self, package):
+        with pytest.raises(ValueError):
+            prune_small_contributions(package, package.zero, 0.1)

@@ -1,0 +1,104 @@
+"""Dense conversion round trips and the export/introspection helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.dd import (Package, level_histogram, matrix_from_numpy,
+                      matrix_to_numpy, size_report, to_dot,
+                      vector_from_numpy, vector_to_numpy)
+
+from ..conftest import amplitudes, square_matrices
+
+
+class TestVectorRoundTrip:
+    @given(amplitudes(3))
+    def test_vector_round_trip(self, vec):
+        package = Package()
+        assert np.allclose(
+            vector_to_numpy(vector_from_numpy(package, vec), 3), vec,
+            atol=1e-7)
+
+    def test_zero_vector_round_trip(self, package):
+        state = vector_from_numpy(package, np.zeros(8))
+        assert state.weight == 0
+        assert np.allclose(vector_to_numpy(state, 3), np.zeros(8))
+
+    def test_sparse_vector_is_compact(self, package):
+        vec = np.zeros(1 << 10)
+        vec[777] = 1.0
+        state = vector_from_numpy(package, vec)
+        assert package.count_nodes(state) == 10
+
+    def test_uniform_vector_is_compact(self, package):
+        vec = np.full(1 << 10, 1 / 32)
+        state = vector_from_numpy(package, vec)
+        assert package.count_nodes(state) == 10
+
+    def test_bad_length_rejected(self, package):
+        with pytest.raises(ValueError):
+            vector_from_numpy(package, np.ones(3))
+
+    def test_size_mismatch_on_export_rejected(self, package):
+        state = package.basis_state(3, 0)
+        with pytest.raises(ValueError):
+            vector_to_numpy(state, 4)
+
+
+class TestMatrixRoundTrip:
+    @given(square_matrices(2))
+    def test_matrix_round_trip(self, mat):
+        package = Package()
+        assert np.allclose(
+            matrix_to_numpy(matrix_from_numpy(package, mat), 2), mat,
+            atol=1e-7)
+
+    def test_non_square_rejected(self, package):
+        with pytest.raises(ValueError):
+            matrix_from_numpy(package, np.ones((2, 4)))
+
+    def test_bad_side_rejected(self, package):
+        with pytest.raises(ValueError):
+            matrix_from_numpy(package, np.ones((3, 3)))
+
+    def test_zero_matrix(self, package):
+        edge = matrix_from_numpy(package, np.zeros((4, 4)))
+        assert edge.weight == 0
+        assert np.allclose(matrix_to_numpy(edge, 2), np.zeros((4, 4)))
+
+
+class TestDotExport:
+    def test_dot_contains_node_labels(self, package):
+        state = package.basis_state(3, 5)
+        dot = to_dot(state, name="test")
+        assert dot.startswith("digraph test")
+        assert "q2" in dot and "q0" in dot
+        assert "terminal" in dot
+
+    def test_dot_of_zero_edge(self, package):
+        dot = to_dot(package.zero)
+        assert "zero" in dot
+
+    def test_dot_marks_zero_stubs(self, package):
+        state = package.basis_state(2, 1)
+        dot = to_dot(state)
+        assert "style=dashed" in dot  # 0-stubs drawn dashed
+
+    def test_dot_of_matrix_dd(self, package):
+        dot = to_dot(package.identity(2))
+        assert dot.count("q1") >= 1 and dot.count("q0") >= 1
+
+
+class TestHistograms:
+    def test_level_histogram_of_basis_state(self, package):
+        state = package.basis_state(4, 3)
+        histogram = level_histogram(state)
+        assert histogram == {3: 1, 2: 1, 1: 1, 0: 1}
+
+    def test_level_histogram_of_zero(self, package):
+        assert level_histogram(package.zero) == {}
+
+    def test_size_report_mentions_total(self, package):
+        state = package.basis_state(4, 3)
+        report = size_report(state, label="psi")
+        assert report.startswith("psi: 4 nodes")

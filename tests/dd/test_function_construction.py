@@ -1,0 +1,154 @@
+"""Direct DD construction from permutations (the DD-construct backbone)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd import (Package, build_controlled_permutation_dd,
+                      build_permutation_dd, matrix_to_numpy,
+                      modular_multiplication_permutation)
+
+
+def permutation_matrix(perm):
+    size = len(perm)
+    matrix = np.zeros((size, size))
+    for col, row in enumerate(perm):
+        matrix[row, col] = 1
+    return matrix
+
+
+class TestPermutationDD:
+    def test_identity_permutation(self, package):
+        edge = build_permutation_dd(package, list(range(8)), 3)
+        assert np.allclose(matrix_to_numpy(edge, 3), np.eye(8))
+        assert package.count_nodes(edge) == 3  # literally the identity DD
+
+    def test_swap_permutation(self, package):
+        perm = [0, 2, 1, 3]
+        edge = build_permutation_dd(package, perm, 2)
+        assert np.allclose(matrix_to_numpy(edge, 2),
+                           permutation_matrix(perm))
+
+    def test_cyclic_shift(self, package):
+        perm = [(i + 1) % 16 for i in range(16)]
+        edge = build_permutation_dd(package, perm, 4)
+        assert np.allclose(matrix_to_numpy(edge, 4),
+                           permutation_matrix(perm))
+
+    def test_callable_spec(self, package):
+        edge = build_permutation_dd(package, lambda x: x ^ 0b101, 3)
+        expected = permutation_matrix([x ^ 0b101 for x in range(8)])
+        assert np.allclose(matrix_to_numpy(edge, 3), expected)
+
+    def test_non_bijection_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_permutation_dd(package, [0, 0, 1, 2], 2)
+
+    def test_wrong_size_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_permutation_dd(package, [0, 1, 2], 2)
+
+    def test_result_is_unitary(self, package):
+        perm = [3, 1, 4, 7, 0, 6, 2, 5]
+        edge = build_permutation_dd(package, perm, 3)
+        dense = matrix_to_numpy(edge, 3)
+        assert np.allclose(dense @ dense.conj().T, np.eye(8))
+
+    @given(st.permutations(list(range(8))))
+    def test_random_permutations(self, perm):
+        package = Package()
+        edge = build_permutation_dd(package, list(perm), 3)
+        assert np.allclose(matrix_to_numpy(edge, 3),
+                           permutation_matrix(list(perm)))
+
+    def test_structured_permutation_is_compact(self, package):
+        # x -> x XOR c shares massively across blocks.
+        n = 10
+        edge = build_permutation_dd(package, lambda x: x ^ 0b1010101010, n)
+        assert package.count_nodes(edge) <= 2 * n
+
+
+class TestControlledPermutation:
+    def test_controlled_permutation_applies_when_control_set(self, package):
+        perm = [1, 0, 3, 2]
+        edge = build_controlled_permutation_dd(package, perm, 2,
+                                               num_controls=1)
+        dense = matrix_to_numpy(edge, 3)
+        expected = np.block([
+            [np.eye(4), np.zeros((4, 4))],
+            [np.zeros((4, 4)), permutation_matrix(perm)],
+        ])
+        assert np.allclose(dense, expected)
+
+    def test_two_controls(self, package):
+        perm = [1, 0]
+        edge = build_controlled_permutation_dd(package, perm, 1,
+                                               num_controls=2)
+        dense = matrix_to_numpy(edge, 3)
+        expected = np.eye(8)
+        expected[6:8, 6:8] = [[0, 1], [1, 0]]
+        assert np.allclose(dense, expected)
+
+    def test_zero_controls_is_plain_permutation(self, package):
+        perm = [2, 0, 3, 1]
+        a = build_controlled_permutation_dd(package, perm, 2, num_controls=0)
+        b = build_permutation_dd(package, perm, 2)
+        assert a.node is b.node
+
+    def test_negative_controls_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_controlled_permutation_dd(package, [0, 1], 1,
+                                            num_controls=-1)
+
+
+class TestModularMultiplication:
+    def test_small_case_values(self):
+        perm = modular_multiplication_permutation(2, 5, 3)
+        # x < 5: x -> 2x mod 5; x >= 5: identity
+        assert perm[:5] == [0, 2, 4, 1, 3]
+        assert perm[5:] == [5, 6, 7]
+
+    def test_is_permutation_for_coprime_a(self):
+        perm = modular_multiplication_permutation(7, 15, 4)
+        assert sorted(perm) == list(range(16))
+
+    def test_non_coprime_rejected(self):
+        with pytest.raises(ValueError):
+            modular_multiplication_permutation(6, 15, 4)
+
+    def test_modulus_must_fit(self):
+        with pytest.raises(ValueError):
+            modular_multiplication_permutation(2, 17, 4)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            modular_multiplication_permutation(1, 1, 1)
+
+    def test_composition_matches_modular_product(self, package):
+        """U_a U_b == U_{ab mod N} on the residue subspace."""
+        modulus, n = 15, 4
+        u2 = build_permutation_dd(
+            package, modular_multiplication_permutation(2, modulus, n), n)
+        u7 = build_permutation_dd(
+            package, modular_multiplication_permutation(7, modulus, n), n)
+        u14 = build_permutation_dd(
+            package, modular_multiplication_permutation(14, modulus, n), n)
+        product = package.multiply_matrix_matrix(u2, u7)
+        dense_product = matrix_to_numpy(product, n)
+        dense_expected = matrix_to_numpy(u14, n)
+        # equality holds on columns x < N (the residue subspace)
+        assert np.allclose(dense_product[:, :modulus],
+                           dense_expected[:, :modulus])
+
+    def test_inverse_composes_to_identity_on_residues(self, package):
+        modulus, n = 21, 5
+        u5 = build_permutation_dd(
+            package, modular_multiplication_permutation(5, modulus, n), n)
+        u_inv = build_permutation_dd(
+            package, modular_multiplication_permutation(
+                pow(5, -1, modulus), modulus, n), n)
+        product = matrix_to_numpy(
+            package.multiply_matrix_matrix(u_inv, u5), n)
+        assert np.allclose(product[:modulus, :modulus],
+                           np.eye(32)[:modulus, :modulus])

@@ -1,0 +1,172 @@
+"""Gate-DD construction vs. explicitly assembled numpy operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd import (Package, build_diagonal_dd, build_gate_dd,
+                      build_two_level_dd, matrix_to_numpy)
+
+H = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+X = np.array([[0, 1], [1, 0]])
+S = np.array([[1, 0], [0, 1j]])
+T_GATE = np.array([[1, 0], [0, np.exp(0.25j * np.pi)]])
+
+
+def dense_controlled_gate(u, num_qubits, target, controls):
+    """Reference construction of the full operator with numpy."""
+    size = 1 << num_qubits
+    matrix = np.eye(size, dtype=complex)
+    for col in range(size):
+        if all(((col >> q) & 1) == v for q, v in controls.items()):
+            bit = (col >> target) & 1
+            matrix[:, col] = 0
+            for new_bit in (0, 1):
+                row = (col & ~(1 << target)) | (new_bit << target)
+                matrix[row, col] = u[new_bit][bit]
+    return matrix
+
+
+class TestUncontrolled:
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    @pytest.mark.parametrize("u", [H, X, S], ids=["H", "X", "S"])
+    def test_single_qubit_gates(self, package, target, u):
+        edge = build_gate_dd(package, u, 3, target)
+        expected = dense_controlled_gate(u, 3, target, {})
+        assert np.allclose(matrix_to_numpy(edge, 3), expected)
+
+    def test_gate_dd_is_linear_size(self, package):
+        edge = build_gate_dd(package, H, 20, 10)
+        # one node per qubit level above/below plus the gate node
+        assert package.count_nodes(edge) <= 2 * 20
+
+    def test_target_out_of_range(self, package):
+        with pytest.raises(ValueError):
+            build_gate_dd(package, H, 3, 5)
+
+
+class TestControlled:
+    @pytest.mark.parametrize("target,control", [(0, 1), (1, 0), (2, 0),
+                                                (0, 2), (1, 2)])
+    def test_cx_all_positions(self, package, target, control):
+        edge = build_gate_dd(package, X, 3, target, {control: 1})
+        expected = dense_controlled_gate(X, 3, target, {control: 1})
+        assert np.allclose(matrix_to_numpy(edge, 3), expected)
+
+    def test_negative_control(self, package):
+        edge = build_gate_dd(package, X, 2, 1, {0: 0})
+        expected = dense_controlled_gate(X, 2, 1, {0: 0})
+        assert np.allclose(matrix_to_numpy(edge, 2), expected)
+
+    def test_toffoli(self, package):
+        edge = build_gate_dd(package, X, 3, 2, {0: 1, 1: 1})
+        expected = dense_controlled_gate(X, 3, 2, {0: 1, 1: 1})
+        assert np.allclose(matrix_to_numpy(edge, 3), expected)
+
+    def test_mixed_controls_above_and_below(self, package):
+        controls = {0: 1, 3: 0}
+        edge = build_gate_dd(package, H, 4, 2, controls)
+        expected = dense_controlled_gate(H, 4, 2, controls)
+        assert np.allclose(matrix_to_numpy(edge, 4), expected)
+
+    def test_many_controls_still_linear(self, package):
+        controls = {q: 1 for q in range(9) if q != 4}
+        edge = build_gate_dd(package, X, 9, 4, controls)
+        assert package.count_nodes(edge) <= 3 * 9
+        expected = dense_controlled_gate(X, 9, 4, controls)
+        assert np.allclose(matrix_to_numpy(edge, 9), expected)
+
+    def test_control_equals_target_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_gate_dd(package, X, 3, 1, {1: 1})
+
+    def test_bad_control_value_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_gate_dd(package, X, 3, 1, {0: 2})
+
+    def test_control_sequence_forms(self, package):
+        # bare ints and (qubit, value) tuples both accepted
+        a = build_gate_dd(package, X, 3, 2, [0, 1])
+        b = build_gate_dd(package, X, 3, 2, {0: 1, 1: 1})
+        assert a.node is b.node
+
+    @given(st.integers(0, 3), st.integers(0, 3), st.integers(0, 1))
+    def test_random_controlled_gates(self, target, control, value):
+        if target == control:
+            return
+        package = Package()
+        edge = build_gate_dd(package, T_GATE, 4, target, {control: value})
+        expected = dense_controlled_gate(T_GATE, 4, target, {control: value})
+        assert np.allclose(matrix_to_numpy(edge, 4), expected)
+
+
+class TestDiagonal:
+    def test_diagonal_from_sequence(self, package):
+        phases = [1, -1, 1j, -1j]
+        edge = build_diagonal_dd(package, phases, 2)
+        assert np.allclose(matrix_to_numpy(edge, 2), np.diag(phases))
+
+    def test_diagonal_from_callable(self, package):
+        edge = build_diagonal_dd(
+            package, lambda i: -1 if i == 5 else 1, 3)
+        expected = np.diag([-1 if i == 5 else 1 for i in range(8)])
+        assert np.allclose(matrix_to_numpy(edge, 3), expected)
+
+    def test_grover_oracle_diagonal_is_compact(self, package):
+        edge = build_diagonal_dd(
+            package, lambda i: -1 if i == 123 else 1, 10)
+        # one path to the flipped entry: linear, not exponential
+        assert package.count_nodes(edge) <= 2 * 10
+
+    def test_wrong_length_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_diagonal_dd(package, [1, 1, 1], 2)
+
+
+class TestTwoLevel:
+    def test_two_level_unitary(self, package):
+        u = np.array([[0, 1], [1, 0]])
+        edge = build_two_level_dd(package, 3, 2, 5, u)
+        expected = np.eye(8, dtype=complex)
+        expected[2, 2] = 0
+        expected[5, 5] = 0
+        expected[2, 5] = 1
+        expected[5, 2] = 1
+        assert np.allclose(matrix_to_numpy(edge, 3), expected)
+
+    def test_two_level_rotation(self, package):
+        theta = 0.7
+        u = np.array([[np.cos(theta), -np.sin(theta)],
+                      [np.sin(theta), np.cos(theta)]])
+        edge = build_two_level_dd(package, 2, 0, 3, u)
+        expected = np.eye(4, dtype=complex)
+        expected[0, 0] = u[0, 0]
+        expected[0, 3] = u[0, 1]
+        expected[3, 0] = u[1, 0]
+        expected[3, 3] = u[1, 1]
+        assert np.allclose(matrix_to_numpy(edge, 2), expected)
+
+    def test_index_order_respected(self, package):
+        u = np.array([[0.6, 0.8], [-0.8, 0.6]])
+        forward = build_two_level_dd(package, 2, 1, 2, u)
+        dense = matrix_to_numpy(forward, 2)
+        assert np.isclose(dense[1, 1], 0.6)
+        assert np.isclose(dense[1, 2], 0.8)
+        swapped = build_two_level_dd(package, 2, 2, 1, u)
+        dense_swapped = matrix_to_numpy(swapped, 2)
+        assert np.isclose(dense_swapped[2, 2], 0.6)
+        assert np.isclose(dense_swapped[2, 1], 0.8)
+
+    def test_same_indices_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_two_level_dd(package, 2, 1, 1, np.eye(2))
+
+    def test_out_of_range_rejected(self, package):
+        with pytest.raises(ValueError):
+            build_two_level_dd(package, 2, 0, 4, np.eye(2))
+
+    def test_two_level_on_larger_system_is_compact(self, package):
+        u = np.array([[0, 1], [1, 0]])
+        edge = build_two_level_dd(package, 12, 100, 200, u)
+        assert package.count_nodes(edge) <= 6 * 12

@@ -1,0 +1,158 @@
+"""Measurement, projection and sampling on state DDs."""
+
+import math
+from random import Random
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.dd import (Package, all_probabilities, measure_qubit,
+                      project_qubit, qubit_probability, sample_bitstring,
+                      sample_counts, vector_from_numpy, vector_to_numpy)
+
+from ..conftest import unit_vectors
+
+
+def bell_state(package):
+    return vector_from_numpy(package,
+                             np.array([1, 0, 0, 1]) / math.sqrt(2))
+
+
+class TestQubitProbability:
+    def test_basis_state_probabilities(self, package):
+        state = package.basis_state(3, 0b101)
+        assert qubit_probability(package, state, 0) == 1.0
+        assert qubit_probability(package, state, 1) == 0.0
+        assert qubit_probability(package, state, 2) == 1.0
+
+    def test_bell_state_is_balanced(self, package):
+        state = bell_state(package)
+        assert abs(qubit_probability(package, state, 0) - 0.5) < 1e-12
+        assert abs(qubit_probability(package, state, 1) - 0.5) < 1e-12
+
+    def test_unnormalised_state_handled(self, package):
+        state = vector_from_numpy(package, np.array([3, 0, 0, 4]))
+        assert abs(qubit_probability(package, state, 0) - 16 / 25) < 1e-9
+
+    def test_zero_state_rejected(self, package):
+        with pytest.raises(ValueError):
+            qubit_probability(package, package.zero, 0)
+
+    def test_out_of_range_qubit_rejected(self, package):
+        with pytest.raises(ValueError):
+            qubit_probability(package, package.basis_state(2, 0), 5)
+
+    @given(unit_vectors(3))
+    def test_matches_dense_marginal(self, vec):
+        package = Package()
+        state = vector_from_numpy(package, vec)
+        for qubit in range(3):
+            expected = sum(abs(vec[i]) ** 2 for i in range(8)
+                           if (i >> qubit) & 1)
+            assert abs(qubit_probability(package, state, qubit)
+                       - expected) < 1e-6
+
+
+class TestProjection:
+    def test_projection_collapses_bell_state(self, package):
+        state = bell_state(package)
+        collapsed = project_qubit(package, state, 0, 1)
+        dense = vector_to_numpy(collapsed, 2)
+        assert np.allclose(np.abs(dense), [0, 0, 0, 1])
+
+    def test_projection_renormalises(self, package):
+        state = bell_state(package)
+        collapsed = project_qubit(package, state, 1, 0)
+        assert abs(package.squared_norm(collapsed) - 1) < 1e-9
+
+    def test_projection_without_renormalise(self, package):
+        state = bell_state(package)
+        collapsed = project_qubit(package, state, 1, 0, renormalise=False)
+        assert abs(package.squared_norm(collapsed) - 0.5) < 1e-9
+
+    def test_projection_onto_unsupported_branch_is_zero(self, package):
+        state = package.basis_state(2, 0)
+        collapsed = project_qubit(package, state, 0, 1)
+        assert collapsed.weight == 0
+
+    def test_invalid_value_rejected(self, package):
+        with pytest.raises(ValueError):
+            project_qubit(package, package.basis_state(1, 0), 0, 2)
+
+    @given(unit_vectors(3))
+    def test_projection_matches_dense(self, vec):
+        package = Package()
+        state = vector_from_numpy(package, vec)
+        qubit, value = 1, 1
+        mass = sum(abs(vec[i]) ** 2 for i in range(8) if (i >> qubit) & 1)
+        if mass < 1e-6:
+            return
+        expected = np.array([vec[i] if ((i >> qubit) & 1) == value else 0
+                             for i in range(8)]) / math.sqrt(mass)
+        collapsed = project_qubit(package, state, qubit, value)
+        assert np.allclose(vector_to_numpy(collapsed, 3), expected,
+                           atol=1e-6)
+
+
+class TestMeasureQubit:
+    def test_deterministic_outcome(self, package):
+        state = package.basis_state(3, 0b010)
+        outcome, collapsed, probability = measure_qubit(
+            package, state, 1, Random(0))
+        assert outcome == 1
+        assert probability == pytest.approx(1.0)
+        assert abs(package.amplitude(collapsed, 0b010)) == pytest.approx(1.0)
+
+    def test_statistics_of_balanced_measurement(self, package):
+        state = bell_state(package)
+        rng = Random(123)
+        outcomes = [measure_qubit(package, state, 0, rng)[0]
+                    for _ in range(400)]
+        ones = sum(outcomes)
+        assert 140 < ones < 260  # ~N(200, 10)
+
+    def test_collapse_is_consistent_with_outcome(self, package):
+        state = bell_state(package)
+        outcome, collapsed, _ = measure_qubit(package, state, 0, Random(7))
+        assert qubit_probability(package, collapsed, 0) == pytest.approx(
+            float(outcome))
+
+
+class TestSampling:
+    def test_sample_bitstring_respects_support(self, package):
+        state = bell_state(package)
+        rng = Random(5)
+        for _ in range(50):
+            assert sample_bitstring(package, state, rng) in (0, 3)
+
+    def test_sample_counts_total(self, package):
+        state = bell_state(package)
+        counts = sample_counts(package, state, 100, Random(9))
+        assert sum(counts.values()) == 100
+        assert set(counts) <= {0, 3}
+
+    def test_sampling_distribution(self, package):
+        vec = np.array([math.sqrt(0.8), 0, 0, math.sqrt(0.2)])
+        state = vector_from_numpy(package, vec)
+        counts = sample_counts(package, state, 1000, Random(11))
+        assert counts.get(0, 0) > counts.get(3, 0)
+        assert 700 < counts.get(0, 0) < 900
+
+    def test_sample_zero_vector_rejected(self, package):
+        with pytest.raises(ValueError):
+            sample_bitstring(package, package.zero, Random(0))
+
+
+class TestAllProbabilities:
+    def test_sums_to_one(self, package):
+        state = bell_state(package)
+        probabilities = all_probabilities(package, state, 2)
+        assert abs(sum(probabilities) - 1) < 1e-9
+
+    @given(unit_vectors(2))
+    def test_matches_dense(self, vec):
+        package = Package()
+        state = vector_from_numpy(package, vec)
+        probabilities = all_probabilities(package, state, 2)
+        assert np.allclose(probabilities, np.abs(vec) ** 2, atol=1e-6)

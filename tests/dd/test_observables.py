@@ -1,0 +1,127 @@
+"""Observable expectation values on state DDs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd import (Package, diagonal_expectation, expectation_value,
+                      ghz_state, matrix_to_numpy, pauli_expectation,
+                      pauli_string_dd, uniform_superposition,
+                      vector_from_numpy)
+from repro.dd.observables import PAULI_MATRICES
+
+from ..conftest import unit_vectors
+
+
+class TestPauliStringDD:
+    def test_string_form_orders_most_significant_first(self, package):
+        dd = pauli_string_dd(package, "XZ", 2)
+        expected = np.kron(PAULI_MATRICES["X"], PAULI_MATRICES["Z"])
+        assert np.allclose(matrix_to_numpy(dd, 2), expected)
+
+    def test_mapping_form(self, package):
+        dd = pauli_string_dd(package, {0: "Y"}, 3)
+        expected = np.kron(np.eye(4), PAULI_MATRICES["Y"])
+        assert np.allclose(matrix_to_numpy(dd, 3), expected)
+
+    def test_identity_string(self, package):
+        dd = pauli_string_dd(package, "III", 3)
+        assert dd.node is package.identity(3).node
+
+    def test_linear_node_count(self, package):
+        dd = pauli_string_dd(package, "XYZXYZXYZX", 10)
+        assert package.count_nodes(dd) == 10
+
+    def test_wrong_length_rejected(self, package):
+        with pytest.raises(ValueError):
+            pauli_string_dd(package, "XX", 3)
+
+    def test_unknown_letter_rejected(self, package):
+        with pytest.raises(ValueError):
+            pauli_string_dd(package, "XQ", 2)
+
+    def test_out_of_range_qubit_rejected(self, package):
+        with pytest.raises(ValueError):
+            pauli_string_dd(package, {5: "X"}, 2)
+
+
+class TestPauliExpectation:
+    def test_z_on_basis_states(self, package):
+        assert pauli_expectation(package, {0: "Z"},
+                                 package.basis_state(2, 0), 2) \
+            == pytest.approx(1.0)
+        assert pauli_expectation(package, {0: "Z"},
+                                 package.basis_state(2, 1), 2) \
+            == pytest.approx(-1.0)
+
+    def test_x_on_plus_state(self, package):
+        plus = uniform_superposition(package, 1)
+        assert pauli_expectation(package, "X", plus, 1) == pytest.approx(1.0)
+
+    def test_ghz_correlations(self, package):
+        ghz = ghz_state(package, 3)
+        # <Z_i Z_j> = 1, <Z_i> = 0, <XXX> = 1 for 3-qubit GHZ
+        assert pauli_expectation(package, {0: "Z", 1: "Z"}, ghz, 3) \
+            == pytest.approx(1.0)
+        assert pauli_expectation(package, {0: "Z"}, ghz, 3) \
+            == pytest.approx(0.0)
+        assert pauli_expectation(package, "XXX", ghz, 3) \
+            == pytest.approx(1.0)
+
+    @given(unit_vectors(2), st.sampled_from(["XX", "ZI", "YZ", "XY"]))
+    def test_matches_dense(self, vec, pauli):
+        package = Package()
+        state = vector_from_numpy(package, vec)
+        dense_op = np.kron(PAULI_MATRICES[pauli[0]], PAULI_MATRICES[pauli[1]])
+        expected = np.vdot(vec, dense_op @ vec).real
+        assert pauli_expectation(package, pauli, state, 2) \
+            == pytest.approx(expected, abs=1e-6)
+
+    def test_expectation_value_general_matrix(self, package):
+        from repro.dd import matrix_from_numpy
+        rng = np.random.default_rng(3)
+        op = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        vec = rng.normal(size=4) + 1j * rng.normal(size=4)
+        state = vector_from_numpy(package, vec)
+        value = expectation_value(package, matrix_from_numpy(package, op),
+                                  state)
+        assert value == pytest.approx(complex(np.vdot(vec, op @ vec)),
+                                      abs=1e-8)
+
+
+class TestDiagonalExpectation:
+    def test_bit_count_on_basis_state(self, package):
+        state = package.basis_state(4, 0b1011)
+        result = diagonal_expectation(package, state,
+                                      lambda x: bin(x).count("1"))
+        assert result == pytest.approx(3.0)
+
+    def test_ghz_average(self, package):
+        ghz = ghz_state(package, 5)
+        result = diagonal_expectation(package, ghz,
+                                      lambda x: bin(x).count("1"))
+        assert result == pytest.approx(2.5)  # (0 + 5) / 2
+
+    def test_matches_pauli_z(self, package):
+        state = vector_from_numpy(
+            package, np.array([0.6, 0.0, 0.0, 0.8]))
+        via_diag = diagonal_expectation(
+            package, state, lambda x: 1 - 2 * (x & 1))
+        via_pauli = pauli_expectation(package, {0: "Z"}, state, 2)
+        assert via_diag == pytest.approx(via_pauli)
+
+    def test_zero_state_rejected(self, package):
+        with pytest.raises(ValueError):
+            diagonal_expectation(package, package.zero, lambda x: 1.0)
+
+    def test_maxcut_style_value(self, package):
+        # cut value of edge (0,1) on |01> is 1
+        state = package.basis_state(2, 0b01)
+
+        def cut(x):
+            return ((x >> 0) & 1) ^ ((x >> 1) & 1)
+
+        assert diagonal_expectation(package, state, cut) == pytest.approx(1.0)

@@ -1,0 +1,178 @@
+"""Construction-level tests for the DD package: nodes, states, identity."""
+
+import numpy as np
+import pytest
+
+from repro.dd import Package, vector_to_numpy, matrix_to_numpy
+from repro.dd.node import TERMINAL
+
+
+class TestBasisStates:
+    def test_zero_state_amplitudes(self, package):
+        state = package.zero_state(3)
+        dense = vector_to_numpy(state, 3)
+        assert dense[0] == 1
+        assert np.count_nonzero(dense) == 1
+
+    @pytest.mark.parametrize("index", [0, 1, 5, 7])
+    def test_basis_state_places_single_one(self, package, index):
+        state = package.basis_state(3, index)
+        dense = vector_to_numpy(state, 3)
+        assert dense[index] == 1
+        assert np.count_nonzero(dense) == 1
+
+    def test_basis_state_node_count_is_linear(self, package):
+        state = package.basis_state(10, 0b1010101010)
+        assert package.count_nodes(state) == 10
+
+    def test_basis_state_out_of_range_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.basis_state(3, 8)
+
+    def test_negative_qubits_rejected(self, package):
+        with pytest.raises(ValueError):
+            package.basis_state(-1, 0)
+
+    def test_zero_qubit_state_is_terminal(self, package):
+        state = package.zero_state(0)
+        assert state.node is TERMINAL
+        assert state.weight == 1
+
+    def test_same_basis_state_shares_structure(self, package):
+        a = package.basis_state(4, 9)
+        b = package.basis_state(4, 9)
+        assert a.node is b.node
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_identity_matrix_values(self, package, n):
+        dense = matrix_to_numpy(package.identity(n), n)
+        assert np.allclose(dense, np.eye(1 << n))
+
+    def test_identity_is_linear_in_nodes(self, package):
+        # The property the whole paper rests on (Sec. III).
+        assert package.count_nodes(package.identity(16)) == 16
+
+    def test_identity_cached(self, package):
+        assert package.identity(5).node is package.identity(5).node
+
+    def test_identity_prefix_shared(self, package):
+        big = package.identity(6)
+        small = package.identity(3)
+        # The 3-qubit identity is literally the lower part of the 6-qubit one.
+        node = big.node
+        for _ in range(3):
+            node = node.edges[0].node
+        assert node is small.node
+
+
+class TestNormalisation:
+    def test_node_weights_bounded_by_one(self, package):
+        from repro.dd import vector_from_numpy
+        rng = np.random.default_rng(5)
+        vec = rng.normal(size=16) + 1j * rng.normal(size=16)
+        state = vector_from_numpy(package, vec)
+        stack = [state.node]
+        seen = set()
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or node.level == -1:
+                continue
+            seen.add(id(node))
+            for edge in node.edges:
+                assert abs(edge.weight) <= 1 + 1e-9
+                stack.append(edge.node)
+
+    def test_all_zero_children_collapse_to_zero_edge(self, package):
+        edge = package.make_vector_node(0, (package.zero, package.zero))
+        assert edge.weight == 0
+        assert edge.node is TERMINAL
+
+    def test_first_max_weight_becomes_one(self, package):
+        one = package.terminal_edge(1)
+        half = package.terminal_edge(0.5)
+        edge = package.make_vector_node(0, (half, one))
+        # normalised by the largest magnitude: child 1 gets weight 1
+        assert edge.node.edges[1].weight == 1
+        assert abs(edge.node.edges[0].weight - 0.5) < 1e-12
+
+    def test_uniquing_merges_equal_nodes(self, package):
+        a = package.make_vector_node(
+            0, (package.terminal_edge(0.6), package.terminal_edge(0.8)))
+        b = package.make_vector_node(
+            0, (package.terminal_edge(0.6), package.terminal_edge(0.8)))
+        assert a.node is b.node
+
+    def test_scaled_nodes_share(self, package):
+        a = package.make_vector_node(
+            0, (package.terminal_edge(0.3), package.terminal_edge(0.4)))
+        b = package.make_vector_node(
+            0, (package.terminal_edge(0.6), package.terminal_edge(0.8)))
+        # same direction, different scale: one shared node, different weights
+        assert a.node is b.node
+        assert abs(b.weight / a.weight - 2.0) < 1e-9
+
+
+class TestAmplitude:
+    def test_amplitude_matches_dense(self, package):
+        from repro.dd import vector_from_numpy
+        rng = np.random.default_rng(3)
+        vec = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state = vector_from_numpy(package, vec)
+        for i in range(8):
+            assert abs(package.amplitude(state, i) - vec[i]) < 1e-9
+
+    def test_amplitude_of_zero_edge(self, package):
+        assert package.amplitude(package.zero, 0) == 0
+
+
+class TestMetrics:
+    def test_count_nodes_zero_edge(self, package):
+        assert package.count_nodes(package.zero) == 0
+
+    def test_count_nodes_terminal(self, package):
+        assert package.count_nodes(package.one) == 0
+
+    def test_live_node_count_grows(self, package):
+        before = package.live_node_count()
+        package.basis_state(6, 33)
+        assert package.live_node_count() > before
+
+    def test_counters_snapshot_delta(self, package):
+        before = package.counters.snapshot()
+        a = package.basis_state(3, 1)
+        b = package.basis_state(3, 2)
+        package.add_vectors(a, b)
+        delta = package.counters.delta(before)
+        assert delta.add_recursions > 0
+        assert delta.total_recursions() >= delta.add_recursions
+
+
+class TestGarbageCollection:
+    def test_unreachable_nodes_removed(self, package):
+        keep = package.basis_state(5, 3)
+        for i in range(20):
+            package.basis_state(5, i)
+        before = package.live_node_count()
+        removed = package.garbage_collect([keep])
+        assert removed > 0
+        assert package.live_node_count() < before
+        # The kept state still evaluates correctly.
+        assert package.amplitude(keep, 3) == 1
+
+    def test_identity_cache_survives_collection(self, package):
+        ident = package.identity(4)
+        package.garbage_collect([])
+        dense = matrix_to_numpy(package.identity(4), 4)
+        assert np.allclose(dense, np.eye(16))
+        assert package.identity(4).node is ident.node
+
+    def test_collected_package_still_functional(self, package):
+        state = package.basis_state(4, 7)
+        package.garbage_collect([state])
+        h = [[2 ** -0.5, 2 ** -0.5], [2 ** -0.5, -(2 ** -0.5)]]
+        from repro.dd import build_gate_dd
+        gate = build_gate_dd(package, h, 4, 0)
+        result = package.multiply_matrix_vector(gate, state)
+        assert abs(package.squared_norm(result) - 1) < 1e-9

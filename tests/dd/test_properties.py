@@ -1,0 +1,190 @@
+"""Hypothesis property tests of the DD algebra.
+
+Each test encodes a linear-algebra identity that must hold for *any*
+operands; hypothesis searches for counterexamples.  These are the deepest
+correctness nets in the suite: a subtle normalisation or caching bug
+virtually always breaks one of them.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dd import (Package, matrix_from_numpy, matrix_to_numpy,
+                      vector_from_numpy, vector_to_numpy)
+
+from ..conftest import amplitudes, square_matrices
+
+_ATOL = 1e-5
+
+
+class TestAdditionAlgebra:
+    @given(amplitudes(2), amplitudes(2), amplitudes(2))
+    def test_associativity(self, x, y, z):
+        package = Package()
+        dx, dy, dz = (vector_from_numpy(package, v) for v in (x, y, z))
+        left = package.add_vectors(package.add_vectors(dx, dy), dz)
+        right = package.add_vectors(dx, package.add_vectors(dy, dz))
+        assert np.allclose(vector_to_numpy(left, 2),
+                           vector_to_numpy(right, 2), atol=_ATOL)
+
+    @given(amplitudes(3))
+    def test_adding_negation_annihilates(self, x):
+        package = Package()
+        dx = vector_from_numpy(package, x)
+        minus = package._scaled(dx, -1)
+        result = package.add_vectors(dx, minus)
+        assert np.allclose(vector_to_numpy(result, 3)
+                           if result.weight != 0 else np.zeros(8),
+                           np.zeros(8), atol=_ATOL)
+
+
+class TestMultiplicationAlgebra:
+    @given(square_matrices(2), square_matrices(2), square_matrices(2))
+    def test_matrix_product_associativity(self, a, b, c):
+        package = Package()
+        da, db, dc = (matrix_from_numpy(package, m) for m in (a, b, c))
+        left = package.multiply_matrix_matrix(
+            package.multiply_matrix_matrix(da, db), dc)
+        right = package.multiply_matrix_matrix(
+            da, package.multiply_matrix_matrix(db, dc))
+        assert np.allclose(matrix_to_numpy(left, 2),
+                           matrix_to_numpy(right, 2), atol=_ATOL)
+
+    @given(square_matrices(2), square_matrices(2), amplitudes(2))
+    def test_distributivity_over_vector_addition(self, a, b, v):
+        package = Package()
+        da = matrix_from_numpy(package, a)
+        db = matrix_from_numpy(package, b)
+        dv = vector_from_numpy(package, v)
+        left = package.multiply_matrix_vector(package.add_matrices(da, db),
+                                              dv)
+        right = package.add_vectors(package.multiply_matrix_vector(da, dv),
+                                    package.multiply_matrix_vector(db, dv))
+        assert np.allclose(vector_to_numpy(left, 2),
+                           vector_to_numpy(right, 2), atol=_ATOL)
+
+    @given(square_matrices(2), square_matrices(2))
+    def test_adjoint_reverses_products(self, a, b):
+        package = Package()
+        da = matrix_from_numpy(package, a)
+        db = matrix_from_numpy(package, b)
+        left = package.conjugate_transpose(
+            package.multiply_matrix_matrix(da, db))
+        right = package.multiply_matrix_matrix(
+            package.conjugate_transpose(db), package.conjugate_transpose(da))
+        assert np.allclose(matrix_to_numpy(left, 2),
+                           matrix_to_numpy(right, 2), atol=_ATOL)
+
+
+class TestKroneckerAlgebra:
+    @given(square_matrices(1), square_matrices(1), square_matrices(1),
+           square_matrices(1))
+    def test_mixed_product_identity(self, a, b, c, d):
+        """(A (x) B)(C (x) D) = (AC) (x) (BD)."""
+        package = Package()
+        da, db, dc, dd_ = (matrix_from_numpy(package, m)
+                           for m in (a, b, c, d))
+        left = package.multiply_matrix_matrix(
+            package.kron_matrices(da, db), package.kron_matrices(dc, dd_))
+        right = package.kron_matrices(
+            package.multiply_matrix_matrix(da, dc),
+            package.multiply_matrix_matrix(db, dd_))
+        assert np.allclose(matrix_to_numpy(left, 2),
+                           matrix_to_numpy(right, 2), atol=_ATOL)
+
+    @given(square_matrices(1), amplitudes(1), square_matrices(1),
+           amplitudes(1))
+    def test_kron_action_factorises(self, a, x, b, y):
+        """(A (x) B)(x (x) y) = (A x) (x) (B y)."""
+        package = Package()
+        da = matrix_from_numpy(package, a)
+        db = matrix_from_numpy(package, b)
+        dx = vector_from_numpy(package, x)
+        dy = vector_from_numpy(package, y)
+        left = package.multiply_matrix_vector(
+            package.kron_matrices(da, db), package.kron_vectors(dx, dy))
+        right = package.kron_vectors(
+            package.multiply_matrix_vector(da, dx),
+            package.multiply_matrix_vector(db, dy))
+        assert np.allclose(vector_to_numpy(left, 2),
+                           vector_to_numpy(right, 2), atol=_ATOL)
+
+
+class TestInnerProductAlgebra:
+    @given(amplitudes(2), amplitudes(2))
+    def test_conjugate_symmetry(self, x, y):
+        package = Package()
+        dx = vector_from_numpy(package, x)
+        dy = vector_from_numpy(package, y)
+        forward = package.inner_product(dx, dy)
+        backward = package.inner_product(dy, dx)
+        assert abs(forward - backward.conjugate()) < _ATOL
+
+    @given(amplitudes(2))
+    def test_cauchy_schwarz_with_self(self, x):
+        package = Package()
+        dx = vector_from_numpy(package, x)
+        norm = package.squared_norm(dx)
+        assert norm >= -_ATOL
+        assert abs(norm - np.linalg.norm(x) ** 2) < _ATOL
+
+    @given(square_matrices(2), amplitudes(2), amplitudes(2))
+    def test_adjoint_moves_across_inner_product(self, a, x, y):
+        """<x | A y> = <A^dagger x | y>."""
+        package = Package()
+        da = matrix_from_numpy(package, a)
+        dx = vector_from_numpy(package, x)
+        dy = vector_from_numpy(package, y)
+        left = package.inner_product(dx,
+                                     package.multiply_matrix_vector(da, dy))
+        right = package.inner_product(
+            package.multiply_matrix_vector(package.conjugate_transpose(da),
+                                           dx), dy)
+        assert abs(left - right) < _ATOL
+
+
+class TestCanonicityProperties:
+    @given(amplitudes(3), st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=-3.14, max_value=3.14))
+    def test_scaled_vectors_share_node(self, x, magnitude, angle):
+        """c * v and v must share the same node for any non-zero scalar.
+
+        Components near the snapping tolerance are filtered: scaling can
+        move them across the snap-to-zero threshold, legitimately changing
+        the structure.
+        """
+        parts = np.abs(np.concatenate([x.real, x.imag]))
+        if np.any((parts > 0) & (parts < 1e-6)):
+            return
+        package = Package()
+        scalar = magnitude * complex(np.cos(angle), np.sin(angle))
+        a = vector_from_numpy(package, x)
+        b = vector_from_numpy(package, scalar * x)
+        assert a.node is b.node
+
+    @given(amplitudes(2), amplitudes(2))
+    def test_equal_sums_are_identical_objects(self, x, y):
+        """x + y built two ways interns to the same node.
+
+        Canonicity under a snapping tolerance only holds for values away
+        from the snapping threshold, so near-tolerance components are
+        filtered out (they may legitimately round differently on the two
+        construction paths).
+        """
+        boundary = 1e-6
+        for vector in (x, y, x + y):
+            magnitudes = np.abs(np.concatenate(
+                [vector.real, vector.imag]))
+            if np.any((magnitudes > 0) & (magnitudes < boundary)):
+                return
+        package = Package()
+        dx = vector_from_numpy(package, x)
+        dy = vector_from_numpy(package, y)
+        via_add = package.add_vectors(dx, dy)
+        via_dense = vector_from_numpy(package, x + y)
+        if via_add.weight == 0 or via_dense.weight == 0:
+            assert abs(via_add.weight) < _ATOL \
+                and abs(via_dense.weight) < _ATOL
+        else:
+            assert via_add.node is via_dense.node

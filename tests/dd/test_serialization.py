@@ -1,0 +1,96 @@
+"""DD serialisation round trips."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.dd import (Package, deserialize_dd, dumps_dd, ghz_state, loads_dd,
+                      matrix_from_numpy, matrix_to_numpy, serialize_dd,
+                      vector_from_numpy, vector_to_numpy)
+
+from ..conftest import amplitudes, square_matrices
+
+
+class TestVectorRoundTrip:
+    @given(amplitudes(3))
+    def test_same_package_round_trip(self, vec):
+        package = Package()
+        state = vector_from_numpy(package, vec)
+        loaded = deserialize_dd(package, serialize_dd(state))
+        assert np.allclose(vector_to_numpy(loaded, 3), vec, atol=1e-7)
+
+    def test_cross_package_round_trip(self):
+        source = Package()
+        target = Package()
+        state = ghz_state(source, 5)
+        loaded = deserialize_dd(target, serialize_dd(state))
+        assert np.allclose(vector_to_numpy(loaded, 5),
+                           vector_to_numpy(state, 5))
+
+    def test_loaded_dd_shares_with_existing_nodes(self):
+        source = Package()
+        target = Package()
+        state = ghz_state(source, 4)
+        existing = ghz_state(target, 4)
+        loaded = deserialize_dd(target, serialize_dd(state))
+        assert loaded.node is existing.node
+
+    def test_zero_edge_round_trip(self, package):
+        loaded = deserialize_dd(package, serialize_dd(package.zero))
+        assert loaded.weight == 0
+
+    def test_sharing_preserved_in_payload(self, package):
+        # GHZ on n qubits has 2n-1 distinct nodes; the payload must not
+        # blow this up to the 2^n paths.
+        payload = serialize_dd(ghz_state(package, 8))
+        assert len(payload["nodes"]) == 15
+
+
+class TestMatrixRoundTrip:
+    @given(square_matrices(2))
+    def test_matrix_round_trip(self, mat):
+        package = Package()
+        dd = matrix_from_numpy(package, mat)
+        loaded = deserialize_dd(Package(), serialize_dd(dd))
+        assert np.allclose(matrix_to_numpy(loaded, 2), mat, atol=1e-7)
+
+    def test_identity_round_trip_is_identity(self, package):
+        loaded = deserialize_dd(package, serialize_dd(package.identity(5)))
+        assert loaded.node is package.identity(5).node
+
+
+class TestJsonForm:
+    def test_dumps_is_valid_json(self, package):
+        text = dumps_dd(package.basis_state(3, 5))
+        payload = json.loads(text)
+        assert payload["kind"] == "vector"
+        assert len(payload["nodes"]) == 3
+
+    def test_loads_round_trip(self, package):
+        state = ghz_state(package, 3)
+        loaded = loads_dd(package, dumps_dd(state))
+        assert loaded.node is state.node
+
+    def test_indent_option(self, package):
+        assert "\n" in dumps_dd(package.basis_state(1, 0), indent=2)
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self, package):
+        with pytest.raises(ValueError):
+            deserialize_dd(package, {"kind": "tensor", "root": [0, 1, 0],
+                                     "nodes": []})
+
+    def test_dangling_reference_rejected(self, package):
+        payload = {"kind": "vector", "root": [5, 1.0, 0.0],
+                   "nodes": [[0, [-1, 1.0, 0.0], [-1, 0.0, 0.0]]]}
+        with pytest.raises(ValueError):
+            deserialize_dd(package, payload)
+
+    def test_wrong_arity_rejected(self, package):
+        payload = {"kind": "matrix", "root": [0, 1.0, 0.0],
+                   "nodes": [[0, [-1, 1.0, 0.0], [-1, 0.0, 0.0]]]}
+        with pytest.raises(ValueError):
+            deserialize_dd(package, payload)

@@ -1,0 +1,112 @@
+"""Direct state constructors."""
+
+import math
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.dd import (Package, ghz_state, product_state,
+                      random_structured_state, uniform_superposition,
+                      vector_to_numpy, w_state)
+
+
+class TestProductState:
+    def test_matches_kron(self, package):
+        pairs = [(0.6, 0.8), (1 / math.sqrt(2), -1 / math.sqrt(2)),
+                 (1.0, 0.0)]
+        state = product_state(package, pairs)
+        expected = np.array([1.0])
+        for alpha, beta in reversed(pairs):  # most significant first
+            expected = np.kron(expected, [alpha, beta])
+        assert np.allclose(vector_to_numpy(state, 3), expected)
+
+    def test_always_linear_size(self, package):
+        pairs = [(math.cos(k), math.sin(k)) for k in range(1, 21)]
+        state = product_state(package, pairs)
+        assert package.count_nodes(state) == 20
+
+    def test_zero_pair_rejected(self, package):
+        with pytest.raises(ValueError):
+            product_state(package, [(0, 0)])
+
+
+class TestUniformSuperposition:
+    def test_amplitudes(self, package):
+        state = uniform_superposition(package, 4)
+        dense = vector_to_numpy(state, 4)
+        assert np.allclose(dense, np.full(16, 0.25))
+
+    def test_unit_norm(self, package):
+        state = uniform_superposition(package, 7)
+        assert package.squared_norm(state) == pytest.approx(1.0)
+
+    def test_single_node_per_level(self, package):
+        state = uniform_superposition(package, 12)
+        assert package.count_nodes(state) == 12
+
+
+class TestGhz:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_amplitudes(self, package, n):
+        state = ghz_state(package, n)
+        dense = vector_to_numpy(state, n)
+        expected = np.zeros(1 << n)
+        expected[0] = expected[-1] = 1 / math.sqrt(2)
+        assert np.allclose(dense, expected)
+
+    def test_node_count(self, package):
+        assert package.count_nodes(ghz_state(package, 10)) == 2 * 10 - 1
+
+    def test_invalid_size(self, package):
+        with pytest.raises(ValueError):
+            ghz_state(package, 0)
+
+    def test_matches_circuit_preparation(self, package):
+        from repro.circuit import QuantumCircuit
+        from repro.simulation import SimulationEngine
+        qc = QuantumCircuit(4)
+        qc.h(3)
+        for q in (2, 1, 0):
+            qc.cx(3, q)
+        result = SimulationEngine(package).simulate(qc)
+        assert package.fidelity(result.state, ghz_state(package, 4)) \
+            == pytest.approx(1.0)
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [1, 2, 3, 6])
+    def test_amplitudes(self, package, n):
+        state = w_state(package, n)
+        dense = vector_to_numpy(state, n)
+        for index in range(1 << n):
+            expected = 1 / math.sqrt(n) if bin(index).count("1") == 1 else 0
+            assert dense[index] == pytest.approx(expected)
+
+    def test_linear_node_count(self, package):
+        assert package.count_nodes(w_state(package, 15)) <= 2 * 15
+
+    def test_unit_norm(self, package):
+        assert package.squared_norm(w_state(package, 9)) \
+            == pytest.approx(1.0)
+
+    def test_invalid_size(self, package):
+        with pytest.raises(ValueError):
+            w_state(package, 0)
+
+
+class TestRandomStructured:
+    def test_unit_norm_and_bounded_size(self, package):
+        rng = Random(3)
+        state = random_structured_state(package, 10, rng, branches=4)
+        assert package.squared_norm(state) == pytest.approx(1.0)
+        assert package.count_nodes(state) <= 4 * 10
+
+    def test_deterministic_for_seed(self, package):
+        a = random_structured_state(package, 6, Random(5), branches=3)
+        b = random_structured_state(package, 6, Random(5), branches=3)
+        assert a.node is b.node
+
+    def test_invalid_branches(self, package):
+        with pytest.raises(ValueError):
+            random_structured_state(package, 4, Random(0), branches=0)

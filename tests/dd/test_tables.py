@@ -1,0 +1,96 @@
+"""Unique-table and compute-table behaviour."""
+
+from repro.dd.compute_table import ComputeTable
+from repro.dd.edge import Edge
+from repro.dd.node import TERMINAL, VectorNode
+from repro.dd.unique_table import UniqueTable
+
+
+class TestUniqueTable:
+    def test_same_key_returns_same_node(self):
+        table = UniqueTable(VectorNode)
+        edges = (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j))
+        a = table.get_or_insert(0, edges)
+        b = table.get_or_insert(0, edges)
+        assert a is b
+        assert table.hits == 1
+
+    def test_different_levels_differ(self):
+        table = UniqueTable(VectorNode)
+        edges = (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j))
+        assert table.get_or_insert(0, edges) is not table.get_or_insert(1, edges)
+
+    def test_different_weights_differ(self):
+        table = UniqueTable(VectorNode)
+        a = table.get_or_insert(0, (Edge(TERMINAL, 1 + 0j),
+                                    Edge(TERMINAL, 0j)))
+        b = table.get_or_insert(0, (Edge(TERMINAL, 0.5 + 0j),
+                                    Edge(TERMINAL, 0j)))
+        assert a is not b
+
+    def test_remove_unreferenced(self):
+        table = UniqueTable(VectorNode)
+        keep = table.get_or_insert(0, (Edge(TERMINAL, 1 + 0j),
+                                       Edge(TERMINAL, 0j)))
+        table.get_or_insert(0, (Edge(TERMINAL, 0j), Edge(TERMINAL, 1 + 0j)))
+        removed = table.remove_unreferenced({id(keep)})
+        assert removed == 1
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = UniqueTable(VectorNode)
+        table.get_or_insert(0, (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j)))
+        table.clear()
+        assert len(table) == 0
+        assert table.lookups == 0
+
+
+class TestComputeTable:
+    def test_miss_then_hit(self):
+        cache = ComputeTable("test")
+        assert cache.get(("a",)) is None
+        value = Edge(TERMINAL, 1 + 0j)
+        cache.put(("a",), value)
+        assert cache.get(("a",)) is value
+        assert cache.hit_rate() == 0.5
+
+    def test_eviction_clears_wholesale(self):
+        cache = ComputeTable("test", max_entries=4)
+        for i in range(4):
+            cache.put((i,), Edge(TERMINAL, 1 + 0j))
+        assert len(cache) == 4
+        cache.put((99,), Edge(TERMINAL, 1 + 0j))
+        assert len(cache) == 1  # cleared, then the new entry inserted
+        assert cache.evictions == 1
+
+    def test_clear(self):
+        cache = ComputeTable("test")
+        cache.put(("x",), Edge(TERMINAL, 1 + 0j))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate_with_no_lookups(self):
+        assert ComputeTable("test").hit_rate() == 0.0
+
+
+class TestEdge:
+    def test_equality_by_node_identity_and_weight(self):
+        node = VectorNode(0, (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j)))
+        assert Edge(node, 0.5) == Edge(node, 0.5)
+        assert Edge(node, 0.5) != Edge(node, 0.25)
+
+    def test_hashable(self):
+        node = VectorNode(0, (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j)))
+        assert len({Edge(node, 0.5), Edge(node, 0.5), Edge(node, 1.0)}) == 2
+
+    def test_scaled_by_zero_gives_zero_stub(self):
+        node = VectorNode(0, (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j)))
+        scaled = Edge(node, 0.5).scaled(0)
+        assert scaled.weight == 0
+        assert scaled.node is TERMINAL
+
+    def test_terminal_properties(self):
+        edge = Edge(TERMINAL, 1 + 0j)
+        assert edge.is_terminal()
+        assert not edge.is_zero()
+        assert edge.level == -1

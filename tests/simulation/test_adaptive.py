@@ -1,0 +1,90 @@
+"""The adaptive combining strategy (cost-model extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms import grover_circuit, supremacy_circuit
+from repro.baseline import simulate_statevector
+from repro.dd import vector_to_numpy
+from repro.simulation import (AdaptiveStrategy, SequentialStrategy,
+                              SimulationEngine, strategy_from_spec)
+
+from ..conftest import circuits
+
+
+class TestCorrectness:
+    def test_matches_dense_on_random_circuit(self):
+        instance = supremacy_circuit(2, 3, 8, seed=17)
+        result = SimulationEngine().simulate(instance.circuit,
+                                             AdaptiveStrategy())
+        assert np.allclose(
+            vector_to_numpy(result.state, instance.num_qubits),
+            simulate_statevector(instance.circuit), atol=1e-8)
+
+    @given(circuits(max_qubits=4, max_operations=10),
+           st.floats(min_value=0.1, max_value=4.0))
+    def test_property_agrees_with_sequential(self, qc, ratio):
+        adaptive = SimulationEngine().simulate(qc, AdaptiveStrategy(ratio))
+        dense = simulate_statevector(qc)
+        assert np.allclose(vector_to_numpy(adaptive.state, qc.num_qubits),
+                           dense, atol=1e-6)
+
+    def test_grover_repeated_blocks_handled(self):
+        instance = grover_circuit(6, 5)
+        adaptive = SimulationEngine().simulate(instance.circuit,
+                                               AdaptiveStrategy())
+        sequential = SimulationEngine().simulate(instance.circuit,
+                                                 SequentialStrategy())
+        pa = instance.measured_success_probability(adaptive)
+        ps = instance.measured_success_probability(sequential)
+        assert pa == pytest.approx(ps, abs=1e-9)
+
+
+class TestBehaviour:
+    def test_combines_on_large_state(self):
+        """Once the state DD is large, the adaptive threshold rises and the
+        strategy combines multiple operations per application."""
+        instance = supremacy_circuit(3, 3, 10, seed=1)
+        stats = SimulationEngine().simulate(instance.circuit,
+                                            AdaptiveStrategy()).statistics
+        assert stats.matrix_matrix_mults > 0
+        assert stats.matrix_vector_mults < stats.operations_applied
+
+    def test_competitive_with_sequential_in_recursions(self):
+        instance = supremacy_circuit(3, 3, 10, seed=1)
+        sequential = SimulationEngine().simulate(
+            instance.circuit, SequentialStrategy()).statistics
+        adaptive = SimulationEngine().simulate(
+            instance.circuit, AdaptiveStrategy()).statistics
+        assert adaptive.counters.total_recursions() \
+            < 1.2 * sequential.counters.total_recursions()
+
+    def test_threshold_clamping(self):
+        strategy = AdaptiveStrategy(ratio=100.0, floor=4, ceiling=16)
+        strategy._state_nodes = 10 ** 9
+        assert strategy._threshold() == 16
+        strategy._state_nodes = 0
+        assert strategy._threshold() == 4
+
+    def test_describe(self):
+        assert "0.5" in AdaptiveStrategy(0.5).describe()
+
+
+class TestValidation:
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveStrategy(ratio=0)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveStrategy(floor=10, ceiling=5)
+        with pytest.raises(ValueError):
+            AdaptiveStrategy(floor=0)
+
+    def test_spec_parsing(self):
+        assert isinstance(strategy_from_spec("adaptive"), AdaptiveStrategy)
+        parsed = strategy_from_spec("adaptive=1.5")
+        assert isinstance(parsed, AdaptiveStrategy)
+        assert parsed.ratio == pytest.approx(1.5)

@@ -1,0 +1,205 @@
+"""Density-matrix simulation and its agreement with trajectories."""
+
+import math
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.circuit import Operation, QuantumCircuit
+from repro.simulation import NoiseModel, SimulationEngine, noisy_counts
+from repro.simulation.density import (DensityMatrixSimulator,
+                                      amplitude_damping_kraus,
+                                      bit_flip_kraus, depolarizing_kraus,
+                                      phase_flip_kraus)
+
+
+def bell_circuit() -> QuantumCircuit:
+    qc = QuantumCircuit(2)
+    qc.h(0).cx(0, 1)
+    return qc
+
+
+class TestKrausSets:
+    @pytest.mark.parametrize("factory,param", [
+        (depolarizing_kraus, 0.1), (bit_flip_kraus, 0.25),
+        (phase_flip_kraus, 0.4), (amplitude_damping_kraus, 0.3),
+    ])
+    def test_completeness(self, factory, param):
+        kraus = factory(param)
+        total = sum(np.conj(k).T @ k for k in kraus)
+        assert np.allclose(total, np.eye(2))
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            depolarizing_kraus(1.5)
+
+
+class TestUnitaryEvolution:
+    def test_matches_statevector_probabilities(self):
+        from repro.baseline import simulate_statevector
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).t(1).ccx(0, 1, 2).sx(2)
+        simulator = DensityMatrixSimulator(3)
+        simulator.run(qc)
+        dense = simulate_statevector(qc)
+        assert np.allclose(simulator.probabilities(),
+                           np.abs(dense) ** 2, atol=1e-9)
+
+    def test_trace_preserved(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(bell_circuit())
+        assert simulator.trace() == pytest.approx(1.0)
+
+    def test_pure_state_has_unit_purity(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(bell_circuit())
+        assert simulator.purity() == pytest.approx(1.0)
+
+    def test_initial_basis_state(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.set_basis_state(3)
+        assert simulator.probability(3) == pytest.approx(1.0)
+        assert simulator.probability(0) == pytest.approx(0.0)
+
+    def test_size_mismatch_rejected(self):
+        simulator = DensityMatrixSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(3))
+
+
+class TestChannels:
+    def test_depolarising_mixes(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_operation(Operation("h", 0))
+        simulator.apply_kraus(depolarizing_kraus(0.75), 0)  # fully mixing
+        assert simulator.probability(0) == pytest.approx(0.5, abs=1e-9)
+        assert simulator.purity() == pytest.approx(0.5, abs=1e-9)
+
+    def test_bit_flip_on_zero(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_kraus(bit_flip_kraus(0.2), 0)
+        assert simulator.probability(1) == pytest.approx(0.2)
+
+    def test_phase_flip_leaves_populations(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_operation(Operation("h", 0))
+        before = simulator.probabilities()
+        simulator.apply_kraus(phase_flip_kraus(0.3), 0)
+        assert np.allclose(simulator.probabilities(), before)
+        assert simulator.purity() < 1.0  # but coherence decayed
+
+    def test_amplitude_damping_decays_excited_state(self):
+        simulator = DensityMatrixSimulator(1)
+        simulator.apply_operation(Operation("x", 0))
+        simulator.apply_kraus(amplitude_damping_kraus(0.4), 0)
+        assert simulator.probability(0) == pytest.approx(0.4)
+        assert simulator.probability(1) == pytest.approx(0.6)
+
+    def test_channel_preserves_trace(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(bell_circuit(), channel=depolarizing_kraus(0.1))
+        assert simulator.trace() == pytest.approx(1.0, abs=1e-9)
+
+    def test_incomplete_kraus_rejected(self):
+        simulator = DensityMatrixSimulator(1)
+        with pytest.raises(ValueError):
+            simulator.apply_kraus([np.eye(2) * 0.5], 0)
+
+    def test_empty_kraus_rejected(self):
+        simulator = DensityMatrixSimulator(1)
+        with pytest.raises(ValueError):
+            simulator.apply_kraus([], 0)
+
+
+class TestAgreementWithTrajectories:
+    def test_trajectory_average_converges_to_density(self):
+        """The trajectory sampler and the exact channel must agree: same
+        circuit, same per-gate depolarising rate."""
+        probability = 0.1
+        qc = bell_circuit()
+        exact = DensityMatrixSimulator(2)
+        exact.run(qc, channel=depolarizing_kraus(probability))
+        counts = noisy_counts(qc, NoiseModel(gate_error=probability),
+                              trajectories=3000, seed=11)
+        total = sum(counts.values())
+        for outcome in range(4):
+            sampled = counts.get(outcome, 0) / total
+            assert sampled == pytest.approx(exact.probability(outcome),
+                                            abs=0.05)
+
+    def test_noiseless_channel_matches_pure_evolution(self):
+        qc = bell_circuit()
+        exact = DensityMatrixSimulator(2)
+        exact.run(qc, channel=depolarizing_kraus(0.0))
+        assert exact.probability(0) == pytest.approx(0.5)
+        assert exact.purity() == pytest.approx(1.0)
+
+
+class TestDiagnostics:
+    def test_expectation_diagonal(self):
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(bell_circuit())
+        parity = simulator.expectation_diagonal(
+            lambda x: 1 - 2 * (bin(x).count("1") % 2))
+        assert parity == pytest.approx(1.0)  # Bell state has even parity
+
+    def test_nodes_reported(self):
+        simulator = DensityMatrixSimulator(3)
+        assert simulator.nodes() == 3  # |000><000| is a chain
+
+
+class TestPartialTrace:
+    def test_bell_half_is_maximally_mixed(self):
+        from repro.simulation.density import partial_trace
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(bell_circuit())
+        reduced = partial_trace(simulator.package, simulator.rho, 1)
+        from repro.dd import matrix_to_numpy
+        dense = matrix_to_numpy(reduced, 1)
+        assert np.allclose(dense, np.eye(2) / 2)
+
+    def test_product_state_reduces_cleanly(self):
+        from repro.simulation.density import partial_trace
+        from repro.dd import matrix_to_numpy
+        simulator = DensityMatrixSimulator(2)
+        simulator.apply_operation(Operation("h", 0))
+        simulator.apply_operation(Operation("x", 1))
+        reduced = partial_trace(simulator.package, simulator.rho, 1)
+        dense = matrix_to_numpy(reduced, 1)
+        assert np.allclose(dense, np.full((2, 2), 0.5))  # |+><+|
+
+    def test_trace_preserved_by_partial_trace(self):
+        from repro.simulation.density import partial_trace
+        simulator = DensityMatrixSimulator(3)
+        qc = QuantumCircuit(3)
+        qc.h(0).cx(0, 1).t(1).cx(1, 2)
+        simulator.run(qc)
+        reduced = partial_trace(simulator.package, simulator.rho, 0)
+        inner = DensityMatrixSimulator(2, package=simulator.package)
+        inner.rho = reduced
+        assert inner.trace() == pytest.approx(1.0, abs=1e-9)
+
+    def test_tracing_all_qubits_yields_trace(self):
+        from repro.simulation.density import partial_trace
+        simulator = DensityMatrixSimulator(2)
+        simulator.run(bell_circuit())
+        once = partial_trace(simulator.package, simulator.rho, 1)
+        twice = partial_trace(simulator.package, once, 0)
+        assert twice.weight == pytest.approx(1.0)
+
+    def test_out_of_range_rejected(self):
+        from repro.simulation.density import partial_trace
+        simulator = DensityMatrixSimulator(2)
+        with pytest.raises(ValueError):
+            partial_trace(simulator.package, simulator.rho, 5)
+
+    def test_entanglement_detected_by_reduced_purity(self):
+        from repro.simulation.density import partial_trace
+        # Bell: reduced purity 1/2 (entangled); product: purity 1
+        entangled = DensityMatrixSimulator(2)
+        entangled.run(bell_circuit())
+        reduced = partial_trace(entangled.package, entangled.rho, 1)
+        holder = DensityMatrixSimulator(1, package=entangled.package)
+        holder.rho = reduced
+        assert holder.purity() == pytest.approx(0.5, abs=1e-9)

@@ -1,0 +1,160 @@
+"""Engine-level behaviour: gate caching, GC, initial states, results."""
+
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.circuit import Operation, QuantumCircuit
+from repro.dd import Package, vector_to_numpy
+from repro.simulation import (SequentialStrategy, SimulationEngine,
+                              SimulationResult)
+
+
+class TestGateCache:
+    def test_same_operation_reuses_dd(self):
+        engine = SimulationEngine()
+        op = Operation("h", 1)
+        first = engine.gate_dd(op, 3)
+        second = engine.gate_dd(op, 3)
+        assert first is second
+
+    def test_different_width_builds_new_dd(self):
+        engine = SimulationEngine()
+        op = Operation("h", 1)
+        assert engine.gate_dd(op, 3) is not engine.gate_dd(op, 4)
+
+    def test_clear_caches(self):
+        engine = SimulationEngine()
+        op = Operation("h", 0)
+        first = engine.gate_dd(op, 2)
+        engine.clear_caches()
+        # rebuilding gives an equal DD (same unique node) fetched fresh
+        second = engine.gate_dd(op, 2)
+        assert second.node is first.node
+
+
+class TestSimulate:
+    def test_defaults_to_zero_state_and_sequential(self):
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        result = engine.simulate(qc)
+        assert result.probability(1) == pytest.approx(1.0)
+        assert result.statistics.strategy == "sequential"
+
+    def test_custom_initial_state(self):
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        initial = engine.initial_state(2, basis_index=2)
+        result = engine.simulate(qc, initial_state=initial)
+        assert result.probability(3) == pytest.approx(1.0)
+
+    def test_shared_package_allows_fidelity_comparison(self):
+        package = Package()
+        engine_a = SimulationEngine(package)
+        engine_b = SimulationEngine(package)
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        result_a = engine_a.simulate(qc)
+        result_b = engine_b.simulate(qc)
+        assert result_a.fidelity_with(result_b) == pytest.approx(1.0)
+
+    def test_cross_package_fidelity_rejected(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        result_a = SimulationEngine().simulate(qc)
+        result_b = SimulationEngine().simulate(qc)
+        with pytest.raises(ValueError):
+            result_a.fidelity_with(result_b)
+
+    def test_statistics_metadata(self):
+        engine = SimulationEngine()
+        qc = QuantumCircuit(3, name="meta_test")
+        qc.h(0).h(1)
+        stats = engine.simulate(qc).statistics
+        assert stats.circuit_name == "meta_test"
+        assert stats.num_qubits == 3
+        assert stats.final_state_nodes > 0
+
+
+class TestGarbageCollection:
+    def test_gc_triggers_and_preserves_state(self):
+        engine = SimulationEngine(gc_node_limit=50)
+        qc = QuantumCircuit(4)
+        rng = Random(3)
+        for _ in range(60):
+            qc.h(rng.randrange(4))
+            control = rng.randrange(4)
+            target = (control + 1 + rng.randrange(3)) % 4
+            qc.cx(control, target)
+        # build an equivalent run without GC to compare
+        reference = SimulationEngine(gc_node_limit=None).simulate(qc)
+        collected = engine.simulate(qc)
+        assert np.allclose(vector_to_numpy(collected.state, 4),
+                           vector_to_numpy(reference.state, 4), atol=1e-9)
+
+    def test_gc_disabled(self):
+        engine = SimulationEngine(gc_node_limit=None)
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        result = engine.simulate(qc)
+        assert result.probability(0) == pytest.approx(0.5)
+
+
+class TestSimulationResult:
+    def _result(self) -> SimulationResult:
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        return engine.simulate(qc)
+
+    def test_amplitude_and_probability(self):
+        result = self._result()
+        assert result.amplitude(0) == pytest.approx(2 ** -0.5)
+        assert result.probability(3) == pytest.approx(0.5)
+        assert result.probability(1) == pytest.approx(0.0)
+
+    def test_probabilities_sum_to_one(self):
+        result = self._result()
+        assert sum(result.probabilities()) == pytest.approx(1.0)
+
+    def test_sampling(self):
+        result = self._result()
+        counts = result.sample(200, Random(1))
+        assert set(counts) <= {0, 3}
+        assert sum(counts.values()) == 200
+
+    def test_state_nodes(self):
+        result = self._result()
+        # Bell state: root node plus the two distinct level-0 children.
+        assert result.state_nodes() == 3
+
+    def test_num_qubits(self):
+        assert self._result().num_qubits == 2
+
+
+class TestResultConvenience:
+    def test_expectation_shortcut(self):
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        result = engine.simulate(qc)
+        assert result.expectation({0: "Z", 1: "Z"}) == pytest.approx(1.0)
+        assert result.expectation({0: "Z"}) == pytest.approx(0.0)
+
+    def test_entropy_shortcut(self):
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        result = engine.simulate(qc)
+        assert result.entanglement_entropy([0]) == pytest.approx(1.0)
+
+    def test_entropy_of_product_state(self):
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.h(0).h(1)
+        result = engine.simulate(qc)
+        assert result.entanglement_entropy([0]) == pytest.approx(0.0,
+                                                                 abs=1e-9)

@@ -1,0 +1,126 @@
+"""Trajectory-based Pauli noise."""
+
+from random import Random
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.simulation import (KOperationsStrategy, NoiseModel, SimulationEngine,
+                              noisy_counts, noisy_trajectory_circuit,
+                              simulate_trajectory)
+
+
+def ghz_circuit(n: int) -> QuantumCircuit:
+    qc = QuantumCircuit(n, name="ghz")
+    qc.h(0)
+    for q in range(n - 1):
+        qc.cx(q, q + 1)
+    return qc
+
+
+class TestNoiseModel:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(gate_error=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(measurement_flip=-0.1)
+
+    def test_noiseless_flag(self):
+        assert NoiseModel().is_noiseless
+        assert not NoiseModel(gate_error=0.01).is_noiseless
+        assert not NoiseModel(measurement_flip=0.01).is_noiseless
+
+
+class TestTrajectoryCircuits:
+    def test_zero_noise_reproduces_circuit_ops(self):
+        circuit = ghz_circuit(4)
+        trajectory = noisy_trajectory_circuit(circuit, NoiseModel(),
+                                              Random(0))
+        assert list(trajectory.operations()) == list(circuit.operations())
+
+    def test_errors_inserted_at_high_rate(self):
+        circuit = ghz_circuit(4)
+        trajectory = noisy_trajectory_circuit(
+            circuit, NoiseModel(gate_error=1.0), Random(0))
+        # every op touches >= 1 qubit, each inserts exactly one Pauli
+        assert trajectory.num_operations() > circuit.num_operations() * 1.9
+
+    def test_inserted_gates_are_paulis(self):
+        circuit = ghz_circuit(3)
+        trajectory = noisy_trajectory_circuit(
+            circuit, NoiseModel(gate_error=1.0), Random(1))
+        extra = [op.gate for op in trajectory.operations()
+                 if not op.controls and op.gate not in ("h",)]
+        assert set(extra) <= {"x", "y", "z"}
+
+    def test_deterministic_given_rng(self):
+        circuit = ghz_circuit(3)
+        a = noisy_trajectory_circuit(circuit, NoiseModel(gate_error=0.3),
+                                     Random(42))
+        b = noisy_trajectory_circuit(circuit, NoiseModel(gate_error=0.3),
+                                     Random(42))
+        assert a == b
+
+
+class TestTrajectorySimulation:
+    def test_noiseless_trajectory_matches_ideal(self):
+        circuit = ghz_circuit(4)
+        noisy = simulate_trajectory(circuit, NoiseModel(), Random(0))
+        assert noisy.probability(0) == pytest.approx(0.5)
+        assert noisy.probability(15) == pytest.approx(0.5)
+
+    def test_trajectory_state_stays_normalised(self):
+        circuit = ghz_circuit(4)
+        result = simulate_trajectory(circuit, NoiseModel(gate_error=0.5),
+                                     Random(3))
+        assert result.package.squared_norm(result.state) \
+            == pytest.approx(1.0)
+
+    def test_composes_with_strategies(self):
+        circuit = ghz_circuit(4)
+        rng_state = Random(5)
+        a = simulate_trajectory(circuit, NoiseModel(gate_error=0.2),
+                                Random(5))
+        b = simulate_trajectory(circuit, NoiseModel(gate_error=0.2),
+                                rng_state, strategy=KOperationsStrategy(3))
+        # identical trajectory (same rng seed), identical state
+        for index in range(16):
+            assert a.probability(index) == pytest.approx(
+                b.probability(index), abs=1e-9)
+
+
+class TestNoisyCounts:
+    def test_noiseless_counts_match_ideal_distribution(self):
+        circuit = ghz_circuit(3)
+        counts = noisy_counts(circuit, NoiseModel(), trajectories=100,
+                              shots_per_trajectory=2, seed=1)
+        assert sum(counts.values()) == 200
+        assert set(counts) <= {0, 7}
+
+    def test_gate_noise_leaks_probability(self):
+        circuit = ghz_circuit(3)
+        counts = noisy_counts(circuit, NoiseModel(gate_error=0.2),
+                              trajectories=150, seed=2)
+        ghz_mass = counts.get(0, 0) + counts.get(7, 0)
+        assert ghz_mass < sum(counts.values())  # some mass left GHZ support
+
+    def test_more_noise_means_less_ghz_mass(self):
+        circuit = ghz_circuit(3)
+
+        def ghz_fraction(p):
+            counts = noisy_counts(circuit, NoiseModel(gate_error=p),
+                                  trajectories=200, seed=3)
+            total = sum(counts.values())
+            return (counts.get(0, 0) + counts.get(7, 0)) / total
+
+        assert ghz_fraction(0.02) > ghz_fraction(0.4)
+
+    def test_measurement_flips_only(self):
+        qc = QuantumCircuit(4)  # state stays |0000>
+        counts = noisy_counts(qc, NoiseModel(measurement_flip=0.5),
+                              trajectories=100, seed=4)
+        assert len(counts) > 1  # flips scatter the readout
+
+    def test_invalid_trajectories(self):
+        with pytest.raises(ValueError):
+            noisy_counts(ghz_circuit(2), NoiseModel(), trajectories=0)

@@ -1,0 +1,107 @@
+"""The top-level command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+BELL_QASM = """
+OPENQASM 2.0;
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+GHZ_QASM = """
+OPENQASM 2.0;
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+"""
+
+
+@pytest.fixture
+def bell_file(tmp_path):
+    path = tmp_path / "bell.qasm"
+    path.write_text(BELL_QASM)
+    return str(path)
+
+
+@pytest.fixture
+def ghz_file(tmp_path):
+    path = tmp_path / "ghz.qasm"
+    path.write_text(GHZ_QASM)
+    return str(path)
+
+
+class TestSimulate:
+    def test_basic_run(self, bell_file, capsys):
+        assert main(["simulate", bell_file]) == 0
+        output = capsys.readouterr().out
+        assert "2 qubits" in output
+        assert "matrix-vector" in output
+
+    def test_amplitudes_flag(self, bell_file, capsys):
+        assert main(["simulate", bell_file, "--amplitudes"]) == 0
+        output = capsys.readouterr().out
+        assert "|00>" in output and "|11>" in output
+        assert "|01>" not in output  # below threshold
+
+    def test_shots(self, bell_file, capsys):
+        assert main(["simulate", bell_file, "--shots", "50",
+                     "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "50 shots" in output
+
+    def test_strategy_spec(self, ghz_file, capsys):
+        assert main(["simulate", ghz_file, "--strategy", "k=2"]) == 0
+        assert "k-operations" in capsys.readouterr().out
+
+    def test_initial_state(self, bell_file, capsys):
+        # from |01>: H then CX gives the Bell pair (|00> - |11>)/sqrt(2)
+        assert main(["simulate", bell_file, "--initial", "1",
+                     "--amplitudes"]) == 0
+        output = capsys.readouterr().out
+        assert "|00>" in output and "|11>" in output
+        assert "-0.7071" in output
+
+
+class TestInfo:
+    def test_info_output(self, ghz_file, capsys):
+        assert main(["info", ghz_file]) == 0
+        output = capsys.readouterr().out
+        assert "qubits     : 3" in output
+        assert "depth" in output
+        assert "h" in output
+
+
+class TestEquiv:
+    def test_equivalent_files(self, tmp_path, capsys):
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text("qreg q[1]; h q[0]; x q[0]; h q[0];")
+        b.write_text("qreg q[1]; z q[0];")
+        assert main(["equiv", str(a), str(b)]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_not_equivalent(self, tmp_path, capsys):
+        a = tmp_path / "a.qasm"
+        b = tmp_path / "b.qasm"
+        a.write_text("qreg q[1]; x q[0];")
+        b.write_text("qreg q[1]; y q[0];")
+        assert main(["equiv", str(a), str(b)]) == 1
+        assert "NOT equivalent" in capsys.readouterr().out
+
+    def test_pointer_method(self, bell_file, capsys):
+        assert main(["equiv", bell_file, bell_file,
+                     "--method", "pointer"]) == 0
+
+
+class TestFactor:
+    def test_factor_semiprime(self, capsys):
+        assert main(["factor", "15", "--seed", "3"]) == 0
+        assert "3 x 5" in capsys.readouterr().out.replace("5 x 3", "3 x 5")
+
+    def test_factor_even_shortcut(self, capsys):
+        assert main(["factor", "22"]) == 0
+        assert "classical shortcut" in capsys.readouterr().out

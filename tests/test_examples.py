@@ -1,0 +1,43 @@
+"""Smoke tests: the example scripts must actually run.
+
+Only the fast examples run in the default suite; each is executed
+in-process with its ``main()`` so failures surface as normal test errors.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "dd_inspection.py",
+    "equivalence_checking.py",
+    "noisy_simulation.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # dd_inspection writes dot files
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_complete():
+    """Every example advertised by the README exists and is runnable text."""
+    expected = {"quickstart.py", "grover_search.py", "shor_factoring.py",
+                "supremacy_simulation.py", "dd_inspection.py",
+                "equivalence_checking.py", "qaoa_maxcut.py",
+                "noisy_simulation.py", "compile_pipeline.py",
+                "amplitude_estimation.py"}
+    present = {path.name for path in EXAMPLES.glob("*.py")}
+    assert expected <= present
+    for name in expected:
+        source = (EXAMPLES / name).read_text()
+        assert "def main()" in source
+        assert '__main__' in source

@@ -1,0 +1,96 @@
+"""Quantum teleportation: a mid-circuit-measurement integration test.
+
+Teleportation uses everything at once -- state preparation, entanglement,
+intermediate measurement with collapse, and classically conditioned
+corrections -- so it is a strong end-to-end witness that the measurement
+machinery composes correctly with the simulation engine.
+"""
+
+import math
+from random import Random
+
+import pytest
+
+from repro.circuit import Operation, QuantumCircuit
+from repro.dd import Package, measure_qubit, product_state, qubit_probability
+from repro.simulation import SimulationEngine
+
+
+def teleport(alpha: complex, beta: complex, seed: int) -> tuple:
+    """Teleport ``alpha|0> + beta|1>`` from qubit 0 to qubit 2.
+
+    Returns ``(package, final_state, measured_bits)``.
+    """
+    package = Package()
+    engine = SimulationEngine(package)
+    # input state on qubit 0, fresh |0> on qubits 1 and 2
+    message = product_state(package, [(alpha, beta), (1, 0), (1, 0)])
+    circuit = QuantumCircuit(3, name="teleport_entangle")
+    circuit.h(1)
+    circuit.cx(1, 2)       # Bell pair between 1 (Alice) and 2 (Bob)
+    circuit.cx(0, 1)       # Bell measurement basis change
+    circuit.h(0)
+    state = engine.simulate(circuit, initial_state=message).state
+
+    rng = Random(seed)
+    bit0, state, _ = measure_qubit(package, state, 0, rng)
+    bit1, state, _ = measure_qubit(package, state, 1, rng)
+
+    corrections = QuantumCircuit(3, name="teleport_corrections")
+    if bit1:
+        corrections.x(2)
+    if bit0:
+        corrections.z(2)
+    state = engine.simulate(corrections, initial_state=state).state
+    return package, state, (bit0, bit1)
+
+
+def normalised(alpha: complex, beta: complex) -> tuple[complex, complex]:
+    norm = math.sqrt(abs(alpha) ** 2 + abs(beta) ** 2)
+    return alpha / norm, beta / norm
+
+
+class TestTeleportation:
+    @pytest.mark.parametrize("alpha,beta", [
+        (1, 0), (0, 1), (1, 1), (0.6, 0.8j), (1, -1j), (0.3 + 0.4j, 0.5),
+    ])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_state_arrives_intact(self, alpha, beta, seed):
+        alpha, beta = normalised(alpha, beta)
+        package, state, _ = teleport(alpha, beta, seed)
+        # expected final state: qubits 0,1 collapsed, qubit 2 = message
+        expected_p1 = abs(beta) ** 2
+        assert qubit_probability(package, state, 2) == pytest.approx(
+            expected_p1, abs=1e-9)
+        # full fidelity check: build the expected state explicitly
+        bits_state = state  # compare amplitudes of qubit 2 relative phase
+        amp0 = amp1 = None
+        for index in range(8):
+            amplitude = package.amplitude(state, index)
+            if abs(amplitude) > 1e-12:
+                if (index >> 2) & 1:
+                    amp1 = amplitude
+                else:
+                    amp0 = amplitude
+        if abs(beta) < 1e-12:
+            assert amp1 is None
+        elif abs(alpha) < 1e-12:
+            assert amp0 is None
+        else:
+            # relative phase must match beta/alpha exactly
+            assert amp1 / amp0 == pytest.approx(beta / alpha, abs=1e-9)
+
+    def test_all_four_measurement_branches_occur(self):
+        seen = set()
+        for seed in range(40):
+            _, _, bits = teleport(*normalised(1, 1j), seed)
+            seen.add(bits)
+        assert seen == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_measurement_statistics_uniform(self):
+        counts = {}
+        for seed in range(120):
+            _, _, bits = teleport(*normalised(0.6, 0.8), seed)
+            counts[bits] = counts.get(bits, 0) + 1
+        for value in counts.values():
+            assert 12 <= value <= 50  # ~30 each, generous bounds

@@ -1,0 +1,129 @@
+"""Mutation testing of the equivalence checker.
+
+A verifier is only trustworthy if it *catches* bugs, not just confirms
+correct circuits.  These tests inject single-point mutations -- dropped
+gates, perturbed angles, swapped non-commuting neighbours, retargeted
+controls -- into real circuits and require the checker to flag every one.
+"""
+
+from random import Random
+
+import pytest
+
+from repro.algorithms import grover_circuit, qft_circuit
+from repro.circuit import Operation, QuantumCircuit
+from repro.verification import check_equivalence
+
+
+def copy_ops(circuit: QuantumCircuit) -> list[Operation]:
+    return list(circuit.operations())
+
+
+def circuit_from(operations, num_qubits: int) -> QuantumCircuit:
+    result = QuantumCircuit(num_qubits)
+    result.extend(operations)
+    return result
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return qft_circuit(4)
+
+
+class TestMutationsAreCaught:
+    def test_dropped_gate(self, reference):
+        ops = copy_ops(reference)
+        for drop_index in range(0, len(ops), 3):
+            mutated = circuit_from(ops[:drop_index] + ops[drop_index + 1:],
+                                   4)
+            assert not check_equivalence(reference, mutated).equivalent, \
+                f"dropping op {drop_index} went unnoticed"
+
+    def test_perturbed_angles(self, reference):
+        ops = copy_ops(reference)
+        for index, op in enumerate(ops):
+            if not op.params:
+                continue
+            perturbed = Operation(op.gate, op.target, op.controls,
+                                  (op.params[0] + 1e-3,))
+            mutated = circuit_from(ops[:index] + [perturbed]
+                                   + ops[index + 1:], 4)
+            assert not check_equivalence(reference, mutated).equivalent
+
+    def test_swapped_non_commuting_neighbours(self, reference):
+        from repro.baseline import simulate_statevector
+        import numpy as np
+        ops = copy_ops(reference)
+        caught = 0
+        attempted = 0
+        for index in range(len(ops) - 1):
+            swapped = ops[:index] + [ops[index + 1], ops[index]] \
+                + ops[index + 2:]
+            mutated = circuit_from(swapped, 4)
+            # only count swaps that actually change the unitary
+            if np.allclose(simulate_statevector(mutated),
+                           simulate_statevector(reference), atol=1e-12):
+                continue
+            attempted += 1
+            if not check_equivalence(reference, mutated).equivalent:
+                caught += 1
+        assert attempted > 0
+        assert caught == attempted
+
+    def test_retargeted_control(self):
+        base = QuantumCircuit(3)
+        base.h(0).cx(0, 1).t(1).cx(1, 2)
+        mutated = QuantumCircuit(3)
+        mutated.h(0).cx(0, 2).t(1).cx(1, 2)  # second gate retargeted
+        assert not check_equivalence(base, mutated).equivalent
+
+    def test_flipped_control_polarity(self):
+        base = QuantumCircuit(2)
+        base.h(0).cx(0, 1)
+        mutated = QuantumCircuit(2)
+        mutated.h(0)
+        mutated.add_operation("x", 1, controls=((0, 0),))
+        assert not check_equivalence(base, mutated).equivalent
+
+    def test_grover_marked_element_mutation(self):
+        a = grover_circuit(4, 5, iterations=2,
+                           mark_repetition=False).circuit
+        b = grover_circuit(4, 6, iterations=2,
+                           mark_repetition=False).circuit
+        assert not check_equivalence(a, b).equivalent
+
+    def test_random_fuzz_mutations(self):
+        rng = Random(4)
+        reference = qft_circuit(3)
+        ops = copy_ops(reference)
+        for _ in range(15):
+            index = rng.randrange(len(ops))
+            op = ops[index]
+            if op.params:
+                mutated_op = Operation(op.gate, op.target, op.controls,
+                                       (op.params[0] * 1.01 + 0.01,))
+            else:
+                new_target = (op.target + 1) % 3
+                if any(q == new_target for q, _ in op.controls):
+                    continue
+                mutated_op = Operation(op.gate, new_target, op.controls,
+                                       op.params)
+            mutated = circuit_from(ops[:index] + [mutated_op]
+                                   + ops[index + 1:], 3)
+            assert not check_equivalence(reference, mutated).equivalent
+
+
+class TestNoFalsePositives:
+    def test_commuting_reorder_still_equivalent(self):
+        a = QuantumCircuit(3)
+        a.t(0).z(1).cz(0, 1).s(2)
+        b = QuantumCircuit(3)
+        b.s(2).cz(0, 1).z(1).t(0)  # all diagonal: any order works
+        assert check_equivalence(a, b).equivalent
+
+    def test_disjoint_reorder_still_equivalent(self):
+        a = QuantumCircuit(4)
+        a.h(0).x(2).cx(0, 1).sx(3)
+        b = QuantumCircuit(4)
+        b.x(2).sx(3).h(0).cx(0, 1)
+        assert check_equivalence(a, b).equivalent
