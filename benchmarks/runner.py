@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""Standalone entry point for the kernel benchmark harness.
+
+Equivalent to ``python -m repro bench``; kept next to the pytest-benchmark
+modules so the whole measurement story lives under ``benchmarks/``.  Run
+from the repository root::
+
+    python benchmarks/runner.py                 # full suite -> BENCH_kernel.json
+    python benchmarks/runner.py --smoke         # CI-sized suite (<60s)
+    python benchmarks/runner.py --output -      # print JSON to stdout
+
+All workloads use fixed seeds; see ``repro.bench`` for the definitions and
+the JSON schema.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from ..algorithms.grover import grover_circuit
 from ..algorithms.shor import ShorOrderFinder
 from ..algorithms.supremacy import supremacy_circuit
 from ..circuit.circuit import QuantumCircuit
+from ..dd.package import Package
 from ..simulation.engine import SimulationEngine
 from ..simulation.statistics import SimulationStatistics
 from ..simulation.strategies import SimulationStrategy
@@ -38,13 +39,20 @@ class BenchmarkInstance:
     name: str
     kind: str                      # "grover" | "shor" | "supremacy"
     description: str
-    _runner: Callable[[SimulationStrategy], SimulationStatistics]
+    _runner: Callable[..., SimulationStatistics]
     #: extra per-instance info (modulus, marked element, grid, ...)
     metadata: dict = field(default_factory=dict)
 
-    def run(self, strategy: SimulationStrategy) -> SimulationStatistics:
-        """Simulate this instance under ``strategy`` on a fresh engine."""
-        return self._runner(strategy)
+    def run(self, strategy: SimulationStrategy,
+            use_local_apply: bool = True) -> SimulationStatistics:
+        """Simulate this instance under ``strategy`` on a fresh engine.
+
+        ``use_local_apply=False`` forces the paper-literal pathway (explicit
+        gate DDs + one matrix-vector multiplication per gate); the
+        paper-artifact experiments use it so the MxV-vs-MxM comparison
+        matches the paper's cost model.
+        """
+        return self._runner(strategy, use_local_apply)
 
 
 def _circuit_instance(name: str, kind: str, description: str,
@@ -52,10 +60,20 @@ def _circuit_instance(name: str, kind: str, description: str,
                       metadata: dict | None = None) -> BenchmarkInstance:
     built: list[QuantumCircuit] = []
 
-    def runner(strategy: SimulationStrategy) -> SimulationStatistics:
+    def runner(strategy: SimulationStrategy,
+               use_local_apply: bool = True) -> SimulationStatistics:
         if not built:
             built.append(build())
-        engine = SimulationEngine()
+        if use_local_apply:
+            engine = SimulationEngine()
+        else:
+            # Paper mode: no local-gate fast path AND no identity-aware
+            # multiplication shortcut, so machine-independent recursion
+            # counts match the paper's cost model (identity padding is
+            # traversed like any other sub-matrix).
+            engine = SimulationEngine(
+                package=Package(identity_shortcut=False),
+                use_local_apply=False)
         return engine.simulate(built[0], strategy).statistics
 
     return BenchmarkInstance(name=name, kind=kind, description=description,
@@ -95,9 +113,16 @@ def _supremacy_instance(rows: int, cols: int, depth: int,
 def _shor_instance(modulus: int, base: int, seed: int = 7) -> BenchmarkInstance:
     qubits = 2 * modulus.bit_length() + 3
 
-    def runner(strategy: SimulationStrategy) -> SimulationStatistics:
+    def runner(strategy: SimulationStrategy,
+               use_local_apply: bool = True) -> SimulationStatistics:
+        if use_local_apply:
+            engine = SimulationEngine()
+        else:
+            engine = SimulationEngine(
+                package=Package(identity_shortcut=False),
+                use_local_apply=False)
         finder = ShorOrderFinder(modulus, base, mode="gates",
-                                 strategy=strategy, seed=seed)
+                                 strategy=strategy, seed=seed, engine=engine)
         return finder.run().statistics
 
     return BenchmarkInstance(

@@ -1,0 +1,234 @@
+"""Reproducible kernel benchmark harness (``python -m repro bench``).
+
+Measures the sequential-simulation kernel on a fixed set of workloads with
+fixed seeds and emits a machine-readable JSON report (``BENCH_kernel.json``)
+containing, per workload:
+
+* wall-clock time (best and median over ``--repeats`` runs) for both the
+  local-gate fast path (``Package.apply_gate``) and the paper-literal
+  matrix pathway (explicit gate DD + one matrix-vector product per gate);
+* the machine-independent recursion counters of both pathways;
+* per-compute-table cache hit rates from :meth:`Package.cache_stats`.
+
+The report is the "receipt" for the kernel optimisations: wall-clock claims
+can be re-derived on any machine with one command, and counter/cache-rate
+fields change only when the kernel itself changes.
+
+Workloads (``--smoke`` swaps in smaller variants for CI):
+
+========== ============================== =============================
+name       full                           smoke
+========== ============================== =============================
+grover     10 qubits, marked 311          8 qubits, marked 77
+qft        14 qubits                      10 qubits
+supremacy  3x4 grid, depth 10, seed 1     3x3 grid, depth 8, seed 1
+clifford   12 qubits, depth 16, seed 2    10 qubits, depth 10, seed 2
+========== ============================== =============================
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+from dataclasses import dataclass
+from typing import Callable
+
+from .circuit.circuit import QuantumCircuit
+from .simulation.engine import SimulationEngine
+from .simulation.strategies import SequentialStrategy
+
+__all__ = ["WORKLOADS", "SMOKE_WORKLOADS", "run_bench", "main"]
+
+DEFAULT_OUTPUT = "BENCH_kernel.json"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named benchmark circuit with a deterministic builder."""
+
+    name: str
+    description: str
+    build: Callable[[], QuantumCircuit]
+
+
+def _grover(num_qubits: int, marked: int) -> Callable[[], QuantumCircuit]:
+    def build() -> QuantumCircuit:
+        from .algorithms.grover import grover_circuit
+        return grover_circuit(num_qubits, marked).circuit
+    return build
+
+
+def _qft(num_qubits: int) -> Callable[[], QuantumCircuit]:
+    def build() -> QuantumCircuit:
+        from .algorithms.qft import qft_circuit
+        return qft_circuit(num_qubits)
+    return build
+
+
+def _supremacy(rows: int, cols: int, depth: int,
+               seed: int) -> Callable[[], QuantumCircuit]:
+    def build() -> QuantumCircuit:
+        from .algorithms.supremacy import supremacy_circuit
+        return supremacy_circuit(rows, cols, depth, seed).circuit
+    return build
+
+
+def _clifford(num_qubits: int, depth: int,
+              seed: int) -> Callable[[], QuantumCircuit]:
+    def build() -> QuantumCircuit:
+        from .algorithms.clifford import random_clifford_circuit
+        return random_clifford_circuit(num_qubits, depth, seed=seed).circuit
+    return build
+
+
+WORKLOADS: list[Workload] = [
+    Workload("grover_10", "Grover search, 10 qubits, marked element 311",
+             _grover(10, 311)),
+    Workload("qft_14", "quantum Fourier transform, 14 qubits", _qft(14)),
+    Workload("supremacy_3x4_d10",
+             "Boixo-style random circuit, 3x4 grid, depth 10, seed 1",
+             _supremacy(3, 4, 10, 1)),
+    Workload("clifford_12_d16",
+             "random {H,S,CX} circuit, 12 qubits, depth 16, seed 2",
+             _clifford(12, 16, 2)),
+]
+
+SMOKE_WORKLOADS: list[Workload] = [
+    Workload("grover_8", "Grover search, 8 qubits, marked element 77",
+             _grover(8, 77)),
+    Workload("qft_10", "quantum Fourier transform, 10 qubits", _qft(10)),
+    Workload("supremacy_3x3_d8",
+             "Boixo-style random circuit, 3x3 grid, depth 8, seed 1",
+             _supremacy(3, 3, 8, 1)),
+    Workload("clifford_10_d10",
+             "random {H,S,CX} circuit, 10 qubits, depth 10, seed 2",
+             _clifford(10, 10, 2)),
+]
+
+
+def _counters_dict(counters) -> dict:
+    return {
+        "add_recursions": counters.add_recursions,
+        "mult_mv_recursions": counters.mult_mv_recursions,
+        "mult_mm_recursions": counters.mult_mm_recursions,
+        "apply_gate_recursions": counters.apply_gate_recursions,
+        "nodes_created": counters.nodes_created,
+        "total_recursions": counters.total_recursions(),
+    }
+
+
+def _compute_hit_rates(cache_stats: dict) -> dict:
+    """Per-table lookup/hit-rate summary, dropping never-used tables."""
+    out = {}
+    for name, stats in cache_stats["compute"].items():
+        if stats["lookups"]:
+            out[name] = {"lookups": stats["lookups"],
+                         "hit_rate": stats["hit_rate"],
+                         "collisions": stats["collisions"]}
+    out["unique_vectors"] = cache_stats["unique"]["vectors"]["hit_rate"]
+    out["complex_table"] = cache_stats["complex"]["hit_rate"]
+    return out
+
+
+def _measure(circuit: QuantumCircuit, use_local_apply: bool,
+             repeats: int) -> dict:
+    """Time ``repeats`` fresh-engine sequential runs of ``circuit``."""
+    times = []
+    stats = None
+    cache_stats = None
+    for _ in range(repeats):
+        engine = SimulationEngine(use_local_apply=use_local_apply)
+        result = engine.simulate(circuit, SequentialStrategy())
+        stats = result.statistics
+        cache_stats = engine.package.cache_stats()
+        times.append(stats.wall_time_seconds)
+    return {
+        "wall_seconds_best": round(min(times), 6),
+        "wall_seconds_median": round(statistics.median(times), 6),
+        "matrix_vector_mults": stats.matrix_vector_mults,
+        "local_gate_applications": stats.local_gate_applications,
+        "peak_state_nodes": stats.peak_state_nodes,
+        "final_state_nodes": stats.final_state_nodes,
+        "counters": _counters_dict(stats.counters),
+        "cache": _compute_hit_rates(cache_stats),
+    }
+
+
+def run_bench(smoke: bool = False, repeats: int = 3,
+              workload_names: list[str] | None = None) -> dict:
+    """Run the kernel benchmark suite and return the report dict."""
+    workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
+    if workload_names:
+        selected = [w for w in workloads if w.name in workload_names]
+        unknown = set(workload_names) - {w.name for w in selected}
+        if unknown:
+            raise KeyError(f"unknown workload(s): {sorted(unknown)}")
+        workloads = selected
+    report = {
+        "schema": SCHEMA_VERSION,
+        "profile": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "workloads": [],
+    }
+    for workload in workloads:
+        circuit = workload.build()
+        fast = _measure(circuit, use_local_apply=True, repeats=repeats)
+        matrix = _measure(circuit, use_local_apply=False, repeats=repeats)
+        speedup = (matrix["wall_seconds_best"] / fast["wall_seconds_best"]
+                   if fast["wall_seconds_best"] else 0.0)
+        report["workloads"].append({
+            "name": workload.name,
+            "description": workload.description,
+            "num_qubits": circuit.num_qubits,
+            "num_operations": circuit.num_operations(),
+            "fast_path": fast,
+            "matrix_path": matrix,
+            "speedup_fast_vs_matrix": round(speedup, 3),
+        })
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Reproducible DD-kernel benchmark (fixed seeds).")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workloads, suitable for CI (<60s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per workload/pathway (default 3)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT}; "
+                             "'-' prints to stdout)")
+    parser.add_argument("--workload", action="append", dest="workloads",
+                        help="run only this workload (repeatable)")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    try:
+        report = run_bench(smoke=args.smoke, repeats=args.repeats,
+                           workload_names=args.workloads)
+    except KeyError as exc:
+        parser.error(str(exc).strip('"'))
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        for w in report["workloads"]:
+            print(f"{w['name']:>18}: fast {w['fast_path']['wall_seconds_best']:.4f}s"
+                  f"  matrix {w['matrix_path']['wall_seconds_best']:.4f}s"
+                  f"  (x{w['speedup_fast_vs_matrix']:.2f})")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

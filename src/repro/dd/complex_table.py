@@ -50,6 +50,13 @@ class ComplexTable:
             raise ValueError(f"tolerance must be positive, got {tolerance}")
         self.tolerance = tolerance
         self._buckets: dict[tuple[int, int], complex] = {}
+        # Exact-value front cache: most lookups repeat bit-identical floats
+        # (re-occurring products), so one dict probe answers them without
+        # the grid arithmetic and neighbour search.  Bounded by wholesale
+        # clearing; representatives never change once interned, so cached
+        # answers stay valid until clear().
+        self._exact: dict[complex, complex] = {}
+        self._exact_limit = 1 << 18
         self.hits = 0
         self.misses = 0
         # Pre-seed the values every simulation touches so they are stable
@@ -72,26 +79,37 @@ class ComplexTable:
         The first value seen in a tolerance neighbourhood becomes the
         representative for all later lookups in that neighbourhood.
         """
-        value = complex(value)
+        if type(value) is not complex:
+            value = complex(value)
+        exact = self._exact
+        found = exact.get(value)
+        if found is not None:
+            self.hits += 1
+            return found
         if value != value:  # NaN guard: propagating NaN silently corrupts DDs
             raise ValueError("cannot intern NaN complex value")
         kr, ki = self._key(value)
         buckets = self._buckets
         tol = self.tolerance
+        if len(exact) >= self._exact_limit:
+            exact.clear()
         # Fast path: exact bucket holds a close-enough representative.
         found = buckets.get((kr, ki))
         if found is not None and abs(found.real - value.real) < tol \
                 and abs(found.imag - value.imag) < tol:
             self.hits += 1
+            exact[value] = found
             return found
         for dr, di in _NEIGHBOUR_OFFSETS[1:]:
             found = buckets.get((kr + dr, ki + di))
             if found is not None and abs(found.real - value.real) < tol \
                     and abs(found.imag - value.imag) < tol:
                 self.hits += 1
+                exact[value] = found
                 return found
         self.misses += 1
         buckets[(kr, ki)] = value
+        exact[value] = value
         return value
 
     def is_zero(self, value: complex) -> bool:
@@ -111,6 +129,7 @@ class ComplexTable:
     def clear(self) -> None:
         """Drop all interned values (used when resetting a package)."""
         self._buckets.clear()
+        self._exact.clear()
         self.hits = 0
         self.misses = 0
         self.lookup(0j)

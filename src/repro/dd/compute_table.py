@@ -7,47 +7,80 @@ effect that makes matrix-matrix multiplication competitive on DDs (paper
 Sec. III: "re-occurring sub-products only have to be computed once").
 
 Keys are built from node identities plus (for addition) a canonical weight
-ratio; values are result edges.  Caches are bounded: when a cache exceeds
-``max_entries`` it is cleared wholesale, the classic DD-package policy that
-keeps bookkeeping negligible.
+ratio; values are result edges (or scalars, for inner products).
+
+The cache is a *fixed-size slot table*, the policy used by the QMDD /
+mqt-core packages: ``hash(key)`` selects one of ``slots`` slots, and an
+insert simply overwrites whatever lived there before (replace-on-collision).
+Compared to the classic grow-then-clear-wholesale dict policy this bounds
+memory exactly, never pays a full-table clear in the middle of a hot loop,
+and ages out stale entries one at a time instead of dropping the whole
+working set.  Per-table hit/miss/collision counters feed
+``Package.cache_stats()`` and the benchmark harness.
 """
 
 from __future__ import annotations
 
-from .edge import Edge
-
 __all__ = ["ComputeTable"]
+
+#: Default slot count (power of two).  At one (key, value) tuple per filled
+#: slot this bounds each table to a few MB even on the largest workloads.
+DEFAULT_SLOTS = 1 << 16
 
 
 class ComputeTable:
-    """A bounded memoisation cache for one DD operation."""
+    """A fixed-size, replace-on-collision memoisation cache."""
 
-    def __init__(self, name: str, max_entries: int = 1 << 20) -> None:
+    __slots__ = ("name", "slots", "_mask", "_entries", "_filled",
+                 "lookups", "hits", "collisions", "inserts")
+
+    def __init__(self, name: str, slots: int = DEFAULT_SLOTS) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be positive, got {slots}")
+        size = 1
+        while size < slots:
+            size <<= 1
         self.name = name
-        self.max_entries = max_entries
-        self._table: dict[tuple, Edge] = {}
+        self.slots = size
+        self._mask = size - 1
+        self._entries: list[tuple | None] = [None] * size
+        self._filled = 0
         self.lookups = 0
         self.hits = 0
-        self.evictions = 0
+        self.collisions = 0
+        self.inserts = 0
 
     def __len__(self) -> int:
-        return len(self._table)
+        return self._filled
 
-    def get(self, key: tuple) -> Edge | None:
+    def get(self, key: tuple):
+        """The cached value for ``key``, or ``None`` on a miss."""
         self.lookups += 1
-        result = self._table.get(key)
-        if result is not None:
+        entry = self._entries[hash(key) & self._mask]
+        if entry is not None and entry[0] == key:
             self.hits += 1
-        return result
+            return entry[1]
+        return None
 
-    def put(self, key: tuple, value: Edge) -> None:
-        if len(self._table) >= self.max_entries:
-            self._table.clear()
-            self.evictions += 1
-        self._table[key] = value
+    def put(self, key: tuple, value) -> None:
+        """Store ``value``, overwriting any entry sharing the key's slot."""
+        index = hash(key) & self._mask
+        current = self._entries[index]
+        if current is None:
+            self._filled += 1
+        elif current[0] != key:
+            self.collisions += 1
+        self._entries[index] = (key, value)
+        self.inserts += 1
 
     def clear(self) -> None:
-        self._table.clear()
+        """Drop all entries (cumulative statistics are kept)."""
+        self._entries = [None] * self.slots
+        self._filled = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
 
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache."""
@@ -55,6 +88,24 @@ class ComputeTable:
             return 0.0
         return self.hits / self.lookups
 
+    def load_factor(self) -> float:
+        """Fraction of slots currently occupied."""
+        return self._filled / self.slots
+
+    def stats(self) -> dict:
+        """Machine-readable counters for ``cache_stats()`` / benchmarks."""
+        return {
+            "slots": self.slots,
+            "filled": self._filled,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "collisions": self.collisions,
+            "inserts": self.inserts,
+            "hit_rate": round(self.hit_rate(), 6),
+            "load_factor": round(self.load_factor(), 6),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"ComputeTable({self.name!r}, entries={len(self)}, "
-                f"hit_rate={self.hit_rate():.2%})")
+        return (f"ComputeTable({self.name!r}, filled={self._filled}/"
+                f"{self.slots}, hit_rate={self.hit_rate():.2%})")

@@ -20,6 +20,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle breaker for type checkers
 
 __all__ = ["Edge"]
 
+#: Shared zero-stub edge handed out by :meth:`Edge.scaled` (lazily created
+#: to avoid the edge->node->edge import cycle at module load).
+_ZERO_EDGE = None
+
 
 class Edge:
     """A weighted pointer to a DD node."""
@@ -50,9 +54,12 @@ class Edge:
         public API only hands out edges whose weights are canonical.
         """
         if factor == 0:
-            from .node import TERMINAL
+            global _ZERO_EDGE
+            if _ZERO_EDGE is None:
+                from .node import TERMINAL
 
-            return Edge(TERMINAL, 0j)
+                _ZERO_EDGE = Edge(TERMINAL, 0j)
+            return _ZERO_EDGE
         return Edge(self.node, self.weight * factor)
 
     def __eq__(self, other: object) -> bool:

@@ -47,11 +47,13 @@ class OperationCounters:
     mult_mm_recursions: int = 0
     kron_recursions: int = 0
     nodes_created: int = 0
+    apply_gate_recursions: int = 0
 
     def snapshot(self) -> "OperationCounters":
         return OperationCounters(self.add_recursions, self.mult_mv_recursions,
                                  self.mult_mm_recursions, self.kron_recursions,
-                                 self.nodes_created)
+                                 self.nodes_created,
+                                 self.apply_gate_recursions)
 
     def delta(self, earlier: "OperationCounters") -> "OperationCounters":
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
@@ -61,11 +63,13 @@ class OperationCounters:
             self.mult_mm_recursions - earlier.mult_mm_recursions,
             self.kron_recursions - earlier.kron_recursions,
             self.nodes_created - earlier.nodes_created,
+            self.apply_gate_recursions - earlier.apply_gate_recursions,
         )
 
     def total_recursions(self) -> int:
         return (self.add_recursions + self.mult_mv_recursions
-                + self.mult_mm_recursions + self.kron_recursions)
+                + self.mult_mm_recursions + self.kron_recursions
+                + self.apply_gate_recursions)
 
 
 @dataclass
@@ -82,6 +86,15 @@ class _Tables:
     kron_mat: ComputeTable = field(default_factory=lambda: ComputeTable("kron_mat"))
     conj_t: ComputeTable = field(default_factory=lambda: ComputeTable("conj_t"))
     inner: ComputeTable = field(default_factory=lambda: ComputeTable("inner"))
+    apply_gate: ComputeTable = field(
+        default_factory=lambda: ComputeTable("apply_gate"))
+
+    def compute_tables(self) -> dict[str, ComputeTable]:
+        """All compute tables by name (stats reporting, bulk clearing)."""
+        return {t.name: t for t in (
+            self.add_vec, self.add_mat, self.mult_mv, self.mult_mm,
+            self.kron_vec, self.kron_mat, self.conj_t, self.inner,
+            self.apply_gate)}
 
 
 class Package:
@@ -91,13 +104,33 @@ class Package:
     owns one package (or shares one deliberately).
     """
 
-    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE,
+                 identity_shortcut: bool = True) -> None:
         self.complex_table = ComplexTable(tolerance)
         self.tables = _Tables()
         self.counters = OperationCounters()
         self.zero = Edge(TERMINAL, 0j)
         self.one = Edge(TERMINAL, self.complex_table.lookup(1 + 0j))
         self._identity_cache: list[Edge] = [self.one]
+        # Node ids of identity DDs, for the I*M = M / I*v = v multiplication
+        # shortcut.  The identity cache is a GC root, so ids stay valid.
+        self._identity_node_ids: set[int] = set()
+        # The multiplication shortcut consults this alias.  Disabling it
+        # (identity_shortcut=False) restores the paper's cost model, where
+        # multiplications recurse through identity padding like any other
+        # sub-matrix -- the paper-artifact experiments depend on those
+        # machine-independent recursion counts.
+        self.identity_shortcut = identity_shortcut
+        self._mult_identity_ids = self._identity_node_ids \
+            if identity_shortcut else frozenset()
+        # Gate/projection spec tuples interned to small ints so the
+        # apply-gate compute-table keys hash two machine words instead of
+        # re-hashing a nested tuple at every recursion level.
+        self._spec_ids: dict[tuple, int] = {}
+        # Fully-prepared apply_gate specs (interned 2x2 entries, control
+        # split, spec ids) keyed by the caller's hashable arguments, so a
+        # gate repeated thousands of times is prepared once.
+        self._gate_prep: dict[tuple, tuple] = {}
 
     # ------------------------------------------------------------------
     # node construction
@@ -122,26 +155,74 @@ class Package:
                 norm = e.weight
         if norm == 0:
             return 0j, ()
+        one = self.one.weight
         children = []
         for e in edges:
-            if e.weight == 0:
+            w = e.weight
+            if w == 0:
                 children.append(self.zero)
-                continue
-            w = lookup(e.weight / norm)
-            children.append(self.zero if w == 0 else Edge(e.node, w))
+            elif w == norm:
+                # The norm child divides to exactly 1: skip the lookup.
+                children.append(Edge(e.node, one))
+            else:
+                w = lookup(w / norm)
+                children.append(self.zero if w == 0 else Edge(e.node, w))
         return norm, tuple(children)
 
     def make_vector_node(self, level: int, edges: tuple[Edge, Edge]) -> Edge:
-        """Create (or find) the normalised node decomposing a vector at ``level``."""
-        norm, children = self._normalise(list(edges))
+        """Create (or find) the normalised node decomposing a vector at ``level``.
+
+        The binary normalisation of :meth:`_normalise` is inlined here: this
+        is the single hottest constructor in sequential simulation, and the
+        generic list-based loop showed up prominently in profiles.
+        """
+        e0, e1 = edges
+        w0 = e0.weight
+        w1 = e1.weight
+        ct = self.complex_table
+        norm = w1 if abs(w1) > abs(w0) + ct.tolerance else w0
         if norm == 0:
             return self.zero
+        one = self.one.weight
+        exact_get = ct._exact.get
+        lookup = ct.lookup
+        if w0 == 0:
+            c0 = self.zero
+        elif w0 == norm:
+            c0 = Edge(e0.node, one)
+        else:
+            q = w0 / norm
+            w = exact_get(q)
+            if w is None:
+                w = lookup(q)
+            else:
+                ct.hits += 1
+            c0 = self.zero if w == 0 else Edge(e0.node, w)
+        if w1 == 0:
+            c1 = self.zero
+        elif w1 == norm:
+            c1 = Edge(e1.node, one)
+        else:
+            q = w1 / norm
+            w = exact_get(q)
+            if w is None:
+                w = lookup(q)
+            else:
+                ct.hits += 1
+            c1 = self.zero if w == 0 else Edge(e1.node, w)
         table = self.tables.vectors
-        before = len(table)
-        node = table.get_or_insert(level, children)
-        if len(table) != before:
+        node = table.get_or_insert(level, (c0, c1))
+        if table.created:
             self.counters.nodes_created += 1
-        return Edge(node, self.complex_table.lookup(norm))
+        # Child weights are canonical already, so ``norm`` (one of them, or
+        # their magnitude-dominant representative) usually hits the exact
+        # front cache; fall back to a full lookup for external callers.
+        w = exact_get(norm)
+        if w is None:
+            w = lookup(norm)
+        else:
+            ct.hits += 1
+        return Edge(node, w)
 
     def make_matrix_node(self, level: int,
                          edges: tuple[Edge, Edge, Edge, Edge]) -> Edge:
@@ -150,9 +231,8 @@ class Package:
         if norm == 0:
             return self.zero
         table = self.tables.matrices
-        before = len(table)
         node = table.get_or_insert(level, children)
-        if len(table) != before:
+        if table.created:
             self.counters.nodes_created += 1
         return Edge(node, self.complex_table.lookup(norm))
 
@@ -171,7 +251,7 @@ class Package:
         """
         if num_qubits < 0:
             raise ValueError("num_qubits must be non-negative")
-        if not 0 <= index < (1 << max(num_qubits, 1)) and num_qubits > 0:
+        if not 0 <= index < (1 << num_qubits):
             raise ValueError(f"basis index {index} out of range for "
                              f"{num_qubits} qubits")
         edge = self.one
@@ -188,8 +268,10 @@ class Package:
         cache = self._identity_cache
         while len(cache) <= num_qubits:
             below = cache[-1]
-            cache.append(self.make_matrix_node(
-                len(cache) - 1, (below, self.zero, self.zero, below)))
+            edge = self.make_matrix_node(
+                len(cache) - 1, (below, self.zero, self.zero, below))
+            self._identity_node_ids.add(id(edge.node))
+            cache.append(edge)
         return cache[num_qubits]
 
     # ------------------------------------------------------------------
@@ -210,38 +292,74 @@ class Package:
             return y
         if y.weight == 0:
             return x
-        lookup = self.complex_table.lookup
+        ct = self.complex_table
+        lookup = ct.lookup
         if x.node is y.node:
-            return self._scaled(x, lookup(x.weight + y.weight) / x.weight
-                                if x.weight != 0 else 0)
+            # x.weight != 0 is guaranteed by the early return above; the sum
+            # may still cancel to zero (x + (-x)), which _scaled maps to the
+            # zero edge after the lookup snaps the ratio to 0.
+            return self._scaled(x, lookup(x.weight + y.weight) / x.weight)
         self.counters.add_recursions += 1
         # Addition is commutative; order operands for better cache reuse.
         if id(x.node) > id(y.node):
             x, y = y, x
-        ratio = lookup(y.weight / x.weight)
+        value = y.weight / x.weight
+        ratio = ct._exact.get(value)
+        if ratio is None:
+            ratio = lookup(value)
+        else:
+            ct.hits += 1
         if ratio == 0:
             return x
+        cache.lookups += 1
         key = (x.node, y.node, ratio)
-        cached = cache.get(key)
-        if cached is None:
-            if x.node.level == -1:
-                cached = self.terminal_edge(1 + ratio)
-            else:
-                xs = x.node.edges
-                ys = y.node.edges
-                children = tuple(
-                    self._add(xs[i], ys[i].scaled(ratio), cache, make_node, arity)
-                    for i in range(arity)
+        entries = cache._entries
+        slot = hash(key) & cache._mask
+        entry = entries[slot]
+        if entry is not None and entry[0] == key:
+            cache.hits += 1
+            return self._scaled(entry[1], x.weight)
+        if x.node.level == -1:
+            cached = self.terminal_edge(1 + ratio)
+        else:
+            xs = x.node.edges
+            ys = y.node.edges
+            add = self._add
+            if arity == 2:
+                children = (
+                    add(xs[0], ys[0].scaled(ratio), cache, make_node, 2),
+                    add(xs[1], ys[1].scaled(ratio), cache, make_node, 2),
                 )
-                cached = make_node(x.node.level, children)
-            cache.put(key, cached)
+            else:
+                children = (
+                    add(xs[0], ys[0].scaled(ratio), cache, make_node, 4),
+                    add(xs[1], ys[1].scaled(ratio), cache, make_node, 4),
+                    add(xs[2], ys[2].scaled(ratio), cache, make_node, 4),
+                    add(xs[3], ys[3].scaled(ratio), cache, make_node, 4),
+                )
+            cached = make_node(x.node.level, children)
+        current = entries[slot]
+        if current is None:
+            cache._filled += 1
+        elif current[0] != key:
+            cache.collisions += 1
+        entries[slot] = (key, cached)
+        cache.inserts += 1
         return self._scaled(cached, x.weight)
 
     def _scaled(self, edge: Edge, factor: complex) -> Edge:
         """``edge`` scaled by ``factor`` with the weight re-canonicalised."""
         if factor == 0 or edge.weight == 0:
             return self.zero
-        w = self.complex_table.lookup(edge.weight * factor)
+        if factor == 1:
+            return edge  # package edges already carry canonical weights
+        ct = self.complex_table
+        value = edge.weight * factor
+        w = ct._exact.get(value)
+        if w is None:
+            w = ct.lookup(value)
+        else:
+            ct.hits += 1
         if w == 0:
             return self.zero
         return Edge(edge.node, w)
@@ -266,6 +384,10 @@ class Package:
         if mn.level == -1:
             return self.one
         self.counters.mult_mv_recursions += 1
+        if id(mn) in self._mult_identity_ids:
+            # I * v = v: identity padding resolves in this one call instead
+            # of recursing through the whole sub-diagram.
+            return Edge(vn, self.one.weight)
         key = (mn, vn)
         cache = self.tables.mult_mv
         cached = cache.get(key)
@@ -274,6 +396,8 @@ class Package:
         level = mn.level
         me = mn.edges
         ve = vn.edges
+        mult = self._mult_mv
+        scaled = self._scaled
         children = []
         for row in (0, 1):
             parts = []
@@ -283,8 +407,7 @@ class Package:
                 w = m_child.weight * v_child.weight
                 if w == 0:
                     continue
-                sub = self._mult_mv(m_child.node, v_child.node)
-                parts.append(self._scaled(sub, w))
+                parts.append(scaled(mult(m_child.node, v_child.node), w))
             if not parts:
                 children.append(self.zero)
             elif len(parts) == 1:
@@ -311,6 +434,14 @@ class Package:
         if an.level == -1:
             return self.one
         self.counters.mult_mm_recursions += 1
+        identity_ids = self._mult_identity_ids
+        if id(an) in identity_ids:
+            # I * B = B (and A * I = A below): combined products of
+            # elementary gates are mostly identity padding -- resolve the
+            # whole sub-product in this one call.
+            return Edge(bn, self.one.weight)
+        if id(bn) in identity_ids:
+            return Edge(an, self.one.weight)
         key = (an, bn)
         cache = self.tables.mult_mm
         cached = cache.get(key)
@@ -319,6 +450,8 @@ class Package:
         level = an.level
         ae = an.edges
         be = bn.edges
+        mult = self._mult_mm
+        scaled = self._scaled
         children = []
         for row in (0, 1):
             for col in (0, 1):
@@ -329,8 +462,7 @@ class Package:
                     w = a_child.weight * b_child.weight
                     if w == 0:
                         continue
-                    sub = self._mult_mm(a_child.node, b_child.node)
-                    parts.append(self._scaled(sub, w))
+                    parts.append(scaled(mult(a_child.node, b_child.node), w))
                 if not parts:
                     children.append(self.zero)
                 elif len(parts) == 1:
@@ -340,6 +472,258 @@ class Package:
         result = self.make_matrix_node(
             level, (children[0], children[1], children[2], children[3]))
         cache.put(key, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # direct local-gate application (fast path for Eq. 1 simulation)
+    # ------------------------------------------------------------------
+
+    def apply_gate(self, v: Edge, matrix, target: int,
+                   controls=None) -> Edge:
+        """Apply a (multi-)controlled single-qubit gate directly to a state DD.
+
+        This is the fast path for sequential (Eq. 1) simulation: instead of
+        lifting the 2x2 ``matrix`` to an ``n``-qubit gate DD (identity
+        padding on every other qubit) and running a full matrix-vector
+        multiplication, the *state* DD is recursed directly.  Levels above
+        the target are structural copies (or control splits), the 2x2 gate
+        is applied once at the target level, and levels below are only
+        touched when a control sits there.  Results are identical to
+        ``multiply_matrix_vector(build_gate_dd(...), v)`` up to the complex
+        table's tolerance.
+
+        Parameters
+        ----------
+        v:
+            State DD the gate acts on.
+        matrix:
+            The 2x2 unitary acting on ``target`` (anything indexable as
+            ``matrix[row][col]``).
+        target:
+            Qubit the gate acts on.
+        controls:
+            Mapping ``{qubit: active_value}`` (1 = positive, 0 = negative)
+            or a sequence of qubits / ``(qubit, value)`` pairs.
+        """
+        prep_key = None
+        if type(matrix) is tuple and (controls is None
+                                      or type(controls) is tuple):
+            prep_key = (matrix, target, controls)
+            prep = self._gate_prep.get(prep_key)
+        else:
+            prep = None
+        if prep is None:
+            control_map = self._normalise_control_spec(controls)
+            if target in control_map:
+                raise ValueError(f"qubit {target} cannot be both target "
+                                 "and control")
+            lookup = self.complex_table.lookup
+            u = tuple(lookup(complex(matrix[r][c])) for r in (0, 1)
+                      for c in (0, 1))
+            lower = {q: val for q, val in control_map.items() if q < target}
+            gate_id = self._spec_id(
+                (u, target, tuple(sorted(control_map.items()))))
+            proj_id = self._spec_id(("proj", tuple(sorted(lower.items())))) \
+                if lower else -1
+            prep = (u, control_map, lower, gate_id, proj_id)
+            if prep_key is not None:
+                self._gate_prep[prep_key] = prep
+        else:
+            u, control_map, lower, gate_id, proj_id = prep
+        if v.weight == 0:
+            return self.zero
+        root_level = v.node.level
+        if not 0 <= target <= root_level:
+            raise ValueError(f"target {target} out of range for state of "
+                             f"{root_level + 1} qubits")
+        for qubit in control_map:
+            if not 0 <= qubit <= root_level:
+                raise ValueError(f"control {qubit} out of range for state of "
+                                 f"{root_level + 1} qubits")
+        result = self._apply_gate_rec(v.node, u, target, control_map,
+                                      lower, gate_id, proj_id)
+        return self._scaled(result, v.weight)
+
+    def _spec_id(self, spec: tuple) -> int:
+        """Intern a gate/projection spec tuple to a unique small int."""
+        sid = self._spec_ids.get(spec)
+        if sid is None:
+            sid = len(self._spec_ids)
+            self._spec_ids[spec] = sid
+        return sid
+
+    @staticmethod
+    def _normalise_control_spec(controls) -> dict[int, int]:
+        """Normalise control specs to ``{qubit: active_value}``."""
+        if not controls:
+            return {}
+        if isinstance(controls, dict):
+            result = dict(controls)
+        else:
+            result = {}
+            for item in controls:
+                if isinstance(item, tuple):
+                    qubit, value = item
+                else:
+                    qubit, value = item, 1
+                result[int(qubit)] = int(value)
+        for qubit, value in result.items():
+            if value not in (0, 1):
+                raise ValueError(f"control value for qubit {qubit} must be "
+                                 f"0 or 1, got {value}")
+        return result
+
+    def _gate_term(self, factor: complex, edge: Edge) -> Edge:
+        """``factor * edge`` with zero short-circuits (one gate-matrix term)."""
+        if factor == 0 or edge.weight == 0:
+            return self.zero
+        return self._scaled(edge, factor)
+
+    def _apply_gate_rec(self, vn, u, target: int, control_map: dict,
+                        lower: dict, gate_id: int, proj_id: int) -> Edge:
+        """Transform the sub-state below ``vn`` (weight-1 normal form)."""
+        self.counters.apply_gate_recursions += 1
+        # The compute-table probe is inlined (slot computed once, reused by
+        # the store below); counters match ComputeTable.get/put exactly.
+        cache = self.tables.apply_gate
+        cache.lookups += 1
+        key = (vn, gate_id)
+        entries = cache._entries
+        slot = hash(key) & cache._mask
+        entry = entries[slot]
+        if entry is not None and entry[0] == key:
+            cache.hits += 1
+            return entry[1]
+        rec = self._apply_gate_rec
+        e0, e1 = vn.edges
+        level = vn.level
+        if level > target:
+            # Structural copy above the target.  Weight products stay raw
+            # (not re-interned): make_vector_node canonicalises the ratios
+            # once, instead of interning here and again after normalising.
+            active = control_map.get(level)
+            if active is None:
+                if e0.weight == 0:
+                    t0 = self.zero
+                else:
+                    sub = rec(e0.node, u, target, control_map,
+                              lower, gate_id, proj_id)
+                    t0 = Edge(sub.node, sub.weight * e0.weight)
+                if e1.weight == 0:
+                    t1 = self.zero
+                else:
+                    sub = rec(e1.node, u, target, control_map,
+                              lower, gate_id, proj_id)
+                    t1 = Edge(sub.node, sub.weight * e1.weight)
+            elif active == 1:
+                t0 = e0
+                if e1.weight == 0:
+                    t1 = self.zero
+                else:
+                    sub = rec(e1.node, u, target, control_map,
+                              lower, gate_id, proj_id)
+                    t1 = Edge(sub.node, sub.weight * e1.weight)
+            else:
+                if e0.weight == 0:
+                    t0 = self.zero
+                else:
+                    sub = rec(e0.node, u, target, control_map,
+                              lower, gate_id, proj_id)
+                    t0 = Edge(sub.node, sub.weight * e0.weight)
+                t1 = e1
+            result = self.make_vector_node(level, (t0, t1))
+        elif not lower:
+            # Target level, gate unconditioned below: one 2x2 application.
+            n0 = self.add_vectors(self._gate_term(u[0], e0),
+                                  self._gate_term(u[1], e1))
+            n1 = self.add_vectors(self._gate_term(u[2], e0),
+                                  self._gate_term(u[3], e1))
+            result = self.make_vector_node(target, (n0, n1))
+        else:
+            # Controls below the target: project out the component where
+            # all lower controls are active and add the gate's *correction*
+            # to it -- new_v0 = v0 + (u00 - 1) P v0 + u01 P v1 (and
+            # symmetrically for v1).  Diagonal entries equal to 1 (e.g. the
+            # untouched row of a multi-controlled Z) then cost nothing.
+            a0 = self._project_lower_controls(e0, lower, proj_id)
+            a1 = self._project_lower_controls(e1, lower, proj_id)
+            d0 = self.add_vectors(self._gate_term(u[0] - 1, a0),
+                                  self._gate_term(u[1], a1))
+            d1 = self.add_vectors(self._gate_term(u[2], a0),
+                                  self._gate_term(u[3] - 1, a1))
+            n0 = self.add_vectors(e0, d0)
+            n1 = self.add_vectors(e1, d1)
+            result = self.make_vector_node(target, (n0, n1))
+        # Re-read the slot: nested recursions may have stored into it.
+        current = entries[slot]
+        if current is None:
+            cache._filled += 1
+        elif current[0] != key:
+            cache.collisions += 1
+        entries[slot] = (key, result)
+        cache.inserts += 1
+        return result
+
+    def _project_lower_controls(self, edge: Edge, lower: dict,
+                                proj_id: int) -> Edge:
+        """Component of ``edge`` where every control in ``lower`` is active."""
+        if edge.weight == 0:
+            return self.zero
+        return self._scaled(
+            self._project_rec(edge.node, lower, min(lower), proj_id),
+            edge.weight)
+
+    def _project_rec(self, vn, lower: dict, lowest: int, proj_id: int) -> Edge:
+        level = vn.level
+        if level < lowest:
+            # No controls remain below: the whole sub-state is active.
+            return self.one if level == -1 else Edge(vn, self.one.weight)
+        self.counters.apply_gate_recursions += 1
+        cache = self.tables.apply_gate
+        cache.lookups += 1
+        key = (vn, proj_id)
+        entries = cache._entries
+        slot = hash(key) & cache._mask
+        entry = entries[slot]
+        if entry is not None and entry[0] == key:
+            cache.hits += 1
+            return entry[1]
+        e0, e1 = vn.edges
+        active = lower.get(level)
+        rec = self._project_rec
+        if active is None:
+            if e0.weight == 0:
+                t0 = self.zero
+            else:
+                sub = rec(e0.node, lower, lowest, proj_id)
+                t0 = Edge(sub.node, sub.weight * e0.weight)
+            if e1.weight == 0:
+                t1 = self.zero
+            else:
+                sub = rec(e1.node, lower, lowest, proj_id)
+                t1 = Edge(sub.node, sub.weight * e1.weight)
+        elif active == 1:
+            t0 = self.zero
+            if e1.weight == 0:
+                t1 = self.zero
+            else:
+                sub = rec(e1.node, lower, lowest, proj_id)
+                t1 = Edge(sub.node, sub.weight * e1.weight)
+        else:
+            if e0.weight == 0:
+                t0 = self.zero
+            else:
+                sub = rec(e0.node, lower, lowest, proj_id)
+                t0 = Edge(sub.node, sub.weight * e0.weight)
+            t1 = self.zero
+        result = self.make_vector_node(level, (t0, t1))
+        current = entries[slot]
+        if current is None:
+            cache._filled += 1
+        elif current[0] != key:
+            cache.collisions += 1
+        entries[slot] = (key, result)
+        cache.inserts += 1
         return result
 
     # ------------------------------------------------------------------
@@ -515,25 +899,76 @@ class Package:
         """
         if edge.weight == 0 or edge.node.level == -1:
             return 0
-        seen: set[int] = set()
-        stack = [edge.node]
+        root = edge.node
+        seen: set[int] = {id(root)}
+        seen_add = seen.add
+        stack = [root]
+        pop = stack.pop
+        push = stack.append
         while stack:
-            node = stack.pop()
-            ident = id(node)
-            if ident in seen:
-                continue
-            seen.add(ident)
-            for child in node.edges:
-                if child.weight != 0 and child.node.level != -1:
-                    stack.append(child.node)
+            edges = pop().edges
+            # Unrolled for the dominant binary (vector-node) case; this
+            # runs after every simulation step, so loop overhead matters.
+            if len(edges) == 2:
+                c0, c1 = edges
+                cn = c0.node
+                if c0.weight != 0 and cn.level != -1:
+                    ident = id(cn)
+                    if ident not in seen:
+                        seen_add(ident)
+                        push(cn)
+                cn = c1.node
+                if c1.weight != 0 and cn.level != -1:
+                    ident = id(cn)
+                    if ident not in seen:
+                        seen_add(ident)
+                        push(cn)
+            else:
+                for child in edges:
+                    cn = child.node
+                    if child.weight != 0 and cn.level != -1:
+                        ident = id(cn)
+                        if ident not in seen:
+                            seen_add(ident)
+                            push(cn)
         return len(seen)
 
     def clear_compute_tables(self) -> None:
         """Drop all memoisation caches (results stay valid; only speed is lost)."""
-        t = self.tables
-        for cache in (t.add_vec, t.add_mat, t.mult_mv, t.mult_mm,
-                      t.kron_vec, t.kron_mat, t.conj_t, t.inner):
+        for cache in self.tables.compute_tables().values():
             cache.clear()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/collision statistics for every cache in the package.
+
+        The ``compute`` section reports the slot-based memoisation tables
+        (one per DD operation), ``unique`` the hash-consing tables and
+        ``complex`` the weight-interning table.  This is the report the
+        benchmark harness persists into ``BENCH_kernel.json``.
+        """
+        unique = {}
+        for name, table in (("vectors", self.tables.vectors),
+                            ("matrices", self.tables.matrices)):
+            lookups = table.lookups
+            unique[name] = {
+                "nodes": len(table),
+                "lookups": lookups,
+                "hits": table.hits,
+                "hit_rate": round(table.hits / lookups, 6) if lookups else 0.0,
+            }
+        ct = self.complex_table
+        total = ct.hits + ct.misses
+        return {
+            "compute": {name: cache.stats() for name, cache
+                        in self.tables.compute_tables().items()},
+            "unique": unique,
+            "complex": {
+                "entries": len(ct),
+                "hits": ct.hits,
+                "misses": ct.misses,
+                "hit_rate": round(ct.hits / total, 6) if total else 0.0,
+            },
+        }
 
     def garbage_collect(self, roots: list[Edge]) -> int:
         """Free all nodes not reachable from ``roots``; returns nodes removed.

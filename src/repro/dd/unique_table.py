@@ -19,29 +19,48 @@ __all__ = ["UniqueTable"]
 class UniqueTable:
     """One hash-consing table for one node species (vector or matrix)."""
 
+    __slots__ = ("_node_class", "_table", "lookups", "hits", "created")
+
     def __init__(self, node_class: type) -> None:
         self._node_class = node_class
         self._table: dict[tuple, VectorNode | MatrixNode] = {}
         self.lookups = 0
         self.hits = 0
+        #: whether the last ``get_or_insert`` allocated a fresh node
+        self.created = False
 
     def __len__(self) -> int:
         return len(self._table)
 
     @staticmethod
     def _key(level: int, edges: tuple[Edge, ...]) -> tuple:
-        return (level,) + tuple(item for e in edges for item in (id(e.node), e.weight))
+        # Unrolled for the two node arities -- this runs once per node
+        # construction and the generic genexpr version dominated profiles.
+        if len(edges) == 2:
+            e0, e1 = edges
+            return (level, id(e0.node), e0.weight, id(e1.node), e1.weight)
+        e0, e1, e2, e3 = edges
+        return (level, id(e0.node), e0.weight, id(e1.node), e1.weight,
+                id(e2.node), e2.weight, id(e3.node), e3.weight)
 
     def get_or_insert(self, level: int, edges: tuple[Edge, ...]):
         """Return the canonical node for ``(level, edges)``, creating it if new."""
         self.lookups += 1
-        key = self._key(level, edges)
+        # _key inlined for the common binary case -- one call per node
+        # construction adds up in sequential simulation.
+        if len(edges) == 2:
+            e0, e1 = edges
+            key = (level, id(e0.node), e0.weight, id(e1.node), e1.weight)
+        else:
+            key = self._key(level, edges)
         node = self._table.get(key)
         if node is not None:
             self.hits += 1
+            self.created = False
             return node
         node = self._node_class(level, edges)
         self._table[key] = node
+        self.created = True
         return node
 
     def clear(self) -> None:

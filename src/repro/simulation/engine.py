@@ -11,6 +11,7 @@ block DDs) is freed.
 
 from __future__ import annotations
 
+import gc
 import time
 
 from ..circuit.circuit import QuantumCircuit
@@ -48,6 +49,25 @@ class _Run:
         """One simulation step: ``state <- matrix x state`` (Eq. 1 step)."""
         self.state = self.package.multiply_matrix_vector(matrix, self.state)
         self.statistics.matrix_vector_mults += 1
+        self.statistics.record_state_size(self.package.count_nodes(self.state))
+        self.engine.maybe_collect(self)
+
+    def apply_operation(self, operation: Operation) -> None:
+        """One elementary simulation step, via the local-gate fast path.
+
+        When the engine has ``use_local_apply`` enabled the 2x2 gate is
+        applied directly to the state DD (no n-qubit gate DD, no full
+        matrix-vector multiplication); otherwise this falls back to the
+        explicit gate-DD pathway.  Either way it counts as one Eq. 1 step.
+        """
+        if not self.engine.use_local_apply:
+            self.apply_matrix(self.gate_dd(operation))
+            return
+        matrix, controls = self.engine.local_gate_spec(operation)
+        self.state = self.package.apply_gate(
+            self.state, matrix, operation.target, controls)
+        self.statistics.matrix_vector_mults += 1
+        self.statistics.local_gate_applications += 1
         self.statistics.record_state_size(self.package.count_nodes(self.state))
         self.engine.maybe_collect(self)
 
@@ -89,13 +109,28 @@ class SimulationEngine:
     gc_node_limit:
         When the package holds more than this many nodes after a simulation
         step, unreachable nodes are collected.  ``None`` disables collection.
+    use_local_apply:
+        When true (the default), elementary operations fed by the sequential
+        pathway are applied with :meth:`Package.apply_gate` -- the local-gate
+        fast path that never builds the n-qubit gate DD.  Disable to force
+        the paper-literal pathway (explicit gate DD + matrix-vector
+        multiplication per gate), e.g. for the paper-artifact experiments
+        or A/B benchmarking.
     """
 
     def __init__(self, package: Package | None = None,
-                 gc_node_limit: int | None = 500_000) -> None:
+                 gc_node_limit: int | None = 500_000,
+                 use_local_apply: bool = True) -> None:
         self.package = package or Package()
         self.gc_node_limit = gc_node_limit
+        self.use_local_apply = use_local_apply
         self._gate_cache: dict[tuple[Operation, int], Edge] = {}
+        # 2x2 entries + control map per operation for the local fast path
+        # (skips the numpy matrix construction on every application).
+        # Keyed by id() -- the operation objects live in the circuit, and
+        # the values keep a reference so ids stay valid; hashing a frozen
+        # dataclass on every application is measurably slower.
+        self._local_gate_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
 
@@ -109,6 +144,20 @@ class SimulationEngine:
                                    operation.control_map())
             self._gate_cache[key] = cached
         return cached
+
+    def local_gate_spec(self, operation: Operation) -> tuple:
+        """``(2x2 entries, control map)`` of an operation, cached."""
+        spec = self._local_gate_cache.get(id(operation))
+        if spec is None:
+            m = operation.matrix()
+            matrix = ((complex(m[0][0]), complex(m[0][1])),
+                      (complex(m[1][0]), complex(m[1][1])))
+            # Hashable controls so Package.apply_gate can memoise the fully
+            # prepared gate spec across thousands of applications.
+            controls = tuple(sorted(operation.control_map().items()))
+            spec = (operation, matrix, controls)
+            self._local_gate_cache[id(operation)] = spec
+        return spec[1], spec[2]
 
     def initial_state(self, num_qubits: int, basis_index: int = 0) -> Edge:
         return self.package.basis_state(num_qubits, basis_index)
@@ -128,9 +177,20 @@ class SimulationEngine:
         statistics.record_state_size(self.package.count_nodes(state))
         run = _Run(self, circuit.num_qubits, state, statistics)
         counters_before = self.package.counters.snapshot()
+        # DDs are acyclic (nodes only reference lower levels), so reference
+        # counting reclaims everything and the cyclic collector only adds
+        # per-allocation overhead to this very allocation-heavy loop.
+        # Pausing it is worth ~20% wall-clock on sequential simulation.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         started = time.perf_counter()
-        strategy.execute(run, circuit)
-        statistics.wall_time_seconds = time.perf_counter() - started
+        try:
+            strategy.execute(run, circuit)
+        finally:
+            statistics.wall_time_seconds = time.perf_counter() - started
+            if gc_was_enabled:
+                gc.enable()
         statistics.counters = self.package.counters.delta(counters_before)
         statistics.final_state_nodes = self.package.count_nodes(run.state)
         return SimulationResult(state=run.state, package=self.package,

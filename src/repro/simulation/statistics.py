@@ -28,6 +28,9 @@ class SimulationStatistics:
     operations_applied: int = 0
     #: top-level matrix-vector multiplications (state updates, Eq. 1 steps)
     matrix_vector_mults: int = 0
+    #: state updates served by the local-gate fast path (a subset of
+    #: ``matrix_vector_mults``: every local application is one Eq. 1 step)
+    local_gate_applications: int = 0
     #: top-level matrix-matrix multiplications (operation combining, Eq. 2)
     matrix_matrix_mults: int = 0
     #: matrix applications answered by a re-used combined DD (DD-repeating)
@@ -53,6 +56,7 @@ class SimulationStatistics:
         """Accumulate another run's numbers (used by multi-segment drivers)."""
         self.operations_applied += other.operations_applied
         self.matrix_vector_mults += other.matrix_vector_mults
+        self.local_gate_applications += other.local_gate_applications
         self.matrix_matrix_mults += other.matrix_matrix_mults
         self.reused_block_applications += other.reused_block_applications
         self.direct_constructions += other.direct_constructions
@@ -67,6 +71,8 @@ class SimulationStatistics:
         self.counters.mult_mm_recursions += other.counters.mult_mm_recursions
         self.counters.kron_recursions += other.counters.kron_recursions
         self.counters.nodes_created += other.counters.nodes_created
+        self.counters.apply_gate_recursions += \
+            other.counters.apply_gate_recursions
 
     def summary(self) -> str:
         """Compact human-readable one-paragraph report."""

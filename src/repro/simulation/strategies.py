@@ -82,12 +82,18 @@ class SimulationStrategy:
 
 
 class SequentialStrategy(SimulationStrategy):
-    """State-of-the-art baseline: one matrix-vector multiplication per gate."""
+    """State-of-the-art baseline: one state update per gate (pure Eq. 1).
+
+    On engines with ``use_local_apply`` (the default) each gate is applied
+    through the package's local-gate fast path; otherwise every gate builds
+    its full-register matrix DD and runs one matrix-vector multiplication,
+    exactly as in the paper.
+    """
 
     name = "sequential"
 
     def feed(self, run: "_Run", operation) -> None:
-        run.apply_matrix(run.gate_dd(operation))
+        run.apply_operation(operation)
         run.note_operation()
 
 

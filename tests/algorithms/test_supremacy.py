@@ -124,10 +124,20 @@ class TestSimulation:
         assert stats.peak_state_nodes > 2 * instance.num_qubits
 
     def test_combining_reduces_recursive_work(self):
+        # The paper's Fig. 8 claim is about its cost model: explicit gate
+        # DDs, one MxV per gate, identity padding traversed.  Pin paper
+        # mode -- the default engine's local-apply fast path deliberately
+        # sidesteps that cost model.
+        from repro.dd.package import Package
         instance = supremacy_circuit(3, 3, 10, seed=1)
-        sequential = SimulationEngine().simulate(
+
+        def paper_engine():
+            return SimulationEngine(package=Package(identity_shortcut=False),
+                                    use_local_apply=False)
+
+        sequential = paper_engine().simulate(
             instance.circuit, SequentialStrategy()).statistics
-        combined = SimulationEngine().simulate(
+        combined = paper_engine().simulate(
             instance.circuit, KOperationsStrategy(8)).statistics
         assert combined.counters.total_recursions() \
             < sequential.counters.total_recursions()

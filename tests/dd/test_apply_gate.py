@@ -1,0 +1,134 @@
+"""Direct local-gate application (``Package.apply_gate``).
+
+The fast path must be indistinguishable (up to the complex table's
+tolerance) from the paper-literal pathway: build the full n-qubit gate DD
+with identity padding and run one matrix-vector multiplication.  The
+property test below checks fidelity >= 1 - 1e-10 on randomized circuits of
+random (multi-)controlled single-qubit unitaries, per the acceptance
+criterion in this PR's issue.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dd import (Package, build_gate_dd, vector_from_numpy,
+                      vector_to_numpy)
+
+H = ((2 ** -0.5, 2 ** -0.5), (2 ** -0.5, -(2 ** -0.5)))
+X = ((0, 1), (1, 0))
+
+
+def _random_unitary_2x2(rng):
+    q, _ = np.linalg.qr(rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)))
+    return q
+
+
+def _random_state(package, rng, n):
+    amplitudes = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    amplitudes /= np.linalg.norm(amplitudes)
+    return vector_from_numpy(package, amplitudes)
+
+
+def _matrix_path(package, state, matrix, n, target, controls=None):
+    gate = build_gate_dd(package, matrix, n, target, controls)
+    return package.multiply_matrix_vector(gate, state)
+
+
+class TestAgainstMatrixPathway:
+    def test_randomized_circuits_fidelity(self):
+        """Acceptance criterion: fidelity >= 1 - 1e-10 vs. kron + MxV."""
+        rng = np.random.default_rng(2019)
+        for trial in range(40):
+            n = int(rng.integers(1, 6))
+            package = Package()
+            fast = matrix = _random_state(package, rng, n)
+            for _ in range(int(rng.integers(3, 10))):
+                u = _random_unitary_2x2(rng)
+                target = int(rng.integers(n))
+                others = [q for q in range(n) if q != target]
+                rng.shuffle(others)
+                controls = {q: int(rng.integers(2))
+                            for q in others[:rng.integers(0, len(others) + 1)]}
+                fast = package.apply_gate(fast, u, target, controls)
+                matrix = _matrix_path(package, matrix, u, n, target, controls)
+            assert package.fidelity(fast, matrix) >= 1 - 1e-10, \
+                f"trial {trial} diverged"
+            # both pathways stay normalised
+            assert package.squared_norm(fast) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("target", [0, 1, 2, 3])
+    def test_uncontrolled_on_every_level(self, package, target):
+        rng = np.random.default_rng(target)
+        state = _random_state(package, rng, 4)
+        fast = package.apply_gate(state, H, target)
+        assert np.allclose(vector_to_numpy(fast, 4),
+                           vector_to_numpy(
+                               _matrix_path(package, state, H, 4, target), 4),
+                           atol=1e-10)
+
+    def test_control_above_target(self, package):
+        state = package.basis_state(3, 0b100)
+        result = package.apply_gate(state, X, 0, {2: 1})
+        assert package.amplitude(result, 0b101) == pytest.approx(1)
+
+    def test_control_below_target(self, package):
+        # control on qubit 0, target qubit 2: only |..1> branch flips
+        rng = np.random.default_rng(5)
+        state = _random_state(package, rng, 3)
+        fast = package.apply_gate(state, X, 2, {0: 1})
+        ref = _matrix_path(package, state, X, 3, 2, {0: 1})
+        assert np.allclose(vector_to_numpy(fast, 3), vector_to_numpy(ref, 3),
+                           atol=1e-10)
+
+    def test_negative_control(self, package):
+        state = package.basis_state(2, 0b00)
+        result = package.apply_gate(state, X, 1, {0: 0})
+        assert package.amplitude(result, 0b10) == pytest.approx(1)
+
+    def test_mixed_controls_both_sides(self, package):
+        rng = np.random.default_rng(9)
+        state = _random_state(package, rng, 5)
+        controls = {0: 1, 1: 0, 4: 1}
+        fast = package.apply_gate(state, H, 2, controls)
+        ref = _matrix_path(package, state, H, 5, 2, controls)
+        assert np.allclose(vector_to_numpy(fast, 5), vector_to_numpy(ref, 5),
+                           atol=1e-10)
+
+
+class TestEdgesAndErrors:
+    def test_zero_state_input(self, package):
+        assert package.apply_gate(package.zero, H, 0) is package.zero
+
+    def test_result_interns_into_unique_table(self, package):
+        state = package.basis_state(2, 0)
+        a = package.apply_gate(state, H, 1)
+        b = package.apply_gate(state, H, 1)
+        assert a.node is b.node and a.weight == b.weight
+
+    def test_target_out_of_range(self, package):
+        state = package.basis_state(2, 0)
+        with pytest.raises(ValueError):
+            package.apply_gate(state, H, 2)
+
+    def test_target_cannot_be_control(self, package):
+        state = package.basis_state(2, 0)
+        with pytest.raises(ValueError):
+            package.apply_gate(state, X, 1, {1: 1})
+
+    def test_control_out_of_range(self, package):
+        state = package.basis_state(2, 0)
+        with pytest.raises(ValueError):
+            package.apply_gate(state, X, 0, {5: 1})
+
+    def test_recursion_counter_increments(self, package):
+        state = package.basis_state(3, 0)
+        before = package.counters.apply_gate_recursions
+        package.apply_gate(state, H, 0)
+        assert package.counters.apply_gate_recursions > before
+
+    def test_cache_hit_on_repeat(self, package):
+        state = package.basis_state(4, 0b1010)
+        package.apply_gate(state, H, 1)
+        hits_before = package.tables.apply_gate.hits
+        package.apply_gate(state, H, 1)
+        assert package.tables.apply_gate.hits > hits_before

@@ -43,6 +43,25 @@ class TestAddition:
         result = package.add_vectors(x, minus)
         assert result.weight == 0
 
+    def test_add_same_node_cancelling_weights_is_zero_edge(self, package):
+        # regression: the same-node branch in Package._add must map exact
+        # cancellation to the canonical zero edge, not a zero-weight edge
+        # onto a live node
+        rng = _rng(11)
+        x = rng.normal(size=8) + 1j * rng.normal(size=8)
+        dx = vector_from_numpy(package, x)
+        minus = package._scaled(dx, -1)
+        result = package.add_vectors(dx, minus)
+        assert result.weight == 0
+        assert result.node is package.zero.node
+
+    def test_add_same_node_partial_cancellation(self, package):
+        x = package.basis_state(3, 6)
+        half = package._scaled(x, -0.5)
+        result = package.add_vectors(x, half)
+        assert result.node is x.node
+        assert abs(result.weight - 0.5) < 1e-12
+
     def test_add_same_node_doubles_weight(self, package):
         x = package.basis_state(2, 3)
         result = package.add_vectors(x, x)

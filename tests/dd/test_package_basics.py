@@ -29,6 +29,13 @@ class TestBasisStates:
         with pytest.raises(ValueError):
             package.basis_state(3, 8)
 
+    def test_basis_state_zero_qubits_rejects_nonzero_index(self, package):
+        # regression: the old `num_qubits > 0` clause let this slip through
+        with pytest.raises(ValueError):
+            package.basis_state(0, 5)
+        state = package.basis_state(0, 0)  # the only valid 0-qubit index
+        assert state.weight == 1
+
     def test_negative_qubits_rejected(self, package):
         with pytest.raises(ValueError):
             package.basis_state(-1, 0)

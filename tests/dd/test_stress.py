@@ -15,14 +15,14 @@ from repro.dd import (Package, matrix_from_numpy, matrix_to_numpy,
 from repro.simulation import SimulationEngine
 
 
-def crippled_package(max_entries: int = 2) -> Package:
-    """A package whose compute tables evict on almost every insert."""
+def crippled_package(slots: int = 1) -> Package:
+    """A package whose compute tables overwrite on almost every insert."""
+    from repro.dd.compute_table import ComputeTable
     package = Package()
     tables = package.tables
-    for cache in (tables.add_vec, tables.add_mat, tables.mult_mv,
-                  tables.mult_mm, tables.kron_vec, tables.kron_mat,
-                  tables.conj_t, tables.inner):
-        cache.max_entries = max_entries
+    for name in ("add_vec", "add_mat", "mult_mv", "mult_mm", "kron_vec",
+                 "kron_mat", "conj_t", "inner", "apply_gate"):
+        setattr(tables, name, ComputeTable(name, slots=slots))
     return package
 
 
@@ -62,8 +62,8 @@ class TestCacheEviction:
         package.multiply_matrix_vector(
             matrix_from_numpy(package, m),
             vector_from_numpy(package, rng.normal(size=8)))
-        assert package.tables.mult_mv.evictions > 0 \
-            or package.tables.add_vec.evictions > 0
+        assert package.tables.mult_mv.collisions > 0 \
+            or package.tables.add_vec.collisions > 0
 
 
 class TestAggressiveGarbageCollection:

@@ -54,14 +54,51 @@ class TestComputeTable:
         assert cache.get(("a",)) is value
         assert cache.hit_rate() == 0.5
 
-    def test_eviction_clears_wholesale(self):
-        cache = ComputeTable("test", max_entries=4)
-        for i in range(4):
+    def test_size_is_bounded_by_slot_count(self):
+        cache = ComputeTable("test", slots=4)
+        for i in range(100):
             cache.put((i,), Edge(TERMINAL, 1 + 0j))
-        assert len(cache) == 4
-        cache.put((99,), Edge(TERMINAL, 1 + 0j))
-        assert len(cache) == 1  # cleared, then the new entry inserted
-        assert cache.evictions == 1
+        assert cache.slots == 4
+        assert len(cache) <= 4  # inserts overwrite slots, never grow
+
+    def test_slot_count_rounds_up_to_power_of_two(self):
+        assert ComputeTable("test", slots=5).slots == 8
+        assert ComputeTable("test", slots=16).slots == 16
+
+    def test_collision_replaces_and_is_counted(self):
+        cache = ComputeTable("test", slots=1)  # every distinct key collides
+        first = Edge(TERMINAL, 1 + 0j)
+        second = Edge(TERMINAL, 0.5 + 0j)
+        cache.put(("a",), first)
+        cache.put(("b",), second)
+        assert cache.get(("a",)) is None   # overwritten by ("b",)
+        assert cache.get(("b",)) is second
+        assert cache.collisions == 1
+        assert len(cache) == 1
+
+    def test_stats_report(self):
+        cache = ComputeTable("test", slots=8)
+        cache.put(("k",), Edge(TERMINAL, 1 + 0j))
+        cache.get(("k",))
+        cache.get(("missing",))
+        stats = cache.stats()
+        assert stats["slots"] == 8
+        assert stats["filled"] == 1
+        assert stats["lookups"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["inserts"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_clear_keeps_cumulative_counters(self):
+        cache = ComputeTable("test", slots=8)
+        cache.put(("k",), Edge(TERMINAL, 1 + 0j))
+        cache.get(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("k",)) is None  # entries really gone
+        assert cache.lookups == 2         # ... but stats accumulate
+        assert cache.hits == 1
 
     def test_clear(self):
         cache = ComputeTable("test")

@@ -95,12 +95,74 @@ class TestGarbageCollection:
         assert np.allclose(vector_to_numpy(collected.state, 4),
                            vector_to_numpy(reference.state, 4), atol=1e-9)
 
+    def test_gc_clears_compute_tables_and_resimulation_agrees(self):
+        # stale compute-table entries pin nodes; garbage_collect must drop
+        # them so a freed node can never be resurrected through a cache hit
+        from repro.algorithms import supremacy_circuit
+        instance = supremacy_circuit(2, 3, 8, seed=3)
+        package = Package()
+        engine = SimulationEngine(package, gc_node_limit=None)
+        first = engine.simulate(instance.circuit)
+        package.garbage_collect([first.state])
+        for name, stats in package.cache_stats()["compute"].items():
+            assert stats["filled"] == 0, f"{name} not cleared by GC"
+        live_after_gc = package.live_node_count()
+        assert live_after_gc >= package.count_nodes(first.state)
+        second = engine.simulate(instance.circuit)
+        assert package.fidelity(first.state, second.state) \
+            == pytest.approx(1.0, abs=1e-10)
+        # re-simulation re-interned into the same unique tables: the live
+        # count may grow with intermediates but the final DDs are shared
+        assert second.state.node is first.state.node
+        assert package.live_node_count() >= live_after_gc
+
     def test_gc_disabled(self):
         engine = SimulationEngine(gc_node_limit=None)
         qc = QuantumCircuit(2)
         qc.h(0).cx(0, 1)
         result = engine.simulate(qc)
         assert result.probability(0) == pytest.approx(0.5)
+
+
+class TestLocalApplyFastPath:
+    def _random_circuit(self, seed=13, n=5, layers=12):
+        qc = QuantumCircuit(n)
+        rng = Random(seed)
+        for _ in range(layers):
+            gate = rng.choice(["h", "t", "sx", "rz"])
+            if gate == "rz":
+                qc.rz(rng.random() * 3.0, rng.randrange(n))
+            else:
+                getattr(qc, gate)(rng.randrange(n))
+            control = rng.randrange(n)
+            target = (control + 1 + rng.randrange(n - 1)) % n
+            qc.cx(control, target)
+        qc.ccx(0, 1, 2)
+        return qc
+
+    def test_fast_and_matrix_paths_agree(self):
+        qc = self._random_circuit()
+        fast = SimulationEngine(use_local_apply=True).simulate(qc)
+        matrix = SimulationEngine(use_local_apply=False).simulate(qc)
+        assert np.allclose(vector_to_numpy(fast.state, 5),
+                           vector_to_numpy(matrix.state, 5), atol=1e-9)
+
+    def test_fast_path_reports_local_applications(self):
+        qc = self._random_circuit()
+        stats = SimulationEngine(use_local_apply=True).simulate(qc).statistics
+        assert stats.local_gate_applications == qc.num_operations()
+        assert stats.counters.apply_gate_recursions > 0
+
+    def test_matrix_path_reports_none(self):
+        qc = self._random_circuit()
+        stats = SimulationEngine(use_local_apply=False).simulate(qc).statistics
+        assert stats.local_gate_applications == 0
+        assert stats.counters.mult_mv_recursions > 0
+
+    def test_fast_path_skips_gate_dd_construction(self):
+        engine = SimulationEngine(use_local_apply=True)
+        engine.simulate(self._random_circuit())
+        assert not engine._gate_cache
 
 
 class TestSimulationResult:

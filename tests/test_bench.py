@@ -1,0 +1,65 @@
+"""Benchmark harness: report schema and CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.bench import SMOKE_WORKLOADS, WORKLOADS, main, run_bench
+
+REQUIRED_WORKLOAD_KEYS = {"name", "description", "num_qubits",
+                          "num_operations", "fast_path", "matrix_path",
+                          "speedup_fast_vs_matrix"}
+REQUIRED_MEASURE_KEYS = {"wall_seconds_best", "wall_seconds_median",
+                         "matrix_vector_mults", "local_gate_applications",
+                         "peak_state_nodes", "final_state_nodes",
+                         "counters", "cache"}
+
+
+class TestWorkloadCatalogue:
+    def test_four_workloads_per_profile(self):
+        # acceptance criterion: Grover, QFT, supremacy, random Clifford
+        for suite in (WORKLOADS, SMOKE_WORKLOADS):
+            prefixes = {w.name.split("_")[0] for w in suite}
+            assert prefixes == {"grover", "qft", "supremacy", "clifford"}
+
+    def test_builders_are_deterministic(self):
+        workload = SMOKE_WORKLOADS[3]  # seeded random Clifford circuit
+        assert workload.build() == workload.build()
+
+
+class TestRunBench:
+    def test_report_schema(self):
+        report = run_bench(smoke=True, repeats=1, workload_names=["qft_10"])
+        assert report["schema"] == 1
+        assert report["profile"] == "smoke"
+        (entry,) = report["workloads"]
+        assert REQUIRED_WORKLOAD_KEYS <= set(entry)
+        for path in ("fast_path", "matrix_path"):
+            assert REQUIRED_MEASURE_KEYS <= set(entry[path])
+            assert entry[path]["counters"]["total_recursions"] > 0
+        # fast path applies gates locally; matrix path never does
+        assert entry["fast_path"]["local_gate_applications"] > 0
+        assert entry["matrix_path"]["local_gate_applications"] == 0
+        assert entry["speedup_fast_vs_matrix"] > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(smoke=True, workload_names=["nope"])
+
+
+class TestCli:
+    def test_writes_json_file(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = main(["--smoke", "--repeats", "1",
+                     "--workload", "grover_8", "--output", str(output)])
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert [w["name"] for w in report["workloads"]] == ["grover_8"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_stdout_mode(self, capsys):
+        code = main(["--smoke", "--repeats", "1",
+                     "--workload", "qft_10", "--output", "-"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["profile"] == "smoke"
