@@ -16,7 +16,8 @@ from random import Random
 
 from .circuit import from_qasm
 from .dd import sample_counts
-from .simulation import SimulationEngine, strategy_from_spec
+from .simulation import (MemoryBudgetExceeded, MemoryGovernor,
+                         SimulationEngine, strategy_from_spec)
 from .verification import check_equivalence
 
 
@@ -28,9 +29,23 @@ def _load(path: str):
 def _cmd_simulate(args) -> int:
     circuit = _load(args.circuit)
     strategy = strategy_from_spec(args.strategy)
-    engine = SimulationEngine()
+    governor = MemoryGovernor(node_limit=args.gc_limit,
+                              max_nodes=args.max_nodes)
+    engine = SimulationEngine(governor=governor)
     initial = engine.initial_state(circuit.num_qubits, args.initial)
-    result = engine.simulate(circuit, strategy, initial_state=initial)
+    trace_sink = None
+    if args.trace:
+        from .simulation import JsonlTraceSink
+        trace_sink = JsonlTraceSink(args.trace)
+    try:
+        result = engine.simulate(circuit, strategy, initial_state=initial,
+                                 trace=trace_sink)
+    except MemoryBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     stats = result.statistics
     print(f"circuit   : {args.circuit} ({circuit.num_qubits} qubits, "
           f"{circuit.num_operations()} operations)")
@@ -39,6 +54,14 @@ def _cmd_simulate(args) -> int:
           f"{stats.matrix_matrix_mults} matrix-matrix")
     print(f"state DD  : {stats.final_state_nodes} nodes "
           f"(peak {stats.peak_state_nodes})")
+    if stats.gc.collections:
+        print(f"GC        : {stats.gc.collections} collections, "
+              f"{stats.gc.nodes_freed} nodes freed, "
+              f"{stats.gc.pause_seconds:.3f}s paused "
+              f"(limit now {engine.governor.limit})")
+    if args.trace:
+        print(f"trace     : {args.trace} "
+              f"({trace_sink.events_written} events)")
     print(f"time      : {stats.wall_time_seconds:.3f}s")
     if args.amplitudes:
         print("\nnon-negligible amplitudes:")
@@ -130,6 +153,15 @@ def main(argv: list[str] | None = None) -> int:
                           help="probability threshold for --amplitudes")
     simulate.add_argument("--limit", type=int, default=20,
                           help="max rows to print")
+    simulate.add_argument("--gc-limit", type=int, default=500_000,
+                          help="initial GC node limit; the memory governor "
+                               "grows it past a fully-reachable working set "
+                               "(default 500000)")
+    simulate.add_argument("--max-nodes", type=int, default=None,
+                          help="hard node budget: abort cleanly when the "
+                               "reachable working set exceeds this")
+    simulate.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a per-step JSONL trace to PATH")
     simulate.set_defaults(handler=_cmd_simulate)
 
     info = commands.add_parser("info", help="show circuit statistics")

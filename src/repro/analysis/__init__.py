@@ -7,7 +7,8 @@ from .instances import (BenchmarkInstance, default_suite, extended_suite,
                         get_instance, quick_suite)
 from .experiments import (ExperimentRow, run_fig5_study, run_fig8, run_fig9,
                           run_table1, run_table2)
-from .reporting import format_result, format_rows, write_markdown_table
+from .reporting import (format_result, format_rows,
+                        format_trace_summary, write_markdown_table)
 from .scaling import run_scaling_study
 from .xeb import (linear_xeb_fidelity, log_xeb_fidelity,
                   porter_thomas_statistic, xeb_from_samples)
@@ -24,6 +25,7 @@ __all__ = [
     "reduced_density_matrix",
     "schmidt_coefficients",
     "format_rows",
+    "format_trace_summary",
     "get_instance",
     "linear_xeb_fidelity",
     "log_xeb_fidelity",

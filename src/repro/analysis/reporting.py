@@ -1,10 +1,11 @@
-"""Plain-text and Markdown rendering of experiment results."""
+"""Plain-text and Markdown rendering of experiment results and traces."""
 
 from __future__ import annotations
 
 from .experiments import ExperimentResult
 
-__all__ = ["format_rows", "format_result", "write_markdown_table"]
+__all__ = ["format_rows", "format_result", "format_trace_summary",
+           "write_markdown_table"]
 
 
 def _cell(value) -> str:
@@ -36,6 +37,23 @@ def format_result(result: ExperimentResult) -> str:
     if result.notes:
         parts.append(f"note: {result.notes}")
     return "\n".join(parts) + "\n"
+
+
+def format_trace_summary(summary: dict, title: str = "trace") -> str:
+    """Render a :func:`repro.simulation.trace.trace_summary` digest.
+
+    Accepts the summary dict (or a JSONL trace path, which is summarised
+    first) and returns a small aligned report of state growth, GC activity
+    and final cache hit rates.
+    """
+    if isinstance(summary, str):
+        from ..simulation.trace import trace_summary
+        summary = trace_summary(summary)
+    lines = [title, "-" * len(title)]
+    label_width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        lines.append(f"{key.ljust(label_width)}  {_cell(value)}")
+    return "\n".join(lines)
 
 
 def write_markdown_table(result: ExperimentResult) -> str:

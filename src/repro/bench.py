@@ -8,11 +8,24 @@ containing, per workload:
   local-gate fast path (``Package.apply_gate``) and the paper-literal
   matrix pathway (explicit gate DD + one matrix-vector product per gate);
 * the machine-independent recursion counters of both pathways;
-* per-compute-table cache hit rates from :meth:`Package.cache_stats`.
+* per-compute-table cache hit rates from :meth:`Package.cache_stats`;
+* garbage-collection telemetry (collections, nodes freed, pause time).
+
+The report also carries a ``thrash`` section: a dense supremacy prefix
+followed by a long tail of cheap diagonal gates, run with the node limit
+pinned *below* the reachable working set.  The fixed-threshold arm
+(``growth_factor=1.0``, the pre-governor behaviour) re-collects every step;
+the governed arm grows its threshold past the working set after the first
+futile collection.  The recorded speedup and fidelity are the receipt for
+the GC-thrash fix.
 
 The report is the "receipt" for the kernel optimisations: wall-clock claims
 can be re-derived on any machine with one command, and counter/cache-rate
 fields change only when the kernel itself changes.
+
+``--trace PATH`` additionally performs one untimed traced run per workload,
+appending per-step/per-GC events (each tagged with its workload name) to a
+single JSON-Lines file -- see :mod:`repro.simulation.trace` for the schema.
 
 Workloads (``--smoke`` swaps in smaller variants for CI):
 
@@ -32,17 +45,22 @@ import json
 import platform
 import statistics
 import sys
+import time
 from dataclasses import dataclass
+from random import Random
 from typing import Callable
 
 from .circuit.circuit import QuantumCircuit
 from .simulation.engine import SimulationEngine
+from .simulation.memory import MemoryGovernor
 from .simulation.strategies import SequentialStrategy
+from .simulation.trace import JsonlTraceSink, trace_summary
 
-__all__ = ["WORKLOADS", "SMOKE_WORKLOADS", "run_bench", "main"]
+__all__ = ["WORKLOADS", "SMOKE_WORKLOADS", "thrash_circuit", "run_bench",
+           "main"]
 
 DEFAULT_OUTPUT = "BENCH_kernel.json"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -109,6 +127,45 @@ SMOKE_WORKLOADS: list[Workload] = [
 ]
 
 
+def thrash_circuit(rows: int, cols: int, depth: int, tail: int,
+                   seed: int) -> QuantumCircuit:
+    """Dense supremacy prefix + a long tail of cheap diagonal gates.
+
+    The prefix builds a large, fully-reachable state DD; the tail then
+    applies ``tail`` near-O(1) local diagonal gates (t/s/rz cycling over the
+    top three qubits).  With a node limit below the prefix's working set,
+    a fixed GC threshold re-collects on every tail step -- each collection
+    a full mark-sweep that frees only the previous step's handful of dead
+    nodes -- which is exactly the thrash regime the memory governor fixes.
+    """
+    from .algorithms.supremacy import supremacy_circuit
+    base = supremacy_circuit(rows, cols, depth, seed).circuit
+    n = base.num_qubits
+    circuit = QuantumCircuit(
+        n, name=f"thrash_{rows}x{cols}_d{depth}_t{tail}")
+    circuit.extend(base.instructions)
+    rng = Random(seed + 1)
+    for i in range(tail):
+        qubit = n - 1 - (i % 3)
+        kind = rng.randrange(3)
+        if kind == 0:
+            circuit.t(qubit)
+        elif kind == 1:
+            circuit.s(qubit)
+        else:
+            circuit.rz(rng.random() * 3.0, qubit)
+    return circuit
+
+
+#: thrash-scenario configuration: (rows, cols, depth, tail, seed, node_limit)
+#: -- the node limit must sit *below* the prefix's reachable working set,
+#: or neither arm ever re-collects and the comparison is vacuous.
+THRASH_CONFIG = {
+    "full": (3, 4, 10, 2000, 1, 256),
+    "smoke": (3, 3, 8, 800, 1, 16),
+}
+
+
 def _counters_dict(counters) -> dict:
     return {
         "add_recursions": counters.add_recursions,
@@ -134,13 +191,14 @@ def _compute_hit_rates(cache_stats: dict) -> dict:
 
 
 def _measure(circuit: QuantumCircuit, use_local_apply: bool,
-             repeats: int) -> dict:
+             repeats: int, gc_limit: int | None = None) -> dict:
     """Time ``repeats`` fresh-engine sequential runs of ``circuit``."""
     times = []
     stats = None
     cache_stats = None
     for _ in range(repeats):
-        engine = SimulationEngine(use_local_apply=use_local_apply)
+        engine = SimulationEngine(use_local_apply=use_local_apply,
+                                  gc_node_limit=gc_limit or 500_000)
         result = engine.simulate(circuit, SequentialStrategy())
         stats = result.statistics
         cache_stats = engine.package.cache_stats()
@@ -154,12 +212,89 @@ def _measure(circuit: QuantumCircuit, use_local_apply: bool,
         "final_state_nodes": stats.final_state_nodes,
         "counters": _counters_dict(stats.counters),
         "cache": _compute_hit_rates(cache_stats),
+        "gc": stats.gc.as_dict(),
     }
 
 
+def _thrash_arm(circuit: QuantumCircuit,
+                governor: MemoryGovernor) -> tuple[dict, "SimulationResult"]:
+    """One timed thrash run.  Exact per-step state sizing is off so the
+    arms differ only in GC policy, not in statistics overhead."""
+    engine = SimulationEngine(governor=governor, track_state_size=False)
+    start = time.perf_counter()
+    result = engine.simulate(circuit, SequentialStrategy())
+    wall = time.perf_counter() - start
+    stats = result.statistics
+    return {
+        "wall_seconds": round(wall, 6),
+        "gc": stats.gc.as_dict(),
+        "governor": governor.stats(),
+        "final_state_nodes": stats.final_state_nodes,
+    }, result
+
+
+def _fidelity(a, b, num_qubits: int) -> float:
+    """|<a|b>|^2 via amplitude enumeration (results live in different
+    packages, so the in-package fidelity helper does not apply)."""
+    inner = sum(a.amplitude(i).conjugate() * b.amplitude(i)
+                for i in range(1 << num_qubits))
+    return abs(inner) ** 2
+
+
+def _thrash_bench(profile: str) -> dict:
+    """A/B the GC-thrash scenario: fixed threshold vs. adaptive governor."""
+    rows, cols, depth, tail, seed, limit = THRASH_CONFIG[profile]
+    circuit = thrash_circuit(rows, cols, depth, tail, seed)
+    ungoverned, ref = _thrash_arm(circuit, MemoryGovernor(node_limit=None))
+    fixed, fixed_result = _thrash_arm(
+        circuit, MemoryGovernor(node_limit=limit, growth_factor=1.0))
+    governed, governed_result = _thrash_arm(
+        circuit, MemoryGovernor(node_limit=limit))
+    speedup = (fixed["wall_seconds"] / governed["wall_seconds"]
+               if governed["wall_seconds"] else 0.0)
+    return {
+        "name": circuit.name,
+        "description": ("supremacy prefix + diagonal-gate tail, node limit "
+                        "below the reachable working set"),
+        "num_qubits": circuit.num_qubits,
+        "num_operations": circuit.num_operations(),
+        "node_limit": limit,
+        "ungoverned": ungoverned,
+        "fixed_threshold": fixed,
+        "governed": governed,
+        "speedup_governed_vs_fixed": round(speedup, 3),
+        "fidelity_governed_vs_ungoverned": _fidelity(
+            governed_result, ref, circuit.num_qubits),
+        "fidelity_fixed_vs_ungoverned": _fidelity(
+            fixed_result, ref, circuit.num_qubits),
+    }
+
+
+def _traced_run(circuit: QuantumCircuit, name: str, sink: JsonlTraceSink,
+                gc_limit: int | None) -> dict:
+    """One untimed traced run; events are tagged with the workload name."""
+    engine = SimulationEngine(gc_node_limit=gc_limit or 500_000)
+    events: list[dict] = []
+
+    def trace(event: dict) -> None:
+        events.append(event)
+        sink({"workload": name, **event})
+
+    engine.simulate(circuit, SequentialStrategy(), trace=trace)
+    return trace_summary(events)
+
+
 def run_bench(smoke: bool = False, repeats: int = 3,
-              workload_names: list[str] | None = None) -> dict:
-    """Run the kernel benchmark suite and return the report dict."""
+              workload_names: list[str] | None = None,
+              gc_limit: int | None = None,
+              trace_path: str | None = None) -> dict:
+    """Run the kernel benchmark suite and return the report dict.
+
+    ``gc_limit`` overrides the engines' GC node limit (exercises the memory
+    governor under a tight budget).  ``trace_path`` adds one untimed traced
+    run per workload, appending tagged events to that JSONL file and a
+    ``trace_summary`` per workload to the report.
+    """
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
     if workload_names:
         selected = [w for w in workloads if w.name in workload_names]
@@ -171,25 +306,41 @@ def run_bench(smoke: bool = False, repeats: int = 3,
         "schema": SCHEMA_VERSION,
         "profile": "smoke" if smoke else "full",
         "repeats": repeats,
+        "gc_limit": gc_limit,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "workloads": [],
     }
-    for workload in workloads:
-        circuit = workload.build()
-        fast = _measure(circuit, use_local_apply=True, repeats=repeats)
-        matrix = _measure(circuit, use_local_apply=False, repeats=repeats)
-        speedup = (matrix["wall_seconds_best"] / fast["wall_seconds_best"]
-                   if fast["wall_seconds_best"] else 0.0)
-        report["workloads"].append({
-            "name": workload.name,
-            "description": workload.description,
-            "num_qubits": circuit.num_qubits,
-            "num_operations": circuit.num_operations(),
-            "fast_path": fast,
-            "matrix_path": matrix,
-            "speedup_fast_vs_matrix": round(speedup, 3),
-        })
+    sink = JsonlTraceSink(trace_path) if trace_path else None
+    try:
+        for workload in workloads:
+            circuit = workload.build()
+            fast = _measure(circuit, use_local_apply=True, repeats=repeats,
+                            gc_limit=gc_limit)
+            matrix = _measure(circuit, use_local_apply=False,
+                              repeats=repeats, gc_limit=gc_limit)
+            speedup = (matrix["wall_seconds_best"]
+                       / fast["wall_seconds_best"]
+                       if fast["wall_seconds_best"] else 0.0)
+            entry = {
+                "name": workload.name,
+                "description": workload.description,
+                "num_qubits": circuit.num_qubits,
+                "num_operations": circuit.num_operations(),
+                "fast_path": fast,
+                "matrix_path": matrix,
+                "speedup_fast_vs_matrix": round(speedup, 3),
+            }
+            if sink is not None:
+                entry["trace_summary"] = _traced_run(
+                    circuit, workload.name, sink, gc_limit)
+            report["workloads"].append(entry)
+    finally:
+        if sink is not None:
+            sink.close()
+    if trace_path:
+        report["trace_file"] = trace_path
+    report["thrash"] = _thrash_bench("smoke" if smoke else "full")
     return report
 
 
@@ -208,12 +359,21 @@ def main(argv: list[str] | None = None) -> int:
                              "'-' prints to stdout)")
     parser.add_argument("--workload", action="append", dest="workloads",
                         help="run only this workload (repeatable)")
+    parser.add_argument("--gc-limit", type=int, default=None,
+                        help="tight GC node limit for all measured engines "
+                             "(exercises the memory governor)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write a per-step JSONL trace of one "
+                             "untimed run per workload to PATH")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+    if args.gc_limit is not None and args.gc_limit < 1:
+        parser.error("--gc-limit must be >= 1")
     try:
         report = run_bench(smoke=args.smoke, repeats=args.repeats,
-                           workload_names=args.workloads)
+                           workload_names=args.workloads,
+                           gc_limit=args.gc_limit, trace_path=args.trace)
     except KeyError as exc:
         parser.error(str(exc).strip('"'))
     text = json.dumps(report, indent=2, sort_keys=False)
@@ -226,6 +386,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{w['name']:>18}: fast {w['fast_path']['wall_seconds_best']:.4f}s"
                   f"  matrix {w['matrix_path']['wall_seconds_best']:.4f}s"
                   f"  (x{w['speedup_fast_vs_matrix']:.2f})")
+        thrash = report["thrash"]
+        print(f"{'thrash':>18}: fixed "
+              f"{thrash['fixed_threshold']['wall_seconds']:.4f}s"
+              f"  governed {thrash['governed']['wall_seconds']:.4f}s"
+              f"  (x{thrash['speedup_governed_vs_fixed']:.2f}, "
+              f"fidelity {thrash['fidelity_governed_vs_ungoverned']:.12f})")
+        if args.trace:
+            print(f"trace: {args.trace}")
         print(f"wrote {args.output}")
     return 0
 

@@ -32,7 +32,7 @@ from .measurement import (all_probabilities, measure_qubit, project_qubit,
 from .node import TERMINAL, MatrixNode, Terminal, VectorNode
 from .observables import (diagonal_expectation, expectation_value,
                           pauli_expectation, pauli_string_dd)
-from .package import OperationCounters, Package
+from .package import GcStats, OperationCounters, Package
 from .reordering import (apply_index_permutation, permute_qubits, sift,
                          swap_adjacent_levels)
 from .serialization import deserialize_dd, dumps_dd, loads_dd, serialize_dd
@@ -45,6 +45,7 @@ __all__ = [
     "ComplexTable",
     "Edge",
     "MatrixNode",
+    "GcStats",
     "OperationCounters",
     "Package",
     "TERMINAL",

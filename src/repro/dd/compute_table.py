@@ -73,10 +73,18 @@ class ComputeTable:
         self._entries[index] = (key, value)
         self.inserts += 1
 
-    def clear(self) -> None:
-        """Drop all entries (cumulative statistics are kept)."""
-        self._entries = [None] * self.slots
-        self._filled = 0
+    def clear(self) -> int:
+        """Drop all entries; returns how many were dropped.
+
+        Cumulative statistics are kept.  An already-empty table is a no-op,
+        so callers (notably garbage collection) can clear unconditionally
+        without paying the slot-array reallocation for idle tables.
+        """
+        dropped = self._filled
+        if dropped:
+            self._entries = [None] * self.slots
+            self._filled = 0
+        return dropped
 
     @property
     def misses(self) -> int:

@@ -21,6 +21,7 @@ matrix-matrix multiplication attractive (paper Sec. III).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from .complex_table import DEFAULT_TOLERANCE, ComplexTable
@@ -29,7 +30,7 @@ from .edge import Edge
 from .node import TERMINAL, MatrixNode, VectorNode
 from .unique_table import UniqueTable
 
-__all__ = ["Package", "OperationCounters"]
+__all__ = ["Package", "OperationCounters", "GcStats"]
 
 
 @dataclass
@@ -73,6 +74,50 @@ class OperationCounters:
 
 
 @dataclass
+class GcStats:
+    """Cumulative garbage-collection telemetry for one package.
+
+    Long-running simulations live or die by their memory behaviour; these
+    counters make every collection observable (``Package.cache_stats()``,
+    ``SimulationStatistics``, ``BENCH_kernel.json``) instead of a silent
+    pause.  ``ineffective`` counts collections that freed nothing -- the
+    signature of a fully-reachable working set that has outgrown the
+    configured node limit (the thrash scenario the engine's
+    :class:`~repro.simulation.memory.MemoryGovernor` defuses).
+    """
+
+    collections: int = 0
+    nodes_freed: int = 0
+    pause_seconds: float = 0.0
+    compute_entries_dropped: int = 0
+    ineffective: int = 0
+
+    def snapshot(self) -> "GcStats":
+        return GcStats(self.collections, self.nodes_freed,
+                       self.pause_seconds, self.compute_entries_dropped,
+                       self.ineffective)
+
+    def delta(self, earlier: "GcStats") -> "GcStats":
+        """Telemetry accumulated since ``earlier`` (a prior snapshot)."""
+        return GcStats(
+            self.collections - earlier.collections,
+            self.nodes_freed - earlier.nodes_freed,
+            self.pause_seconds - earlier.pause_seconds,
+            self.compute_entries_dropped - earlier.compute_entries_dropped,
+            self.ineffective - earlier.ineffective,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "collections": self.collections,
+            "nodes_freed": self.nodes_freed,
+            "pause_seconds": round(self.pause_seconds, 6),
+            "compute_entries_dropped": self.compute_entries_dropped,
+            "ineffective": self.ineffective,
+        }
+
+
+@dataclass
 class _Tables:
     """All memoisation state of one package, bundled for easy reset."""
 
@@ -109,6 +154,7 @@ class Package:
         self.complex_table = ComplexTable(tolerance)
         self.tables = _Tables()
         self.counters = OperationCounters()
+        self.gc_stats = GcStats()
         self.zero = Edge(TERMINAL, 0j)
         self.one = Edge(TERMINAL, self.complex_table.lookup(1 + 0j))
         self._identity_cache: list[Edge] = [self.one]
@@ -933,10 +979,15 @@ class Package:
                             push(cn)
         return len(seen)
 
-    def clear_compute_tables(self) -> None:
-        """Drop all memoisation caches (results stay valid; only speed is lost)."""
+    def clear_compute_tables(self) -> int:
+        """Drop all memoisation caches; returns total entries dropped.
+
+        Results stay valid; only speed is lost.
+        """
+        dropped = 0
         for cache in self.tables.compute_tables().values():
-            cache.clear()
+            dropped += cache.clear()
+        return dropped
 
     def cache_stats(self) -> dict:
         """Hit/miss/collision statistics for every cache in the package.
@@ -968,15 +1019,21 @@ class Package:
                 "misses": ct.misses,
                 "hit_rate": round(ct.hits / total, 6) if total else 0.0,
             },
+            "gc": self.gc_stats.as_dict(),
         }
 
     def garbage_collect(self, roots: list[Edge]) -> int:
         """Free all nodes not reachable from ``roots``; returns nodes removed.
 
-        Compute tables are cleared first since they pin arbitrary nodes.
-        The identity cache is treated as an implicit root.
+        The identity cache is treated as an implicit root.  Compute tables
+        pin arbitrary nodes, so they are wiped whenever nodes are actually
+        removed -- but an *ineffective* collection (everything reachable,
+        nothing to free) leaves them untouched: entries can only reference
+        live interned nodes then, and keeping them avoids both the wipe
+        cost and the cold-cache restart that makes per-step re-collection
+        so pathological.  Every collection updates :attr:`gc_stats`.
         """
-        self.clear_compute_tables()
+        started = time.perf_counter()
         live: set[int] = set()
         stack = [e.node for e in roots if e.weight != 0]
         stack.extend(e.node for e in self._identity_cache if e.weight != 0)
@@ -993,6 +1050,18 @@ class Package:
                     stack.append(child.node)
         removed = self.tables.vectors.remove_unreferenced(live)
         removed += self.tables.matrices.remove_unreferenced(live)
+        dropped = 0
+        if removed:
+            # Entries may hold (or be keyed by) just-removed nodes; a later
+            # hit could resurrect a node whose id has been reused.  Wipe.
+            dropped = self.clear_compute_tables()
+        stats = self.gc_stats
+        stats.collections += 1
+        stats.nodes_freed += removed
+        stats.compute_entries_dropped += dropped
+        stats.pause_seconds += time.perf_counter() - started
+        if not removed:
+            stats.ineffective += 1
         return removed
 
     def live_node_count(self) -> int:

@@ -72,9 +72,25 @@ class UniqueTable:
         """Iterate over all live nodes (used by garbage collection)."""
         return self._table.values()
 
+    def count_dead(self, live: set[int]) -> int:
+        """How many interned nodes are *not* in ``live`` (no mutation)."""
+        return sum(1 for node in self._table.values() if id(node) not in live)
+
     def remove_unreferenced(self, live: set[int]) -> int:
         """Drop all nodes whose ``id`` is not in ``live``; return count removed."""
-        dead = [key for key, node in self._table.items() if id(node) not in live]
-        for key in dead:
-            del self._table[key]
-        return len(dead)
+        table = self._table
+        before = len(table)
+        if before == 0:
+            return 0
+        # When most of the table dies (the common case for post-run sweeps)
+        # rebuilding is cheaper than collecting the dead keys and deleting
+        # them one by one; when most survives, targeted deletion wins.
+        if len(live) < before // 2:
+            self._table = {key: node for key, node in table.items()
+                           if id(node) in live}
+        else:
+            dead = [key for key, node in table.items()
+                    if id(node) not in live]
+            for key in dead:
+                del table[key]
+        return before - len(self._table)

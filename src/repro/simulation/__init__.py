@@ -16,10 +16,12 @@ that needs it: see :mod:`repro.algorithms.shor`.
 from .density import (DensityMatrixSimulator, amplitude_damping_kraus,
                       bit_flip_kraus, depolarizing_kraus, phase_flip_kraus)
 from .engine import SimulationEngine
+from .memory import MemoryBudgetExceeded, MemoryGovernor
 from .noise import (NoiseModel, noisy_counts, noisy_trajectory_circuit,
                     simulate_trajectory)
 from .result import SimulationResult
 from .statistics import SimulationStatistics
+from .trace import JsonlTraceSink, load_trace, trace_summary
 from .strategies import (AdaptiveStrategy, KOperationsStrategy,
                          MaxSizeStrategy, RepeatingBlockStrategy,
                          SequentialStrategy, SimulationStrategy,
@@ -28,7 +30,12 @@ from .strategies import (AdaptiveStrategy, KOperationsStrategy,
 __all__ = [
     "AdaptiveStrategy",
     "DensityMatrixSimulator",
+    "JsonlTraceSink",
     "KOperationsStrategy",
+    "MemoryBudgetExceeded",
+    "MemoryGovernor",
+    "load_trace",
+    "trace_summary",
     "amplitude_damping_kraus",
     "bit_flip_kraus",
     "depolarizing_kraus",

@@ -3,22 +3,28 @@
 Owns the DD package, builds gate DDs (with caching -- a circuit applying the
 same Hadamard a thousand times builds its DD once), drives a
 :class:`~repro.simulation.strategies.SimulationStrategy` over a circuit, and
-records statistics.  Memory is kept bounded by an optional garbage-collection
-threshold: when the package's unique tables outgrow it, everything not
-reachable from the run's roots (state, pending product, cached gate and
-block DDs) is freed.
+records statistics.  Memory is governed by a
+:class:`~repro.simulation.memory.MemoryGovernor`: when the package's unique
+tables outgrow the governor's threshold, everything not reachable from the
+run's roots (state, pending product, cached gate and block DDs) is freed --
+and when a collection turns out to be futile (the working set itself has
+outgrown the threshold) the governor grows the threshold instead of
+re-collecting every step.  An opt-in ``trace`` callback streams per-step
+telemetry (see :mod:`repro.simulation.trace`).
 """
 
 from __future__ import annotations
 
 import gc
 import time
+from typing import Callable
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operation import Operation
 from ..dd.edge import Edge
 from ..dd.gate_building import build_gate_dd
 from ..dd.package import Package
+from .memory import MemoryGovernor
 from .result import SimulationResult
 from .statistics import SimulationStatistics
 from .strategies import SequentialStrategy, SimulationStrategy
@@ -30,12 +36,19 @@ class _Run:
     """Mutable state of one simulation run, shared with the strategy."""
 
     def __init__(self, engine: "SimulationEngine", num_qubits: int,
-                 state: Edge, statistics: SimulationStatistics) -> None:
+                 state: Edge, statistics: SimulationStatistics,
+                 trace: Callable[[dict], None] | None = None) -> None:
         self.engine = engine
         self.package = engine.package
         self.num_qubits = num_qubits
         self.state = state
         self.statistics = statistics
+        self.trace = trace
+        self.track_state_size = engine.track_state_size
+        #: node count of the last product returned by :meth:`combine` --
+        #: lets size-bounded strategies reuse the measurement instead of
+        #: re-counting the (growing) product DD on every feed
+        self.last_product_nodes = 0
         self._pending: Edge | None = None
         self._extra_roots: list[Edge] = []
 
@@ -49,8 +62,12 @@ class _Run:
         """One simulation step: ``state <- matrix x state`` (Eq. 1 step)."""
         self.state = self.package.multiply_matrix_vector(matrix, self.state)
         self.statistics.matrix_vector_mults += 1
-        self.statistics.record_state_size(self.package.count_nodes(self.state))
+        if self.track_state_size:
+            self.statistics.record_state_size(
+                self.package.count_nodes(self.state))
         self.engine.maybe_collect(self)
+        if self.trace is not None:
+            self._trace_step("matrix")
 
     def apply_operation(self, operation: Operation) -> None:
         """One elementary simulation step, via the local-gate fast path.
@@ -68,14 +85,37 @@ class _Run:
             self.state, matrix, operation.target, controls)
         self.statistics.matrix_vector_mults += 1
         self.statistics.local_gate_applications += 1
-        self.statistics.record_state_size(self.package.count_nodes(self.state))
+        if self.track_state_size:
+            self.statistics.record_state_size(
+                self.package.count_nodes(self.state))
         self.engine.maybe_collect(self)
+        if self.trace is not None:
+            self._trace_step(operation.gate)
+
+    def _trace_step(self, gate: str) -> None:
+        """Emit one ``step`` trace event (see :mod:`repro.simulation.trace`)."""
+        package = self.package
+        tables = package.tables
+        pending = self._pending
+        self.trace({
+            "event": "step",
+            "op_index": self.statistics.matrix_vector_mults - 1,
+            "gate": gate,
+            "state_nodes": package.count_nodes(self.state),
+            "product_nodes": package.count_nodes(pending)
+            if pending is not None else 0,
+            "live_nodes": package.live_node_count(),
+            "apply_gate_hit_rate": round(tables.apply_gate.hit_rate(), 6),
+            "mult_mv_hit_rate": round(tables.mult_mv.hit_rate(), 6),
+        })
 
     def combine(self, later: Edge, earlier: Edge) -> Edge:
         """Combine two operation matrices: ``later @ earlier`` (Eq. 2 step)."""
         product = self.package.multiply_matrix_matrix(later, earlier)
         self.statistics.matrix_matrix_mults += 1
-        self.statistics.record_matrix_size(self.package.count_nodes(product))
+        nodes = self.package.count_nodes(product)
+        self.last_product_nodes = nodes
+        self.statistics.record_matrix_size(nodes)
         return product
 
     def note_operation(self, count: int = 1) -> None:
@@ -107,8 +147,16 @@ class SimulationEngine:
         a package across runs lets results be compared with
         :meth:`SimulationResult.fidelity_with` and re-uses gate DDs.
     gc_node_limit:
-        When the package holds more than this many nodes after a simulation
-        step, unreachable nodes are collected.  ``None`` disables collection.
+        Initial garbage-collection threshold: when the package holds more
+        than this many nodes after a simulation step, unreachable nodes are
+        collected.  ``None`` disables collection.  Shorthand for passing a
+        default :class:`~repro.simulation.memory.MemoryGovernor` with this
+        initial limit; ignored when ``governor`` is given explicitly.
+    governor:
+        Full memory policy: initial limit, geometric threshold growth after
+        ineffective collections, optional hard ``max_nodes`` budget (which
+        raises :class:`~repro.simulation.memory.MemoryBudgetExceeded`
+        instead of grinding).
     use_local_apply:
         When true (the default), elementary operations fed by the sequential
         pathway are applied with :meth:`Package.apply_gate` -- the local-gate
@@ -116,14 +164,25 @@ class SimulationEngine:
         the paper-literal pathway (explicit gate DD + matrix-vector
         multiplication per gate), e.g. for the paper-artifact experiments
         or A/B benchmarking.
+    track_state_size:
+        When true (the default), the state DD is measured after every
+        simulation step so ``peak_state_nodes`` is exact.  That measurement
+        traverses the whole state DD -- on a large state driven by cheap
+        local gates it can dominate the run, so timing-focused callers
+        (the benchmark harness) turn it off; ``final_state_nodes`` stays
+        exact either way.
     """
 
     def __init__(self, package: Package | None = None,
                  gc_node_limit: int | None = 500_000,
-                 use_local_apply: bool = True) -> None:
+                 use_local_apply: bool = True,
+                 governor: MemoryGovernor | None = None,
+                 track_state_size: bool = True) -> None:
         self.package = package or Package()
-        self.gc_node_limit = gc_node_limit
+        self.governor = governor if governor is not None \
+            else MemoryGovernor(node_limit=gc_node_limit)
         self.use_local_apply = use_local_apply
+        self.track_state_size = track_state_size
         self._gate_cache: dict[tuple[Operation, int], Edge] = {}
         # 2x2 entries + control map per operation for the local fast path
         # (skips the numpy matrix construction on every application).
@@ -131,6 +190,16 @@ class SimulationEngine:
         # the values keep a reference so ids stay valid; hashing a frozen
         # dataclass on every application is measurably slower.
         self._local_gate_cache: dict[int, tuple] = {}
+
+    @property
+    def gc_node_limit(self) -> int | None:
+        """The governor's *current* collection threshold (legacy alias)."""
+        return self.governor.limit
+
+    @gc_node_limit.setter
+    def gc_node_limit(self, value: int | None) -> None:
+        self.governor.limit = value
+        self.governor.initial_limit = value
 
     # ------------------------------------------------------------------
 
@@ -164,8 +233,17 @@ class SimulationEngine:
 
     def simulate(self, circuit: QuantumCircuit,
                  strategy: SimulationStrategy | None = None,
-                 initial_state: Edge | None = None) -> SimulationResult:
-        """Run ``circuit`` under ``strategy`` (sequential baseline by default)."""
+                 initial_state: Edge | None = None,
+                 trace: Callable[[dict], None] | None = None
+                 ) -> SimulationResult:
+        """Run ``circuit`` under ``strategy`` (sequential baseline by default).
+
+        ``trace``, when given, receives one dict per simulation step and
+        per garbage collection (schema in :mod:`repro.simulation.trace`;
+        pass a :class:`~repro.simulation.trace.JsonlTraceSink` to stream
+        to disk).  Tracing re-measures the state DD every step, so leave
+        it off for timing runs.
+        """
         strategy = strategy or SequentialStrategy()
         state = initial_state if initial_state is not None \
             else self.initial_state(circuit.num_qubits)
@@ -175,8 +253,9 @@ class SimulationEngine:
             num_qubits=circuit.num_qubits,
         )
         statistics.record_state_size(self.package.count_nodes(state))
-        run = _Run(self, circuit.num_qubits, state, statistics)
+        run = _Run(self, circuit.num_qubits, state, statistics, trace)
         counters_before = self.package.counters.snapshot()
+        gc_before = self.package.gc_stats.snapshot()
         # DDs are acyclic (nodes only reference lower levels), so reference
         # counting reclaims everything and the cyclic collector only adds
         # per-allocation overhead to this very allocation-heavy loop.
@@ -192,6 +271,7 @@ class SimulationEngine:
             if gc_was_enabled:
                 gc.enable()
         statistics.counters = self.package.counters.delta(counters_before)
+        statistics.gc = self.package.gc_stats.delta(gc_before)
         statistics.final_state_nodes = self.package.count_nodes(run.state)
         return SimulationResult(state=run.state, package=self.package,
                                 statistics=statistics)
@@ -199,15 +279,47 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def maybe_collect(self, run: _Run) -> None:
-        """Garbage-collect the package when it exceeds the node limit."""
-        if self.gc_node_limit is None:
-            return
-        if self.package.live_node_count() <= self.gc_node_limit:
-            return
-        roots = run.roots()
-        roots.extend(self._gate_cache.values())
-        self.package.garbage_collect(roots)
+        """Garbage-collect when the governor's threshold is exceeded.
+
+        After a collection the governor inspects the outcome: if the
+        *surviving* (fully reachable) working set still exceeds the
+        threshold, the threshold grows geometrically so the next steps do
+        not re-run a futile mark-sweep -- the fix for the thrash regime
+        where a large mostly-reachable package paid a full collection plus
+        compute-table wipe on every single step.  The hard ``max_nodes``
+        budget (if any) is enforced afterwards.
+        """
+        governor = self.governor
+        package = self.package
+        live = package.live_node_count()
+        if governor.should_collect(live):
+            roots = run.roots()
+            roots.extend(self._gate_cache.values())
+            gc_before = package.gc_stats.snapshot() \
+                if run.trace is not None else None
+            freed = package.garbage_collect(roots)
+            live = package.live_node_count()
+            governor.note_collection(freed, live)
+            if run.trace is not None:
+                delta = package.gc_stats.delta(gc_before)
+                run.trace({
+                    "event": "gc",
+                    "op_index": run.statistics.matrix_vector_mults - 1,
+                    "nodes_freed": freed,
+                    "surviving_nodes": live,
+                    "compute_entries_dropped": delta.compute_entries_dropped,
+                    "pause_seconds": round(delta.pause_seconds, 6),
+                    "limit": governor.limit,
+                })
+        governor.check_budget(live)
 
     def clear_caches(self) -> None:
-        """Drop the engine's gate-DD cache (package caches are untouched)."""
+        """Drop the engine's gate caches (package caches are untouched).
+
+        Clears both the full-register gate-DD cache and the local-gate
+        spec cache; the latter is keyed by ``id(operation)`` and pins the
+        operation objects, so a long-lived engine fed many circuits would
+        otherwise grow it without bound.
+        """
         self._gate_cache.clear()
+        self._local_gate_cache.clear()

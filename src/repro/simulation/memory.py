@@ -1,0 +1,158 @@
+"""Memory governance for long-running simulations.
+
+The engine keeps a DD package's unique tables bounded by garbage-collecting
+past a node limit.  A *fixed* limit has a pathological failure mode: once
+the reachable working set itself exceeds the limit, every simulation step
+re-triggers a collection that frees nothing -- each one a full mark-sweep
+plus (historically) a wholesale compute-table wipe.  Exactly the large
+instances the paper targets (Shor, supremacy) hit this thrash regime first.
+
+:class:`MemoryGovernor` turns the limit into a policy: after an ineffective
+collection the threshold grows geometrically past the surviving working set
+(``limit = max(limit, growth_factor * surviving)``), so a mostly-reachable
+package stops re-triggering wipes and collection frequency stays
+proportional to actual garbage production.  An optional hard ``max_nodes``
+budget converts "grind until the machine swaps" into a clean
+:class:`MemoryBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemoryBudgetExceeded", "MemoryGovernor"]
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """The reachable working set exceeds the configured hard node budget.
+
+    Raised by :class:`MemoryGovernor` after a garbage collection could not
+    bring the package under ``max_nodes``: every surviving node is needed
+    by the run, so continuing would only grind.  The simulation state is
+    consistent when this is raised (the partial state remains queryable).
+    """
+
+    def __init__(self, live_nodes: int, max_nodes: int) -> None:
+        super().__init__(
+            f"DD package holds {live_nodes} reachable nodes, exceeding the "
+            f"hard budget of {max_nodes}; the circuit's working set does "
+            "not fit the configured memory budget")
+        self.live_nodes = live_nodes
+        self.max_nodes = max_nodes
+
+
+class MemoryGovernor:
+    """Adaptive garbage-collection policy for a simulation engine.
+
+    Parameters
+    ----------
+    node_limit:
+        Initial collection threshold: a collection is requested when the
+        package holds more interned nodes than this.  ``None`` disables
+        collection entirely (``max_nodes`` is still enforced).
+    growth_factor:
+        After a collection that leaves the package above the current limit
+        (i.e. the reachable working set alone exceeds it), the limit grows
+        to ``growth_factor * surviving_nodes``.  ``1.0`` reproduces the
+        legacy fixed-threshold behaviour -- including its per-step thrash
+        when the working set outgrows the limit.
+    max_nodes:
+        Optional hard budget: when even a collection cannot bring the live
+        node count under this, :class:`MemoryBudgetExceeded` is raised
+        instead of grinding on.
+    min_headroom:
+        Lower bound on the gap between a grown threshold and the surviving
+        working set.  Geometric growth alone leaves only
+        ``(growth_factor - 1) * surviving`` nodes of slack, which for a
+        *small* working set above a tiny limit is a handful of nodes --
+        consumed within a step or two, re-triggering collection almost as
+        fast as a fixed threshold.  The floor guarantees every grown
+        threshold buys a proportional amount of garbage production before
+        the next collection.  4096 nodes is ~1 MB of DD nodes.
+
+    The governor is stateful per engine, not per run: a long-lived engine
+    keeps its grown threshold across circuits (call :meth:`reset` to return
+    to the initial limit).
+    """
+
+    def __init__(self, node_limit: int | None = 500_000,
+                 growth_factor: float = 1.5,
+                 max_nodes: int | None = None,
+                 min_headroom: int = 4096) -> None:
+        if node_limit is not None and node_limit < 1:
+            raise ValueError(f"node_limit must be positive or None, "
+                             f"got {node_limit}")
+        if growth_factor < 1.0:
+            raise ValueError(f"growth_factor must be >= 1.0, "
+                             f"got {growth_factor}")
+        if max_nodes is not None and max_nodes < 1:
+            raise ValueError(f"max_nodes must be positive or None, "
+                             f"got {max_nodes}")
+        if min_headroom < 0:
+            raise ValueError(f"min_headroom must be non-negative, "
+                             f"got {min_headroom}")
+        self.initial_limit = node_limit
+        self.limit = node_limit
+        self.growth_factor = growth_factor
+        self.max_nodes = max_nodes
+        self.min_headroom = min_headroom
+        #: collections this governor requested
+        self.collections_requested = 0
+        #: times the limit was grown after an ineffective collection
+        self.limit_growths = 0
+
+    # ------------------------------------------------------------------
+
+    def should_collect(self, live_nodes: int) -> bool:
+        """Whether the engine should garbage-collect at ``live_nodes``."""
+        return self.limit is not None and live_nodes > self.limit
+
+    def note_collection(self, freed: int, surviving: int) -> bool:
+        """Record a collection's outcome; grow the limit if it was futile.
+
+        Returns ``True`` when the threshold was grown -- the signal that
+        the surviving working set exceeds the old limit, so re-collecting
+        next step would free (almost) nothing again.
+        """
+        self.collections_requested += 1
+        if self.limit is None or surviving <= self.limit:
+            return False
+        if self.growth_factor <= 1.0:
+            # Legacy fixed-threshold mode: never adapt (and thrash when the
+            # working set outgrows the limit) -- kept for A/B benchmarks.
+            return False
+        self.limit = max(self.limit + 1,
+                         int(self.growth_factor * surviving),
+                         surviving + self.min_headroom)
+        self.limit_growths += 1
+        return True
+
+    def check_budget(self, live_nodes: int) -> None:
+        """Raise :class:`MemoryBudgetExceeded` past the hard budget."""
+        if self.max_nodes is not None and live_nodes > self.max_nodes:
+            raise MemoryBudgetExceeded(live_nodes, self.max_nodes)
+
+    def reset(self) -> None:
+        """Return to the initial limit (policy stats are kept)."""
+        self.limit = self.initial_limit
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        limit = "off" if self.limit is None else str(self.limit)
+        budget = "" if self.max_nodes is None \
+            else f", max_nodes={self.max_nodes}"
+        return (f"governor(limit={limit}, "
+                f"growth={self.growth_factor:g}{budget})")
+
+    def stats(self) -> dict:
+        """Machine-readable policy counters (for benchmarks and traces)."""
+        return {
+            "initial_limit": self.initial_limit,
+            "limit": self.limit,
+            "growth_factor": self.growth_factor,
+            "max_nodes": self.max_nodes,
+            "collections_requested": self.collections_requested,
+            "limit_growths": self.limit_growths,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryGovernor({self.describe()})"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..dd.package import OperationCounters
+from ..dd.package import GcStats, OperationCounters
 
 __all__ = ["SimulationStatistics"]
 
@@ -43,6 +43,8 @@ class SimulationStatistics:
     wall_time_seconds: float = 0.0
     #: recursive-call deltas accumulated in the DD package during the run
     counters: OperationCounters = field(default_factory=OperationCounters)
+    #: garbage-collection telemetry accumulated during the run
+    gc: GcStats = field(default_factory=GcStats)
 
     def record_state_size(self, nodes: int) -> None:
         if nodes > self.peak_state_nodes:
@@ -73,6 +75,11 @@ class SimulationStatistics:
         self.counters.nodes_created += other.counters.nodes_created
         self.counters.apply_gate_recursions += \
             other.counters.apply_gate_recursions
+        self.gc.collections += other.gc.collections
+        self.gc.nodes_freed += other.gc.nodes_freed
+        self.gc.pause_seconds += other.gc.pause_seconds
+        self.gc.compute_entries_dropped += other.gc.compute_entries_dropped
+        self.gc.ineffective += other.gc.ineffective
 
     def summary(self) -> str:
         """Compact human-readable one-paragraph report."""
@@ -85,4 +92,7 @@ class SimulationStatistics:
             f"{self.direct_constructions} direct), "
             f"peak state {self.peak_state_nodes} / "
             f"matrix {self.peak_matrix_nodes} nodes, "
+            f"{self.gc.collections} GC "
+            f"({self.gc.nodes_freed} freed, "
+            f"{self.gc.pause_seconds:.3f}s paused), "
             f"{self.wall_time_seconds:.3f}s")

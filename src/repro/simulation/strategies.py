@@ -98,16 +98,26 @@ class SequentialStrategy(SimulationStrategy):
 
 
 class _AccumulatingStrategy(SimulationStrategy):
-    """Shared machinery for strategies that build up a product matrix."""
+    """Shared machinery for strategies that build up a product matrix.
+
+    ``_product_nodes`` tracks the pending product's DD size without
+    re-traversing it: a fresh single-gate product is counted once, and every
+    combination reuses the count :meth:`_Run.combine` already took for its
+    peak-size statistic.  Size-bounded strategies previously called
+    ``count_nodes(product)`` on *every* feed -- an O(product) walk per
+    operation, quadratic over a combining streak.
+    """
 
     def begin(self, run: "_Run") -> None:
         self._product: Edge | None = None
+        self._product_nodes = 0
         run.set_pending(None)
 
     def flush(self, run: "_Run") -> None:
         if self._product is not None:
             run.apply_matrix(self._product)
             self._product = None
+            self._product_nodes = 0
             run.set_pending(None)
 
     def _absorb(self, run: "_Run", operation) -> Edge:
@@ -115,9 +125,11 @@ class _AccumulatingStrategy(SimulationStrategy):
         gate = run.gate_dd(operation)
         if self._product is None:
             self._product = gate
+            self._product_nodes = run.package.count_nodes(gate)
         else:
             # Later operations act later: M_new @ M_accumulated.
             self._product = run.combine(gate, self._product)
+            self._product_nodes = run.last_product_nodes
         run.set_pending(self._product)
         run.note_operation()
         return self._product
@@ -176,8 +188,8 @@ class MaxSizeStrategy(_AccumulatingStrategy):
         return f"max-size(s_max={self.s_max})"
 
     def feed(self, run: "_Run", operation) -> None:
-        product = self._absorb(run, operation)
-        if run.package.count_nodes(product) > self.s_max:
+        self._absorb(run, operation)
+        if self._product_nodes > self.s_max:
             self.flush(run)
 
 
@@ -217,8 +229,8 @@ class AdaptiveStrategy(_AccumulatingStrategy):
         return min(self.ceiling, max(self.floor, scaled))
 
     def feed(self, run: "_Run", operation) -> None:
-        product = self._absorb(run, operation)
-        if run.package.count_nodes(product) > self._threshold():
+        self._absorb(run, operation)
+        if self._product_nodes > self._threshold():
             self.flush(run)
 
     def flush(self, run: "_Run") -> None:
@@ -292,9 +304,22 @@ class RepeatingBlockStrategy(SimulationStrategy):
         return product
 
 
+def _spec_number(spec: str, text: str, parse, kind: str):
+    """Parse a spec parameter, raising a ValueError that names the spec."""
+    try:
+        return parse(text)
+    except ValueError:
+        raise ValueError(f"malformed strategy spec {spec!r}: expected "
+                         f"{kind} after '=', got {text!r}") from None
+
+
 def strategy_from_spec(spec: str) -> SimulationStrategy:
     """Parse strategy specs like ``sequential``, ``k=8``, ``smax=128``,
-    ``repeating`` or ``repeating:k=8`` (inner strategy after the colon)."""
+    ``repeating`` or ``repeating:k=8`` (inner strategy after the colon).
+
+    Malformed parameters (``k=abc``, ``smax=``, ``adaptive=x``) raise a
+    :class:`ValueError` naming the offending spec.
+    """
     spec = spec.strip().lower()
     if spec in ("sequential", "sota", "baseline"):
         return SequentialStrategy()
@@ -303,11 +328,14 @@ def strategy_from_spec(spec: str) -> SimulationStrategy:
         return RepeatingBlockStrategy(strategy_from_spec(inner) if inner
                                       else None)
     if spec.startswith("k="):
-        return KOperationsStrategy(int(spec[2:]))
+        return KOperationsStrategy(
+            _spec_number(spec, spec[2:], int, "an integer"))
     if spec.startswith("smax="):
-        return MaxSizeStrategy(int(spec[5:]))
+        return MaxSizeStrategy(
+            _spec_number(spec, spec[5:], int, "an integer"))
     if spec == "adaptive":
         return AdaptiveStrategy()
     if spec.startswith("adaptive="):
-        return AdaptiveStrategy(ratio=float(spec[len("adaptive="):]))
+        return AdaptiveStrategy(ratio=_spec_number(
+            spec, spec[len("adaptive="):], float, "a number"))
     raise ValueError(f"unknown strategy spec {spec!r}")

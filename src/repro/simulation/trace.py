@@ -1,0 +1,130 @@
+"""Per-step simulation traces: records, JSONL sink, summarisation.
+
+A trace is the run-time telemetry the paper's plots are made of: how the
+state DD grows step by step, where the caches stop hitting, and when the
+memory manager intervened.  :meth:`SimulationEngine.simulate
+<repro.simulation.engine.SimulationEngine.simulate>` accepts any callable
+as ``trace``; each event is a flat JSON-serialisable dict.
+
+Event schema (all events carry ``event`` and ``op_index``):
+
+``step``
+    One Eq. 1 state update.  Fields: ``op_index`` (0-based index of the
+    state update within the run), ``gate`` (name, or ``"matrix"`` for a
+    combined product), ``state_nodes``, ``product_nodes`` (pending combined
+    product, 0 when none), ``live_nodes`` (package-wide interned nodes),
+    ``apply_gate_hit_rate`` / ``mult_mv_hit_rate`` (cumulative compute-table
+    hit rates).
+``gc``
+    One garbage collection.  Fields: ``op_index``, ``nodes_freed``,
+    ``surviving_nodes``, ``compute_entries_dropped``, ``pause_seconds``,
+    ``limit`` (the governor's threshold after the collection -- grows after
+    an ineffective one).
+
+:class:`JsonlTraceSink` appends events to a JSON-Lines file;
+:func:`trace_summary` condenses a list of events (or a JSONL file) back
+into aggregate numbers for reports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+__all__ = ["JsonlTraceSink", "load_trace", "trace_summary"]
+
+
+class JsonlTraceSink:
+    """Callable trace consumer that appends one JSON object per line.
+
+    Usable as a context manager::
+
+        with JsonlTraceSink("run.jsonl") as sink:
+            engine.simulate(circuit, trace=sink)
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+        self.events_written = 0
+
+    def __call__(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, sort_keys=False) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not valid JSON "
+                                 f"({exc})") from None
+    return events
+
+
+def trace_summary(events: Iterable[dict] | str) -> dict:
+    """Aggregate a trace into headline numbers.
+
+    ``events`` may be an iterable of event dicts or a JSONL file path.
+    Returns steps, peak/final state size, GC activity, and the final
+    cumulative cache hit rates -- the digest the analysis layer renders.
+    """
+    if isinstance(events, str):
+        events = load_trace(events)
+    steps = 0
+    peak_state = 0
+    peak_product = 0
+    final_state = 0
+    peak_live = 0
+    gc_events = 0
+    gc_nodes_freed = 0
+    gc_pause = 0.0
+    last_hit_rates: dict[str, float] = {}
+    for event in events:
+        kind = event.get("event")
+        if kind == "step":
+            steps += 1
+            state_nodes = event.get("state_nodes", 0)
+            final_state = state_nodes
+            peak_state = max(peak_state, state_nodes)
+            peak_product = max(peak_product, event.get("product_nodes", 0))
+            peak_live = max(peak_live, event.get("live_nodes", 0))
+            for key in ("apply_gate_hit_rate", "mult_mv_hit_rate"):
+                if key in event:
+                    last_hit_rates[key] = event[key]
+        elif kind == "gc":
+            gc_events += 1
+            gc_nodes_freed += event.get("nodes_freed", 0)
+            gc_pause += event.get("pause_seconds", 0.0)
+    return {
+        "steps": steps,
+        "peak_state_nodes": peak_state,
+        "peak_product_nodes": peak_product,
+        "final_state_nodes": final_state,
+        "peak_live_nodes": peak_live,
+        "gc_events": gc_events,
+        "gc_nodes_freed": gc_nodes_freed,
+        "gc_pause_seconds": round(gc_pause, 6),
+        **{key: round(value, 6) for key, value in last_hit_rates.items()},
+    }

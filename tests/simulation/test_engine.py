@@ -33,6 +33,18 @@ class TestGateCache:
         second = engine.gate_dd(op, 2)
         assert second.node is first.node
 
+    def test_clear_caches_also_clears_local_gate_cache(self):
+        # regression: clear_caches() used to leave _local_gate_cache
+        # populated, keeping stale per-operation specs alive
+        engine = SimulationEngine()
+        qc = QuantumCircuit(2)
+        qc.h(0).cx(0, 1)
+        engine.simulate(qc)
+        assert engine._local_gate_cache, "fast path should populate cache"
+        engine.clear_caches()
+        assert not engine._gate_cache
+        assert not engine._local_gate_cache
+
 
 class TestSimulate:
     def test_defaults_to_zero_state_and_sequential(self):

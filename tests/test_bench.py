@@ -1,10 +1,12 @@
-"""Benchmark harness: report schema and CLI plumbing."""
+"""Benchmark harness: report schema, thrash scenario, trace, CLI plumbing."""
 
 import json
 
 import pytest
 
-from repro.bench import SMOKE_WORKLOADS, WORKLOADS, main, run_bench
+from repro.bench import (SMOKE_WORKLOADS, THRASH_CONFIG, WORKLOADS, main,
+                         run_bench, thrash_circuit)
+from repro.simulation import load_trace
 
 REQUIRED_WORKLOAD_KEYS = {"name", "description", "num_qubits",
                           "num_operations", "fast_path", "matrix_path",
@@ -12,7 +14,15 @@ REQUIRED_WORKLOAD_KEYS = {"name", "description", "num_qubits",
 REQUIRED_MEASURE_KEYS = {"wall_seconds_best", "wall_seconds_median",
                          "matrix_vector_mults", "local_gate_applications",
                          "peak_state_nodes", "final_state_nodes",
-                         "counters", "cache"}
+                         "counters", "cache", "gc"}
+REQUIRED_GC_KEYS = {"collections", "nodes_freed", "pause_seconds",
+                    "compute_entries_dropped", "ineffective"}
+REQUIRED_THRASH_KEYS = {"name", "description", "num_qubits",
+                        "num_operations", "node_limit", "ungoverned",
+                        "fixed_threshold", "governed",
+                        "speedup_governed_vs_fixed",
+                        "fidelity_governed_vs_ungoverned",
+                        "fidelity_fixed_vs_ungoverned"}
 
 
 class TestWorkloadCatalogue:
@@ -30,13 +40,14 @@ class TestWorkloadCatalogue:
 class TestRunBench:
     def test_report_schema(self):
         report = run_bench(smoke=True, repeats=1, workload_names=["qft_10"])
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["profile"] == "smoke"
         (entry,) = report["workloads"]
         assert REQUIRED_WORKLOAD_KEYS <= set(entry)
         for path in ("fast_path", "matrix_path"):
             assert REQUIRED_MEASURE_KEYS <= set(entry[path])
             assert entry[path]["counters"]["total_recursions"] > 0
+            assert REQUIRED_GC_KEYS <= set(entry[path]["gc"])
         # fast path applies gates locally; matrix path never does
         assert entry["fast_path"]["local_gate_applications"] > 0
         assert entry["matrix_path"]["local_gate_applications"] == 0
@@ -45,6 +56,49 @@ class TestRunBench:
     def test_unknown_workload_rejected(self):
         with pytest.raises(KeyError):
             run_bench(smoke=True, workload_names=["nope"])
+
+    def test_tight_gc_limit_records_collections(self):
+        report = run_bench(smoke=True, repeats=1,
+                           workload_names=["grover_8"], gc_limit=64)
+        assert report["gc_limit"] == 64
+        (entry,) = report["workloads"]
+        assert entry["fast_path"]["gc"]["collections"] > 0
+
+    def test_trace_file_parses_and_summary_present(self, tmp_path):
+        trace_path = str(tmp_path / "bench_trace.jsonl")
+        report = run_bench(smoke=True, repeats=1,
+                           workload_names=["qft_10"], trace_path=trace_path)
+        assert report["trace_file"] == trace_path
+        events = load_trace(trace_path)
+        assert events, "traced run must emit events"
+        assert all(e["workload"] == "qft_10" for e in events)
+        (entry,) = report["workloads"]
+        summary = entry["trace_summary"]
+        assert summary["steps"] > 0
+        assert summary["peak_state_nodes"] >= summary["final_state_nodes"]
+
+
+class TestThrashScenario:
+    def test_thrash_circuit_is_deterministic(self):
+        rows, cols, depth, tail, seed, _ = THRASH_CONFIG["smoke"]
+        assert thrash_circuit(rows, cols, depth, tail, seed) == \
+            thrash_circuit(rows, cols, depth, tail, seed)
+
+    def test_thrash_section_schema_and_fidelity(self):
+        # no timing assertions here (wall-clock ratios are machine noise in
+        # CI); the >= 5x receipt lives in the checked-in BENCH_kernel.json
+        report = run_bench(smoke=True, repeats=1,
+                           workload_names=["grover_8"])
+        thrash = report["thrash"]
+        assert REQUIRED_THRASH_KEYS <= set(thrash)
+        assert thrash["fidelity_governed_vs_ungoverned"] >= 1 - 1e-10
+        assert thrash["fidelity_fixed_vs_ungoverned"] >= 1 - 1e-10
+        # the fixed-threshold arm must actually thrash: far more
+        # collections than the governed arm on the same circuit
+        fixed_gc = thrash["fixed_threshold"]["gc"]["collections"]
+        governed_gc = thrash["governed"]["gc"]["collections"]
+        assert fixed_gc > 10 * max(governed_gc, 1)
+        assert thrash["governed"]["governor"]["limit_growths"] >= 1
 
 
 class TestCli:
