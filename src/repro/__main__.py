@@ -3,6 +3,10 @@
 Examples::
 
     python -m repro simulate circuit.qasm --strategy smax=64 --shots 100
+    python -m repro simulate circuit.qasm --checkpoint run.ckpt \\
+        --checkpoint-every 500 --max-nodes 2000000 --degrade
+    python -m repro resume run.ckpt circuit.qasm
+    python -m repro audit run.ckpt
     python -m repro info circuit.qasm
     python -m repro equiv circuit_a.qasm circuit_b.qasm
     python -m repro factor 15
@@ -11,13 +15,14 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from random import Random
 
 from .circuit import from_qasm
 from .dd import sample_counts
-from .simulation import (MemoryBudgetExceeded, MemoryGovernor,
-                         SimulationEngine, strategy_from_spec)
+from .simulation import (DegradationPolicy, MemoryBudgetExceeded,
+                         MemoryGovernor, SimulationEngine, strategy_from_spec)
 from .verification import check_equivalence
 
 
@@ -26,26 +31,29 @@ def _load(path: str):
         return from_qasm(handle.read())
 
 
-def _cmd_simulate(args) -> int:
-    circuit = _load(args.circuit)
-    strategy = strategy_from_spec(args.strategy)
+def _make_engine(args) -> SimulationEngine:
     governor = MemoryGovernor(node_limit=args.gc_limit,
                               max_nodes=args.max_nodes)
-    engine = SimulationEngine(governor=governor)
-    initial = engine.initial_state(circuit.num_qubits, args.initial)
-    trace_sink = None
-    if args.trace:
-        from .simulation import JsonlTraceSink
-        trace_sink = JsonlTraceSink(args.trace)
-    try:
-        result = engine.simulate(circuit, strategy, initial_state=initial,
-                                 trace=trace_sink)
-    except MemoryBudgetExceeded as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    finally:
-        if trace_sink is not None:
-            trace_sink.close()
+    return SimulationEngine(governor=governor)
+
+
+def _make_policy(args) -> DegradationPolicy | None:
+    if not args.degrade:
+        return None
+    return DegradationPolicy(fidelity_floor=args.fidelity_floor)
+
+
+def _resilience_kwargs(args, policy) -> dict:
+    return {
+        "checkpoint_path": args.checkpoint,
+        "checkpoint_every": args.checkpoint_every,
+        "degradation": policy,
+        "audit_every": args.audit_every,
+    }
+
+
+def _print_result(args, circuit, engine, result, trace_sink,
+                  policy=None) -> None:
     stats = result.statistics
     print(f"circuit   : {args.circuit} ({circuit.num_qubits} qubits, "
           f"{circuit.num_operations()} operations)")
@@ -59,6 +67,20 @@ def _cmd_simulate(args) -> int:
               f"{stats.gc.nodes_freed} nodes freed, "
               f"{stats.gc.pause_seconds:.3f}s paused "
               f"(limit now {engine.governor.limit})")
+    if stats.checkpoints_written and args.checkpoint:
+        print(f"checkpoint: {args.checkpoint} "
+              f"({stats.checkpoints_written} written)")
+    if stats.degradation_actions:
+        kinds: dict[str, int] = {}
+        for action in stats.degradation_actions:
+            kinds[action.get("action", "?")] = \
+                kinds.get(action.get("action", "?"), 0) + 1
+        summary = ", ".join(f"{count}x {kind}"
+                            for kind, count in sorted(kinds.items()))
+        print(f"degraded  : {summary} "
+              f"(fidelity {stats.cumulative_fidelity:.6f})")
+    if stats.audits_run:
+        print(f"audits    : {stats.audits_run} passed")
     if args.trace:
         print(f"trace     : {args.trace} "
               f"({trace_sink.events_written} events)")
@@ -83,6 +105,113 @@ def _cmd_simulate(args) -> int:
         for index, count in sorted(counts.items(),
                                    key=lambda item: -item[1])[:args.limit]:
             print(f"  |{index:0{circuit.num_qubits}b}>  x{count}")
+
+
+def _run_and_report(args, circuit, run) -> int:
+    """Shared driver for ``simulate`` and ``resume``."""
+    engine = _make_engine(args)
+    policy = _make_policy(args)
+    trace_sink = None
+    if args.trace:
+        from .simulation import JsonlTraceSink
+        trace_sink = JsonlTraceSink(args.trace)
+    try:
+        result = run(engine, policy, trace_sink)
+    except MemoryBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.checkpoint_path is not None:
+            print(f"checkpoint: {exc.checkpoint_path} "
+                  f"(resume with: python -m repro resume "
+                  f"{exc.checkpoint_path} <circuit.qasm>)", file=sys.stderr)
+        return 2
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    _print_result(args, circuit, engine, result, trace_sink, policy)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    circuit = _load(args.circuit)
+    strategy = strategy_from_spec(args.strategy)
+
+    def run(engine, policy, trace_sink):
+        initial = engine.initial_state(circuit.num_qubits, args.initial)
+        return engine.simulate(circuit, strategy, initial_state=initial,
+                               trace=trace_sink,
+                               **_resilience_kwargs(args, policy))
+
+    return _run_and_report(args, circuit, run)
+
+
+def _cmd_resume(args) -> int:
+    from .simulation import load_checkpoint
+    circuit = _load(args.circuit)
+    try:
+        checkpoint = load_checkpoint(args.checkpoint_file)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"resuming  : {args.checkpoint_file} at operation "
+          f"{checkpoint.op_index}/{checkpoint.total_ops} "
+          f"(reason: {checkpoint.reason})")
+
+    def run(engine, policy, trace_sink):
+        return engine.resume(checkpoint, circuit, trace=trace_sink,
+                             **_resilience_kwargs(args, policy))
+
+    return _run_and_report(args, circuit, run)
+
+
+def _cmd_audit(args) -> int:
+    """Audit DD integrity: of a checkpoint file, or of a live run."""
+    from .dd import DDIntegrityError
+    from .dd.package import Package
+    from .dd.serialization import deserialize_dd
+    from .simulation import load_checkpoint
+
+    target = args.target
+    is_checkpoint = args.kind == "checkpoint"
+    if args.kind == "auto":
+        try:
+            with open(target, encoding="utf-8") as handle:
+                head = json.load(handle)
+            is_checkpoint = isinstance(head, dict) and "version" in head \
+                and "state" in head
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            is_checkpoint = False
+    if is_checkpoint:
+        try:
+            checkpoint = load_checkpoint(target)
+            package = Package()
+            roots = [deserialize_dd(package, checkpoint.state)]
+            if checkpoint.pending is not None:
+                roots.append(deserialize_dd(package, checkpoint.pending))
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        violations = package.check_invariants(roots)
+        label = (f"checkpoint {target} (op "
+                 f"{checkpoint.op_index}/{checkpoint.total_ops})")
+    else:
+        circuit = _load(target)
+        engine = SimulationEngine()
+        try:
+            result = engine.simulate(circuit,
+                                     strategy_from_spec(args.strategy),
+                                     audit_every=args.audit_every)
+        except DDIntegrityError as exc:
+            print(f"AUDIT FAILED mid-run: {exc}", file=sys.stderr)
+            return 1
+        violations = engine.package.check_invariants([result.state])
+        label = (f"circuit {target} "
+                 f"({result.statistics.audits_run} in-run audits)")
+    if violations:
+        print(f"AUDIT FAILED: {label}: {len(violations)} violation(s)")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print(f"AUDIT OK: {label}: no violations")
     return 0
 
 
@@ -136,6 +265,47 @@ def main(argv: list[str] | None = None) -> int:
                     "(Zulehner & Wille, DATE 2019 reproduction).")
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_run_options(command) -> None:
+        """Options shared by ``simulate`` and ``resume``."""
+        command.add_argument("--shots", type=int, default=0,
+                             help="sample this many measurement shots")
+        command.add_argument("--seed", type=int, default=0)
+        command.add_argument("--amplitudes", action="store_true",
+                             help="print non-negligible amplitudes")
+        command.add_argument("--threshold", type=float, default=1e-6,
+                             help="probability threshold for --amplitudes")
+        command.add_argument("--limit", type=int, default=20,
+                             help="max rows to print")
+        command.add_argument("--gc-limit", type=int, default=500_000,
+                             help="initial GC node limit; the memory governor "
+                                  "grows it past a fully-reachable working "
+                                  "set (default 500000)")
+        command.add_argument("--max-nodes", type=int, default=None,
+                             help="hard node budget: abort cleanly when the "
+                                  "reachable working set exceeds this")
+        command.add_argument("--trace", default=None, metavar="PATH",
+                             help="write a per-step JSONL trace to PATH")
+        command.add_argument("--checkpoint", default=None, metavar="PATH",
+                             help="write resumable checkpoints to PATH "
+                                  "(atomically; on interrupt/budget-abort, "
+                                  "and every --checkpoint-every ops)")
+        command.add_argument("--checkpoint-every", type=int, default=None,
+                             metavar="N",
+                             help="also checkpoint every N operations "
+                                  "(requires --checkpoint)")
+        command.add_argument("--degrade", action="store_true",
+                             help="degrade gracefully instead of aborting "
+                                  "when --max-nodes is exceeded: collect, "
+                                  "shrink caches, then prune with a "
+                                  "fidelity floor")
+        command.add_argument("--fidelity-floor", type=float, default=0.99,
+                             help="cumulative fidelity below which --degrade "
+                                  "stops pruning (default 0.99)")
+        command.add_argument("--audit-every", type=int, default=None,
+                             metavar="K",
+                             help="run the DD integrity auditor every K "
+                                  "operations (fails fast on corruption)")
+
     simulate = commands.add_parser("simulate",
                                    help="simulate an OpenQASM circuit")
     simulate.add_argument("circuit", help="path to a .qasm file")
@@ -144,25 +314,31 @@ def main(argv: list[str] | None = None) -> int:
                                "repeating[:inner]")
     simulate.add_argument("--initial", type=int, default=0,
                           help="initial basis state index")
-    simulate.add_argument("--shots", type=int, default=0,
-                          help="sample this many measurement shots")
-    simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument("--amplitudes", action="store_true",
-                          help="print non-negligible amplitudes")
-    simulate.add_argument("--threshold", type=float, default=1e-6,
-                          help="probability threshold for --amplitudes")
-    simulate.add_argument("--limit", type=int, default=20,
-                          help="max rows to print")
-    simulate.add_argument("--gc-limit", type=int, default=500_000,
-                          help="initial GC node limit; the memory governor "
-                               "grows it past a fully-reachable working set "
-                               "(default 500000)")
-    simulate.add_argument("--max-nodes", type=int, default=None,
-                          help="hard node budget: abort cleanly when the "
-                               "reachable working set exceeds this")
-    simulate.add_argument("--trace", default=None, metavar="PATH",
-                          help="write a per-step JSONL trace to PATH")
+    add_run_options(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
+
+    resume = commands.add_parser(
+        "resume", help="resume a checkpointed simulation run")
+    resume.add_argument("checkpoint_file",
+                        help="checkpoint written by simulate --checkpoint")
+    resume.add_argument("circuit",
+                        help="the .qasm file the checkpoint came from")
+    add_run_options(resume)
+    resume.set_defaults(handler=_cmd_resume)
+
+    audit = commands.add_parser(
+        "audit", help="audit DD integrity of a checkpoint or a circuit run")
+    audit.add_argument("target",
+                       help="a checkpoint file or a .qasm circuit")
+    audit.add_argument("--kind", default="auto",
+                       choices=["auto", "checkpoint", "circuit"],
+                       help="how to interpret TARGET (default: sniff JSON)")
+    audit.add_argument("--strategy", default="sequential",
+                       help="strategy for circuit audits")
+    audit.add_argument("--audit-every", type=int, default=100, metavar="K",
+                       help="in-run audit cadence for circuit audits "
+                            "(default 100)")
+    audit.set_defaults(handler=_cmd_audit)
 
     info = commands.add_parser("info", help="show circuit statistics")
     info.add_argument("circuit")

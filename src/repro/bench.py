@@ -191,7 +191,8 @@ def _compute_hit_rates(cache_stats: dict) -> dict:
 
 
 def _measure(circuit: QuantumCircuit, use_local_apply: bool,
-             repeats: int, gc_limit: int | None = None) -> dict:
+             repeats: int, gc_limit: int | None = None,
+             audit: bool = False) -> dict:
     """Time ``repeats`` fresh-engine sequential runs of ``circuit``."""
     times = []
     stats = None
@@ -203,6 +204,15 @@ def _measure(circuit: QuantumCircuit, use_local_apply: bool,
         stats = result.statistics
         cache_stats = engine.package.cache_stats()
         times.append(stats.wall_time_seconds)
+    if audit:
+        # Untimed integrity audit of the final measured package: a kernel
+        # change that corrupts canonicity should fail the benchmark, not
+        # just skew its numbers.
+        violations = engine.package.check_invariants([result.state])
+        if violations:
+            raise RuntimeError(
+                f"{circuit.name}: DD integrity audit failed after measured "
+                f"run: {violations[0]} (+{len(violations) - 1} more)")
     return {
         "wall_seconds_best": round(min(times), 6),
         "wall_seconds_median": round(statistics.median(times), 6),
@@ -287,13 +297,16 @@ def _traced_run(circuit: QuantumCircuit, name: str, sink: JsonlTraceSink,
 def run_bench(smoke: bool = False, repeats: int = 3,
               workload_names: list[str] | None = None,
               gc_limit: int | None = None,
-              trace_path: str | None = None) -> dict:
+              trace_path: str | None = None,
+              audit: bool = False) -> dict:
     """Run the kernel benchmark suite and return the report dict.
 
     ``gc_limit`` overrides the engines' GC node limit (exercises the memory
     governor under a tight budget).  ``trace_path`` adds one untimed traced
     run per workload, appending tagged events to that JSONL file and a
-    ``trace_summary`` per workload to the report.
+    ``trace_summary`` per workload to the report.  ``audit`` runs the DD
+    integrity auditor (untimed) on the final package of each measured arm
+    and aborts the benchmark on any violation.
     """
     workloads = SMOKE_WORKLOADS if smoke else WORKLOADS
     if workload_names:
@@ -307,6 +320,7 @@ def run_bench(smoke: bool = False, repeats: int = 3,
         "profile": "smoke" if smoke else "full",
         "repeats": repeats,
         "gc_limit": gc_limit,
+        "audited": audit,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "workloads": [],
@@ -316,9 +330,9 @@ def run_bench(smoke: bool = False, repeats: int = 3,
         for workload in workloads:
             circuit = workload.build()
             fast = _measure(circuit, use_local_apply=True, repeats=repeats,
-                            gc_limit=gc_limit)
+                            gc_limit=gc_limit, audit=audit)
             matrix = _measure(circuit, use_local_apply=False,
-                              repeats=repeats, gc_limit=gc_limit)
+                              repeats=repeats, gc_limit=gc_limit, audit=audit)
             speedup = (matrix["wall_seconds_best"]
                        / fast["wall_seconds_best"]
                        if fast["wall_seconds_best"] else 0.0)
@@ -365,6 +379,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="also write a per-step JSONL trace of one "
                              "untimed run per workload to PATH")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the DD integrity auditor (untimed) after "
+                             "each measured arm; abort on any violation")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -373,7 +390,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         report = run_bench(smoke=args.smoke, repeats=args.repeats,
                            workload_names=args.workloads,
-                           gc_limit=args.gc_limit, trace_path=args.trace)
+                           gc_limit=args.gc_limit, trace_path=args.trace,
+                           audit=args.audit)
     except KeyError as exc:
         parser.error(str(exc).strip('"'))
     text = json.dumps(report, indent=2, sort_keys=False)

@@ -16,7 +16,8 @@ Typical usage::
     state = pkg.multiply_matrix_vector(gate, state)
 """
 
-from .approximation import ApproximationResult, prune_small_contributions
+from .approximation import (ApproximationResult, prune_small_contributions,
+                            prune_to_node_budget)
 from .complex_table import DEFAULT_TOLERANCE, ComplexTable
 from .convert import (matrix_from_numpy, matrix_to_numpy, vector_from_numpy,
                       vector_to_numpy)
@@ -32,7 +33,7 @@ from .measurement import (all_probabilities, measure_qubit, project_qubit,
 from .node import TERMINAL, MatrixNode, Terminal, VectorNode
 from .observables import (diagonal_expectation, expectation_value,
                           pauli_expectation, pauli_string_dd)
-from .package import GcStats, OperationCounters, Package
+from .package import DDIntegrityError, GcStats, OperationCounters, Package
 from .reordering import (apply_index_permutation, permute_qubits, sift,
                          swap_adjacent_levels)
 from .serialization import deserialize_dd, dumps_dd, loads_dd, serialize_dd
@@ -41,6 +42,7 @@ from .states import (ghz_state, product_state, random_structured_state,
 
 __all__ = [
     "ApproximationResult",
+    "DDIntegrityError",
     "DEFAULT_TOLERANCE",
     "ComplexTable",
     "Edge",
@@ -76,6 +78,7 @@ __all__ = [
     "product_state",
     "project_qubit",
     "prune_small_contributions",
+    "prune_to_node_budget",
     "qubit_probability",
     "random_structured_state",
     "sample_bitstring",

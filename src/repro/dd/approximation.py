@@ -21,7 +21,8 @@ from math import sqrt
 from .edge import Edge
 from .package import Package
 
-__all__ = ["ApproximationResult", "prune_small_contributions"]
+__all__ = ["ApproximationResult", "prune_small_contributions",
+           "prune_to_node_budget"]
 
 
 @dataclass(frozen=True)
@@ -146,4 +147,62 @@ def prune_small_contributions(package: Package, state: Edge,
         nodes_before=nodes_before,
         nodes_after=package.count_nodes(normalised),
         edges_cut=len(to_cut),
+    )
+
+
+def prune_to_node_budget(package: Package, state: Edge, max_nodes: int,
+                         min_fidelity: float = 0.9,
+                         initial_budget: float = 1e-6,
+                         growth: float = 8.0) -> ApproximationResult:
+    """Prune ``state`` until it fits ``max_nodes``, bounded by a fidelity floor.
+
+    Runs :func:`prune_small_contributions` passes with a geometrically
+    growing mass budget, never letting the *cumulative* fidelity (product
+    of the per-pass fidelities) fall below ``min_fidelity``.  This is the
+    fallback the simulation engine's degradation ladder uses when a run's
+    working set exceeds its hard memory budget: a controlled, accounted
+    fidelity loss instead of losing the whole run.
+
+    The returned :class:`ApproximationResult` carries the cumulative
+    fidelity and total edges cut over all passes.  The result may still
+    exceed ``max_nodes`` when the floor stops further pruning -- callers
+    must check ``nodes_after``.
+    """
+    if max_nodes < 1:
+        raise ValueError(f"max_nodes must be positive, got {max_nodes}")
+    if not 0.0 < min_fidelity <= 1.0:
+        raise ValueError(f"min_fidelity must be in (0, 1], "
+                         f"got {min_fidelity}")
+    if initial_budget <= 0 or growth <= 1.0:
+        raise ValueError("need initial_budget > 0 and growth > 1")
+    nodes_before = package.count_nodes(state)
+    current = state
+    current_nodes = nodes_before
+    cumulative = 1.0
+    total_cut = 0
+    budget = initial_budget
+    while current_nodes > max_nodes:
+        # Mass we may still drop without the cumulative fidelity (a
+        # product of per-pass retained masses) crossing the floor.
+        headroom = 1.0 - min_fidelity / cumulative
+        if headroom <= 0:
+            break
+        step = min(budget, headroom, 0.999999)
+        result = prune_small_contributions(package, current, step)
+        if result.edges_cut == 0:
+            if step >= headroom or step >= 0.999999:
+                break  # the floor (or the scheme itself) forbids any cut
+            budget *= growth
+            continue
+        current = result.state
+        current_nodes = result.nodes_after
+        cumulative *= result.fidelity
+        total_cut += result.edges_cut
+        budget *= growth
+    return ApproximationResult(
+        state=current,
+        fidelity=cumulative,
+        nodes_before=nodes_before,
+        nodes_after=current_nodes,
+        edges_cut=total_cut,
     )

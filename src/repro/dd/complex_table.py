@@ -126,6 +126,31 @@ class ComplexTable:
         return (abs(a.real - b.real) < self.tolerance
                 and abs(a.imag - b.imag) < self.tolerance)
 
+    def state_dict(self) -> list[list[float]]:
+        """All canonical representatives, in insertion order.
+
+        Checkpoints store this so a resumed run's package can replay the
+        same representatives: bit-exact resumption requires that every
+        value computed after the resume point snaps to the *same* canonical
+        float it would have snapped to in the uninterrupted run, and the
+        first value seen in a neighbourhood decides that.
+        """
+        return [[value.real, value.imag]
+                for value in self._buckets.values()]
+
+    def load_state_dict(self, values: list) -> None:
+        """Replay representatives captured by :meth:`state_dict`.
+
+        Replaying through :meth:`lookup` in insertion order reconstructs
+        the bucket map exactly: any two surviving representatives are
+        outside each other's tolerance neighbourhood (otherwise the later
+        one would have been merged instead of stored), so each replayed
+        value re-interns itself.  Values already present (the pre-seeded
+        anchors) are no-ops.
+        """
+        for entry in values:
+            self.lookup(complex(entry[0], entry[1]))
+
     def clear(self) -> None:
         """Drop all interned values (used when resetting a package)."""
         self._buckets.clear()

@@ -30,7 +30,26 @@ from .edge import Edge
 from .node import TERMINAL, MatrixNode, VectorNode
 from .unique_table import UniqueTable
 
-__all__ = ["Package", "OperationCounters", "GcStats"]
+__all__ = ["Package", "OperationCounters", "GcStats", "DDIntegrityError"]
+
+
+class DDIntegrityError(RuntimeError):
+    """The DD package violates one of its structural invariants.
+
+    Raised by :meth:`Package.assert_invariants` when the integrity auditor
+    finds corruption: denormalised edge weights, duplicate unique-table
+    entries, dangling compute-table references, broken level ordering.
+    Carries the full list of violations in :attr:`violations`.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        preview = "\n  ".join(violations[:10])
+        more = len(violations) - 10
+        suffix = f"\n  ... and {more} more" if more > 0 else ""
+        super().__init__(
+            f"DD integrity audit found {len(violations)} violation(s):\n"
+            f"  {preview}{suffix}")
+        self.violations = violations
 
 
 @dataclass
@@ -1070,3 +1089,154 @@ class Package:
 
     def reset_counters(self) -> None:
         self.counters = OperationCounters()
+
+    # ------------------------------------------------------------------
+    # integrity auditing
+    # ------------------------------------------------------------------
+
+    def interned_node_ids(self) -> set[int]:
+        """Ids of every node currently interned (vector and matrix tables)."""
+        ids = {id(node) for node in self.tables.vectors.nodes()}
+        ids.update(id(node) for node in self.tables.matrices.nodes())
+        return ids
+
+    def check_invariants(self, roots: list[Edge] | None = None,
+                         max_violations: int = 100) -> list[str]:
+        """Audit the package's structural invariants; return violations.
+
+        After thousands of GC cycles, cache overwrites and (with
+        degradation enabled) in-place state pruning, a long run has no way
+        to *know* its tables are still consistent -- this auditor makes
+        the invariants checkable.  It verifies:
+
+        * **unique-table canonicity** -- every interned node is stored
+          under the key recomputed from its current ``(level, edges)``,
+          and no two interned nodes share that key (no duplicates);
+        * **normalisation** -- every node's dominant child weight has
+          magnitude 1 (within the complex table's tolerance) and no child
+          weight exceeds magnitude 1;
+        * **level ordering / quasi-reducedness** -- every non-zero child
+          edge of a level-``z`` node points to level ``z - 1`` (the
+          terminal for ``z == 0``), zero-weight edges point at the
+          terminal, and child nodes are themselves interned;
+        * **compute-table liveness** -- every node referenced from a
+          compute-table key or value is still interned (a dangling entry
+          could resurrect a freed node id);
+        * **root reachability** (when ``roots`` is given) -- every node
+          reachable from the given roots is interned.
+
+        Returns a list of human-readable violation messages, each naming
+        the corruption site; an empty list means the audit passed.  The
+        scan stops after ``max_violations`` findings.
+        """
+        violations: list[str] = []
+        tolerance = max(self.complex_table.tolerance * 8, 1e-12)
+        interned = self.interned_node_ids()
+
+        def note(message: str) -> bool:
+            violations.append(message)
+            return len(violations) >= max_violations
+
+        for species, table, arity in (
+                ("vector", self.tables.vectors, 2),
+                ("matrix", self.tables.matrices, 4)):
+            by_canonical_key: dict[tuple, object] = {}
+            for stored_key, node in table.items():
+                name = f"{species} node {id(node):#x} (level {node.level})"
+                if node.level < 0:
+                    if note(f"{name}: interned node has terminal level"):
+                        return violations
+                    continue
+                if len(node.edges) != arity:
+                    if note(f"{name}: {len(node.edges)} successors, "
+                            f"expected {arity}"):
+                        return violations
+                    continue
+                canonical = table.canonical_key(node)
+                if canonical != stored_key:
+                    if note(f"{name}: stored under a key that no longer "
+                            f"matches its (level, edges) -- edges or "
+                            f"weights were mutated after interning"):
+                        return violations
+                twin = by_canonical_key.get(canonical)
+                if twin is not None:
+                    if note(f"duplicate unique-table entries: {species} "
+                            f"nodes {id(twin):#x} and {id(node):#x} share "
+                            f"(level, edges) at level {node.level}"):
+                        return violations
+                else:
+                    by_canonical_key[canonical] = node
+                max_magnitude = 0.0
+                for position, child in enumerate(node.edges):
+                    where = f"{name}, child {position}"
+                    weight = child.weight
+                    if weight == 0:
+                        if child.node.level != -1:
+                            if note(f"{where}: zero-weight edge does not "
+                                    f"point at the terminal"):
+                                return violations
+                        continue
+                    magnitude = abs(weight)
+                    if magnitude > max_magnitude:
+                        max_magnitude = magnitude
+                    if magnitude > 1.0 + tolerance:
+                        if note(f"{where}: denormalised edge weight "
+                                f"{weight!r} (|w| = {magnitude:.12g} > 1)"):
+                            return violations
+                    expected = node.level - 1
+                    child_level = child.node.level
+                    if child_level != expected:
+                        if note(f"{where}: level ordering broken -- child "
+                                f"at level {child_level}, expected "
+                                f"{expected}"):
+                            return violations
+                    elif child_level != -1 and id(child.node) not in interned:
+                        if note(f"{where}: child node {id(child.node):#x} "
+                                f"is not interned in any unique table"):
+                            return violations
+                if max_magnitude and abs(max_magnitude - 1.0) > tolerance:
+                    if note(f"{name}: denormalised node -- dominant child "
+                            f"weight has magnitude {max_magnitude:.12g}, "
+                            f"expected 1"):
+                        return violations
+
+        for table_name, cache in self.tables.compute_tables().items():
+            for key, value in cache.entries():
+                referenced = [part for part in key
+                              if hasattr(part, "level")
+                              and hasattr(part, "edges")]
+                if isinstance(value, Edge) and value.weight != 0:
+                    referenced.append(value.node)
+                for node in referenced:
+                    if node.level != -1 and id(node) not in interned:
+                        if note(f"compute table {table_name!r}: entry "
+                                f"references node {id(node):#x} (level "
+                                f"{node.level}) that is no longer interned "
+                                f"-- dangling entry could resurrect a "
+                                f"freed id"):
+                            return violations
+                        break
+
+        if roots:
+            stack = [edge.node for edge in roots if edge.weight != 0]
+            seen: set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node.level == -1 or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if id(node) not in interned:
+                    if note(f"root-reachable node {id(node):#x} (level "
+                            f"{node.level}) is not interned"):
+                        return violations
+                    continue
+                stack.extend(child.node for child in node.edges
+                             if child.weight != 0)
+        return violations
+
+    def assert_invariants(self, roots: list[Edge] | None = None) -> None:
+        """Run :meth:`check_invariants`; raise :class:`DDIntegrityError`
+        when any violation is found."""
+        violations = self.check_invariants(roots)
+        if violations:
+            raise DDIntegrityError(violations)

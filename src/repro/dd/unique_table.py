@@ -72,6 +72,20 @@ class UniqueTable:
         """Iterate over all live nodes (used by garbage collection)."""
         return self._table.values()
 
+    def items(self):
+        """Iterate over ``(stored key, node)`` pairs (used by the auditor)."""
+        return self._table.items()
+
+    def canonical_key(self, node) -> tuple:
+        """Recompute the canonical interning key of ``node``.
+
+        For a healthy table, ``canonical_key(node)`` equals the key the
+        node is stored under, and no two stored nodes share a canonical
+        key.  :meth:`Package.check_invariants` recomputes keys through
+        this method to detect corrupted or duplicated entries.
+        """
+        return self._key(node.level, node.edges)
+
     def count_dead(self, live: set[int]) -> int:
         """How many interned nodes are *not* in ``live`` (no mutation)."""
         return sum(1 for node in self._table.values() if id(node) not in live)

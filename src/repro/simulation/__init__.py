@@ -13,10 +13,12 @@ The *DD-construct* strategy (Sec. IV-B, Table II) lives with the algorithm
 that needs it: see :mod:`repro.algorithms.shor`.
 """
 
+from .checkpoint import (CHECKPOINT_FORMAT, Checkpoint, circuit_fingerprint,
+                         load_checkpoint, save_checkpoint)
 from .density import (DensityMatrixSimulator, amplitude_damping_kraus,
                       bit_flip_kraus, depolarizing_kraus, phase_flip_kraus)
 from .engine import SimulationEngine
-from .memory import MemoryBudgetExceeded, MemoryGovernor
+from .memory import DegradationPolicy, MemoryBudgetExceeded, MemoryGovernor
 from .noise import (NoiseModel, noisy_counts, noisy_trajectory_circuit,
                     simulate_trajectory)
 from .result import SimulationResult
@@ -29,11 +31,17 @@ from .strategies import (AdaptiveStrategy, KOperationsStrategy,
 
 __all__ = [
     "AdaptiveStrategy",
+    "CHECKPOINT_FORMAT",
+    "Checkpoint",
+    "circuit_fingerprint",
+    "DegradationPolicy",
     "DensityMatrixSimulator",
     "JsonlTraceSink",
     "KOperationsStrategy",
+    "load_checkpoint",
     "MemoryBudgetExceeded",
     "MemoryGovernor",
+    "save_checkpoint",
     "load_trace",
     "trace_summary",
     "amplitude_damping_kraus",

@@ -1,0 +1,192 @@
+"""Checkpoint/resume for long simulation runs.
+
+Large DD simulations (the Shor and supremacy instances the paper targets)
+run for hours; a crash, an OOM kill, or a scheduler preemption at hour
+three should not cost the first three hours.  A checkpoint captures
+everything needed to continue a run *bit-exactly*:
+
+* the state DD and (for combining strategies) the pending product DD,
+  serialised with :mod:`repro.dd.serialization`,
+* the index of the next elementary operation in the *flattened* operation
+  stream (:meth:`QuantumCircuit.operations
+  <repro.circuit.circuit.QuantumCircuit.operations>` order -- repeated
+  blocks unrolled, so the index is well-defined for every strategy),
+* the strategy as a :func:`~repro.simulation.strategies.strategy_from_spec`
+  spec string plus its scalar :meth:`state_dict
+  <repro.simulation.strategies.SimulationStrategy.state_dict>`,
+* accumulated statistics, degradation-policy state, and governor counters.
+
+Checkpoints are JSON on disk and written **atomically**: the payload goes
+to ``<path>.tmp``, is flushed and fsynced, and only then renamed over
+``<path>`` with :func:`os.replace`.  A crash mid-write therefore leaves
+either the previous complete checkpoint or a stray ``.tmp`` -- never a
+truncated file that parses.  Loading validates structure defensively and
+raises :class:`ValueError` naming the problem (the DD payloads get the
+same treatment inside :func:`~repro.dd.serialization.deserialize_dd`).
+
+The checkpoint binds to its circuit through a fingerprint -- a SHA-256
+over the flattened operation stream -- so resuming against a different (or
+differently-parametrised) circuit fails loudly instead of producing a
+silently wrong state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["CHECKPOINT_FORMAT", "Checkpoint", "circuit_fingerprint",
+           "load_checkpoint", "save_checkpoint"]
+
+#: Version stamp written into every checkpoint; bump on breaking changes.
+CHECKPOINT_FORMAT = 1
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """SHA-256 over the flattened elementary-operation stream.
+
+    Two circuits with the same fingerprint drive a strategy through the
+    same sequence of gate applications, which is exactly the contract a
+    checkpoint's ``op_index`` depends on.  The circuit *name* is excluded
+    on purpose: a reconstructed circuit resumes fine under a new name.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"qubits={circuit.num_qubits}".encode())
+    for operation in circuit.operations():
+        controls = ",".join(f"{qubit}:{value}"
+                            for qubit, value in operation.controls)
+        params = ",".join(repr(float(p)) for p in operation.params)
+        hasher.update(f"|{operation.gate}@{operation.target}"
+                      f"[{controls}]({params})".encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One resumable snapshot of a simulation run (JSON-serialisable)."""
+
+    circuit_name: str
+    circuit_fingerprint: str
+    num_qubits: int
+    #: index of the next flattened operation to apply (ops [0, op_index)
+    #: are fully reflected in ``state`` + ``pending``)
+    op_index: int
+    total_ops: int
+    strategy_spec: str
+    strategy_state: dict
+    #: the state DD (:func:`~repro.dd.serialization.serialize_dd` output)
+    state: dict
+    #: the pending product DD, or ``None`` when nothing was accumulating
+    pending: dict | None
+    #: :meth:`SimulationStatistics.as_dict` of the run so far
+    statistics: dict
+    #: the package's canonical complex-weight representatives in insertion
+    #: order; replayed on resume so recomputed weights snap to the same
+    #: floats the uninterrupted run would have used (bit-exact resume)
+    complex_table: list | None = None
+    #: :meth:`DegradationPolicy.state_dict`, or ``None`` when not degrading
+    degradation: dict | None = None
+    #: governor counters at checkpoint time (informational)
+    governor: dict | None = None
+    #: why the checkpoint was written (``periodic``, exception class name)
+    reason: str = "periodic"
+    created_at: float = field(default_factory=time.time)
+    version: int = CHECKPOINT_FORMAT
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Any, source: str = "checkpoint") -> "Checkpoint":
+        """Validate and rebuild a checkpoint from parsed JSON.
+
+        Raises :class:`ValueError` naming the offending field; never a
+        bare ``KeyError``/``TypeError`` from a truncated or edited file.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(f"{source}: checkpoint payload must be a dict, "
+                             f"got {type(payload).__name__}")
+        version = payload.get("version")
+        if version != CHECKPOINT_FORMAT:
+            raise ValueError(f"{source}: unsupported checkpoint version "
+                             f"{version!r} (this build reads version "
+                             f"{CHECKPOINT_FORMAT})")
+        required = {
+            "circuit_fingerprint": str,
+            "num_qubits": int,
+            "op_index": int,
+            "total_ops": int,
+            "strategy_spec": str,
+            "state": dict,
+            "statistics": dict,
+        }
+        for key, expected in required.items():
+            value = payload.get(key)
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise ValueError(
+                    f"{source}: field {key!r} must be a "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                    if key in payload else
+                    f"{source}: missing required field {key!r}")
+        if payload["op_index"] < 0 or payload["num_qubits"] < 1:
+            raise ValueError(f"{source}: op_index/num_qubits out of range")
+        if payload["op_index"] > payload["total_ops"]:
+            raise ValueError(
+                f"{source}: op_index {payload['op_index']} exceeds "
+                f"total_ops {payload['total_ops']}")
+        pending = payload.get("pending")
+        if pending is not None and not isinstance(pending, dict):
+            raise ValueError(f"{source}: field 'pending' must be a dict "
+                             f"or null, got {type(pending).__name__}")
+        return cls(
+            circuit_name=str(payload.get("circuit_name", "")),
+            circuit_fingerprint=payload["circuit_fingerprint"],
+            num_qubits=payload["num_qubits"],
+            op_index=payload["op_index"],
+            total_ops=payload["total_ops"],
+            strategy_spec=payload["strategy_spec"],
+            strategy_state=payload.get("strategy_state") or {},
+            state=payload["state"],
+            pending=pending,
+            statistics=payload["statistics"],
+            complex_table=payload.get("complex_table"),
+            degradation=payload.get("degradation"),
+            governor=payload.get("governor"),
+            reason=str(payload.get("reason", "periodic")),
+            created_at=float(payload.get("created_at", 0.0)),
+            version=version,
+        )
+
+
+def save_checkpoint(checkpoint: Checkpoint, path: str) -> str:
+    """Write ``checkpoint`` to ``path`` atomically; return ``path``.
+
+    The JSON is written to ``<path>.tmp``, flushed and fsynced, then
+    renamed over ``path`` in one :func:`os.replace` step -- a reader (or a
+    resume after a crash mid-write) only ever sees a complete checkpoint.
+    """
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(checkpoint.as_dict(), handle, separators=(",", ":"))
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return path
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Load and validate a checkpoint written by :func:`save_checkpoint`."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a valid checkpoint "
+                             f"(truncated or corrupt JSON: {exc})") from None
+    return Checkpoint.from_dict(payload, source=path)

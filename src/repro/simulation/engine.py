@@ -11,6 +11,27 @@ and when a collection turns out to be futile (the working set itself has
 outgrown the threshold) the governor grows the threshold instead of
 re-collecting every step.  An opt-in ``trace`` callback streams per-step
 telemetry (see :mod:`repro.simulation.trace`).
+
+Long runs get a **resilience layer** on top:
+
+* ``checkpoint_path`` / ``checkpoint_every`` write atomic, resumable
+  snapshots (see :mod:`repro.simulation.checkpoint`) periodically and on
+  :class:`~repro.simulation.memory.MemoryBudgetExceeded` or
+  ``KeyboardInterrupt``; :meth:`SimulationEngine.resume` continues a
+  checkpointed run bit-exactly.
+* ``degradation`` (a :class:`~repro.simulation.memory.DegradationPolicy`)
+  turns a hard budget overrun into an ordered ladder of fallbacks --
+  collect, shrink compute tables, fidelity-bounded state pruning -- before
+  giving up.
+* ``audit_every`` runs the package's integrity auditor
+  (:meth:`Package.check_invariants <repro.dd.package.Package.check_invariants>`)
+  every K completed operations, failing fast on structural corruption.
+
+Checkpointed/audited runs are driven through the *flattened* elementary
+operation stream (``circuit.operations()`` order) so the checkpoint's
+operation index is well-defined for every strategy; plain runs keep the
+strategy's own ``execute`` fast path (and, for the repeating strategy, its
+block-reuse optimisation).
 """
 
 from __future__ import annotations
@@ -21,13 +42,18 @@ from typing import Callable
 
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operation import Operation
+from ..dd.approximation import prune_to_node_budget
 from ..dd.edge import Edge
 from ..dd.gate_building import build_gate_dd
 from ..dd.package import Package
-from .memory import MemoryGovernor
+from ..dd.serialization import deserialize_dd, serialize_dd
+from .checkpoint import (Checkpoint, circuit_fingerprint, load_checkpoint,
+                         save_checkpoint)
+from .memory import DegradationPolicy, MemoryBudgetExceeded, MemoryGovernor
 from .result import SimulationResult
 from .statistics import SimulationStatistics
-from .strategies import SequentialStrategy, SimulationStrategy
+from .strategies import (SequentialStrategy, SimulationStrategy,
+                         strategy_from_spec)
 
 __all__ = ["SimulationEngine"]
 
@@ -37,7 +63,8 @@ class _Run:
 
     def __init__(self, engine: "SimulationEngine", num_qubits: int,
                  state: Edge, statistics: SimulationStatistics,
-                 trace: Callable[[dict], None] | None = None) -> None:
+                 trace: Callable[[dict], None] | None = None,
+                 degradation: DegradationPolicy | None = None) -> None:
         self.engine = engine
         self.package = engine.package
         self.num_qubits = num_qubits
@@ -45,12 +72,21 @@ class _Run:
         self.statistics = statistics
         self.trace = trace
         self.track_state_size = engine.track_state_size
+        self.degradation = degradation
         #: node count of the last product returned by :meth:`combine` --
         #: lets size-bounded strategies reuse the measurement instead of
         #: re-counting the (growing) product DD on every feed
         self.last_product_nodes = 0
+        #: index of the next flattened operation (resilient driver only)
+        self.op_index = 0
         self._pending: Edge | None = None
         self._extra_roots: list[Edge] = []
+        #: a freshly combined product, rooted across the collection that
+        #: :meth:`combine` may trigger before the strategy adopts it
+        self._combine_guard: Edge | None = None
+        #: last consistent (op_index, state, pending, strategy_state)
+        #: boundary -- what an exception-time checkpoint is written from
+        self._last_good: tuple | None = None
 
     # -- operations the strategies use ---------------------------------
 
@@ -110,12 +146,24 @@ class _Run:
         })
 
     def combine(self, later: Edge, earlier: Edge) -> Edge:
-        """Combine two operation matrices: ``later @ earlier`` (Eq. 2 step)."""
+        """Combine two operation matrices: ``later @ earlier`` (Eq. 2 step).
+
+        Combining is governed like state updates are: a long accumulation
+        streak can blow the memory budget without ever touching the state,
+        so the governor (and the degradation ladder) runs here too.  The
+        fresh product is pinned as a root for the duration -- the strategy
+        has not adopted it as pending yet.
+        """
         product = self.package.multiply_matrix_matrix(later, earlier)
         self.statistics.matrix_matrix_mults += 1
         nodes = self.package.count_nodes(product)
         self.last_product_nodes = nodes
         self.statistics.record_matrix_size(nodes)
+        self._combine_guard = product
+        try:
+            self.engine.maybe_collect(self)
+        finally:
+            self._combine_guard = None
         return product
 
     def note_operation(self, count: int = 1) -> None:
@@ -133,6 +181,8 @@ class _Run:
         roots = [self.state]
         if self._pending is not None:
             roots.append(self._pending)
+        if self._combine_guard is not None:
+            roots.append(self._combine_guard)
         roots.extend(self._extra_roots)
         return roots
 
@@ -234,8 +284,11 @@ class SimulationEngine:
     def simulate(self, circuit: QuantumCircuit,
                  strategy: SimulationStrategy | None = None,
                  initial_state: Edge | None = None,
-                 trace: Callable[[dict], None] | None = None
-                 ) -> SimulationResult:
+                 trace: Callable[[dict], None] | None = None,
+                 checkpoint_path: str | None = None,
+                 checkpoint_every: int | None = None,
+                 degradation: DegradationPolicy | None = None,
+                 audit_every: int | None = None) -> SimulationResult:
         """Run ``circuit`` under ``strategy`` (sequential baseline by default).
 
         ``trace``, when given, receives one dict per simulation step and
@@ -243,19 +296,142 @@ class SimulationEngine:
         pass a :class:`~repro.simulation.trace.JsonlTraceSink` to stream
         to disk).  Tracing re-measures the state DD every step, so leave
         it off for timing runs.
+
+        Resilience options (all off by default, with zero overhead on the
+        plain path):
+
+        ``checkpoint_path``
+            Where checkpoints are written (atomically).  On
+            :class:`~repro.simulation.memory.MemoryBudgetExceeded` or
+            ``KeyboardInterrupt`` a final checkpoint is written there
+            before the exception propagates (the former carries the path
+            as ``exc.checkpoint_path``).
+        ``checkpoint_every``
+            Additionally checkpoint every N completed elementary
+            operations.  Requires ``checkpoint_path``.
+        ``degradation``
+            A :class:`~repro.simulation.memory.DegradationPolicy`: when
+            the governor's hard ``max_nodes`` budget is hit, walk the
+            fallback ladder (collect, shrink compute tables,
+            fidelity-bounded pruning) before giving up.
+        ``audit_every``
+            Run :meth:`Package.assert_invariants
+            <repro.dd.package.Package.assert_invariants>` every K
+            completed operations -- structural corruption fails the run
+            at the step that caused it instead of corrupting the result.
+
+        Checkpointing/auditing drives the run through the flattened
+        operation stream, so :class:`RepeatingBlockStrategy
+        <repro.simulation.strategies.RepeatingBlockStrategy>` loses its
+        block-reuse optimisation on such runs (results are unchanged).
         """
         strategy = strategy or SequentialStrategy()
         state = initial_state if initial_state is not None \
             else self.initial_state(circuit.num_qubits)
+        return self._execute(circuit, strategy, state, trace,
+                             checkpoint_path=checkpoint_path,
+                             checkpoint_every=checkpoint_every,
+                             degradation=degradation,
+                             audit_every=audit_every)
+
+    def resume(self, checkpoint: Checkpoint | str, circuit: QuantumCircuit,
+               trace: Callable[[dict], None] | None = None,
+               checkpoint_path: str | None = None,
+               checkpoint_every: int | None = None,
+               degradation: DegradationPolicy | None = None,
+               audit_every: int | None = None) -> SimulationResult:
+        """Continue a checkpointed run; bit-exact with the uninterrupted run.
+
+        ``checkpoint`` is a :class:`~repro.simulation.checkpoint.Checkpoint`
+        or a path to one.  ``circuit`` must be the checkpointed circuit
+        (same flattened operation stream); the fingerprint is verified and
+        a mismatch raises :class:`ValueError` -- resuming against the
+        wrong circuit would silently produce garbage otherwise.
+
+        The strategy is rebuilt from the checkpoint's spec, its mid-run
+        state (combining counters, pending product DD) restored, and the
+        returned result's statistics continue the checkpointed run's
+        accumulated numbers.  When ``degradation`` is given, its cumulative
+        fidelity picks up where the checkpointed run left off, so the
+        fidelity floor holds across the whole logical run.
+        """
+        if isinstance(checkpoint, str):
+            checkpoint = load_checkpoint(checkpoint)
+        fingerprint = circuit_fingerprint(circuit)
+        if fingerprint != checkpoint.circuit_fingerprint:
+            raise ValueError(
+                f"checkpoint does not match circuit {circuit.name!r}: "
+                f"fingerprint {checkpoint.circuit_fingerprint[:16]}... was "
+                f"taken from a different operation stream than "
+                f"{fingerprint[:16]}...")
+        strategy = strategy_from_spec(checkpoint.strategy_spec)
+        # Replay the checkpointed canonical-weight representatives *before*
+        # rebuilding any DD: every weight computed from here on then snaps
+        # to the same float it would have in the uninterrupted run, which
+        # is what makes resumption bit-exact rather than merely close.
+        if checkpoint.complex_table:
+            self.package.complex_table.load_state_dict(
+                checkpoint.complex_table)
+        state = deserialize_dd(self.package, checkpoint.state)
+        pending = deserialize_dd(self.package, checkpoint.pending) \
+            if checkpoint.pending is not None else None
+        base = SimulationStatistics.from_dict(checkpoint.statistics)
+        if degradation is not None and checkpoint.degradation is not None:
+            degradation.load_state_dict(checkpoint.degradation)
+        return self._execute(circuit, strategy, state, trace,
+                             checkpoint_path=checkpoint_path,
+                             checkpoint_every=checkpoint_every,
+                             degradation=degradation,
+                             audit_every=audit_every,
+                             start_index=checkpoint.op_index,
+                             pending=pending,
+                             strategy_state=checkpoint.strategy_state,
+                             base_statistics=base)
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, circuit: QuantumCircuit, strategy: SimulationStrategy,
+                 state: Edge, trace: Callable[[dict], None] | None, *,
+                 checkpoint_path: str | None = None,
+                 checkpoint_every: int | None = None,
+                 degradation: DegradationPolicy | None = None,
+                 audit_every: int | None = None,
+                 start_index: int = 0,
+                 pending: Edge | None = None,
+                 strategy_state: dict | None = None,
+                 base_statistics: SimulationStatistics | None = None
+                 ) -> SimulationResult:
+        """Shared body of :meth:`simulate` and :meth:`resume`."""
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(f"checkpoint_every must be positive, "
+                                 f"got {checkpoint_every}")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
+        if audit_every is not None and audit_every < 1:
+            raise ValueError(f"audit_every must be positive, "
+                             f"got {audit_every}")
         statistics = SimulationStatistics(
             strategy=strategy.describe(),
             circuit_name=circuit.name,
             num_qubits=circuit.num_qubits,
         )
         statistics.record_state_size(self.package.count_nodes(state))
-        run = _Run(self, circuit.num_qubits, state, statistics, trace)
+        run = _Run(self, circuit.num_qubits, state, statistics, trace,
+                   degradation=degradation)
+        run.op_index = start_index
         counters_before = self.package.counters.snapshot()
         gc_before = self.package.gc_stats.snapshot()
+        # Live references for mid-run checkpoints, which must report
+        # deltas without waiting for the run to finish.
+        run._counters_before = counters_before
+        run._gc_before = gc_before
+        # Checkpointing/auditing (and any resume) needs a well-defined
+        # position in the flattened operation stream; plain runs keep the
+        # strategy's own execute() fast path.
+        resilient = (checkpoint_path is not None or audit_every is not None
+                     or start_index > 0 or pending is not None
+                     or bool(strategy_state))
         # DDs are acyclic (nodes only reference lower levels), so reference
         # counting reclaims everything and the cyclic collector only adds
         # per-allocation overhead to this very allocation-heavy loop.
@@ -264,8 +440,17 @@ class SimulationEngine:
         if gc_was_enabled:
             gc.disable()
         started = time.perf_counter()
+        run._started = started
         try:
-            strategy.execute(run, circuit)
+            if resilient:
+                self._run_ops(run, strategy, circuit,
+                              start_index=start_index, pending=pending,
+                              strategy_state=strategy_state,
+                              checkpoint_path=checkpoint_path,
+                              checkpoint_every=checkpoint_every,
+                              audit_every=audit_every)
+            else:
+                strategy.execute(run, circuit)
         finally:
             statistics.wall_time_seconds = time.perf_counter() - started
             if gc_was_enabled:
@@ -273,8 +458,122 @@ class SimulationEngine:
         statistics.counters = self.package.counters.delta(counters_before)
         statistics.gc = self.package.gc_stats.delta(gc_before)
         statistics.final_state_nodes = self.package.count_nodes(run.state)
+        if base_statistics is not None:
+            base_statistics.merge(statistics)
+            statistics = base_statistics
         return SimulationResult(state=run.state, package=self.package,
                                 statistics=statistics)
+
+    def _run_ops(self, run: _Run, strategy: SimulationStrategy,
+                 circuit: QuantumCircuit, *, start_index: int,
+                 pending: Edge | None, strategy_state: dict | None,
+                 checkpoint_path: str | None, checkpoint_every: int | None,
+                 audit_every: int | None) -> None:
+        """Resilient driver: feed the flattened operation stream.
+
+        After every completed ``feed`` the run records a *boundary
+        snapshot* -- ``(op_index, state, pending, strategy state)`` -- so
+        an exception anywhere (including mid-multiplication on
+        ``KeyboardInterrupt``) can still write a checkpoint from the last
+        consistent boundary.  The snapshot holds plain edge references;
+        even if a later degradation pass prunes the state and collects,
+        the referenced nodes stay serialisable (nodes are immutable and
+        serialisation never consults the unique tables).
+        """
+        operations = list(circuit.operations())
+        total = len(operations)
+        if start_index > total:
+            raise ValueError(
+                f"checkpoint op_index {start_index} exceeds the circuit's "
+                f"{total} elementary operations -- wrong circuit?")
+        run._total_ops = total
+        run._fingerprint = circuit_fingerprint(circuit)
+        strategy.begin(run)
+        if strategy_state:
+            strategy.load_state_dict(strategy_state)
+        if pending is not None:
+            strategy.restore_pending(run, pending)
+        self._note_boundary(run, strategy)
+        package = self.package
+        try:
+            for index in range(start_index, total):
+                strategy.feed(run, operations[index])
+                run.op_index = index + 1
+                self._note_boundary(run, strategy)
+                done = index + 1 - start_index
+                if audit_every is not None and done % audit_every == 0:
+                    package.assert_invariants(run.roots())
+                    run.statistics.audits_run += 1
+                if (checkpoint_every is not None and index + 1 < total
+                        and done % checkpoint_every == 0):
+                    self._write_checkpoint(run, strategy, circuit,
+                                           checkpoint_path,
+                                           reason="periodic")
+            strategy.flush(run)
+            run.op_index = total
+            self._note_boundary(run, strategy)
+            if audit_every is not None:
+                package.assert_invariants(run.roots())
+                run.statistics.audits_run += 1
+        except (MemoryBudgetExceeded, KeyboardInterrupt) as exc:
+            if checkpoint_path is not None:
+                path = self._write_checkpoint(
+                    run, strategy, circuit, checkpoint_path,
+                    reason=type(exc).__name__)
+                if isinstance(exc, MemoryBudgetExceeded):
+                    exc.checkpoint_path = path
+            raise
+
+    @staticmethod
+    def _note_boundary(run: _Run, strategy: SimulationStrategy) -> None:
+        # Statistics are snapshotted per boundary too: a checkpoint written
+        # after a mid-feed exception must not count the interrupted (and
+        # later replayed) operation, or resumed totals double-count it.
+        run._last_good = (run.op_index, run.state, run._pending,
+                          strategy.state_dict(),
+                          run.statistics.as_dict())
+
+    def _write_checkpoint(self, run: _Run, strategy: SimulationStrategy,
+                          circuit: QuantumCircuit, path: str,
+                          reason: str) -> str:
+        """Serialise the last consistent boundary to ``path`` (atomic)."""
+        op_index, state, pending, strategy_state, stats_dict = run._last_good
+        package = self.package
+        # Statistics snapshot with live counter/gc/time deltas filled in
+        # (the run's own record is only finalised when _execute returns).
+        snapshot = SimulationStatistics.from_dict(stats_dict)
+        snapshot.counters = package.counters.delta(run._counters_before)
+        snapshot.gc = package.gc_stats.delta(run._gc_before)
+        snapshot.wall_time_seconds = time.perf_counter() - run._started
+        snapshot.checkpoints_written = run.statistics.checkpoints_written + 1
+        checkpoint = Checkpoint(
+            circuit_name=circuit.name,
+            circuit_fingerprint=run._fingerprint,
+            num_qubits=circuit.num_qubits,
+            op_index=op_index,
+            total_ops=run._total_ops,
+            strategy_spec=strategy.spec(),
+            strategy_state=strategy_state,
+            state=serialize_dd(state),
+            pending=serialize_dd(pending) if pending is not None else None,
+            statistics=snapshot.as_dict(),
+            complex_table=package.complex_table.state_dict(),
+            degradation=run.degradation.state_dict()
+            if run.degradation is not None else None,
+            governor=self.governor.stats(),
+            reason=reason,
+        )
+        save_checkpoint(checkpoint, path)
+        run.statistics.checkpoints_written += 1
+        if run.trace is not None:
+            run.trace({
+                "event": "checkpoint",
+                "op_index": op_index,
+                "path": path,
+                "reason": reason,
+                "state_nodes": package.count_nodes(state),
+            })
+        return path
 
     # ------------------------------------------------------------------
 
@@ -286,32 +585,124 @@ class SimulationEngine:
         threshold, the threshold grows geometrically so the next steps do
         not re-run a futile mark-sweep -- the fix for the thrash regime
         where a large mostly-reachable package paid a full collection plus
-        compute-table wipe on every single step.  The hard ``max_nodes``
-        budget (if any) is enforced afterwards.
+        compute-table wipe on every single step.  When the hard
+        ``max_nodes`` budget is breached and the run carries a
+        :class:`~repro.simulation.memory.DegradationPolicy`, the
+        degradation ladder runs before :meth:`MemoryGovernor.check_budget`
+        gets to raise.
         """
         governor = self.governor
         package = self.package
         live = package.live_node_count()
         if governor.should_collect(live):
-            roots = run.roots()
-            roots.extend(self._gate_cache.values())
-            gc_before = package.gc_stats.snapshot() \
-                if run.trace is not None else None
-            freed = package.garbage_collect(roots)
-            live = package.live_node_count()
-            governor.note_collection(freed, live)
-            if run.trace is not None:
-                delta = package.gc_stats.delta(gc_before)
-                run.trace({
-                    "event": "gc",
-                    "op_index": run.statistics.matrix_vector_mults - 1,
-                    "nodes_freed": freed,
-                    "surviving_nodes": live,
-                    "compute_entries_dropped": delta.compute_entries_dropped,
-                    "pause_seconds": round(delta.pause_seconds, 6),
-                    "limit": governor.limit,
-                })
+            live = self._collect(run)
+        if (run.degradation is not None and governor.max_nodes is not None
+                and live > governor.max_nodes):
+            live = self._degrade(run, live)
         governor.check_budget(live)
+
+    def _collect(self, run: _Run) -> int:
+        """One governed mark-sweep; returns the surviving live-node count."""
+        package = self.package
+        governor = self.governor
+        roots = run.roots()
+        roots.extend(self._gate_cache.values())
+        gc_before = package.gc_stats.snapshot() \
+            if run.trace is not None else None
+        freed = package.garbage_collect(roots)
+        live = package.live_node_count()
+        governor.note_collection(freed, live)
+        if run.trace is not None:
+            delta = package.gc_stats.delta(gc_before)
+            run.trace({
+                "event": "gc",
+                "op_index": run.statistics.matrix_vector_mults - 1,
+                "nodes_freed": freed,
+                "surviving_nodes": live,
+                "compute_entries_dropped": delta.compute_entries_dropped,
+                "pause_seconds": round(delta.pause_seconds, 6),
+                "limit": governor.limit,
+            })
+        return live
+
+    def _degrade(self, run: _Run, live: int) -> int:
+        """Walk the degradation ladder; returns the final live-node count.
+
+        Every rung frees only *rebuildable or negligible* data: a forced
+        collection, then compute-table shrinking plus gate-cache clearing
+        (pure caches), then fidelity-bounded pruning of the state DD --
+        the only lossy step, bounded by the policy's cumulative fidelity
+        floor.  When the ladder cannot get under budget the caller's
+        ``check_budget`` raises as before (and the resilient driver writes
+        a checkpoint on the way out).
+        """
+        policy = run.degradation
+        package = self.package
+        budget = self.governor.max_nodes
+        # Rung 1: force a collection even below the GC threshold.
+        before = live
+        live = self._collect(run)
+        self._record_degradation(run, {
+            "action": "collect",
+            "nodes_freed": before - live,
+            "live_nodes": live,
+        })
+        if live <= budget:
+            return live
+        # Rung 2 (once per run): shrink every compute table and drop the
+        # engine's gate-DD caches, then re-collect the newly unpinned nodes.
+        if not policy.tables_shrunk:
+            policy.tables_shrunk = True
+            dropped = 0
+            for cache in package.tables.compute_tables().values():
+                dropped += cache.resize(policy.compute_table_slots)
+            self.clear_caches()
+            before = live
+            live = self._collect(run)
+            self._record_degradation(run, {
+                "action": "shrink-tables",
+                "slots": policy.compute_table_slots,
+                "compute_entries_dropped": dropped,
+                "nodes_freed": before - live,
+                "live_nodes": live,
+            })
+            if live <= budget:
+                return live
+        # Rung 3: fidelity-bounded pruning of the state DD.
+        state_nodes = package.count_nodes(run.state)
+        target = max(1, int(budget * policy.prune_target_fraction))
+        if state_nodes > target and policy.allows_prune():
+            # The per-call floor is the global floor divided by what the
+            # previous prunes already spent.
+            floor = min(1.0, policy.fidelity_floor / policy.cumulative_fidelity)
+            result = prune_to_node_budget(
+                package, run.state, target, min_fidelity=floor,
+                initial_budget=policy.prune_initial_budget,
+                growth=policy.prune_growth)
+            if result.edges_cut > 0:
+                run.state = result.state
+                live = self._collect(run)
+                self._record_degradation(run, {
+                    "action": "prune",
+                    "fidelity": result.fidelity,
+                    "edges_cut": result.edges_cut,
+                    "state_nodes_before": result.nodes_before,
+                    "state_nodes_after": result.nodes_after,
+                    "live_nodes": live,
+                })
+        return live
+
+    def _record_degradation(self, run: _Run, action: dict) -> None:
+        """Record one ladder action in policy, statistics, and trace."""
+        run.degradation.record(dict(action))
+        run.statistics.record_degradation(dict(action))
+        if run.trace is not None:
+            event = {"event": "degrade",
+                     "op_index": run.statistics.matrix_vector_mults - 1}
+            event.update(action)
+            event["cumulative_fidelity"] = \
+                run.degradation.cumulative_fidelity
+            run.trace(event)
 
     def clear_caches(self) -> None:
         """Drop the engine's gate caches (package caches are untouched).

@@ -18,16 +18,20 @@ budget converts "grind until the machine swaps" into a clean
 
 from __future__ import annotations
 
-__all__ = ["MemoryBudgetExceeded", "MemoryGovernor"]
+__all__ = ["DegradationPolicy", "MemoryBudgetExceeded", "MemoryGovernor"]
 
 
 class MemoryBudgetExceeded(MemoryError):
     """The reachable working set exceeds the configured hard node budget.
 
-    Raised by :class:`MemoryGovernor` after a garbage collection could not
-    bring the package under ``max_nodes``: every surviving node is needed
-    by the run, so continuing would only grind.  The simulation state is
-    consistent when this is raised (the partial state remains queryable).
+    Raised by :class:`MemoryGovernor` after a garbage collection (and, when
+    a :class:`DegradationPolicy` is active, the whole degradation ladder)
+    could not bring the package under ``max_nodes``: every surviving node
+    is needed by the run, so continuing would only grind.  The simulation
+    state is consistent when this is raised (the partial state remains
+    queryable), and when the engine was checkpointing, ``checkpoint_path``
+    names the checkpoint written just before raising -- the run can be
+    resumed on a bigger budget.
     """
 
     def __init__(self, live_nodes: int, max_nodes: int) -> None:
@@ -37,6 +41,114 @@ class MemoryBudgetExceeded(MemoryError):
             "not fit the configured memory budget")
         self.live_nodes = live_nodes
         self.max_nodes = max_nodes
+        #: set by the engine when an on-failure checkpoint was written
+        self.checkpoint_path: str | None = None
+
+
+class DegradationPolicy:
+    """Ordered fallbacks the engine tries before giving up on the budget.
+
+    When the governor's hard ``max_nodes`` budget is hit, an engine with a
+    degradation policy walks a ladder instead of raising immediately:
+
+    1. *collect* -- force a garbage collection even below the GC threshold;
+    2. *shrink-tables* -- resize every compute table down to
+       ``compute_table_slots`` slots and drop the engine's gate-DD caches
+       (all of it rebuildable, traded for memory once per run);
+    3. *prune* -- cut negligible state-DD branches with
+       :func:`~repro.dd.approximation.prune_to_node_budget`, never letting
+       the *cumulative* fidelity across all prunes fall below
+       ``fidelity_floor``;
+    4. give up -- let :class:`MemoryBudgetExceeded` propagate (the engine
+       writes a checkpoint first when one was requested).
+
+    Every action taken is recorded here, in the run's
+    :class:`~repro.simulation.statistics.SimulationStatistics`, and as a
+    ``degrade`` trace event.  The policy is stateful per run sequence: a
+    resumed run restores ``cumulative_fidelity`` from its checkpoint so the
+    floor is enforced across the whole logical run, not per segment.
+
+    Parameters
+    ----------
+    fidelity_floor:
+        Lower bound on the product of all pruning fidelities.  ``1.0``
+        forbids pruning entirely (steps 1-2 still run).
+    compute_table_slots:
+        Slot count the compute tables are shrunk to in step 2 (rounded up
+        to a power of two).
+    prune_target_fraction:
+        Step 3 prunes the state DD down to this fraction of ``max_nodes``,
+        leaving headroom for products and caches.
+    prune_initial_budget / prune_growth:
+        Forwarded to :func:`prune_to_node_budget`.
+    """
+
+    def __init__(self, fidelity_floor: float = 0.99,
+                 compute_table_slots: int = 1024,
+                 prune_target_fraction: float = 0.5,
+                 prune_initial_budget: float = 1e-6,
+                 prune_growth: float = 8.0) -> None:
+        if not 0.0 < fidelity_floor <= 1.0:
+            raise ValueError(f"fidelity_floor must be in (0, 1], "
+                             f"got {fidelity_floor}")
+        if compute_table_slots < 1:
+            raise ValueError(f"compute_table_slots must be positive, "
+                             f"got {compute_table_slots}")
+        if not 0.0 < prune_target_fraction <= 1.0:
+            raise ValueError(f"prune_target_fraction must be in (0, 1], "
+                             f"got {prune_target_fraction}")
+        self.fidelity_floor = fidelity_floor
+        self.compute_table_slots = compute_table_slots
+        self.prune_target_fraction = prune_target_fraction
+        self.prune_initial_budget = prune_initial_budget
+        self.prune_growth = prune_growth
+        #: product of all pruning fidelities so far (1.0 = still exact)
+        self.cumulative_fidelity = 1.0
+        #: whether step 2 already ran (it only pays once per run)
+        self.tables_shrunk = False
+        #: every action taken, in order (dicts mirroring the trace events)
+        self.actions: list[dict] = []
+
+    def allows_prune(self) -> bool:
+        """Whether any fidelity headroom remains above the floor."""
+        return self.cumulative_fidelity > self.fidelity_floor
+
+    def record(self, action: dict) -> None:
+        """Record one ladder action; fold its ``fidelity`` (if any) into
+        the cumulative product."""
+        self.actions.append(action)
+        fidelity = action.get("fidelity")
+        if fidelity is not None:
+            self.cumulative_fidelity *= fidelity
+
+    # -- checkpoint round trip -----------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "fidelity_floor": self.fidelity_floor,
+            "cumulative_fidelity": self.cumulative_fidelity,
+            "tables_shrunk": self.tables_shrunk,
+            "actions_taken": len(self.actions),
+        }
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore the floor-relevant state from a checkpoint.
+
+        The action log itself lives in the checkpointed statistics; only
+        what changes future decisions (cumulative fidelity, the
+        shrink-once latch) is restored here.
+        """
+        self.cumulative_fidelity = float(
+            payload.get("cumulative_fidelity", 1.0))
+        self.tables_shrunk = bool(payload.get("tables_shrunk", False))
+
+    def describe(self) -> str:
+        return (f"degrade(floor={self.fidelity_floor:g}, "
+                f"slots={self.compute_table_slots}, "
+                f"target={self.prune_target_fraction:g})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DegradationPolicy({self.describe()})"
 
 
 class MemoryGovernor:

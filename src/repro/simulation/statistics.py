@@ -6,11 +6,18 @@ matrix-matrix multiplications combine (small) operation DDs, and how big the
 involved diagrams get.  :class:`SimulationStatistics` records exactly those
 quantities, plus machine-independent recursive-call counters from the DD
 package, so strategy comparisons do not depend on wall-clock noise alone.
+
+For resilient long runs the statistics additionally record every
+*degradation action* (GC under pressure, compute-table shrinking,
+fidelity-bounded pruning) together with the cumulative fidelity retained,
+and how many checkpoints were written -- and the whole record round-trips
+through :meth:`as_dict` / :meth:`from_dict` so a resumed run continues its
+predecessor's numbers instead of starting from zero.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from ..dd.package import GcStats, OperationCounters
 
@@ -45,6 +52,16 @@ class SimulationStatistics:
     counters: OperationCounters = field(default_factory=OperationCounters)
     #: garbage-collection telemetry accumulated during the run
     gc: GcStats = field(default_factory=GcStats)
+    #: every degradation action taken under memory pressure (one flat dict
+    #: per action; mirrors the ``degrade`` trace events)
+    degradation_actions: list = field(default_factory=list)
+    #: product of the fidelities retained by all pruning passes (1.0 when
+    #: the run never degraded -- the result is exact)
+    cumulative_fidelity: float = 1.0
+    #: checkpoints written during the run (periodic and on-failure)
+    checkpoints_written: int = 0
+    #: integrity audits run by the every-K-steps engine hook
+    audits_run: int = 0
 
     def record_state_size(self, nodes: int) -> None:
         if nodes > self.peak_state_nodes:
@@ -53,6 +70,14 @@ class SimulationStatistics:
     def record_matrix_size(self, nodes: int) -> None:
         if nodes > self.peak_matrix_nodes:
             self.peak_matrix_nodes = nodes
+
+    def record_degradation(self, action: dict) -> None:
+        """Append one degradation action; fold any ``fidelity`` field into
+        the cumulative product."""
+        self.degradation_actions.append(action)
+        fidelity = action.get("fidelity")
+        if fidelity is not None:
+            self.cumulative_fidelity *= fidelity
 
     def merge(self, other: "SimulationStatistics") -> None:
         """Accumulate another run's numbers (used by multi-segment drivers)."""
@@ -80,9 +105,47 @@ class SimulationStatistics:
         self.gc.pause_seconds += other.gc.pause_seconds
         self.gc.compute_entries_dropped += other.gc.compute_entries_dropped
         self.gc.ineffective += other.gc.ineffective
+        self.degradation_actions.extend(other.degradation_actions)
+        self.cumulative_fidelity *= other.cumulative_fidelity
+        self.checkpoints_written += other.checkpoints_written
+        self.audits_run += other.audits_run
+
+    # -- serialisation (checkpoint format) ------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot of every field (checkpoint payload)."""
+        payload = asdict(self)
+        payload["degradation_actions"] = list(self.degradation_actions)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SimulationStatistics":
+        """Rebuild statistics from :meth:`as_dict` output.
+
+        Unknown keys are ignored (forward compatibility); missing keys
+        keep their defaults (backward compatibility).
+        """
+        stats = cls()
+        counters = payload.get("counters") or {}
+        gc = payload.get("gc") or {}
+        for key, value in payload.items():
+            if key in ("counters", "gc"):
+                continue
+            if hasattr(stats, key):
+                setattr(stats, key, value)
+        for key, value in counters.items():
+            if hasattr(stats.counters, key):
+                setattr(stats.counters, key, value)
+        for key, value in gc.items():
+            if hasattr(stats.gc, key):
+                setattr(stats.gc, key, value)
+        return stats
 
     def summary(self) -> str:
         """Compact human-readable one-paragraph report."""
+        degraded = "" if not self.degradation_actions else (
+            f", {len(self.degradation_actions)} degradation action(s) "
+            f"(fidelity {self.cumulative_fidelity:.6f})")
         return (
             f"[{self.strategy}] {self.circuit_name}: "
             f"{self.operations_applied} ops -> "
@@ -94,5 +157,6 @@ class SimulationStatistics:
             f"matrix {self.peak_matrix_nodes} nodes, "
             f"{self.gc.collections} GC "
             f"({self.gc.nodes_freed} freed, "
-            f"{self.gc.pause_seconds:.3f}s paused), "
+            f"{self.gc.pause_seconds:.3f}s paused)"
+            f"{degraded}, "
             f"{self.wall_time_seconds:.3f}s")

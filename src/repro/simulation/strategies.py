@@ -51,6 +51,32 @@ class SimulationStrategy:
         """Parametrised display name (e.g. ``k-operations(k=4)``)."""
         return self.name
 
+    # -- checkpoint interface ------------------------------------------
+
+    def spec(self) -> str:
+        """A spec string :func:`strategy_from_spec` re-parses into an
+        equivalent strategy.  Checkpoints store this instead of pickling
+        the strategy object."""
+        raise NotImplementedError(
+            f"strategy {self.name!r} has no checkpoint spec")
+
+    def state_dict(self) -> dict:
+        """JSON-compatible mid-run state (scalars only -- any pending
+        product DD is checkpointed separately by the engine)."""
+        return {}
+
+    def load_state_dict(self, payload: dict) -> None:
+        """Restore :meth:`state_dict` output.  Call after :meth:`begin`."""
+
+    def restore_pending(self, run: "_Run", pending: Edge) -> None:
+        """Re-adopt a deserialised pending product DD on resume.
+
+        Strategies that never accumulate reject a non-``None`` pending
+        product: such a checkpoint cannot have come from them.
+        """
+        raise ValueError(f"strategy {self.name!r} does not accumulate "
+                         "products; checkpoint carries a pending DD")
+
     # -- streaming interface -------------------------------------------
 
     def begin(self, run: "_Run") -> None:
@@ -92,6 +118,9 @@ class SequentialStrategy(SimulationStrategy):
 
     name = "sequential"
 
+    def spec(self) -> str:
+        return "sequential"
+
     def feed(self, run: "_Run", operation) -> None:
         run.apply_operation(operation)
         run.note_operation()
@@ -112,6 +141,11 @@ class _AccumulatingStrategy(SimulationStrategy):
         self._product: Edge | None = None
         self._product_nodes = 0
         run.set_pending(None)
+
+    def restore_pending(self, run: "_Run", pending: Edge) -> None:
+        self._product = pending
+        self._product_nodes = run.package.count_nodes(pending)
+        run.set_pending(pending)
 
     def flush(self, run: "_Run") -> None:
         if self._product is not None:
@@ -152,6 +186,15 @@ class KOperationsStrategy(_AccumulatingStrategy):
     def describe(self) -> str:
         return f"k-operations(k={self.k})"
 
+    def spec(self) -> str:
+        return f"k={self.k}"
+
+    def state_dict(self) -> dict:
+        return {"pending_count": self._pending_count}
+
+    def load_state_dict(self, payload: dict) -> None:
+        self._pending_count = int(payload.get("pending_count", 0))
+
     def begin(self, run: "_Run") -> None:
         super().begin(run)
         self._pending_count = 0
@@ -187,6 +230,9 @@ class MaxSizeStrategy(_AccumulatingStrategy):
     def describe(self) -> str:
         return f"max-size(s_max={self.s_max})"
 
+    def spec(self) -> str:
+        return f"smax={self.s_max}"
+
     def feed(self, run: "_Run", operation) -> None:
         self._absorb(run, operation)
         if self._product_nodes > self.s_max:
@@ -219,6 +265,23 @@ class AdaptiveStrategy(_AccumulatingStrategy):
 
     def describe(self) -> str:
         return f"adaptive(ratio={self.ratio:g})"
+
+    def spec(self) -> str:
+        return f"adaptive={self.ratio:g}"
+
+    def state_dict(self) -> dict:
+        # floor/ceiling are not representable in the spec string, so the
+        # state dict carries them; ``state_nodes`` keeps the combining
+        # threshold identical across a checkpoint/resume boundary (it is
+        # only re-measured at flushes).
+        return {"state_nodes": self._state_nodes,
+                "floor": self.floor, "ceiling": self.ceiling}
+
+    def load_state_dict(self, payload: dict) -> None:
+        self.floor = int(payload.get("floor", self.floor))
+        self.ceiling = int(payload.get("ceiling", self.ceiling))
+        if "state_nodes" in payload:
+            self._state_nodes = int(payload["state_nodes"])
 
     def begin(self, run: "_Run") -> None:
         super().begin(run)
@@ -261,6 +324,20 @@ class RepeatingBlockStrategy(SimulationStrategy):
 
     def describe(self) -> str:
         return f"dd-repeating(inner={self.inner.describe()})"
+
+    def spec(self) -> str:
+        return f"repeating:{self.inner.spec()}"
+
+    def state_dict(self) -> dict:
+        # The block cache is keyed by object identity and rebuilt lazily;
+        # only the inner strategy carries resumable state.
+        return self.inner.state_dict()
+
+    def load_state_dict(self, payload: dict) -> None:
+        self.inner.load_state_dict(payload)
+
+    def restore_pending(self, run: "_Run", pending: Edge) -> None:
+        self.inner.restore_pending(run, pending)
 
     def begin(self, run: "_Run") -> None:
         self.inner.begin(run)

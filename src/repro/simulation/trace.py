@@ -20,6 +20,17 @@ Event schema (all events carry ``event`` and ``op_index``):
     ``surviving_nodes``, ``compute_entries_dropped``, ``pause_seconds``,
     ``limit`` (the governor's threshold after the collection -- grows after
     an ineffective one).
+``degrade``
+    One degradation-ladder action under memory pressure.  Fields:
+    ``op_index``, ``action`` (``collect`` | ``shrink-tables`` | ``prune``),
+    ``live_nodes``, ``cumulative_fidelity``, plus per-action detail
+    (``nodes_freed``; ``slots`` / ``compute_entries_dropped``;
+    ``fidelity`` / ``edges_cut`` / ``state_nodes_before`` /
+    ``state_nodes_after``).
+``checkpoint``
+    One checkpoint written (periodic or on-failure).  Fields:
+    ``op_index`` (next flattened operation to apply), ``path``,
+    ``reason`` (``periodic``, or the exception class name), ``state_nodes``.
 
 :class:`JsonlTraceSink` appends events to a JSON-Lines file;
 :func:`trace_summary` condenses a list of events (or a JSONL file) back
@@ -100,6 +111,9 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
     gc_events = 0
     gc_nodes_freed = 0
     gc_pause = 0.0
+    degrade_events = 0
+    degrade_fidelity = 1.0
+    checkpoint_events = 0
     last_hit_rates: dict[str, float] = {}
     for event in events:
         kind = event.get("event")
@@ -117,6 +131,11 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
             gc_events += 1
             gc_nodes_freed += event.get("nodes_freed", 0)
             gc_pause += event.get("pause_seconds", 0.0)
+        elif kind == "degrade":
+            degrade_events += 1
+            degrade_fidelity *= event.get("fidelity", 1.0)
+        elif kind == "checkpoint":
+            checkpoint_events += 1
     return {
         "steps": steps,
         "peak_state_nodes": peak_state,
@@ -126,5 +145,8 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
         "gc_events": gc_events,
         "gc_nodes_freed": gc_nodes_freed,
         "gc_pause_seconds": round(gc_pause, 6),
+        "degrade_events": degrade_events,
+        "degrade_fidelity": round(degrade_fidelity, 9),
+        "checkpoint_events": checkpoint_events,
         **{key: round(value, 6) for key, value in last_hit_rates.items()},
     }

@@ -1,0 +1,136 @@
+"""DD integrity auditor: clean packages pass, injected corruption is named.
+
+Each fault-injection test corrupts one structural invariant the way a real
+bug would -- a kernel that forgets to normalise, an interning bug that
+stores a node twice, a GC that sweeps a node a compute table still points
+at -- and asserts the auditor reports it with a message naming the site.
+"""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.dd import DDIntegrityError, Package
+from repro.dd.edge import Edge
+from repro.dd.node import VectorNode
+from repro.simulation import SequentialStrategy, SimulationEngine
+
+
+def entangled_run():
+    """A real simulated package with a non-trivial reachable state."""
+    circuit = QuantumCircuit(4, name="audit-fixture")
+    circuit.h(0)
+    for qubit in range(3):
+        circuit.cx(qubit, qubit + 1)
+    for qubit in range(4):
+        circuit.ry(0.3 + 0.1 * qubit, qubit)
+    engine = SimulationEngine()
+    result = engine.simulate(circuit, SequentialStrategy())
+    return engine.package, result.state
+
+
+def reachable_vector_node(package, state):
+    """Some interned vector node reachable from ``state`` with a non-zero
+    child edge (so weight corruption is observable)."""
+    stack = [state.node]
+    while stack:
+        node = stack.pop()
+        if node.level == -1:
+            continue
+        if any(child.weight != 0 for child in node.edges):
+            return node
+        stack.extend(child.node for child in node.edges)
+    raise AssertionError("no corruptible node found")
+
+
+class TestCleanAudits:
+    def test_fresh_package_passes(self):
+        package = Package()
+        state = package.basis_state(3, 5)
+        assert package.check_invariants([state]) == []
+
+    def test_simulated_package_passes(self):
+        package, state = entangled_run()
+        assert package.check_invariants([state]) == []
+
+    def test_audit_passes_after_garbage_collection(self):
+        package, state = entangled_run()
+        package.garbage_collect([state])
+        assert package.check_invariants([state]) == []
+
+    def test_assert_invariants_is_silent_when_clean(self):
+        package, state = entangled_run()
+        package.assert_invariants([state])
+
+
+class TestFaultInjection:
+    def test_denormalised_edge_weight_detected(self):
+        package, state = entangled_run()
+        victim = reachable_vector_node(package, state)
+        corrupt = tuple(
+            Edge(child.node, child.weight * 2.0) if child.weight != 0
+            else child
+            for child in victim.edges)
+        victim.edges = corrupt
+
+        violations = package.check_invariants([state])
+        assert violations
+        assert any("denormalised" in message for message in violations)
+        # the message names the corrupted node
+        assert any(f"{id(victim):#x}" in message for message in violations)
+
+    def test_duplicate_unique_table_entry_detected(self):
+        package, state = entangled_run()
+        victim = reachable_vector_node(package, state)
+        clone = VectorNode(victim.level, victim.edges)
+        package.tables.vectors._table[("bogus-key",)] = clone
+
+        violations = package.check_invariants([state])
+        assert any("duplicate unique-table entries" in message
+                   for message in violations)
+
+    def test_mutated_node_breaks_stored_key(self):
+        package, state = entangled_run()
+        victim = reachable_vector_node(package, state)
+        # swap the two successors: structure changes, stored key does not
+        victim.edges = (victim.edges[1], victim.edges[0])
+
+        violations = package.check_invariants([state])
+        assert any("no longer matches" in message for message in violations)
+
+    def test_dangling_compute_table_entry_detected(self):
+        package, state = entangled_run()
+        terminal = package.zero_state(0).node
+        ghost = VectorNode(0, (Edge(terminal, 1 + 0j), Edge(terminal, 0j)))
+        package.tables.mult_mv.put(("fault", ghost), Edge(ghost, 1 + 0j))
+
+        violations = package.check_invariants([state])
+        assert any("mult_mv" in message and "no longer interned" in message
+                   for message in violations)
+
+    def test_uninterned_reachable_node_detected(self):
+        package, _ = entangled_run()
+        terminal = package.zero_state(0).node
+        ghost = VectorNode(0, (Edge(terminal, 1 + 0j), Edge(terminal, 0j)))
+        violations = package.check_invariants([Edge(ghost, 1 + 0j)])
+        assert any("not interned" in message for message in violations)
+
+    def test_assert_invariants_raises_with_violation_list(self):
+        package, state = entangled_run()
+        victim = reachable_vector_node(package, state)
+        victim.edges = (victim.edges[1], victim.edges[0])
+
+        with pytest.raises(DDIntegrityError) as info:
+            package.assert_invariants([state])
+        assert info.value.violations
+        assert "violation" in str(info.value)
+
+    def test_max_violations_caps_the_scan(self):
+        package, state = entangled_run()
+        for node in list(package.tables.vectors.nodes()):
+            if node.level >= 0 and any(c.weight != 0 for c in node.edges):
+                node.edges = tuple(
+                    Edge(child.node, child.weight * 3.0)
+                    if child.weight != 0 else child
+                    for child in node.edges)
+        violations = package.check_invariants([state], max_violations=5)
+        assert len(violations) == 5

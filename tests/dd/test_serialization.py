@@ -94,3 +94,34 @@ class TestErrors:
                    "nodes": [[0, [-1, 1.0, 0.0], [-1, 0.0, 0.0]]]}
         with pytest.raises(ValueError):
             deserialize_dd(package, payload)
+
+    def test_missing_nodes_list_named(self, package):
+        with pytest.raises(ValueError, match="no 'nodes' list"):
+            deserialize_dd(package, {"kind": "vector",
+                                     "root": [-1, 1.0, 0.0]})
+
+    def test_missing_root_named(self, package):
+        with pytest.raises(ValueError, match="no 'root' edge"):
+            deserialize_dd(package, {"kind": "vector", "nodes": []})
+
+    def test_malformed_node_entry_names_index(self, package):
+        payload = serialize_dd(ghz_state(package, 3))
+        payload["nodes"][1] = "junk"
+        with pytest.raises(ValueError, match="node index 1"):
+            deserialize_dd(Package(), payload)
+
+    def test_malformed_weight_names_site(self, package):
+        payload = {"kind": "vector", "root": [-1, "NaN-ish", 0.0],
+                   "nodes": []}
+        with pytest.raises(ValueError, match="malformed edge weight"):
+            deserialize_dd(package, payload)
+
+    def test_invalid_level_names_index(self, package):
+        payload = {"kind": "vector", "root": [0, 1.0, 0.0],
+                   "nodes": [[-3, [-1, 1.0, 0.0], [-1, 0.0, 0.0]]]}
+        with pytest.raises(ValueError, match="node index 0"):
+            deserialize_dd(package, payload)
+
+    def test_non_dict_payload_rejected(self, package):
+        with pytest.raises(ValueError, match="must be a dict"):
+            deserialize_dd(package, [1, 2, 3])

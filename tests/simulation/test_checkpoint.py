@@ -1,0 +1,258 @@
+"""Checkpoint/resume: kill-and-resume exactness, atomicity, validation.
+
+The headline guarantee: killing a run at an arbitrary operation boundary
+and resuming from the checkpoint reproduces the uninterrupted run's final
+state -- for the sequential strategy and for combining strategies whose
+pending gate product must survive the round trip.  "Reproduces" means
+fidelity 1.0 to (well past) 9 decimal digits: the package's compute-table
+slots hash on node ids, so even two identical fresh runs only agree to the
+complex table's canonicalisation tolerance, and a resumed run cannot beat
+the substrate's own reproducibility envelope.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.algorithms.grover import grover_circuit
+from repro.simulation import (Checkpoint, MaxSizeStrategy,
+                              MemoryBudgetExceeded, MemoryGovernor,
+                              SequentialStrategy, SimulationEngine,
+                              circuit_fingerprint, load_checkpoint,
+                              save_checkpoint)
+
+
+@pytest.fixture(scope="module")
+def grover10():
+    return grover_circuit(10, 0b1011011011, mark_repetition=False).circuit
+
+
+@pytest.fixture(scope="module")
+def reference(grover10):
+    """Uninterrupted sequential run to compare resumed runs against."""
+    return SimulationEngine().simulate(grover10, SequentialStrategy())
+
+
+def cross_fidelity(a, b, num_qubits):
+    """|<a|b>|^2 for results living in different packages."""
+    inner = sum(a.amplitude(i).conjugate() * b.amplitude(i)
+                for i in range(1 << num_qubits))
+    return abs(inner) ** 2
+
+
+class Killer:
+    """Trace callback that raises KeyboardInterrupt at the Nth step."""
+
+    def __init__(self, at_step):
+        self.at_step = at_step
+        self.steps = 0
+
+    def __call__(self, event):
+        if event.get("event") == "step":
+            self.steps += 1
+            if self.steps >= self.at_step:
+                raise KeyboardInterrupt
+
+
+class TestKillAndResume:
+    def test_sequential_kill_resume_is_exact(self, grover10, reference,
+                                             tmp_path):
+        path = str(tmp_path / "seq.ckpt")
+        with pytest.raises(KeyboardInterrupt):
+            SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                        trace=Killer(300),
+                                        checkpoint_path=path)
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.reason == "KeyboardInterrupt"
+        assert 0 < checkpoint.op_index < checkpoint.total_ops
+
+        resumed = SimulationEngine().resume(checkpoint, grover10)
+        fid = cross_fidelity(resumed, reference, 10)
+        assert round(fid, 9) == 1.0
+        # the resumed run's merged statistics cover the whole circuit
+        assert resumed.statistics.operations_applied == \
+            reference.statistics.operations_applied
+        assert resumed.statistics.matrix_vector_mults == \
+            reference.statistics.matrix_vector_mults
+
+    def test_maxsize_kill_resume_restores_pending_product(self, grover10,
+                                                          tmp_path):
+        """A combining strategy's accumulated gate product survives the
+        checkpoint, and the resumed schedule matches the uninterrupted
+        one (same matrix-vector / matrix-matrix split)."""
+        uninterrupted = SimulationEngine().simulate(
+            grover10, MaxSizeStrategy(64))
+
+        path = str(tmp_path / "smax.ckpt")
+        with pytest.raises(KeyboardInterrupt):
+            SimulationEngine().simulate(grover10, MaxSizeStrategy(64),
+                                        trace=Killer(7),
+                                        checkpoint_path=path)
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.strategy_spec == "smax=64"
+        assert checkpoint.pending is not None  # mid-accumulation kill
+
+        resumed = SimulationEngine().resume(checkpoint, grover10)
+        fid = cross_fidelity(resumed, uninterrupted, 10)
+        assert round(fid, 9) == 1.0
+        assert resumed.statistics.matrix_vector_mults == \
+            uninterrupted.statistics.matrix_vector_mults
+        assert resumed.statistics.matrix_matrix_mults == \
+            uninterrupted.statistics.matrix_matrix_mults
+        assert resumed.statistics.operations_applied == \
+            uninterrupted.statistics.operations_applied
+
+
+class TestPeriodicCheckpoints:
+    def test_checkpoint_every_writes_and_resumes(self, grover10, reference,
+                                                 tmp_path):
+        path = str(tmp_path / "periodic.ckpt")
+        result = SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                             checkpoint_path=path,
+                                             checkpoint_every=400)
+        # 1210 ops / 400 -> checkpoints at 400, 800, 1200 (none at the end)
+        assert result.statistics.checkpoints_written == 3
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.reason == "periodic"
+        assert checkpoint.op_index == 1200
+
+        resumed = SimulationEngine().resume(checkpoint, grover10)
+        assert round(cross_fidelity(resumed, reference, 10), 9) == 1.0
+
+    def test_checkpoint_every_requires_path(self, grover10):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                        checkpoint_every=100)
+
+    def test_checkpoint_every_must_be_positive(self, grover10, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            SimulationEngine().simulate(
+                grover10, SequentialStrategy(),
+                checkpoint_path=str(tmp_path / "x.ckpt"), checkpoint_every=0)
+
+
+class TestBudgetAbortCheckpoint:
+    def test_budget_exceeded_carries_checkpoint_path(self, grover10,
+                                                     tmp_path):
+        path = str(tmp_path / "oom.ckpt")
+        engine = SimulationEngine(
+            governor=MemoryGovernor(node_limit=15, max_nodes=30))
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            engine.simulate(grover10, SequentialStrategy(),
+                            checkpoint_path=path)
+        assert info.value.checkpoint_path == path
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.reason == "MemoryBudgetExceeded"
+
+        # a roomier engine picks the run back up and finishes it
+        resumed = SimulationEngine().resume(checkpoint, grover10)
+        assert resumed.statistics.operations_applied == 1210
+
+    def test_budget_exceeded_without_path_has_no_checkpoint(self, grover10):
+        engine = SimulationEngine(
+            governor=MemoryGovernor(node_limit=15, max_nodes=30))
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            engine.simulate(grover10, SequentialStrategy(), audit_every=100)
+        assert info.value.checkpoint_path is None
+
+
+class TestAtomicity:
+    def test_save_leaves_no_tmp_file(self, grover10, tmp_path):
+        path = str(tmp_path / "clean.ckpt")
+        SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                    checkpoint_path=path,
+                                    checkpoint_every=600)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_crash_mid_write_preserves_previous_checkpoint(self, grover10,
+                                                           tmp_path):
+        """A stray .tmp from a crashed write never shadows the completed
+        checkpoint: loads go through the real path only."""
+        path = str(tmp_path / "victim.ckpt")
+        SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                    checkpoint_path=path,
+                                    checkpoint_every=600)
+        before = load_checkpoint(path)
+        with open(path + ".tmp", "w", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "op_in')  # truncated mid-write
+        after = load_checkpoint(path)
+        assert after.op_index == before.op_index
+        assert after.circuit_fingerprint == before.circuit_fingerprint
+
+    def test_truncated_checkpoint_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "truncated.ckpt"
+        path.write_text('{"version": 1, "op_index": 4')
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_checkpoint(str(path))
+
+
+class TestValidation:
+    def test_fingerprint_mismatch_rejected(self, grover10, tmp_path):
+        path = str(tmp_path / "fp.ckpt")
+        SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                    checkpoint_path=path,
+                                    checkpoint_every=600)
+        other = grover_circuit(10, 0b0000000001,
+                               mark_repetition=False).circuit
+        with pytest.raises(ValueError, match="fingerprint"):
+            SimulationEngine().resume(load_checkpoint(path), other)
+
+    def test_fingerprint_ignores_name_but_not_params(self, grover10):
+        renamed = grover10.copy() if hasattr(grover10, "copy") else None
+        fp = circuit_fingerprint(grover10)
+        assert fp == circuit_fingerprint(grover10)  # deterministic
+        if renamed is not None:
+            renamed.name = "something-else"
+            assert circuit_fingerprint(renamed) == fp
+
+    def test_version_mismatch_rejected(self, grover10, tmp_path):
+        path = str(tmp_path / "v.ckpt")
+        SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                    checkpoint_path=path,
+                                    checkpoint_every=600)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["version"] = 999
+        path2 = str(tmp_path / "v2.ckpt")
+        with open(path2, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path2)
+
+    @pytest.mark.parametrize("field", ["circuit_fingerprint", "op_index",
+                                       "state", "statistics"])
+    def test_missing_required_field_named(self, grover10, tmp_path, field):
+        path = str(tmp_path / "m.ckpt")
+        SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                    checkpoint_path=path,
+                                    checkpoint_every=600)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        del payload[field]
+        path2 = str(tmp_path / "m2.ckpt")
+        with open(path2, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match=field):
+            load_checkpoint(path2)
+
+    def test_op_index_beyond_total_rejected(self):
+        with pytest.raises(ValueError, match="op_index"):
+            Checkpoint.from_dict({
+                "version": 1, "circuit_fingerprint": "ab", "num_qubits": 2,
+                "op_index": 7, "total_ops": 3, "strategy_spec": "sequential",
+                "strategy_state": {}, "state": {}, "pending": None,
+                "statistics": {},
+            })
+
+    def test_save_load_round_trip(self, grover10, tmp_path):
+        path = str(tmp_path / "rt.ckpt")
+        SimulationEngine().simulate(grover10, SequentialStrategy(),
+                                    checkpoint_path=path,
+                                    checkpoint_every=600)
+        checkpoint = load_checkpoint(path)
+        path2 = str(tmp_path / "rt2.ckpt")
+        save_checkpoint(checkpoint, path2)
+        again = load_checkpoint(path2)
+        assert again.as_dict() == checkpoint.as_dict()

@@ -194,3 +194,54 @@ class TestHardBudget:
     def test_budget_is_a_memory_error(self):
         # callers can catch the generic MemoryError if they want to
         assert issubclass(MemoryBudgetExceeded, MemoryError)
+
+
+class TestBudgetPathways:
+    """The hard budget fires on both multiplication pathways -- while
+    applying gates to the state (matrix-vector) and while combining gate
+    products (matrix-matrix) -- and leaves the package auditable."""
+
+    def test_mid_apply_budget_exceeded(self):
+        events = []
+        engine = SimulationEngine(
+            governor=MemoryGovernor(node_limit=30, max_nodes=40))
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.simulate(dense_circuit(8), SequentialStrategy(),
+                            trace=events.append)
+        # the state had been advancing: the abort came from the apply path
+        assert any(event.get("event") == "step" for event in events)
+        assert engine.package.check_invariants() == []
+
+    def test_mid_combine_budget_exceeded(self):
+        from repro.simulation import MaxSizeStrategy
+
+        events = []
+        engine = SimulationEngine(
+            governor=MemoryGovernor(node_limit=30, max_nodes=40))
+        with pytest.raises(MemoryBudgetExceeded):
+            # an effectively unbounded s_max keeps multiplying gate DDs
+            # into one growing product; the budget must fire *there*,
+            # before the first application to the state
+            engine.simulate(dense_circuit(8), MaxSizeStrategy(1 << 20),
+                            trace=events.append)
+        assert not any(event.get("event") == "step" for event in events)
+        assert engine.package.check_invariants() == []
+
+    def test_package_audit_passes_after_interrupt(self, tmp_path):
+        """A KeyboardInterrupt checkpoint leaves tables consistent."""
+
+        class Killer:
+            steps = 0
+
+            def __call__(self, event):
+                if event.get("event") == "step":
+                    Killer.steps += 1
+                    if Killer.steps >= 20:
+                        raise KeyboardInterrupt
+
+        engine = SimulationEngine()
+        with pytest.raises(KeyboardInterrupt):
+            engine.simulate(dense_circuit(8), SequentialStrategy(),
+                            trace=Killer(),
+                            checkpoint_path=str(tmp_path / "int.ckpt"))
+        assert engine.package.check_invariants() == []

@@ -245,3 +245,47 @@ class TestMemoisedProductCounts:
         engine = SimulationEngine()
         result = engine.simulate(bell_plus_circuit(), AdaptiveStrategy())
         assert result.statistics.matrix_vector_mults > 0
+
+
+class TestCheckpointInterfaces:
+    """spec()/state_dict(): the strategy side of the checkpoint contract."""
+
+    @pytest.mark.parametrize("spec", ["sequential", "k=5", "smax=64",
+                                      "adaptive=0.5", "repeating:k=3"])
+    def test_spec_round_trips_through_parser(self, spec):
+        strategy = strategy_from_spec(spec)
+        again = strategy_from_spec(strategy.spec())
+        assert type(again) is type(strategy)
+        assert again.spec() == strategy.spec()
+
+    def test_k_operations_state_dict_round_trip(self):
+        strategy = KOperationsStrategy(4)
+        strategy._pending_count = 3
+        restored = strategy_from_spec(strategy.spec())
+        restored.load_state_dict(strategy.state_dict())
+        assert restored.state_dict() == strategy.state_dict()
+
+    def test_adaptive_state_dict_round_trip(self):
+        from repro.simulation import AdaptiveStrategy
+
+        strategy = AdaptiveStrategy(ratio=0.25)
+        strategy._state_nodes = 17
+        restored = strategy_from_spec(strategy.spec())
+        assert isinstance(restored, AdaptiveStrategy)
+        restored.load_state_dict(strategy.state_dict())
+        assert restored.state_dict() == strategy.state_dict()
+
+    def test_repeating_delegates_to_inner(self):
+        strategy = RepeatingBlockStrategy(inner=KOperationsStrategy(4))
+        strategy.inner._pending_count = 2
+        state = strategy.state_dict()
+        restored = strategy_from_spec(strategy.spec())
+        restored.load_state_dict(state)
+        assert restored.state_dict() == state
+
+    def test_sequential_state_dict_is_empty(self):
+        assert SequentialStrategy().state_dict() == {}
+
+    def test_sequential_rejects_pending_restore(self):
+        with pytest.raises(ValueError, match="does not accumulate"):
+            SequentialStrategy().restore_pending(None, None)

@@ -117,3 +117,14 @@ class TestCli:
         assert code == 0
         report = json.loads(capsys.readouterr().out)
         assert report["profile"] == "smoke"
+
+
+class TestAuditFlag:
+    def test_audited_run_sets_flag_and_passes(self):
+        report = run_bench(smoke=True, repeats=1, workload_names=["qft_10"],
+                           audit=True)
+        assert report["audited"] is True
+
+    def test_unaudited_run_records_false(self):
+        report = run_bench(smoke=True, repeats=1, workload_names=["qft_10"])
+        assert report["audited"] is False

@@ -105,3 +105,90 @@ class TestFactor:
     def test_factor_even_shortcut(self, capsys):
         assert main(["factor", "22"]) == 0
         assert "classical shortcut" in capsys.readouterr().out
+
+
+@pytest.fixture
+def grover_file(tmp_path):
+    from repro.algorithms.grover import grover_circuit
+    from repro.circuit import to_qasm
+
+    circuit = grover_circuit(6, 0b101101, mark_repetition=False).circuit
+    path = tmp_path / "grover6.qasm"
+    path.write_text(to_qasm(circuit))
+    return str(path)
+
+
+class TestCheckpointCli:
+    def test_simulate_writes_checkpoint(self, grover_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        assert main(["simulate", grover_file, "--checkpoint", ckpt,
+                     "--checkpoint-every", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "checkpoint:" in output
+
+    def test_resume_finishes_run(self, grover_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        main(["simulate", grover_file, "--checkpoint", ckpt,
+              "--checkpoint-every", "40"])
+        capsys.readouterr()
+        assert main(["resume", ckpt, grover_file]) == 0
+        output = capsys.readouterr().out
+        assert "resuming" in output
+        assert "matrix-vector" in output
+
+    def test_budget_abort_names_checkpoint(self, grover_file, tmp_path,
+                                           capsys):
+        ckpt = str(tmp_path / "oom.ckpt")
+        assert main(["simulate", grover_file, "--gc-limit", "10",
+                     "--max-nodes", "20", "--checkpoint", ckpt]) == 2
+        captured = capsys.readouterr()
+        assert "exceeding the hard budget" in captured.err
+        assert ckpt in captured.err
+        # and the named checkpoint resumes to completion on a roomier run
+        assert main(["resume", ckpt, grover_file]) == 0
+
+    def test_resume_missing_checkpoint_is_clean_error(self, grover_file,
+                                                      tmp_path, capsys):
+        missing = str(tmp_path / "nope.ckpt")
+        assert main(["resume", missing, grover_file]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAuditCli:
+    def test_audit_clean_checkpoint(self, grover_file, tmp_path, capsys):
+        ckpt = str(tmp_path / "run.ckpt")
+        main(["simulate", grover_file, "--checkpoint", ckpt,
+              "--checkpoint-every", "40"])
+        capsys.readouterr()
+        assert main(["audit", ckpt]) == 0
+        assert "AUDIT OK" in capsys.readouterr().out
+
+    def test_audit_circuit_run(self, ghz_file, capsys):
+        assert main(["audit", ghz_file, "--audit-every", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "AUDIT OK" in output
+        assert "in-run audits" in output
+
+    def test_audit_corrupt_checkpoint_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ckpt"
+        bad.write_text('{"version": 1, "truncated')
+        assert main(["audit", str(bad), "--kind", "checkpoint"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_degrade_flag_reports_actions(self, tmp_path, capsys):
+        from repro.circuit import QuantumCircuit, to_qasm
+
+        circuit = QuantumCircuit(8, name="fringe")
+        for layer in range(3):
+            for qubit in range(8):
+                circuit.ry(0.12 + 0.01 * qubit + 0.007 * layer, qubit)
+            for qubit in range(7):
+                circuit.cx(qubit, qubit + 1)
+        path = tmp_path / "fringe.qasm"
+        path.write_text(to_qasm(circuit))
+        assert main(["simulate", str(path), "--gc-limit", "50",
+                     "--max-nodes", "100", "--degrade",
+                     "--fidelity-floor", "0.9"]) == 0
+        output = capsys.readouterr().out
+        assert "degraded" in output
+        assert "prune" in output
