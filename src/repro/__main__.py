@@ -10,6 +10,8 @@ Examples::
     python -m repro info circuit.qasm
     python -m repro equiv circuit_a.qasm circuit_b.qasm
     python -m repro factor 15
+    python -m repro experiments --profile quick --jobs 4
+    python -m repro sweep spec.json --jobs 4 --output report.json
 """
 
 from __future__ import annotations
@@ -258,6 +260,145 @@ def _cmd_factor(args) -> int:
     return 1
 
 
+def _cmd_experiments(args) -> int:
+    """Regenerate a paper artifact, optionally on parallel workers.
+
+    The default artifact is the *schedule report*: every reported column
+    is schedule-determined (no wall-clock), so the output is byte-identical
+    across runs and ``--jobs`` counts -- CI diffs serial against parallel
+    execution of exactly this command.
+    """
+    from .analysis.experiments import (run_fig8, run_fig9,
+                                       run_schedule_report, run_table1,
+                                       run_table2)
+    from .analysis.reporting import format_result, write_markdown_table
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    runners = {
+        "schedule": lambda: run_schedule_report(args.profile, jobs=args.jobs),
+        "fig8": lambda: run_fig8(args.profile, jobs=args.jobs),
+        "fig9": lambda: run_fig9(args.profile, jobs=args.jobs),
+        "table1": lambda: run_table1(args.profile, jobs=args.jobs),
+        "table2": lambda: run_table2(args.profile, jobs=args.jobs),
+    }
+    result = runners[args.experiment]()
+    if args.markdown:
+        print(write_markdown_table(result))
+    else:
+        print(format_result(result))
+    return 0
+
+
+def _sweep_tasks(spec: dict, args) -> list:
+    """Build the task list from a sweep spec plus CLI overrides.
+
+    ``circuits`` entries may be registry instance names (``"grover_8"``),
+    paths to ``.qasm`` files, or ``{"qasm": path, "name": ...}`` dicts;
+    QASM text is embedded into the task at parse time so workers never
+    touch the filesystem.
+    """
+    import os.path
+
+    from .analysis.instances import get_instance, instance_task_spec
+    from .simulation.sweep import SweepTask, task_seed
+
+    def pick(flag, key, default):
+        return flag if flag is not None else spec.get(key, default)
+
+    strategies = args.strategy or spec.get("strategies", ["sequential"])
+    repetitions = pick(args.repetitions, "repetitions", 1)
+    base_seed = pick(args.seed, "seed", 0)
+    timeout = pick(args.timeout, "timeout", None)
+    max_nodes = pick(args.max_nodes, "max_nodes", None)
+    gc_limit = pick(args.gc_limit, "gc_limit", None)
+    use_local_apply = bool(spec.get("use_local_apply", False))
+
+    tasks = []
+    for entry in spec.get("circuits", []):
+        fault = None
+        if isinstance(entry, dict):
+            path = entry["qasm"]
+            name = entry.get("name", os.path.basename(path))
+            fault = entry.get("fault")
+            with open(path, encoding="utf-8") as handle:
+                kind, metadata, qasm = "qasm", {}, handle.read()
+        elif entry.endswith(".qasm"):
+            name = os.path.basename(entry)
+            with open(entry, encoding="utf-8") as handle:
+                kind, metadata, qasm = "qasm", {}, handle.read()
+        else:
+            name = entry
+            kind = "instance"
+            metadata = instance_task_spec(get_instance(entry))
+            qasm = None
+        for strategy in strategies:
+            for repetition in range(repetitions):
+                tasks.append(SweepTask(
+                    name=name, strategy=strategy, repetition=repetition,
+                    kind=kind, metadata=metadata, qasm=qasm,
+                    use_local_apply=use_local_apply,
+                    seed=task_seed(base_seed, name, strategy, repetition),
+                    timeout=timeout, max_nodes=max_nodes,
+                    gc_limit=gc_limit, fault=fault))
+    return tasks
+
+
+def _cmd_sweep(args) -> int:
+    """Run a batch of cells from a JSON spec; exit 1 iff any cell failed."""
+    from .simulation.sweep import SweepRunner
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read sweep spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        tasks = _sweep_tasks(spec, args)
+    except (KeyError, OSError) as exc:
+        print(f"error: bad sweep spec: {exc}", file=sys.stderr)
+        return 2
+    if not tasks:
+        print("error: sweep spec names no circuits", file=sys.stderr)
+        return 2
+
+    report = SweepRunner(jobs=args.jobs, retries=args.retries).run(tasks)
+
+    for cell in report.cells:
+        mark = "ok " if cell.ok else cell.status
+        line = (f"{mark:>7}  {cell.name}  {cell.strategy}  "
+                f"rep={cell.repetition}")
+        if cell.ok:
+            stats = cell.stats()
+            line += (f"  mxv={stats.matrix_vector_mults} "
+                     f"mxm={stats.matrix_matrix_mults} "
+                     f"nodes={stats.final_state_nodes} "
+                     f"t={cell.wall_seconds:.3f}s")
+        else:
+            error = cell.error or {}
+            line += f"  {error.get('type')}: {error.get('message')}"
+        print(line)
+    counts = report.status_counts()
+    summary = ", ".join(f"{count} {status}"
+                        for status, count in sorted(counts.items()))
+    print(f"sweep: {len(report.cells)} cells ({summary}), "
+          f"jobs={report.jobs}, {report.wall_seconds:.3f}s")
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(deterministic=args.deterministic),
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report: {args.output}")
+    return 0 if report.all_ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -359,6 +500,58 @@ def main(argv: list[str] | None = None) -> int:
                             choices=["construct", "gates"])
     factor_cmd.add_argument("--seed", type=int, default=0)
     factor_cmd.set_defaults(handler=_cmd_factor)
+
+    experiments = commands.add_parser(
+        "experiments",
+        help="regenerate a paper artifact (default: the deterministic "
+             "schedule report), optionally on parallel workers")
+    experiments.add_argument("experiment", nargs="?", default="schedule",
+                             choices=["schedule", "fig8", "fig9",
+                                      "table1", "table2"],
+                             help="artifact to regenerate "
+                                  "(default: schedule -- byte-identical "
+                                  "output for any --jobs)")
+    experiments.add_argument("--profile", default="quick",
+                             choices=["quick", "default", "full"],
+                             help="instance-size profile (default: quick)")
+    experiments.add_argument("--jobs", type=int, default=1, metavar="N",
+                             help="worker processes (default: 1, inline)")
+    experiments.add_argument("--markdown", action="store_true",
+                             help="emit a Markdown table")
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    sweep = commands.add_parser(
+        "sweep", help="run a batch of simulation cells from a JSON spec "
+                      "over parallel workers")
+    sweep.add_argument("spec",
+                       help="JSON file: {circuits: [instance name | "
+                            "file.qasm | {qasm: path}], strategies: [...], "
+                            "repetitions, seed, timeout, max_nodes, "
+                            "gc_limit, use_local_apply}")
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default: 1, inline)")
+    sweep.add_argument("--strategy", action="append", metavar="SPEC",
+                       help="override the spec's strategies (repeatable)")
+    sweep.add_argument("--repetitions", type=int, default=None, metavar="R",
+                       help="override the spec's repetitions per cell")
+    sweep.add_argument("--seed", type=int, default=None,
+                       help="override the spec's base seed (per-cell seeds "
+                            "are derived deterministically from it)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-cell wall-clock budget in seconds")
+    sweep.add_argument("--max-nodes", type=int, default=None,
+                       help="per-cell hard DD node budget")
+    sweep.add_argument("--gc-limit", type=int, default=None,
+                       help="per-cell initial GC node limit")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retries for cells whose worker died "
+                            "(default: 1)")
+    sweep.add_argument("--output", default=None, metavar="PATH",
+                       help="write the full JSON report to PATH")
+    sweep.add_argument("--deterministic", action="store_true",
+                       help="restrict --output to fields that are "
+                            "bit-identical across processes and job counts")
+    sweep.set_defaults(handler=_cmd_sweep)
 
     bench = commands.add_parser(
         "bench", help="run the reproducible DD-kernel benchmark",

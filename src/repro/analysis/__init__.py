@@ -6,7 +6,7 @@ from .entanglement import (entanglement_entropy, reduced_density_matrix,
 from .instances import (BenchmarkInstance, default_suite, extended_suite,
                         get_instance, quick_suite)
 from .experiments import (ExperimentRow, run_fig5_study, run_fig8, run_fig9,
-                          run_table1, run_table2)
+                          run_schedule_report, run_table1, run_table2)
 from .reporting import (format_result, format_rows,
                         format_trace_summary, write_markdown_table)
 from .scaling import run_scaling_study
@@ -35,6 +35,7 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_scaling_study",
+    "run_schedule_report",
     "run_table1",
     "run_table2",
     "write_markdown_table",

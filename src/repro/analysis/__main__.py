@@ -10,7 +10,9 @@ Regenerate any of the paper's evaluation artifacts::
     python -m repro.analysis all           # everything
 
 ``--profile quick|default|full`` scales the instance sizes; ``--markdown``
-emits Markdown tables (the format EXPERIMENTS.md uses).
+emits Markdown tables (the format EXPERIMENTS.md uses); ``--jobs N`` fans
+the experiment cells out over N worker processes (see
+:mod:`repro.simulation.sweep`).
 """
 
 from __future__ import annotations
@@ -18,11 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .experiments import (run_fig5_study, run_fig8, run_fig9, run_table1,
-                          run_table2)
+from .experiments import (run_fig5_study, run_fig8, run_fig9,
+                          run_schedule_report, run_table1, run_table2)
 from .reporting import format_result, write_markdown_table
 
-def _run_scaling(profile: str):
+def _run_scaling(profile: str, jobs: int):
     from .scaling import run_scaling_study
 
     return run_scaling_study("supremacy"
@@ -30,11 +32,12 @@ def _run_scaling(profile: str):
 
 
 _RUNNERS = {
-    "fig8": lambda profile: run_fig8(profile),
-    "fig9": lambda profile: run_fig9(profile),
-    "table1": lambda profile: run_table1(profile),
-    "table2": lambda profile: run_table2(profile),
-    "fig5": lambda profile: run_fig5_study(),
+    "fig8": lambda profile, jobs: run_fig8(profile, jobs=jobs),
+    "fig9": lambda profile, jobs: run_fig9(profile, jobs=jobs),
+    "table1": lambda profile, jobs: run_table1(profile, jobs=jobs),
+    "table2": lambda profile, jobs: run_table2(profile, jobs=jobs),
+    "fig5": lambda profile, jobs: run_fig5_study(),
+    "schedule": lambda profile, jobs: run_schedule_report(profile, jobs=jobs),
     "scaling": _run_scaling,
 }
 
@@ -56,7 +59,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit Markdown instead of ASCII tables")
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="target file for write-experiments")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the experiment cells "
+                             "(default: 1, i.e. run inline)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "write-experiments":
         from .experiments_md import generate_experiments_md
@@ -70,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted(_RUNNERS) if args.experiment == "all" \
         else [args.experiment]
     for name in names:
-        result = _RUNNERS[name](args.profile)
+        result = _RUNNERS[name](args.profile, args.jobs)
         if args.markdown:
             print(write_markdown_table(result))
         else:

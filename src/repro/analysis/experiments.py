@@ -9,10 +9,22 @@
   ``t_DD-construct`` for the Shor benchmarks.
 * :func:`run_fig5_study` -- the Fig. 5 observation measured: DD sizes and
   multiplication effort with and without combining two operations.
+* :func:`run_schedule_report` -- the machine-independent multiplication
+  schedule (Eq. 1 / Eq. 2 accounting) of every instance x strategy cell;
+  bit-identical across runs, processes, and ``jobs`` counts.
 
 Absolute times differ from the paper (a pure-Python DD package on scaled
 instances vs. the authors' C++ package); the reproduced claims are the
 *shapes*: who wins, roughly by how much, and where the extremes lose.
+
+Every runner takes ``jobs=``: cells (instance x strategy x repetition) are
+executed through :class:`~repro.simulation.sweep.SweepRunner`, serially for
+``jobs=1`` and on that many shared-nothing worker processes otherwise.
+Each cell constructs its own DD package either way, and rows are assembled
+from the merged results in an explicit sorted order -- never in completion
+order -- so serial and parallel runs report the same rows in the same
+positions (wall-clock *values* jitter run-to-run, as they always did; the
+schedule report contains no timing and is byte-identical).
 """
 
 from __future__ import annotations
@@ -24,16 +36,15 @@ from ..dd.package import Package
 from ..simulation.engine import SimulationEngine
 from ..simulation.statistics import SimulationStatistics
 from ..simulation.strategies import (KOperationsStrategy, MaxSizeStrategy,
-                                     RepeatingBlockStrategy,
-                                     SequentialStrategy, SimulationStrategy)
+                                     RepeatingBlockStrategy)
+from ..simulation.sweep import SweepRunner, SweepTask, task_seed
 from .instances import (BenchmarkInstance, default_suite, grover_suite,
-                        quick_suite, shor_dd_construct_statistics, shor_suite,
-                        supremacy_suite)
+                        instance_task_spec, quick_suite, shor_suite)
 
 __all__ = ["ExperimentResult", "ExperimentRow", "run_fig8", "run_fig9",
            "run_table1", "run_table2", "run_fig5_study",
-           "DEFAULT_K_VALUES", "DEFAULT_SMAX_VALUES",
-           "GENERAL_STRATEGY_CANDIDATES"]
+           "run_schedule_report", "DEFAULT_K_VALUES", "DEFAULT_SMAX_VALUES",
+           "GENERAL_STRATEGY_CANDIDATES", "SCHEDULE_STRATEGIES"]
 
 #: parameter sweeps matching the x-axes of Fig. 8 / Fig. 9
 DEFAULT_K_VALUES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
@@ -63,35 +74,96 @@ class ExperimentResult:
     def column(self, name: str) -> list:
         return [row.get(name) for row in self.rows]
 
+    def sort_rows(self, *columns: str,
+                  tail: tuple[str, str] | None = None) -> None:
+        """Put rows in an explicit deterministic order.
+
+        Row order used to be an accident of execution order; with cells
+        possibly completing on different workers it must be a property of
+        the *data*, so serial and parallel runs (and re-runs) of the same
+        experiment render byte-identical reports.  Rows sort by the given
+        ``columns`` in turn; ``tail=(column, value)`` pins rows whose
+        ``column`` equals ``value`` (e.g. the ``"average"`` summary rows)
+        after all others that share the preceding key columns.
+        """
+        def key(row: ExperimentRow) -> tuple:
+            parts: list = []
+            for column in columns:
+                value = row.get(column)
+                if tail is not None and column == tail[0]:
+                    parts.append(1 if value == tail[1] else 0)
+                parts.append(value)
+            return tuple(parts)
+
+        self.rows.sort(key=key)
+
 
 def _suite(profile: str) -> list[BenchmarkInstance]:
     return quick_suite() if profile == "quick" else default_suite()
 
 
-def _timed(instance: BenchmarkInstance,
-           strategy: SimulationStrategy) -> SimulationStatistics:
-    # The paper-artifact experiments compare Eq. 1 against Eq. 2 on the
-    # paper's cost model: explicit gate DDs and one matrix-vector
-    # multiplication per gate.  The local-gate fast path is therefore
-    # disabled here (the kernel benchmark harness measures it instead).
-    return instance.run(strategy, use_local_apply=False)
+#: best-of-N repetitions for the table experiments.  Table entries are
+#: single numbers the reproduction is judged by; taking the minimum over a
+#: couple of runs suppresses the scheduler jitter that dominates sub-100 ms
+#: measurements (the figures' sweeps stay single-run: with ten parameter
+#: points the shape is already robust).
+TABLE_REPEATS = 2
+
+#: the strategy grid enumerated by :func:`run_schedule_report`
+SCHEDULE_STRATEGIES = ("sequential", "k=2", "k=4", "k=16", "smax=64",
+                       "smax=256", "adaptive", "repeating:sequential")
 
 
-def _timed_best(instance: BenchmarkInstance, strategy: SimulationStrategy,
-                repeats: int = 2) -> SimulationStatistics:
-    """Best-of-N timing for the table experiments.
+def _cell(instance: BenchmarkInstance, spec: str,
+          repetition: int = 0) -> SweepTask:
+    """One experiment cell as a picklable sweep task.
 
-    Table entries are single numbers the reproduction is judged by; taking
-    the minimum over a couple of runs suppresses the scheduler jitter that
-    dominates sub-100 ms measurements (the figures' sweeps stay single-run:
-    with ten parameter points the shape is already robust).
+    The paper-artifact experiments compare Eq. 1 against Eq. 2 on the
+    paper's cost model: explicit gate DDs and one matrix-vector
+    multiplication per gate.  The local-gate fast path is therefore
+    disabled here (the kernel benchmark harness measures it instead).
     """
-    best = _timed(instance, strategy)
-    for _ in range(repeats - 1):
-        candidate = _timed(instance, strategy)
-        if candidate.wall_time_seconds < best.wall_time_seconds:
-            best = candidate
-    return best
+    return SweepTask(name=instance.name, strategy=spec,
+                     repetition=repetition,
+                     metadata=instance_task_spec(instance),
+                     use_local_apply=False,
+                     seed=task_seed(0, instance.name, spec, repetition))
+
+
+def _construct_cell(instance: BenchmarkInstance,
+                    repetition: int = 0) -> SweepTask:
+    """The DD-construct realisation of a Shor instance (Table II)."""
+    return SweepTask(name=instance.name, strategy="dd-construct",
+                     repetition=repetition, kind="construct",
+                     metadata=dict(instance.metadata),
+                     seed=task_seed(0, instance.name, "dd-construct",
+                                    repetition))
+
+
+def _execute(tasks: list[SweepTask],
+             jobs: int) -> dict[tuple, SimulationStatistics]:
+    """Run experiment cells through the sweep runner; fail loudly.
+
+    The experiment runners regenerate paper artifacts, so a failed cell is
+    not survivable the way it is for an exploratory ``repro sweep`` -- a
+    table with holes is not the paper's table.  Partial-failure tolerance
+    lives in :class:`SweepRunner` / the ``sweep`` CLI instead.
+    """
+    report = SweepRunner(jobs=jobs).run(tasks)
+    failed = report.failed_cells
+    if failed:
+        first = failed[0]
+        raise RuntimeError(
+            f"{len(failed)} experiment cell(s) failed; first: "
+            f"{first.key()} -> {first.error}")
+    return report.stats_by_key()
+
+
+def _best_of(stats: dict[tuple, SimulationStatistics], name: str,
+             spec: str, repeats: int = TABLE_REPEATS) -> SimulationStatistics:
+    """Best-of-N lookup over a cell's repetitions (min wall time)."""
+    return min((stats[(name, spec, rep)] for rep in range(repeats)),
+               key=lambda s: s.wall_time_seconds)
 
 
 # ----------------------------------------------------------------------
@@ -100,31 +172,33 @@ def _timed_best(instance: BenchmarkInstance, strategy: SimulationStrategy,
 
 def _run_parameter_sweep(experiment: str, title: str, parameter_name: str,
                          values, make_strategy, profile: str,
-                         instances) -> ExperimentResult:
+                         instances, jobs: int = 1) -> ExperimentResult:
     instances = instances if instances is not None else _suite(profile)
+    specs = {value: make_strategy(value).spec() for value in values}
+    tasks = [_cell(instance, spec)
+             for instance in instances
+             for spec in ["sequential", *specs.values()]]
+    stats = _execute(tasks, jobs)
     result = ExperimentResult(
         experiment=experiment, title=title,
         headers=["benchmark", parameter_name, "t_sota", "t_strategy",
                  "speedup", "recursion_speedup"])
-    baselines = {}
-    for instance in instances:
-        baselines[instance.name] = _timed(instance, SequentialStrategy())
     for value in values:
         speedups = []
         for instance in instances:
-            base = baselines[instance.name]
-            stats = _timed(instance, make_strategy(value))
-            speedup = (base.wall_time_seconds / stats.wall_time_seconds
-                       if stats.wall_time_seconds > 0 else float("inf"))
+            base = stats[(instance.name, "sequential", 0)]
+            cell = stats[(instance.name, specs[value], 0)]
+            speedup = (base.wall_time_seconds / cell.wall_time_seconds
+                       if cell.wall_time_seconds > 0 else float("inf"))
             base_rec = base.counters.total_recursions()
-            rec = stats.counters.total_recursions()
+            rec = cell.counters.total_recursions()
             rec_speedup = base_rec / rec if rec else float("inf")
             speedups.append(speedup)
             result.rows.append({
                 "benchmark": instance.name,
                 parameter_name: value,
                 "t_sota": round(base.wall_time_seconds, 4),
-                "t_strategy": round(stats.wall_time_seconds, 4),
+                "t_strategy": round(cell.wall_time_seconds, 4),
                 "speedup": round(speedup, 3),
                 "recursion_speedup": round(rec_speedup, 3),
             })
@@ -136,46 +210,67 @@ def _run_parameter_sweep(experiment: str, title: str, parameter_name: str,
             "speedup": round(sum(speedups) / len(speedups), 3),
             "recursion_speedup": None,
         })
+    result.sort_rows(parameter_name, "benchmark",
+                     tail=("benchmark", "average"))
     result.notes = ("speedup = t_sota / t_strategy; the 'average' rows are "
                     "the line drawn in the paper's figure")
     return result
 
 
 def run_fig8(profile: str = "quick", k_values=DEFAULT_K_VALUES,
-             instances=None) -> ExperimentResult:
+             instances=None, jobs: int = 1) -> ExperimentResult:
     """Fig. 8: speed-up of the *k-operations* strategy over ``k``."""
     return _run_parameter_sweep(
         "fig8", "Fig. 8 -- speed-up for strategy k-operations", "k",
-        k_values, KOperationsStrategy, profile, instances)
+        k_values, KOperationsStrategy, profile, instances, jobs=jobs)
 
 
 def run_fig9(profile: str = "quick", smax_values=DEFAULT_SMAX_VALUES,
-             instances=None) -> ExperimentResult:
+             instances=None, jobs: int = 1) -> ExperimentResult:
     """Fig. 9: speed-up of the *max-size* strategy over ``s_max``."""
     return _run_parameter_sweep(
         "fig9", "Fig. 9 -- speed-up for strategy max-size", "s_max",
-        smax_values, MaxSizeStrategy, profile, instances)
+        smax_values, MaxSizeStrategy, profile, instances, jobs=jobs)
 
 
 # ----------------------------------------------------------------------
 # Table I and Table II: the knowledge-based strategies
 # ----------------------------------------------------------------------
 
-def _best_general(instance: BenchmarkInstance) -> tuple[str, float]:
-    """``t_general``: the best of the small general-strategy sweep."""
+def _table_tasks(instances, knowledge_specs) -> list[SweepTask]:
+    """The table experiments' cell grid, ``TABLE_REPEATS`` deep."""
+    specs = (["sequential"]
+             + [s.spec() for s in GENERAL_STRATEGY_CANDIDATES]
+             + list(knowledge_specs))
+    return [_cell(instance, spec, rep)
+            for instance in instances
+            for spec in specs
+            for rep in range(TABLE_REPEATS)]
+
+
+def _best_general(stats: dict[tuple, SimulationStatistics],
+                  name: str) -> tuple[str, float]:
+    """``t_general``: the best of the small general-strategy sweep.
+
+    Ties keep the first candidate in ``GENERAL_STRATEGY_CANDIDATES`` order,
+    matching the old strict-``<`` scan.
+    """
     best_name = ""
     best_time = float("inf")
     for strategy in GENERAL_STRATEGY_CANDIDATES:
-        stats = _timed_best(instance, strategy)
-        if stats.wall_time_seconds < best_time:
-            best_time = stats.wall_time_seconds
+        seconds = _best_of(stats, name, strategy.spec()).wall_time_seconds
+        if seconds < best_time:
+            best_time = seconds
             best_name = strategy.describe()
     return best_name, best_time
 
 
-def run_table1(profile: str = "quick", instances=None) -> ExperimentResult:
+def run_table1(profile: str = "quick", instances=None,
+               jobs: int = 1) -> ExperimentResult:
     """Table I: Grover benchmarks under sota / general / DD-repeating."""
     instances = instances if instances is not None else grover_suite(profile)
+    repeating_spec = RepeatingBlockStrategy().spec()
+    stats = _execute(_table_tasks(instances, [repeating_spec]), jobs)
     result = ExperimentResult(
         experiment="table1",
         title="Table I -- results for grover benchmarks "
@@ -183,9 +278,9 @@ def run_table1(profile: str = "quick", instances=None) -> ExperimentResult:
         headers=["benchmark", "t_sota", "t_general", "t_dd_repeating",
                  "general_strategy", "speedup_vs_general"])
     for instance in instances:
-        sota = _timed_best(instance, SequentialStrategy())
-        general_name, general_time = _best_general(instance)
-        repeating = _timed_best(instance, RepeatingBlockStrategy())
+        sota = _best_of(stats, instance.name, "sequential")
+        general_name, general_time = _best_general(stats, instance.name)
+        repeating = _best_of(stats, instance.name, repeating_spec)
         t_rep = repeating.wall_time_seconds
         result.rows.append({
             "benchmark": instance.name,
@@ -196,15 +291,21 @@ def run_table1(profile: str = "quick", instances=None) -> ExperimentResult:
             "speedup_vs_general": round(general_time / t_rep, 2)
             if t_rep > 0 else float("inf"),
         })
+    result.sort_rows("benchmark")
     result.notes = ("t_general is the best of a small k/s_max sweep, as in "
                     "the paper; DD-repeating combines each Grover iteration "
                     "once and re-uses the matrix DD")
     return result
 
 
-def run_table2(profile: str = "quick", instances=None) -> ExperimentResult:
+def run_table2(profile: str = "quick", instances=None,
+               jobs: int = 1) -> ExperimentResult:
     """Table II: Shor benchmarks under sota / general / DD-construct."""
     instances = instances if instances is not None else shor_suite(profile)
+    tasks = _table_tasks(instances, [])
+    tasks += [_construct_cell(instance, rep)
+              for instance in instances for rep in range(TABLE_REPEATS)]
+    stats = _execute(tasks, jobs)
     result = ExperimentResult(
         experiment="table2",
         title="Table II -- results for shor benchmarks "
@@ -212,11 +313,9 @@ def run_table2(profile: str = "quick", instances=None) -> ExperimentResult:
         headers=["benchmark", "t_sota", "t_general", "t_dd_construct",
                  "general_strategy", "speedup_vs_general"])
     for instance in instances:
-        sota = _timed_best(instance, SequentialStrategy())
-        general_name, general_time = _best_general(instance)
-        construct = shor_dd_construct_statistics(
-            instance.metadata["modulus"], instance.metadata["base"],
-            seed=instance.metadata["seed"])
+        sota = _best_of(stats, instance.name, "sequential")
+        general_name, general_time = _best_general(stats, instance.name)
+        construct = _best_of(stats, instance.name, "dd-construct")
         t_con = construct.wall_time_seconds
         result.rows.append({
             "benchmark": instance.name,
@@ -227,9 +326,59 @@ def run_table2(profile: str = "quick", instances=None) -> ExperimentResult:
             "speedup_vs_general": round(general_time / t_con, 1)
             if t_con > 0 else float("inf"),
         })
+    result.sort_rows("benchmark")
     result.notes = ("DD-construct builds the modular-multiplication oracles "
                     "directly as permutation DDs on n+1 qubits instead of "
                     "simulating the 2n+3-qubit Beauregard decomposition")
+    return result
+
+
+# ----------------------------------------------------------------------
+# The deterministic schedule report
+# ----------------------------------------------------------------------
+
+def run_schedule_report(profile: str = "quick", instances=None,
+                        strategies=SCHEDULE_STRATEGIES,
+                        jobs: int = 1) -> ExperimentResult:
+    """The multiplication schedule of every instance x strategy cell.
+
+    Unlike the timing experiments, every reported column is determined by
+    the strategy's schedule and the canonical DD structure alone --
+    Eq. 1 / Eq. 2 multiplication counts, reused-block applications, and DD
+    node sizes.  The report is therefore bit-identical across runs,
+    processes, machines, and ``jobs`` counts, which makes it the artifact
+    CI diffs between serial and parallel execution.
+    """
+    instances = instances if instances is not None else _suite(profile)
+    tasks = [_cell(instance, spec)
+             for instance in instances for spec in strategies]
+    stats = _execute(tasks, jobs)
+    result = ExperimentResult(
+        experiment="schedule",
+        title="Multiplication schedules (machine-independent)",
+        headers=["benchmark", "strategy", "ops", "mxv", "mxm",
+                 "reused_blocks", "final_nodes", "peak_state_nodes",
+                 "peak_matrix_nodes"])
+    for instance in instances:
+        for spec in strategies:
+            cell = stats[(instance.name, spec, 0)]
+            result.rows.append({
+                "benchmark": instance.name,
+                "strategy": spec,
+                "ops": cell.operations_applied,
+                "mxv": cell.matrix_vector_mults,
+                "mxm": cell.matrix_matrix_mults,
+                "reused_blocks": cell.reused_block_applications,
+                "final_nodes": cell.final_state_nodes,
+                "peak_state_nodes": cell.peak_state_nodes,
+                "peak_matrix_nodes": cell.peak_matrix_nodes,
+            })
+    result.sort_rows("benchmark", "strategy")
+    result.notes = ("every column is schedule-determined: sequential runs "
+                    "|G| MxV (Eq. 1); k-operations runs ceil(|G|/k) MxV + "
+                    "|G| - ceil(|G|/k) MxM (Eq. 2); wall-clock and "
+                    "recursion counters are deliberately excluded because "
+                    "they vary across processes")
     return result
 
 

@@ -27,8 +27,9 @@ from ..simulation.engine import SimulationEngine
 from ..simulation.statistics import SimulationStatistics
 from ..simulation.strategies import SimulationStrategy
 
-__all__ = ["BenchmarkInstance", "get_instance", "quick_suite",
-           "default_suite", "extended_suite", "grover_suite", "shor_suite",
+__all__ = ["BenchmarkInstance", "get_instance", "instance_from_spec",
+           "instance_task_spec", "quick_suite", "default_suite",
+           "extended_suite", "grover_suite", "shor_suite",
            "supremacy_suite"]
 
 
@@ -44,15 +45,18 @@ class BenchmarkInstance:
     metadata: dict = field(default_factory=dict)
 
     def run(self, strategy: SimulationStrategy,
-            use_local_apply: bool = True) -> SimulationStatistics:
+            use_local_apply: bool = True,
+            governor: "MemoryGovernor | None" = None) -> SimulationStatistics:
         """Simulate this instance under ``strategy`` on a fresh engine.
 
         ``use_local_apply=False`` forces the paper-literal pathway (explicit
         gate DDs + one matrix-vector multiplication per gate); the
         paper-artifact experiments use it so the MxV-vs-MxM comparison
-        matches the paper's cost model.
+        matches the paper's cost model.  ``governor`` replaces the fresh
+        engine's default memory policy (the sweep runner uses it to give
+        each cell a hard ``max_nodes`` budget).
         """
-        return self._runner(strategy, use_local_apply)
+        return self._runner(strategy, use_local_apply, governor)
 
 
 def _circuit_instance(name: str, kind: str, description: str,
@@ -61,11 +65,12 @@ def _circuit_instance(name: str, kind: str, description: str,
     built: list[QuantumCircuit] = []
 
     def runner(strategy: SimulationStrategy,
-               use_local_apply: bool = True) -> SimulationStatistics:
+               use_local_apply: bool = True,
+               governor=None) -> SimulationStatistics:
         if not built:
             built.append(build())
         if use_local_apply:
-            engine = SimulationEngine()
+            engine = SimulationEngine(governor=governor)
         else:
             # Paper mode: no local-gate fast path AND no identity-aware
             # multiplication shortcut, so machine-independent recursion
@@ -73,7 +78,7 @@ def _circuit_instance(name: str, kind: str, description: str,
             # traversed like any other sub-matrix).
             engine = SimulationEngine(
                 package=Package(identity_shortcut=False),
-                use_local_apply=False)
+                use_local_apply=False, governor=governor)
         return engine.simulate(built[0], strategy).statistics
 
     return BenchmarkInstance(name=name, kind=kind, description=description,
@@ -114,13 +119,14 @@ def _shor_instance(modulus: int, base: int, seed: int = 7) -> BenchmarkInstance:
     qubits = 2 * modulus.bit_length() + 3
 
     def runner(strategy: SimulationStrategy,
-               use_local_apply: bool = True) -> SimulationStatistics:
+               use_local_apply: bool = True,
+               governor=None) -> SimulationStatistics:
         if use_local_apply:
-            engine = SimulationEngine()
+            engine = SimulationEngine(governor=governor)
         else:
             engine = SimulationEngine(
                 package=Package(identity_shortcut=False),
-                use_local_apply=False)
+                use_local_apply=False, governor=governor)
         finder = ShorOrderFinder(modulus, base, mode="gates",
                                  strategy=strategy, seed=seed, engine=engine)
         return finder.run().statistics
@@ -227,3 +233,32 @@ def get_instance(name: str) -> BenchmarkInstance:
         if instance.name == name:
             return instance
     raise KeyError(f"unknown benchmark instance {name!r}")
+
+
+def instance_from_spec(metadata: dict, name: str) -> BenchmarkInstance:
+    """Rebuild a benchmark instance from plain data, in any process.
+
+    Sweep workers cannot receive :class:`BenchmarkInstance` objects (their
+    runners close over circuits and engines), so tasks ship
+    ``(kind, metadata, name)`` instead and every worker reconstructs the
+    instance locally -- which also guarantees the mandatory per-process DD
+    isolation.  The three paper workload families are rebuilt from their
+    metadata (so custom sizes work too); anything else falls back to the
+    registry by name.
+    """
+    kind = metadata.get("kind")
+    if kind == "grover":
+        return _grover_instance(metadata["num_data_qubits"],
+                                metadata["marked"])
+    if kind == "supremacy":
+        return _supremacy_instance(metadata["rows"], metadata["cols"],
+                                   metadata["depth"], metadata["seed"])
+    if kind == "shor":
+        return _shor_instance(metadata["modulus"], metadata["base"],
+                              metadata.get("seed", 7))
+    return get_instance(name)
+
+
+def instance_task_spec(instance: BenchmarkInstance) -> dict:
+    """The ``metadata`` payload :func:`instance_from_spec` rebuilds from."""
+    return {"kind": instance.kind, **instance.metadata}

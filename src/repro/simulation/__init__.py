@@ -28,6 +28,8 @@ from .strategies import (AdaptiveStrategy, KOperationsStrategy,
                          MaxSizeStrategy, RepeatingBlockStrategy,
                          SequentialStrategy, SimulationStrategy,
                          strategy_from_spec)
+from .sweep import (CellResult, SweepReport, SweepRunner, SweepTask,
+                    task_seed)
 
 __all__ = [
     "AdaptiveStrategy",
@@ -60,4 +62,9 @@ __all__ = [
     "SimulationStatistics",
     "SimulationStrategy",
     "strategy_from_spec",
+    "CellResult",
+    "SweepReport",
+    "SweepRunner",
+    "SweepTask",
+    "task_seed",
 ]

@@ -8,8 +8,10 @@ scale time.
 
 import pytest
 
-from repro.analysis.experiments import (run_fig5_study, run_fig8, run_fig9,
-                                        run_table1, run_table2)
+from repro.analysis.experiments import (ExperimentResult, run_fig5_study,
+                                        run_fig8, run_fig9,
+                                        run_schedule_report, run_table1,
+                                        run_table2)
 from repro.analysis.instances import (_grover_instance, _shor_instance,
                                       _supremacy_instance)
 
@@ -88,6 +90,88 @@ class TestTable2:
         result = run_table2(instances=[_shor_instance(15, 7)])
         for column in ("t_sota", "t_general", "t_dd_construct"):
             assert column in result.headers
+
+
+class TestRowOrder:
+    """Regression: row order is an explicit sorted key, not execution
+    order -- serial and parallel runs must render identical reports."""
+
+    def test_sort_rows_by_columns(self):
+        result = ExperimentResult(experiment="x", title="x",
+                                  headers=["benchmark", "k"])
+        result.rows = [{"benchmark": "b", "k": 2}, {"benchmark": "a", "k": 2},
+                       {"benchmark": "b", "k": 1}, {"benchmark": "a", "k": 1}]
+        result.sort_rows("k", "benchmark")
+        assert [(r["k"], r["benchmark"]) for r in result.rows] == \
+            [(1, "a"), (1, "b"), (2, "a"), (2, "b")]
+
+    def test_sort_rows_pins_tail_rows_last_per_group(self):
+        result = ExperimentResult(experiment="x", title="x",
+                                  headers=["benchmark", "k"])
+        result.rows = [{"benchmark": "average", "k": 1},
+                       {"benchmark": "zz", "k": 1},
+                       {"benchmark": "average", "k": 2},
+                       {"benchmark": "aa", "k": 2}]
+        result.sort_rows("k", "benchmark", tail=("benchmark", "average"))
+        assert [r["benchmark"] for r in result.rows] == \
+            ["zz", "average", "aa", "average"]
+
+    def test_fig8_rows_sorted_by_k_then_benchmark(self, mini_instances):
+        result = run_fig8(instances=mini_instances, k_values=(4, 2))
+        keys = [(row["k"], row["benchmark"]) for row in result.rows]
+        # averages pinned last per k group, k ascending regardless of the
+        # order values were requested in
+        assert keys == [(2, "grover_6"), (2, "supremacy_8_6"),
+                        (2, "average"), (4, "grover_6"),
+                        (4, "supremacy_8_6"), (4, "average")]
+
+    def test_table_rows_sorted_by_benchmark(self):
+        result = run_table1(instances=[_grover_instance(7, 3),
+                                       _grover_instance(6, 3)])
+        assert [row["benchmark"] for row in result.rows] == \
+            ["grover_6", "grover_7"]
+
+
+class TestScheduleReport:
+    def test_schedule_accounting(self, mini_instances):
+        result = run_schedule_report(instances=mini_instances,
+                                     strategies=("sequential", "k=4"))
+        by_key = {(r["benchmark"], r["strategy"]): r for r in result.rows}
+        for instance in mini_instances:
+            seq = by_key[(instance.name, "sequential")]
+            k4 = by_key[(instance.name, "k=4")]
+            g = seq["ops"]
+            assert seq["mxv"] == g and seq["mxm"] == 0       # Eq. 1
+            expected_mxv = -(-g // 4)
+            assert k4["mxv"] == expected_mxv                  # Eq. 2
+            assert k4["mxm"] == g - expected_mxv
+            assert k4["final_nodes"] == seq["final_nodes"]    # canonical DD
+
+    def test_identical_across_job_counts(self, mini_instances):
+        serial = run_schedule_report(instances=mini_instances,
+                                     strategies=("sequential", "k=4"),
+                                     jobs=1)
+        parallel = run_schedule_report(instances=mini_instances,
+                                       strategies=("sequential", "k=4"),
+                                       jobs=2)
+        assert serial.rows == parallel.rows
+        assert serial.headers == parallel.headers
+
+    def test_rows_sorted(self, mini_instances):
+        result = run_schedule_report(instances=mini_instances,
+                                     strategies=("sequential", "k=2"))
+        keys = [(r["benchmark"], r["strategy"]) for r in result.rows]
+        assert keys == sorted(keys)
+
+
+class TestParallelParity:
+    def test_fig8_jobs_param_accepted_and_rows_complete(self,
+                                                        mini_instances):
+        result = run_fig8(instances=mini_instances, k_values=(2,), jobs=2)
+        assert len(result.rows) == len(mini_instances) + 1
+        for row in result.rows:
+            if row["benchmark"] != "average":
+                assert row["t_strategy"] > 0
 
 
 class TestFig5Study:

@@ -1,6 +1,8 @@
 """The core claim of the library: every strategy computes the same state,
 with the work distributed between MxV and MxM multiplications as designed."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given
@@ -245,6 +247,69 @@ class TestMemoisedProductCounts:
         engine = SimulationEngine()
         result = engine.simulate(bell_plus_circuit(), AdaptiveStrategy())
         assert result.statistics.matrix_vector_mults > 0
+
+
+class TestMetamorphicEquivalence:
+    """Metamorphic relations across strategies: the strategy is a free
+    variable of the simulation (states agree to fidelity 1 - 1e-9 inside a
+    shared package), and the MxV/MxM split follows Eq. 1 / Eq. 2 exactly."""
+
+    SPECS = ["sequential", "k=2", "k=3", "k=4", "smax=4", "smax=256",
+             "adaptive", "repeating:sequential"]
+
+    @staticmethod
+    def _random_circuit(seed: int, rotations: bool = True):
+        from ..test_differential import random_circuit
+        return random_circuit(5, 30, seed=seed, rotations=rotations)
+
+    @pytest.mark.parametrize("seed", [101, 202])
+    def test_all_strategies_agree_in_shared_package(self, seed):
+        from repro.dd.package import Package
+        circuit = self._random_circuit(seed)
+        package = Package()
+        reference = None
+        for spec in self.SPECS:
+            engine = SimulationEngine(package=package)
+            state = engine.simulate(circuit, strategy_from_spec(spec)).state
+            if reference is None:
+                reference = state
+            else:
+                # shared unique tables make the states directly comparable
+                assert package.fidelity(reference, state) >= 1 - 1e-9, spec
+
+    def test_eq1_accounting_sequential(self):
+        # Eq. 1: |G| matrix-vector multiplications, no matrix-matrix
+        circuit = self._random_circuit(303, rotations=False)
+        g = circuit.num_operations()
+        stats = SimulationEngine().simulate(
+            circuit, SequentialStrategy()).statistics
+        assert stats.matrix_vector_mults == g
+        assert stats.matrix_matrix_mults == 0
+        assert stats.operations_applied == g
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_eq2_accounting_k_operations(self, k):
+        # Eq. 2: ceil(|G|/k) MxV and |G| - ceil(|G|/k) MxM
+        circuit = self._random_circuit(404, rotations=False)
+        g = circuit.num_operations()
+        stats = SimulationEngine().simulate(
+            circuit, KOperationsStrategy(k)).statistics
+        expected_mxv = math.ceil(g / k)
+        assert stats.matrix_vector_mults == expected_mxv
+        assert stats.matrix_matrix_mults == g - expected_mxv
+        assert stats.operations_applied == g
+
+    @pytest.mark.parametrize("spec", ["sequential", "k=2", "k=3", "k=4",
+                                      "smax=4", "smax=256", "adaptive"])
+    def test_every_operation_enters_exactly_one_multiplication(self, spec):
+        # invariant behind both equations for every non-reusing strategy:
+        # each gate is multiplied in exactly once, either into the state
+        # (MxV) or into a combined matrix (MxM)
+        circuit = self._random_circuit(505)
+        g = circuit.num_operations()
+        stats = SimulationEngine().simulate(
+            circuit, strategy_from_spec(spec)).statistics
+        assert stats.matrix_vector_mults + stats.matrix_matrix_mults == g
 
 
 class TestCheckpointInterfaces:

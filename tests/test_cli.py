@@ -192,3 +192,32 @@ class TestAuditCli:
         output = capsys.readouterr().out
         assert "degraded" in output
         assert "prune" in output
+
+
+class TestExperimentsCli:
+    def test_schedule_report_on_mini_suite(self, capsys, monkeypatch):
+        # the real quick suite takes tens of seconds; the CLI behaviour is
+        # fully exercised by a miniature one
+        from repro.analysis import experiments
+        from repro.analysis.instances import _grover_instance
+        monkeypatch.setattr(experiments, "_suite",
+                            lambda profile: [_grover_instance(5, 3)])
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "grover_5" in out
+        assert "sequential" in out
+        assert "mxv" in out
+        # schedule report never prints wall-clock columns
+        assert "t_sota" not in out
+
+    def test_markdown_flag(self, capsys, monkeypatch):
+        from repro.analysis import experiments
+        from repro.analysis.instances import _grover_instance
+        monkeypatch.setattr(experiments, "_suite",
+                            lambda profile: [_grover_instance(5, 3)])
+        assert main(["experiments", "--markdown", "--jobs", "2"]) == 0
+        assert "| benchmark |" in capsys.readouterr().out
+
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["experiments", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err

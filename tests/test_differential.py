@@ -1,0 +1,185 @@
+"""Differential harness: every DD strategy against the dense baseline.
+
+The DD simulator's correctness claim is strategy-independent: sequential
+(Eq. 1), every combining strategy (Eq. 2), adaptive and DD-repeating must
+all produce the state the conventional array-based simulator produces.
+This suite drives seeded random circuits (Clifford+T and parameterised
+rotations, <= 8 qubits) and small paper instances (Grover, QFT, Draper
+arithmetic) through *every* strategy on the paper-literal pathway and
+checks fidelity >= 1 - 1e-9 plus identical measurement distributions.
+
+``DIFFERENTIAL_SEED`` (environment) varies the random-circuit seeds; CI
+derives it from the run number so successive runs explore fresh circuits
+while any failure stays reproducible from the logged seed.
+"""
+
+import os
+from random import Random
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_statevector
+from repro.circuit import QuantumCircuit
+from repro.dd import sample_counts
+from repro.dd.package import Package
+from repro.simulation import SimulationEngine, strategy_from_spec
+
+DIFFERENTIAL_SEED = int(os.environ.get("DIFFERENTIAL_SEED", "7"))
+FIDELITY_FLOOR = 1 - 1e-9
+
+#: every strategy family the engine implements, with the combining ones at
+#: both extremes of their parameter
+ALL_STRATEGY_SPECS = ("sequential", "k=2", "k=3", "k=4", "k=16", "smax=4",
+                      "smax=256", "adaptive", "repeating:sequential",
+                      "repeating:k=3")
+
+_ONE_QUBIT = ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx")
+_ROTATIONS = ("rx", "ry", "rz", "p")
+
+
+def random_circuit(num_qubits: int, num_operations: int, seed: int,
+                   rotations: bool) -> QuantumCircuit:
+    """Seeded random circuit: Clifford+T, optionally with rotations."""
+    rng = Random(seed)
+    kind = "rot" if rotations else "cliffT"
+    qc = QuantumCircuit(num_qubits, name=f"random_{kind}_{num_qubits}_{seed}")
+    for _ in range(num_operations):
+        roll = rng.random()
+        if roll < 0.45:
+            getattr(qc, rng.choice(_ONE_QUBIT))(rng.randrange(num_qubits))
+        elif rotations and roll < 0.65:
+            angle = rng.uniform(0, 2 * np.pi)
+            getattr(qc, rng.choice(_ROTATIONS))(angle,
+                                                rng.randrange(num_qubits))
+        elif roll < 0.9 or num_qubits < 3:
+            control, target = rng.sample(range(num_qubits), 2)
+            (qc.cx if roll < 0.8 else qc.cz)(control, target)
+        else:
+            a, b, c = rng.sample(range(num_qubits), 3)
+            qc.ccx(a, b, c)
+    return qc
+
+
+def paper_engine() -> SimulationEngine:
+    """The paper-literal pathway: explicit gate DDs, one MxV per gate,
+    no identity shortcut -- the pathway the strategies actually schedule."""
+    return SimulationEngine(package=Package(identity_shortcut=False),
+                            use_local_apply=False)
+
+
+def dd_fidelity(result, dense: np.ndarray) -> float:
+    """|<dd|dense>|^2 by amplitude enumeration (small systems)."""
+    inner = sum(result.amplitude(i).conjugate() * dense[i]
+                for i in range(len(dense)))
+    return abs(inner) ** 2
+
+
+def assert_matches_dense(circuit: QuantumCircuit, spec: str,
+                         engine: SimulationEngine | None = None) -> None:
+    engine = engine or paper_engine()
+    result = engine.simulate(circuit, strategy_from_spec(spec))
+    dense = simulate_statevector(circuit)
+    fidelity = dd_fidelity(result, dense)
+    assert fidelity >= FIDELITY_FLOOR, \
+        (f"{circuit.name} under {spec}: fidelity {fidelity!r} "
+         f"(seed base {DIFFERENTIAL_SEED})")
+
+
+RANDOM_CASES = [
+    # (qubits, operations, rotations); <= 8 qubits so the dense baseline
+    # and amplitude enumeration stay trivial
+    (3, 25, False),
+    (5, 35, False),
+    (8, 40, False),
+    (3, 25, True),
+    (5, 35, True),
+    (8, 40, True),
+]
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("spec", ALL_STRATEGY_SPECS)
+    @pytest.mark.parametrize("num_qubits,num_operations,rotations",
+                             RANDOM_CASES)
+    def test_matches_dense(self, num_qubits, num_operations, rotations,
+                           spec):
+        circuit = random_circuit(
+            num_qubits, num_operations,
+            seed=DIFFERENTIAL_SEED * 1000 + num_qubits, rotations=rotations)
+        assert_matches_dense(circuit, spec)
+
+    @pytest.mark.parametrize("spec", ["sequential", "k=4", "smax=64"])
+    def test_fast_path_matches_dense_too(self, spec):
+        # the local-gate fast path is an optimisation, not a semantics
+        # change: same ground truth as the paper-literal pathway
+        circuit = random_circuit(6, 40, seed=DIFFERENTIAL_SEED + 17,
+                                 rotations=True)
+        assert_matches_dense(circuit, spec, engine=SimulationEngine())
+
+
+class TestMeasurementDistributions:
+    def test_probabilities_match_dense(self):
+        circuit = random_circuit(5, 30, seed=DIFFERENTIAL_SEED + 5,
+                                 rotations=True)
+        dense = simulate_statevector(circuit)
+        for spec in ALL_STRATEGY_SPECS:
+            result = paper_engine().simulate(circuit,
+                                             strategy_from_spec(spec))
+            probabilities = result.probabilities()
+            assert np.allclose(probabilities, np.abs(dense) ** 2,
+                               atol=1e-9), spec
+
+    def test_identical_samples_across_strategies(self):
+        # same canonical state + same sampling seed -> the exact same shot
+        # sequence, whatever strategy produced the state
+        circuit = random_circuit(4, 25, seed=DIFFERENTIAL_SEED + 9,
+                                 rotations=True)
+        reference = None
+        for spec in ALL_STRATEGY_SPECS:
+            result = paper_engine().simulate(circuit,
+                                             strategy_from_spec(spec))
+            counts = sample_counts(result.package, result.state, 200,
+                                   Random(DIFFERENTIAL_SEED))
+            if reference is None:
+                reference = counts
+            else:
+                assert counts == reference, spec
+
+
+class TestPaperInstances:
+    """The paper's workload families at differential-testable sizes."""
+
+    @pytest.mark.parametrize("spec", ALL_STRATEGY_SPECS)
+    def test_grover(self, spec):
+        from repro.algorithms.grover import grover_circuit
+        # mark_repetition=True (the default) emits a RepeatedBlock, so
+        # DD-repeating actually reuses the iteration DD here
+        circuit = grover_circuit(5, 11).circuit
+        assert_matches_dense(circuit, spec)
+
+    @pytest.mark.parametrize("spec", ALL_STRATEGY_SPECS)
+    def test_qft(self, spec):
+        from repro.algorithms.qft import qft_circuit
+        circuit = qft_circuit(5)
+        # start from a non-trivial basis state so the spectrum is not flat
+        engine = paper_engine()
+        initial = engine.initial_state(5, 0b10110)
+        result = engine.simulate(circuit, strategy_from_spec(spec),
+                                 initial_state=initial)
+        dense = simulate_statevector(circuit, initial_index=0b10110)
+        assert dd_fidelity(result, dense) >= FIDELITY_FLOOR
+
+    @pytest.mark.parametrize("spec", ALL_STRATEGY_SPECS)
+    def test_arithmetic_adder(self, spec):
+        from repro.algorithms.arithmetic import append_add_const
+        register = list(range(4))
+        circuit = QuantumCircuit(4, name="add_const_4")
+        # prepare |0110>, add 7 (mod 16) -> |1101>
+        circuit.x(1).x(2)
+        append_add_const(circuit, register, 7)
+        result = paper_engine().simulate(circuit, strategy_from_spec(spec))
+        dense = simulate_statevector(circuit)
+        assert dd_fidelity(result, dense) >= FIDELITY_FLOOR
+        assert result.probability(0b0110 + 7) == pytest.approx(1.0,
+                                                               abs=1e-9)
