@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Compare two kernel benchmark reports and gate on wall-clock regressions.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Exits non-zero when any workload/arm's ``wall_seconds_best`` in CURRENT
+exceeds BASELINE by more than the threshold (default 25%).  This is the
+same comparison ``python -m repro bench --compare BASELINE.json`` runs
+in-process after measuring; this entry point exists for comparing two
+already-written reports (e.g. a CI artifact against the checked-in
+baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench_compare import (  # noqa: E402
+    compare_reports, format_comparison, load_report)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/compare.py",
+        description="Compare two bench reports; fail on wall-clock "
+                    "regressions beyond the threshold.")
+    parser.add_argument("baseline", help="baseline report JSON")
+    parser.add_argument("current", help="current report JSON")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        metavar="PCT",
+                        help="regression threshold in percent (default 25)")
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("--threshold must be >= 0")
+    try:
+        baseline = load_report(args.baseline)
+        current = load_report(args.current)
+    except (OSError, ValueError) as exc:
+        parser.error(str(exc))
+    result = compare_reports(baseline, current,
+                             threshold_pct=args.threshold)
+    print(format_comparison(result))
+    return 0 if result["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

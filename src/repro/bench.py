@@ -51,6 +51,7 @@ from random import Random
 from typing import Callable
 
 from .circuit.circuit import QuantumCircuit
+from .dd.package import Package
 from .simulation.engine import SimulationEngine
 from .simulation.memory import MemoryGovernor
 from .simulation.strategies import SequentialStrategy
@@ -60,7 +61,7 @@ __all__ = ["WORKLOADS", "SMOKE_WORKLOADS", "thrash_circuit", "run_bench",
            "main"]
 
 DEFAULT_OUTPUT = "BENCH_kernel.json"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -192,13 +193,22 @@ def _compute_hit_rates(cache_stats: dict) -> dict:
 
 def _measure(circuit: QuantumCircuit, use_local_apply: bool,
              repeats: int, gc_limit: int | None = None,
-             audit: bool = False) -> dict:
-    """Time ``repeats`` fresh-engine sequential runs of ``circuit``."""
+             audit: bool = False,
+             package_factory: Callable | None = None) -> tuple[dict, object]:
+    """Time ``repeats`` fresh-engine sequential runs of ``circuit``.
+
+    ``package_factory`` supplies a fresh DD package per run (used for the
+    iterative-kernel arm); the default is the engine's own recursive-kernel
+    package.  Returns ``(entry, last_result)`` -- the result backs the
+    cross-arm fidelity receipt.
+    """
     times = []
     stats = None
     cache_stats = None
     for _ in range(repeats):
-        engine = SimulationEngine(use_local_apply=use_local_apply,
+        package = package_factory() if package_factory is not None else None
+        engine = SimulationEngine(package=package,
+                                  use_local_apply=use_local_apply,
                                   gc_node_limit=gc_limit or 500_000)
         result = engine.simulate(circuit, SequentialStrategy())
         stats = result.statistics
@@ -213,7 +223,7 @@ def _measure(circuit: QuantumCircuit, use_local_apply: bool,
             raise RuntimeError(
                 f"{circuit.name}: DD integrity audit failed after measured "
                 f"run: {violations[0]} (+{len(violations) - 1} more)")
-    return {
+    entry = {
         "wall_seconds_best": round(min(times), 6),
         "wall_seconds_median": round(statistics.median(times), 6),
         "matrix_vector_mults": stats.matrix_vector_mults,
@@ -224,6 +234,11 @@ def _measure(circuit: QuantumCircuit, use_local_apply: bool,
         "cache": _compute_hit_rates(cache_stats),
         "gc": stats.gc.as_dict(),
     }
+    if engine.package.flat is not None:
+        # Iterative-kernel arm: record the dense-block telemetry so the
+        # report shows how much of the run left the DD representation.
+        entry["dense"] = engine.package.flat.stats()["dense"]
+    return entry, result
 
 
 def _thrash_arm(circuit: QuantumCircuit,
@@ -304,12 +319,28 @@ def _workload_entry(workload: Workload, repeats: int,
     timings recorded in a worker process are comparable to serial ones.
     """
     circuit = workload.build()
-    fast = _measure(circuit, use_local_apply=True, repeats=repeats,
-                    gc_limit=gc_limit, audit=audit)
-    matrix = _measure(circuit, use_local_apply=False,
-                      repeats=repeats, gc_limit=gc_limit, audit=audit)
+    fast, fast_result = _measure(circuit, use_local_apply=True,
+                                 repeats=repeats, gc_limit=gc_limit,
+                                 audit=audit)
+    matrix, _ = _measure(circuit, use_local_apply=False,
+                         repeats=repeats, gc_limit=gc_limit, audit=audit)
+    iterative, it_result = _measure(
+        circuit, use_local_apply=True, repeats=repeats, gc_limit=gc_limit,
+        audit=audit,
+        package_factory=lambda: Package(kernel="iterative",
+                                        identity_edges=True))
     speedup = (matrix["wall_seconds_best"] / fast["wall_seconds_best"]
                if fast["wall_seconds_best"] else 0.0)
+    speedup_it = (fast["wall_seconds_best"] / iterative["wall_seconds_best"]
+                  if iterative["wall_seconds_best"] else 0.0)
+    # Cross-kernel fidelity receipt: the iterative (worklist + dense-block)
+    # arm must reproduce the recursive fast path's state exactly.  A kernel
+    # optimisation that drifts fails the benchmark, not just a test.
+    fidelity = _fidelity(it_result, fast_result, circuit.num_qubits)
+    if fidelity < 1 - 1e-9:
+        raise RuntimeError(
+            f"{workload.name}: iterative-kernel state diverged from the "
+            f"recursive fast path (fidelity {fidelity!r})")
     entry = {
         "name": workload.name,
         "description": workload.description,
@@ -317,7 +348,10 @@ def _workload_entry(workload: Workload, repeats: int,
         "num_operations": circuit.num_operations(),
         "fast_path": fast,
         "matrix_path": matrix,
+        "iterative_path": iterative,
         "speedup_fast_vs_matrix": round(speedup, 3),
+        "speedup_iterative_vs_fast": round(speedup_it, 3),
+        "fidelity_iterative_vs_fast": fidelity,
     }
     if sink is not None:
         entry["trace_summary"] = _traced_run(
@@ -428,6 +462,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="measure workloads on N worker processes "
                              "(default 1; timings are taken in-worker)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="after measuring, compare against this baseline "
+                             "report and exit non-zero on any wall-clock "
+                             "regression beyond the threshold")
+    parser.add_argument("--compare-threshold", type=float, default=25.0,
+                        metavar="PCT",
+                        help="regression threshold in percent for --compare "
+                             "(default 25)")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
@@ -438,6 +480,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs > 1 and args.trace:
         parser.error("--trace requires --jobs 1 (a shared JSONL trace "
                      "would interleave across workers)")
+    if args.compare_threshold < 0:
+        parser.error("--compare-threshold must be >= 0")
+    baseline = None
+    if args.compare:
+        from .bench_compare import load_report
+        try:
+            # Load before the (minutes-long) measurement so a bad path or
+            # malformed baseline fails fast.
+            baseline = load_report(args.compare)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            parser.error(f"--compare: {exc}")
     try:
         report = run_bench(smoke=args.smoke, repeats=args.repeats,
                            workload_names=args.workloads,
@@ -454,7 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         for w in report["workloads"]:
             print(f"{w['name']:>18}: fast {w['fast_path']['wall_seconds_best']:.4f}s"
                   f"  matrix {w['matrix_path']['wall_seconds_best']:.4f}s"
-                  f"  (x{w['speedup_fast_vs_matrix']:.2f})")
+                  f"  iter {w['iterative_path']['wall_seconds_best']:.4f}s"
+                  f"  (iter x{w['speedup_iterative_vs_fast']:.2f} vs fast)")
         thrash = report["thrash"]
         print(f"{'thrash':>18}: fixed "
               f"{thrash['fixed_threshold']['wall_seconds']:.4f}s"
@@ -464,6 +518,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace:
             print(f"trace: {args.trace}")
         print(f"wrote {args.output}")
+    if baseline is not None:
+        from .bench_compare import compare_reports, format_comparison
+        comparison = compare_reports(baseline, report,
+                                     threshold_pct=args.compare_threshold)
+        print(format_comparison(comparison))
+        if not comparison["passed"]:
+            return 1
     return 0
 
 

@@ -1,0 +1,117 @@
+"""Benchmark-report regression comparison (``python -m repro bench --compare``).
+
+Compares two benchmark reports produced by :mod:`repro.bench` and flags
+per-workload wall-clock regressions beyond a threshold.  This is the
+mechanical half of the "receipt" workflow: a checked-in baseline report
+plus one command answers "did this change slow anything down?" without
+eyeballing JSON.
+
+Only wall-clock numbers are compared -- counters and cache rates are
+machine-independent and change exactly when the kernel changes, so they
+belong to diff review, not regression gating.  Comparison is by workload
+name and arm; arms or workloads missing from either report are reported as
+informational skips, not failures (baselines written by an older schema
+simply do not gate the arms they predate).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["ARMS", "compare_reports", "format_comparison", "load_report"]
+
+#: report arms carrying a comparable ``wall_seconds_best``
+ARMS = ("fast_path", "matrix_path", "iterative_path")
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if "workloads" not in report:
+        raise ValueError(f"{path}: not a bench report (no 'workloads' key)")
+    return report
+
+
+def compare_reports(baseline: dict, current: dict,
+                    threshold_pct: float = 25.0) -> dict:
+    """Compare ``current`` against ``baseline``; returns a result dict.
+
+    A workload/arm pair *regresses* when its ``wall_seconds_best`` exceeds
+    the baseline's by more than ``threshold_pct`` percent.  The result
+    carries ``regressions`` (list of violation dicts -- empty means pass),
+    ``improvements`` (informational), and ``skipped`` (pairs present in
+    only one report).
+    """
+    if threshold_pct < 0:
+        raise ValueError(f"threshold_pct must be >= 0, got {threshold_pct}")
+    base_by_name = {w["name"]: w for w in baseline.get("workloads", [])}
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    skipped: list[str] = []
+    for workload in current.get("workloads", []):
+        name = workload["name"]
+        base = base_by_name.get(name)
+        if base is None:
+            skipped.append(f"{name}: not in baseline")
+            continue
+        for arm in ARMS:
+            cur_arm = workload.get(arm)
+            base_arm = base.get(arm)
+            if cur_arm is None or base_arm is None:
+                if cur_arm is not None or base_arm is not None:
+                    skipped.append(f"{name}/{arm}: only in "
+                                   + ("current" if base_arm is None
+                                      else "baseline"))
+                continue
+            base_wall = base_arm["wall_seconds_best"]
+            cur_wall = cur_arm["wall_seconds_best"]
+            if not base_wall:
+                skipped.append(f"{name}/{arm}: baseline wall-clock is zero")
+                continue
+            delta_pct = (cur_wall - base_wall) / base_wall * 100.0
+            record = {
+                "workload": name,
+                "arm": arm,
+                "baseline_seconds": base_wall,
+                "current_seconds": cur_wall,
+                "delta_pct": round(delta_pct, 2),
+            }
+            if delta_pct > threshold_pct:
+                regressions.append(record)
+            elif delta_pct < 0:
+                improvements.append(record)
+    for name in base_by_name:
+        if name not in {w["name"] for w in current.get("workloads", [])}:
+            skipped.append(f"{name}: not in current report")
+    return {
+        "threshold_pct": threshold_pct,
+        "regressions": regressions,
+        "improvements": improvements,
+        "skipped": skipped,
+        "passed": not regressions,
+    }
+
+
+def format_comparison(result: dict) -> str:
+    """Human-readable summary of a :func:`compare_reports` result."""
+    lines: list[str] = []
+    threshold = result["threshold_pct"]
+    for record in result["regressions"]:
+        lines.append(
+            f"REGRESSION {record['workload']}/{record['arm']}: "
+            f"{record['baseline_seconds']:.4f}s -> "
+            f"{record['current_seconds']:.4f}s "
+            f"(+{record['delta_pct']:.1f}% > {threshold:g}%)")
+    for record in result["improvements"]:
+        lines.append(
+            f"improved   {record['workload']}/{record['arm']}: "
+            f"{record['baseline_seconds']:.4f}s -> "
+            f"{record['current_seconds']:.4f}s "
+            f"({record['delta_pct']:.1f}%)")
+    for note in result["skipped"]:
+        lines.append(f"skipped    {note}")
+    lines.append("PASS: no wall-clock regression beyond "
+                 f"{threshold:g}%" if result["passed"] else
+                 f"FAIL: {len(result['regressions'])} regression(s) beyond "
+                 f"{threshold:g}%")
+    return "\n".join(lines)

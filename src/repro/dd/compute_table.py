@@ -140,10 +140,17 @@ class ComputeTable:
         return self._filled / self.slots
 
     def stats(self) -> dict:
-        """Machine-readable counters for ``cache_stats()`` / benchmarks."""
+        """Machine-readable counters for ``cache_stats()`` / benchmarks.
+
+        ``entries``/``capacity`` mirror ``filled``/``slots`` under the
+        names shared with the iterative kernel's memo stats, so harnesses
+        can read every table -- fixed-slot or unbounded -- uniformly.
+        """
         return {
             "slots": self.slots,
             "filled": self._filled,
+            "entries": self._filled,
+            "capacity": self.slots,
             "lookups": self.lookups,
             "hits": self.hits,
             "misses": self.misses,

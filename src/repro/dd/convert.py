@@ -49,11 +49,23 @@ def matrix_to_numpy(matrix: Edge, num_qubits: int) -> np.ndarray:
     result = np.zeros((size, size), dtype=complex)
     if matrix.weight == 0:
         return result
-    if matrix.node.level != num_qubits - 1:
+    if matrix.node.level > num_qubits - 1:
         raise ValueError(f"matrix has {matrix.node.level + 1} qubits, "
                          f"expected {num_qubits}")
 
-    def fill(node, row: int, col: int, weight: complex) -> None:
+    # Identity-skipping DDs (``Package(identity_edges=True)``) may point an
+    # edge at a node more than one level down (or at the terminal from any
+    # level); the skipped levels are implicit identity factors.  ``expected``
+    # tracks the level this position *should* be at; while the node sits
+    # lower, expand one implicit I2 level: only the diagonal blocks exist
+    # and both reuse the same (node, weight) payload.
+    def fill(node, row: int, col: int, weight: complex,
+             expected: int) -> None:
+        if node.level < expected:
+            span = 1 << expected
+            fill(node, row, col, weight, expected - 1)
+            fill(node, row + span, col + span, weight, expected - 1)
+            return
         if node.level == -1:
             result[row, col] = weight
             return
@@ -61,9 +73,10 @@ def matrix_to_numpy(matrix: Edge, num_qubits: int) -> np.ndarray:
         for index, child in enumerate(node.edges):
             if child.weight != 0:
                 fill(child.node, row + (index >> 1) * span,
-                     col + (index & 1) * span, weight * child.weight)
+                     col + (index & 1) * span, weight * child.weight,
+                     node.level - 1)
 
-    fill(matrix.node, 0, 0, matrix.weight)
+    fill(matrix.node, 0, 0, matrix.weight, num_qubits - 1)
     return result
 
 

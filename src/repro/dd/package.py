@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from .complex_table import DEFAULT_TOLERANCE, ComplexTable
 from .compute_table import ComputeTable
 from .edge import Edge
+from .kernel import DenseState, FlatEdge, FlatKernel
 from .node import TERMINAL, MatrixNode, VectorNode
 from .unique_table import UniqueTable
 
@@ -110,11 +111,12 @@ class GcStats:
     pause_seconds: float = 0.0
     compute_entries_dropped: int = 0
     ineffective: int = 0
+    flat_slots_freed: int = 0
 
     def snapshot(self) -> "GcStats":
         return GcStats(self.collections, self.nodes_freed,
                        self.pause_seconds, self.compute_entries_dropped,
-                       self.ineffective)
+                       self.ineffective, self.flat_slots_freed)
 
     def delta(self, earlier: "GcStats") -> "GcStats":
         """Telemetry accumulated since ``earlier`` (a prior snapshot)."""
@@ -124,6 +126,7 @@ class GcStats:
             self.pause_seconds - earlier.pause_seconds,
             self.compute_entries_dropped - earlier.compute_entries_dropped,
             self.ineffective - earlier.ineffective,
+            self.flat_slots_freed - earlier.flat_slots_freed,
         )
 
     def as_dict(self) -> dict:
@@ -133,6 +136,7 @@ class GcStats:
             "pause_seconds": round(self.pause_seconds, 6),
             "compute_entries_dropped": self.compute_entries_dropped,
             "ineffective": self.ineffective,
+            "flat_slots_freed": self.flat_slots_freed,
         }
 
 
@@ -169,7 +173,13 @@ class Package:
     """
 
     def __init__(self, tolerance: float = DEFAULT_TOLERANCE,
-                 identity_shortcut: bool = True) -> None:
+                 identity_shortcut: bool = True,
+                 kernel: str = "recursive",
+                 identity_edges: bool = False,
+                 dense_blocks: bool = True) -> None:
+        if kernel not in ("recursive", "iterative"):
+            raise ValueError(f"kernel must be 'recursive' or 'iterative', "
+                             f"got {kernel!r}")
         self.complex_table = ComplexTable(tolerance)
         self.tables = _Tables()
         self.counters = OperationCounters()
@@ -196,6 +206,26 @@ class Package:
         # split, spec ids) keyed by the caller's hashable arguments, so a
         # gate repeated thousands of times is prepared once.
         self._gate_prep: dict[tuple, tuple] = {}
+        #: which arithmetic core drives state evolution: "recursive" keeps
+        #: the per-node object recursion, "iterative" routes states through
+        #: the flat-array worklist kernel (:mod:`repro.dd.kernel`).
+        self.kernel = kernel
+        #: identity-skipping matrix edges (arXiv:2406.11959): matrix nodes
+        #: of the form (e, 0, 0, e) collapse to ``e``, so gate DDs and
+        #: matrix products never materialise identity padding.  Level gaps
+        #: are then legal in matrix DDs and all matrix arithmetic treats a
+        #: skipped level as identity.  ``Package.kron_matrices`` is NOT
+        #: gap-aware, which is why the flag is opt-in.
+        self.identity_edges = identity_edges
+        #: iterative-kernel dense blocks: once a state's per-gate DD work
+        #: (measured in memo lookups) exceeds the cost of touching every
+        #: amplitude, ``apply_gate`` hands the state to a numpy amplitude
+        #: array (:class:`~repro.dd.kernel.DenseState`) and gates become
+        #: vectorised strided updates.  Purely a representation switch --
+        #: ``to_flat``/``from_dense`` round-trip through the same canonical
+        #: store, so results are bit-identical to the pure-DD path.
+        self.dense_blocks = dense_blocks
+        self.flat = FlatKernel(self) if kernel == "iterative" else None
 
     # ------------------------------------------------------------------
     # node construction
@@ -295,6 +325,12 @@ class Package:
         norm, children = self._normalise(list(edges))
         if norm == 0:
             return self.zero
+        if (self.identity_edges and children[1].weight == 0
+                and children[2].weight == 0 and children[0] == children[3]):
+            # Identity-skipping edge (arXiv:2406.11959): (e, 0, 0, e) is
+            # I (x) e -- do not materialise the node, return ``e`` itself
+            # and let the level gap denote the skipped identity levels.
+            return self._scaled(children[0], norm)
         table = self.tables.matrices
         node = table.get_or_insert(level, children)
         if table.created:
@@ -319,6 +355,8 @@ class Package:
         if not 0 <= index < (1 << num_qubits):
             raise ValueError(f"basis index {index} out of range for "
                              f"{num_qubits} qubits")
+        if self.flat is not None:
+            return self.flat.basis_state(num_qubits, index)
         edge = self.one
         for level in range(num_qubits):
             bit = (index >> level) & 1
@@ -345,6 +383,12 @@ class Package:
 
     def add_vectors(self, x: Edge, y: Edge) -> Edge:
         """Sum of two state-vector DDs of equal qubit count."""
+        if type(x) is DenseState:
+            x = x.to_flat()
+        if type(y) is DenseState:
+            y = y.to_flat()
+        if type(x) is FlatEdge and type(y) is FlatEdge:
+            return self.flat.add(x, y)
         return self._add(x, y, self.tables.add_vec, self.make_vector_node, 2)
 
     def add_matrices(self, x: Edge, y: Edge) -> Edge:
@@ -384,7 +428,30 @@ class Package:
         if entry is not None and entry[0] == key:
             cache.hits += 1
             return self._scaled(entry[1], x.weight)
-        if x.node.level == -1:
+        lx = x.node.level
+        ly = y.node.level
+        if lx != ly:
+            # Identity-skipping matrix DDs: operand levels may differ; the
+            # lower operand contributes virtual (e, 0, 0, e) quadrants at
+            # every skipped level, so only the diagonal quadrants of the
+            # higher operand see it.
+            if lx > ly:
+                hn, hw = x.node, self.one.weight
+                lo = Edge(y.node, ratio)
+            else:
+                hn, hw = y.node, ratio
+                lo = Edge(x.node, self.one.weight)
+            he = hn.edges
+            add = self._add
+            scaled = self._scaled
+            children = (
+                add(scaled(he[0], hw), lo, cache, make_node, 4),
+                scaled(he[1], hw),
+                scaled(he[2], hw),
+                add(scaled(he[3], hw), lo, cache, make_node, 4),
+            )
+            cached = make_node(hn.level, children)
+        elif lx == -1:
             cached = self.terminal_edge(1 + ratio)
         else:
             xs = x.node.edges
@@ -435,19 +502,40 @@ class Package:
 
     def multiply_matrix_vector(self, m: Edge, v: Edge) -> Edge:
         """Apply matrix DD ``m`` to state DD ``v`` (one simulation step, Eq. 1)."""
+        if type(v) is DenseState:
+            v = v.to_flat()
+        if type(v) is FlatEdge:
+            if m.weight == 0 or v.weight == 0:
+                return FlatEdge(self.flat, 0, 0j)
+            mlevel = m.node.level
+            vlevel = v.level
+            if mlevel != vlevel and not (self.identity_edges
+                                         and mlevel < vlevel):
+                raise ValueError(
+                    f"matrix level {mlevel} != vector level {vlevel}; "
+                    "operands must cover the same qubits")
+            return self.flat.mult_mv(m, v)
         w = m.weight * v.weight
         if w == 0:
             return self.zero
-        if m.node.level != v.node.level:
+        mlevel = m.node.level
+        vlevel = v.node.level
+        if mlevel != vlevel and not (self.identity_edges
+                                     and mlevel < vlevel):
+            # With identity-skipping edges a matrix root below the state
+            # root is legal: the skipped top levels act as identity.
             raise ValueError(
-                f"matrix level {m.node.level} != vector level {v.node.level}; "
+                f"matrix level {mlevel} != vector level {vlevel}; "
                 "operands must cover the same qubits")
         result = self._mult_mv(m.node, v.node)
         return self._scaled(result, w)
 
     def _mult_mv(self, mn, vn) -> Edge:
         if mn.level == -1:
-            return self.one
+            # Scalar matrix: either both operands are terminal, or (with
+            # identity-skipping edges) the matrix is identity on every
+            # remaining level -- the product is the vector itself.
+            return self.one if vn.level == -1 else Edge(vn, self.one.weight)
         self.counters.mult_mv_recursions += 1
         if id(mn) in self._mult_identity_ids:
             # I * v = v: identity padding resolves in this one call instead
@@ -458,6 +546,20 @@ class Package:
         cached = cache.get(key)
         if cached is not None:
             return cached
+        if mn.level < vn.level:
+            # Identity-skipped levels: the matrix acts as I here, so the
+            # product is a structural copy one level down.
+            children = []
+            for vchild in vn.edges:
+                if vchild.weight == 0:
+                    children.append(self.zero)
+                else:
+                    children.append(self._scaled(
+                        self._mult_mv(mn, vchild.node), vchild.weight))
+            result = self.make_vector_node(vn.level,
+                                           (children[0], children[1]))
+            cache.put(key, result)
+            return result
         level = mn.level
         me = mn.edges
         ve = vn.edges
@@ -488,7 +590,7 @@ class Package:
         w = a.weight * b.weight
         if w == 0:
             return self.zero
-        if a.node.level != b.node.level:
+        if a.node.level != b.node.level and not self.identity_edges:
             raise ValueError(
                 f"matrix levels differ ({a.node.level} vs {b.node.level}); "
                 "operands must cover the same qubits")
@@ -497,7 +599,11 @@ class Package:
 
     def _mult_mm(self, an, bn) -> Edge:
         if an.level == -1:
-            return self.one
+            # Scalar (or, with identity-skipping edges, identity-extended)
+            # left operand: the product is the right operand itself.
+            return self.one if bn.level == -1 else Edge(bn, self.one.weight)
+        if bn.level == -1:
+            return Edge(an, self.one.weight)
         self.counters.mult_mm_recursions += 1
         identity_ids = self._mult_identity_ids
         if id(an) in identity_ids:
@@ -512,6 +618,27 @@ class Package:
         cached = cache.get(key)
         if cached is not None:
             return cached
+        if an.level != bn.level:
+            # Identity-skipping edges: the lower operand is identity on
+            # the levels it skips, so it multiplies straight into each
+            # quadrant of the higher operand (block-diagonal product).
+            if an.level > bn.level:
+                hn, other, a_side = an, bn, True
+            else:
+                hn, other, a_side = bn, an, False
+            children = []
+            for hchild in hn.edges:
+                if hchild.weight == 0:
+                    children.append(self.zero)
+                else:
+                    sub = self._mult_mm(hchild.node, other) if a_side \
+                        else self._mult_mm(other, hchild.node)
+                    children.append(self._scaled(sub, hchild.weight))
+            result = self.make_matrix_node(
+                hn.level,
+                (children[0], children[1], children[2], children[3]))
+            cache.put(key, result)
+            return result
         level = an.level
         ae = an.edges
         be = bn.edges
@@ -595,9 +722,25 @@ class Package:
                 self._gate_prep[prep_key] = prep
         else:
             u, control_map, lower, gate_id, proj_id = prep
+        if type(v) is DenseState:
+            # Dense block: stay dense -- the gate is a strided numpy update.
+            # This check must precede the weight check below (``weight`` on
+            # a DenseState materialises the full DD).
+            root_level = v.level
+            if not 0 <= target <= root_level:
+                raise ValueError(f"target {target} out of range for state of "
+                                 f"{root_level + 1} qubits")
+            for qubit in control_map:
+                if not 0 <= qubit <= root_level:
+                    raise ValueError(f"control {qubit} out of range for "
+                                     f"state of {root_level + 1} qubits")
+            kprep = self.flat.prepare_gate(u, control_map, lower,
+                                           gate_id, proj_id, target)
+            return self.flat.apply_dense(v, kprep)
+        flat = type(v) is FlatEdge
         if v.weight == 0:
-            return self.zero
-        root_level = v.node.level
+            return FlatEdge(self.flat, 0, 0j) if flat else self.zero
+        root_level = v.level if flat else v.node.level
         if not 0 <= target <= root_level:
             raise ValueError(f"target {target} out of range for state of "
                              f"{root_level + 1} qubits")
@@ -605,6 +748,10 @@ class Package:
             if not 0 <= qubit <= root_level:
                 raise ValueError(f"control {qubit} out of range for state of "
                                  f"{root_level + 1} qubits")
+        if flat:
+            kprep = self.flat.prepare_gate(u, control_map, lower,
+                                           gate_id, proj_id, target)
+            return self.flat.apply_gate(v, kprep)
         result = self._apply_gate_rec(v.node, u, target, control_map,
                                       lower, gate_id, proj_id)
         return self._scaled(result, v.weight)
@@ -908,6 +1055,10 @@ class Package:
 
     def inner_product(self, a: Edge, b: Edge) -> complex:
         """``<a|b>`` of two state DDs of equal qubit count."""
+        if type(a) is DenseState:
+            a = a.to_flat()
+        if type(b) is DenseState:
+            b = b.to_flat()
         if a.weight == 0 or b.weight == 0:
             return 0j
         if a.node.level != b.node.level:
@@ -942,6 +1093,10 @@ class Package:
 
     def amplitude(self, v: Edge, basis_index: int) -> complex:
         """Amplitude of basis state ``|basis_index>`` (product of path weights)."""
+        if type(v) is DenseState:
+            return v.amplitude(basis_index)
+        if type(v) is FlatEdge:
+            return self.flat.amplitude(v, basis_index)
         w = v.weight
         node = v.node
         while node.level != -1:
@@ -957,11 +1112,31 @@ class Package:
     # diagram metrics and housekeeping
     # ------------------------------------------------------------------
 
+    def solidify(self, edge):
+        """Materialise a dense block back into its canonical DD form.
+
+        ``DenseState`` results become :class:`~repro.dd.kernel.FlatEdge`
+        (through the kernel's canonical store, so the result is identical
+        to never having gone dense); every other edge type passes through
+        unchanged.  Call this before serialising, auditing, or comparing a
+        state that may have taken the dense fast path.
+        """
+        if type(edge) is DenseState:
+            return edge.to_flat()
+        return edge
+
     def count_nodes(self, edge: Edge) -> int:
         """Number of internal nodes reachable from ``edge`` (terminal excluded).
 
         This is the size measure the *max-size* strategy is parametrised on.
         """
+        if type(edge) is DenseState:
+            # A dense block has no nodes; report its non-zero amplitude
+            # count as a comparable "state size" proxy (materialising the
+            # DD just to count it would defeat the dense fast path).
+            return edge.size_proxy()
+        if type(edge) is FlatEdge:
+            return 0 if edge.weight == 0 else self.flat.count_nodes(edge.index)
         if edge.weight == 0 or edge.node.level == -1:
             return 0
         root = edge.node
@@ -1006,6 +1181,8 @@ class Package:
         dropped = 0
         for cache in self.tables.compute_tables().values():
             dropped += cache.clear()
+        if self.flat is not None:
+            dropped += self.flat.clear_memos()
         return dropped
 
     def cache_stats(self) -> dict:
@@ -1028,9 +1205,10 @@ class Package:
             }
         ct = self.complex_table
         total = ct.hits + ct.misses
-        return {
-            "compute": {name: cache.stats() for name, cache
-                        in self.tables.compute_tables().items()},
+        compute = {name: cache.stats() for name, cache
+                   in self.tables.compute_tables().items()}
+        stats = {
+            "compute": compute,
             "unique": unique,
             "complex": {
                 "entries": len(ct),
@@ -1040,6 +1218,28 @@ class Package:
             },
             "gc": self.gc_stats.as_dict(),
         }
+        if self.flat is not None:
+            # The kernel's memo traffic is folded into the corresponding
+            # compute-table rows (one logical operation, one row -- the
+            # bench report reads add_vec/apply_gate/mult_mv by name), and
+            # also reported raw under "kernel".
+            kernel_stats = self.flat.stats()
+            stats["kernel"] = kernel_stats
+            for name, k in kernel_stats.items():
+                if name not in compute or not k["lookups"]:
+                    continue
+                base = compute[name]
+                lookups = base["lookups"] + k["lookups"]
+                hits = base["hits"] + k["hits"]
+                merged = dict(base)
+                merged["lookups"] = lookups
+                merged["hits"] = hits
+                merged["misses"] = lookups - hits
+                merged["hit_rate"] = round(hits / lookups, 6) \
+                    if lookups else 0.0
+                merged["entries"] = base.get("entries", 0) + k["entries"]
+                compute[name] = merged
+        return stats
 
     def garbage_collect(self, roots: list[Edge]) -> int:
         """Free all nodes not reachable from ``roots``; returns nodes removed.
@@ -1053,6 +1253,18 @@ class Package:
         so pathological.  Every collection updates :attr:`gc_stats`.
         """
         started = time.perf_counter()
+        flat_freed = 0
+        if self.flat is not None:
+            # Compact the flat store first: it drops its materialisation
+            # cache and matrix mirror, so object twins of dead flat nodes
+            # become unreachable before the object mark-sweep below runs.
+            # Dense blocks hold no node references at all -- they are
+            # simply not roots (their cached flat mirror is invalidated by
+            # the kernel's generation bump inside ``collect``).
+            flat_roots = [e for e in roots if type(e) is FlatEdge]
+            roots = [e for e in roots
+                     if type(e) is not FlatEdge and type(e) is not DenseState]
+            flat_freed = self.flat.collect(flat_roots)
         live: set[int] = set()
         stack = [e.node for e in roots if e.weight != 0]
         stack.extend(e.node for e in self._identity_cache if e.weight != 0)
@@ -1077,15 +1289,20 @@ class Package:
         stats = self.gc_stats
         stats.collections += 1
         stats.nodes_freed += removed
+        stats.flat_slots_freed += flat_freed
         stats.compute_entries_dropped += dropped
         stats.pause_seconds += time.perf_counter() - started
-        if not removed:
+        if not removed and not flat_freed:
             stats.ineffective += 1
-        return removed
+        return removed + flat_freed
 
     def live_node_count(self) -> int:
-        """Total nodes currently interned (vector + matrix tables)."""
-        return len(self.tables.vectors) + len(self.tables.matrices)
+        """Total nodes currently interned (vector + matrix tables), plus
+        allocated flat-kernel slots when the iterative kernel is active."""
+        count = len(self.tables.vectors) + len(self.tables.matrices)
+        if self.flat is not None:
+            count += self.flat.live_nodes
+        return count
 
     def reset_counters(self) -> None:
         self.counters = OperationCounters()
@@ -1131,6 +1348,12 @@ class Package:
         """
         violations: list[str] = []
         tolerance = max(self.complex_table.tolerance * 8, 1e-12)
+        if roots:
+            roots = [edge.to_flat() if type(edge) is DenseState else edge
+                     for edge in roots]
+            for edge in roots:
+                if type(edge) is FlatEdge and edge.weight != 0:
+                    edge.node  # materialise before snapshotting interned ids
         interned = self.interned_node_ids()
 
         def note(message: str) -> bool:
@@ -1185,7 +1408,12 @@ class Package:
                             return violations
                     expected = node.level - 1
                     child_level = child.node.level
-                    if child_level != expected:
+                    # Identity-skipping edges make level *gaps* legal in
+                    # matrix DDs (the skipped levels act as identity);
+                    # children above their parent stay corrupt.
+                    gap_ok = (self.identity_edges and species == "matrix"
+                              and -1 <= child_level < expected)
+                    if child_level != expected and not gap_ok:
                         if note(f"{where}: level ordering broken -- child "
                                 f"at level {child_level}, expected "
                                 f"{expected}"):
@@ -1232,6 +1460,9 @@ class Package:
                     continue
                 stack.extend(child.node for child in node.edges
                              if child.weight != 0)
+        if self.flat is not None and len(violations) < max_violations:
+            violations.extend(self.flat.check_invariants(
+                max_violations - len(violations)))
         return violations
 
     def assert_invariants(self, roots: list[Edge] | None = None) -> None:

@@ -44,6 +44,7 @@ from ..circuit.circuit import QuantumCircuit
 from ..circuit.operation import Operation
 from ..dd.approximation import prune_to_node_budget
 from ..dd.edge import Edge
+from ..dd.kernel import FlatEdge
 from ..dd.gate_building import build_gate_dd
 from ..dd.package import Package
 from ..dd.serialization import deserialize_dd, serialize_dd
@@ -457,6 +458,10 @@ class SimulationEngine:
                 gc.enable()
         statistics.counters = self.package.counters.delta(counters_before)
         statistics.gc = self.package.gc_stats.delta(gc_before)
+        # A state that finished on the dense-block fast path materialises
+        # back into its canonical DD here, outside the timed region --
+        # callers always receive a DD-backed state.
+        run.state = self.package.solidify(run.state)
         statistics.final_state_nodes = self.package.count_nodes(run.state)
         if base_statistics is not None:
             base_statistics.merge(statistics)
@@ -539,6 +544,10 @@ class SimulationEngine:
         """Serialise the last consistent boundary to ``path`` (atomic)."""
         op_index, state, pending, strategy_state, stats_dict = run._last_good
         package = self.package
+        # Dense blocks are a transient in-run representation; checkpoints
+        # always store the canonical DD form.
+        state = package.solidify(state)
+        pending = package.solidify(pending) if pending is not None else None
         # Statistics snapshot with live counter/gc/time deltas filled in
         # (the run's own record is only finalised when _execute returns).
         snapshot = SimulationStatistics.from_dict(stats_dict)
@@ -609,15 +618,19 @@ class SimulationEngine:
         roots.extend(self._gate_cache.values())
         gc_before = package.gc_stats.snapshot() \
             if run.trace is not None else None
+        flat_before = package.gc_stats.flat_slots_freed
         freed = package.garbage_collect(roots)
         live = package.live_node_count()
-        governor.note_collection(freed, live)
+        governor.note_collection(
+            freed, live,
+            flat_freed=package.gc_stats.flat_slots_freed - flat_before)
         if run.trace is not None:
             delta = package.gc_stats.delta(gc_before)
             run.trace({
                 "event": "gc",
                 "op_index": run.statistics.matrix_vector_mults - 1,
                 "nodes_freed": freed,
+                "flat_slots_freed": delta.flat_slots_freed,
                 "surviving_nodes": live,
                 "compute_entries_dropped": delta.compute_entries_dropped,
                 "pause_seconds": round(delta.pause_seconds, 6),
@@ -672,6 +685,12 @@ class SimulationEngine:
         state_nodes = package.count_nodes(run.state)
         target = max(1, int(budget * policy.prune_target_fraction))
         if state_nodes > target and policy.allows_prune():
+            run.state = package.solidify(run.state)
+            if type(run.state) is FlatEdge:
+                # Pruning operates on object DDs; materialise the flat
+                # state (the run continues on the recursive path, which
+                # is correct -- just slower -- for the degraded remainder).
+                run.state = Edge(run.state.node, run.state.weight)
             # The per-call floor is the global floor divided by what the
             # previous prunes already spent.
             floor = min(1.0, policy.fidelity_floor / policy.cumulative_fidelity)

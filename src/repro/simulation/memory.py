@@ -210,6 +210,8 @@ class MemoryGovernor:
         self.collections_requested = 0
         #: times the limit was grown after an ineffective collection
         self.limit_growths = 0
+        #: flat-kernel slots freed across all collections (iterative kernel)
+        self.flat_slots_freed = 0
 
     # ------------------------------------------------------------------
 
@@ -217,14 +219,19 @@ class MemoryGovernor:
         """Whether the engine should garbage-collect at ``live_nodes``."""
         return self.limit is not None and live_nodes > self.limit
 
-    def note_collection(self, freed: int, surviving: int) -> bool:
+    def note_collection(self, freed: int, surviving: int,
+                        flat_freed: int = 0) -> bool:
         """Record a collection's outcome; grow the limit if it was futile.
 
-        Returns ``True`` when the threshold was grown -- the signal that
-        the surviving working set exceeds the old limit, so re-collecting
-        next step would free (almost) nothing again.
+        ``flat_freed`` is the portion of ``freed`` that came from the
+        iterative kernel's flat-array compaction (0 on the recursive
+        kernel) -- tracked so A/B runs can see which store produced the
+        garbage.  Returns ``True`` when the threshold was grown -- the
+        signal that the surviving working set exceeds the old limit, so
+        re-collecting next step would free (almost) nothing again.
         """
         self.collections_requested += 1
+        self.flat_slots_freed += flat_freed
         if self.limit is None or surviving <= self.limit:
             return False
         if self.growth_factor <= 1.0:
@@ -264,6 +271,7 @@ class MemoryGovernor:
             "max_nodes": self.max_nodes,
             "collections_requested": self.collections_requested,
             "limit_growths": self.limit_growths,
+            "flat_slots_freed": self.flat_slots_freed,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -10,7 +10,9 @@ from repro.simulation import load_trace
 
 REQUIRED_WORKLOAD_KEYS = {"name", "description", "num_qubits",
                           "num_operations", "fast_path", "matrix_path",
-                          "speedup_fast_vs_matrix"}
+                          "iterative_path", "speedup_fast_vs_matrix",
+                          "speedup_iterative_vs_fast",
+                          "fidelity_iterative_vs_fast"}
 REQUIRED_MEASURE_KEYS = {"wall_seconds_best", "wall_seconds_median",
                          "matrix_vector_mults", "local_gate_applications",
                          "peak_state_nodes", "final_state_nodes",
@@ -40,18 +42,24 @@ class TestWorkloadCatalogue:
 class TestRunBench:
     def test_report_schema(self):
         report = run_bench(smoke=True, repeats=1, workload_names=["qft_10"])
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert report["profile"] == "smoke"
         (entry,) = report["workloads"]
         assert REQUIRED_WORKLOAD_KEYS <= set(entry)
-        for path in ("fast_path", "matrix_path"):
+        for path in ("fast_path", "matrix_path", "iterative_path"):
             assert REQUIRED_MEASURE_KEYS <= set(entry[path])
-            assert entry[path]["counters"]["total_recursions"] > 0
             assert REQUIRED_GC_KEYS <= set(entry[path]["gc"])
+        for path in ("fast_path", "matrix_path"):
+            assert entry[path]["counters"]["total_recursions"] > 0
         # fast path applies gates locally; matrix path never does
         assert entry["fast_path"]["local_gate_applications"] > 0
         assert entry["matrix_path"]["local_gate_applications"] == 0
         assert entry["speedup_fast_vs_matrix"] > 0
+        assert entry["speedup_iterative_vs_fast"] > 0
+        # the iterative arm is measured against the recursive fast path's
+        # final state on every bench run -- the receipt for correctness
+        assert entry["fidelity_iterative_vs_fast"] >= 1 - 1e-9
+        assert "dense" in entry["iterative_path"]
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(KeyError):

@@ -34,6 +34,21 @@ ALL_STRATEGY_SPECS = ("sequential", "k=2", "k=3", "k=4", "k=16", "smax=4",
                       "smax=256", "adaptive", "repeating:sequential",
                       "repeating:k=3")
 
+#: DD-core configurations the kernel grid crosses with every strategy:
+#: both arithmetic kernels, identity-skipping matrix edges on and off, and
+#: (for the iterative kernel) the dense-block fast path on and off.  Every
+#: cell must land on the same dense-baseline state.
+KERNEL_CONFIGS = {
+    "recursive": dict(kernel="recursive"),
+    "recursive-noshortcut": dict(kernel="recursive",
+                                 identity_shortcut=False),
+    "iterative": dict(kernel="iterative"),
+    "iterative-idedges": dict(kernel="iterative", identity_edges=True),
+    "iterative-idedges-nodense": dict(kernel="iterative",
+                                      identity_edges=True,
+                                      dense_blocks=False),
+}
+
 _ONE_QUBIT = ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx")
 _ROTATIONS = ("rx", "ry", "rz", "p")
 
@@ -145,6 +160,50 @@ class TestMeasurementDistributions:
                 reference = counts
             else:
                 assert counts == reference, spec
+
+
+class TestKernelGrid:
+    """Every strategy x kernel x identity-edge configuration vs dense.
+
+    The iterative worklist kernel and identity-skipping matrix edges are
+    performance work, not semantics: whatever the strategy schedules and
+    whichever core executes it, the state must match the dense baseline
+    and the resulting DD (identity-edge gaps included) must pass the
+    structural audit.
+    """
+
+    @pytest.mark.parametrize("config", sorted(KERNEL_CONFIGS))
+    @pytest.mark.parametrize("spec", ALL_STRATEGY_SPECS)
+    def test_matches_dense_and_audits(self, spec, config):
+        circuit = random_circuit(6, 35, seed=DIFFERENTIAL_SEED + 23,
+                                 rotations=True)
+        package = Package(**KERNEL_CONFIGS[config])
+        engine = SimulationEngine(package=package, use_local_apply=False)
+        result = engine.simulate(circuit, strategy_from_spec(spec))
+        dense = simulate_statevector(circuit)
+        fidelity = dd_fidelity(result, dense)
+        assert fidelity >= FIDELITY_FLOOR, \
+            (f"{config} under {spec}: fidelity {fidelity!r} "
+             f"(seed base {DIFFERENTIAL_SEED})")
+        # the final state -- and, for identity-edge configurations, the
+        # gap-carrying gate DDs the run interned -- must audit clean
+        package.assert_invariants([result.state])
+
+    @pytest.mark.parametrize("config",
+                             [c for c in sorted(KERNEL_CONFIGS)
+                              if c.startswith("iterative")])
+    @pytest.mark.parametrize("spec", ["sequential", "k=4", "smax=64"])
+    def test_local_apply_pathway(self, spec, config):
+        # same grid through the local-gate fast path: apply_gate (and the
+        # dense-block cutover, where enabled) instead of explicit gate DDs
+        circuit = random_circuit(6, 40, seed=DIFFERENTIAL_SEED + 17,
+                                 rotations=True)
+        package = Package(**KERNEL_CONFIGS[config])
+        engine = SimulationEngine(package=package, use_local_apply=True)
+        result = engine.simulate(circuit, strategy_from_spec(spec))
+        dense = simulate_statevector(circuit)
+        assert dd_fidelity(result, dense) >= FIDELITY_FLOOR, (config, spec)
+        package.assert_invariants([result.state])
 
 
 class TestPaperInstances:
