@@ -22,7 +22,6 @@ import sys
 from random import Random
 
 from .circuit import from_qasm
-from .dd import sample_counts
 from .simulation import (DegradationPolicy, MemoryBudgetExceeded,
                          MemoryGovernor, SimulationEngine, strategy_from_spec)
 from .verification import check_equivalence
@@ -51,6 +50,7 @@ def _resilience_kwargs(args, policy) -> dict:
         "checkpoint_every": args.checkpoint_every,
         "degradation": policy,
         "audit_every": args.audit_every,
+        "reorder": args.reorder,
     }
 
 
@@ -81,6 +81,12 @@ def _print_result(args, circuit, engine, result, trace_sink,
                             for kind, count in sorted(kinds.items()))
         print(f"degraded  : {summary} "
               f"(fidelity {stats.cumulative_fidelity:.6f})")
+    if stats.reorders:
+        order = "identity" if result.permutation is None \
+            else " ".join(str(level) for level in result.permutation)
+        print(f"reorders  : {stats.reorders} sift(s), "
+              f"{stats.reorder_nodes_saved} state nodes saved "
+              f"(final order: {order})")
     if stats.audits_run:
         print(f"audits    : {stats.audits_run} passed")
     if args.trace:
@@ -101,8 +107,9 @@ def _print_result(args, circuit, engine, result, trace_sink,
                     print("  ... (limit reached)")
                     break
     if args.shots:
-        counts = sample_counts(result.package, result.state, args.shots,
-                               Random(args.seed))
+        # result.sample remaps outcomes to logical qubit order when the
+        # run reordered its variables mid-flight.
+        counts = result.sample(args.shots, Random(args.seed))
         print(f"\n{args.shots} shots:")
         for index, count in sorted(counts.items(),
                                    key=lambda item: -item[1])[:args.limit]:
@@ -111,6 +118,13 @@ def _print_result(args, circuit, engine, result, trace_sink,
 
 def _run_and_report(args, circuit, run) -> int:
     """Shared driver for ``simulate`` and ``resume``."""
+    from .simulation import reorder_from_spec
+    try:
+        # fail fast on a malformed --reorder spec, before any simulation
+        reorder_from_spec(args.reorder)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     engine = _make_engine(args)
     policy = _make_policy(args)
     trace_sink = None
@@ -269,6 +283,7 @@ def _cmd_experiments(args) -> int:
     execution of exactly this command.
     """
     from .analysis.experiments import (run_fig8, run_fig9,
+                                       run_reorder_study,
                                        run_schedule_report, run_table1,
                                        run_table2)
     from .analysis.reporting import format_result, write_markdown_table
@@ -282,6 +297,7 @@ def _cmd_experiments(args) -> int:
         "fig9": lambda: run_fig9(args.profile, jobs=args.jobs),
         "table1": lambda: run_table1(args.profile, jobs=args.jobs),
         "table2": lambda: run_table2(args.profile, jobs=args.jobs),
+        "reorder": lambda: run_reorder_study(),
     }
     result = runners[args.experiment]()
     if args.markdown:
@@ -313,6 +329,12 @@ def _sweep_tasks(spec: dict, args) -> list:
     timeout = pick(args.timeout, "timeout", None)
     max_nodes = pick(args.max_nodes, "max_nodes", None)
     gc_limit = pick(args.gc_limit, "gc_limit", None)
+    reorder = pick(args.reorder, "reorder", None)
+    if reorder is not None:
+        # validate early: a malformed spec should fail the sweep, not
+        # every individual cell
+        from .simulation import reorder_from_spec
+        reorder = None if reorder_from_spec(reorder) is None else reorder
     use_local_apply = bool(spec.get("use_local_apply", False))
 
     tasks = []
@@ -341,7 +363,7 @@ def _sweep_tasks(spec: dict, args) -> list:
                     use_local_apply=use_local_apply,
                     seed=task_seed(base_seed, name, strategy, repetition),
                     timeout=timeout, max_nodes=max_nodes,
-                    gc_limit=gc_limit, fault=fault))
+                    gc_limit=gc_limit, reorder=reorder, fault=fault))
     return tasks
 
 
@@ -361,7 +383,7 @@ def _cmd_sweep(args) -> int:
         return 2
     try:
         tasks = _sweep_tasks(spec, args)
-    except (KeyError, OSError) as exc:
+    except (KeyError, OSError, ValueError) as exc:
         print(f"error: bad sweep spec: {exc}", file=sys.stderr)
         return 2
     if not tasks:
@@ -446,6 +468,11 @@ def main(argv: list[str] | None = None) -> int:
                              metavar="K",
                              help="run the DD integrity auditor every K "
                                   "operations (fails fast on corruption)")
+        command.add_argument("--reorder", default=None, metavar="POLICY",
+                             help="mid-run variable reordering: 'governor' "
+                                  "(sift on memory pressure, before any "
+                                  "degradation), 'every=K' (sift every K "
+                                  "operations), or 'off' (default)")
 
     simulate = commands.add_parser("simulate",
                                    help="simulate an OpenQASM circuit")
@@ -507,7 +534,7 @@ def main(argv: list[str] | None = None) -> int:
              "schedule report), optionally on parallel workers")
     experiments.add_argument("experiment", nargs="?", default="schedule",
                              choices=["schedule", "fig8", "fig9",
-                                      "table1", "table2"],
+                                      "table1", "table2", "reorder"],
                              help="artifact to regenerate "
                                   "(default: schedule -- byte-identical "
                                   "output for any --jobs)")
@@ -543,6 +570,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-cell hard DD node budget")
     sweep.add_argument("--gc-limit", type=int, default=None,
                        help="per-cell initial GC node limit")
+    sweep.add_argument("--reorder", default=None, metavar="POLICY",
+                       help="per-cell reorder policy ('governor' or "
+                            "'every=K'; overrides the spec's 'reorder')")
     sweep.add_argument("--retries", type=int, default=1,
                        help="retries for cells whose worker died "
                             "(default: 1)")

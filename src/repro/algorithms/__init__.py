@@ -23,6 +23,7 @@ from .number_theory import (continued_fraction_convergents,
                             phase_to_order, random_shor_base)
 from .oracles import (BernsteinVaziraniInstance, DeutschJozsaInstance,
                       bernstein_vazirani_circuit, deutsch_jozsa_circuit)
+from .pairing import PairingInstance, interleaved_order, pairing_circuit
 from .phase_estimation import (PhaseEstimationInstance,
                                ideal_outcome_distribution,
                                phase_estimation_circuit)
@@ -49,6 +50,9 @@ __all__ = [
     "DeutschJozsaInstance",
     "FactoringOutcome",
     "GroverInstance",
+    "PairingInstance",
+    "interleaved_order",
+    "pairing_circuit",
     "PhaseEstimationInstance",
     "QaoaInstance",
     "bernstein_vazirani_circuit",

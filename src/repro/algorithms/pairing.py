@@ -1,0 +1,77 @@
+"""Qubit-pairing circuits: the variable-ordering worst case.
+
+The state ``sum_x |x>|x>`` -- qubit ``i`` maximally entangled with qubit
+``i + n/2`` -- is the textbook adversary of a fixed variable order: under
+the natural order the DD must remember all ``2^(n/2)`` values of the first
+half before the second half can check them, so the state DD is exponential
+in ``n``.  Bring each pair adjacent (the interleaved order
+``0, n/2, 1, n/2+1, ...``) and the same state is *linear*: every pair
+collapses to a two-level equality gadget.
+
+That makes these circuits the canonical end-to-end test for mid-run
+reordering (:mod:`repro.simulation.reorder`): an unsifted run blows any
+node budget that a sifted run sails under, while the amplitudes stay
+identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.circuit import QuantumCircuit
+
+__all__ = ["PairingInstance", "pairing_circuit", "interleaved_order"]
+
+
+@dataclass
+class PairingInstance:
+    """A pairing-entanglement benchmark circuit."""
+
+    circuit: QuantumCircuit
+    #: number of Bell pairs (half the qubit count)
+    pairs: int
+
+    @property
+    def name(self) -> str:
+        return self.circuit.name
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+
+def interleaved_order(pairs: int) -> list[int]:
+    """The pair-adjacent permutation: qubit ``i`` -> level ``2i``, qubit
+    ``i + pairs`` -> level ``2i + 1`` (partners end up on neighbouring
+    levels, where the DD is linear)."""
+    permutation = [0] * (2 * pairs)
+    for i in range(pairs):
+        permutation[i] = 2 * i
+        permutation[i + pairs] = 2 * i + 1
+    return permutation
+
+
+def pairing_circuit(pairs: int, tail_layers: int = 0) -> PairingInstance:
+    """Entangle qubit ``i`` with qubit ``i + pairs`` for every ``i``.
+
+    ``H(i)`` then ``CX(i, i + pairs)`` per pair prepares ``sum_x |x>|x>``
+    (up to normalisation) -- exponential under the natural order, linear
+    under the interleaved one.  ``tail_layers`` appends that many layers of
+    single-qubit T gates after the entangling stage: they keep the state's
+    structure (and DD size) fixed while extending the operation stream, so
+    governed runs have post-pressure operations left to simulate under the
+    reordered variables.
+    """
+    if pairs < 1:
+        raise ValueError(f"need at least one pair, got {pairs}")
+    if tail_layers < 0:
+        raise ValueError(f"tail_layers must be >= 0, got {tail_layers}")
+    num_qubits = 2 * pairs
+    circuit = QuantumCircuit(num_qubits, name=f"pairing_{pairs}")
+    for i in range(pairs):
+        circuit.h(i)
+        circuit.cx(i, i + pairs)
+    for _ in range(tail_layers):
+        for qubit in range(num_qubits):
+            circuit.add_operation("t", qubit)
+    return PairingInstance(circuit=circuit, pairs=pairs)

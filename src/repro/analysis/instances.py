@@ -46,7 +46,8 @@ class BenchmarkInstance:
 
     def run(self, strategy: SimulationStrategy,
             use_local_apply: bool = True,
-            governor: "MemoryGovernor | None" = None) -> SimulationStatistics:
+            governor: "MemoryGovernor | None" = None,
+            reorder: str | None = None) -> SimulationStatistics:
         """Simulate this instance under ``strategy`` on a fresh engine.
 
         ``use_local_apply=False`` forces the paper-literal pathway (explicit
@@ -54,9 +55,12 @@ class BenchmarkInstance:
         paper-artifact experiments use it so the MxV-vs-MxM comparison
         matches the paper's cost model.  ``governor`` replaces the fresh
         engine's default memory policy (the sweep runner uses it to give
-        each cell a hard ``max_nodes`` budget).
+        each cell a hard ``max_nodes`` budget).  ``reorder`` is a
+        :func:`~repro.simulation.reorder.reorder_from_spec` spec enabling
+        mid-run variable reordering (circuit-backed instances only; the
+        Shor order finder drives its own engine and rejects it).
         """
-        return self._runner(strategy, use_local_apply, governor)
+        return self._runner(strategy, use_local_apply, governor, reorder)
 
 
 def _circuit_instance(name: str, kind: str, description: str,
@@ -66,7 +70,7 @@ def _circuit_instance(name: str, kind: str, description: str,
 
     def runner(strategy: SimulationStrategy,
                use_local_apply: bool = True,
-               governor=None) -> SimulationStatistics:
+               governor=None, reorder=None) -> SimulationStatistics:
         if not built:
             built.append(build())
         if use_local_apply:
@@ -79,7 +83,8 @@ def _circuit_instance(name: str, kind: str, description: str,
             engine = SimulationEngine(
                 package=Package(identity_shortcut=False),
                 use_local_apply=False, governor=governor)
-        return engine.simulate(built[0], strategy).statistics
+        return engine.simulate(built[0], strategy,
+                               reorder=reorder).statistics
 
     return BenchmarkInstance(name=name, kind=kind, description=description,
                              _runner=runner, metadata=metadata or {})
@@ -120,7 +125,12 @@ def _shor_instance(modulus: int, base: int, seed: int = 7) -> BenchmarkInstance:
 
     def runner(strategy: SimulationStrategy,
                use_local_apply: bool = True,
-               governor=None) -> SimulationStatistics:
+               governor=None, reorder=None) -> SimulationStatistics:
+        if reorder is not None:
+            raise ValueError(
+                "shor instances drive their own engine through "
+                "ShorOrderFinder and do not support mid-run reordering; "
+                "drop the reorder= axis for this instance")
         if use_local_apply:
             engine = SimulationEngine(governor=governor)
         else:

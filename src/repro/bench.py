@@ -11,6 +11,14 @@ containing, per workload:
 * per-compute-table cache hit rates from :meth:`Package.cache_stats`;
 * garbage-collection telemetry (collections, nodes freed, pause time).
 
+The report also carries a ``reorder`` section: the qubit-pairing worst
+case (GHZ-style pairs whose natural order keeps every pair maximally far
+apart in the variable order) run once under the circuit's natural order and
+once with periodic sifting enabled.  The sifted arm must reproduce the
+ordered arm's state at fidelity >= 1 - 1e-9 -- the receipt for dynamic
+variable reordering -- and the recorded node counts show the
+exponential-to-linear collapse sifting buys on this family.
+
 The report also carries a ``thrash`` section: a dense supremacy prefix
 followed by a long tail of cheap diagonal gates, run with the node limit
 pinned *below* the reachable working set.  The fixed-threshold arm
@@ -61,7 +69,7 @@ __all__ = ["WORKLOADS", "SMOKE_WORKLOADS", "thrash_circuit", "run_bench",
            "main"]
 
 DEFAULT_OUTPUT = "BENCH_kernel.json"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -266,6 +274,61 @@ def _fidelity(a, b, num_qubits: int) -> float:
     return abs(inner) ** 2
 
 
+#: reorder-scenario configuration: (pairs, tail_layers) for the
+#: qubit-pairing worst case -- natural order is exponential in ``pairs``,
+#: the interleaved order sifting finds is linear.
+REORDER_CONFIG = {
+    "full": (6, 2),
+    "smoke": (4, 2),
+}
+
+
+def _reorder_bench(profile: str) -> dict:
+    """A/B the qubit-pairing worst case: natural order vs. periodic sifting."""
+    from .algorithms.pairing import pairing_circuit
+    from .simulation.reorder import ReorderPolicy
+    pairs, tail = REORDER_CONFIG[profile]
+    circuit = pairing_circuit(pairs, tail_layers=tail).circuit
+
+    def arm(reorder) -> tuple[dict, "SimulationResult"]:
+        engine = SimulationEngine()
+        start = time.perf_counter()
+        result = engine.simulate(circuit, SequentialStrategy(),
+                                 reorder=reorder)
+        wall = time.perf_counter() - start
+        stats = result.statistics
+        return {
+            "wall_seconds": round(wall, 6),
+            "peak_state_nodes": stats.peak_state_nodes,
+            "final_state_nodes": stats.final_state_nodes,
+            "reorders": stats.reorders,
+            "reorder_nodes_saved": stats.reorder_nodes_saved,
+        }, result
+
+    ordered, ref = arm(None)
+    sifted, sifted_result = arm(
+        ReorderPolicy(mode="every", every=2 * pairs, min_nodes=2))
+    fidelity = _fidelity(sifted_result, ref, circuit.num_qubits)
+    if fidelity < 1 - 1e-9:
+        raise RuntimeError(
+            f"{circuit.name}: sifted run diverged from the ordered run "
+            f"(fidelity {fidelity!r})")
+    ratio = (ordered["final_state_nodes"] / sifted["final_state_nodes"]
+             if sifted["final_state_nodes"] else 0.0)
+    return {
+        "name": circuit.name,
+        "description": ("qubit-pairing worst case: natural order vs. "
+                        "periodic sifting (every 2*pairs operations)"),
+        "num_qubits": circuit.num_qubits,
+        "num_operations": circuit.num_operations(),
+        "ordered": ordered,
+        "sifted": sifted,
+        "node_ratio_ordered_vs_sifted": round(ratio, 3),
+        "final_permutation": sifted_result.permutation,
+        "fidelity_sifted_vs_ordered": fidelity,
+    }
+
+
 def _thrash_bench(profile: str) -> dict:
     """A/B the GC-thrash scenario: fixed threshold vs. adaptive governor."""
     rows, cols, depth, tail, seed, limit = THRASH_CONFIG[profile]
@@ -432,6 +495,7 @@ def run_bench(smoke: bool = False, repeats: int = 3,
     # it beside other measurements would contaminate both arms equally in
     # the best case and unevenly in the worst, so it stays serial.
     report["thrash"] = _thrash_bench("smoke" if smoke else "full")
+    report["reorder"] = _reorder_bench("smoke" if smoke else "full")
     return report
 
 
@@ -515,6 +579,12 @@ def main(argv: list[str] | None = None) -> int:
               f"  governed {thrash['governed']['wall_seconds']:.4f}s"
               f"  (x{thrash['speedup_governed_vs_fixed']:.2f}, "
               f"fidelity {thrash['fidelity_governed_vs_ungoverned']:.12f})")
+        reorder = report["reorder"]
+        print(f"{'reorder':>18}: ordered "
+              f"{reorder['ordered']['final_state_nodes']} nodes"
+              f"  sifted {reorder['sifted']['final_state_nodes']} nodes"
+              f"  (x{reorder['node_ratio_ordered_vs_sifted']:.2f}, "
+              f"fidelity {reorder['fidelity_sifted_vs_ordered']:.12f})")
         if args.trace:
             print(f"trace: {args.trace}")
         print(f"wrote {args.output}")

@@ -11,7 +11,8 @@ from .decomposition import (decompose_ccu, decompose_controlled_u,
                             decompose_mcx, decompose_to_two_qubit,
                             matrix_sqrt_2x2, zyz_angles)
 from .gate import GATES, GateDefinition, gate_matrix, inverse_gate, is_diagonal_gate
-from .mapping import MappedCircuit, line_distance_cost, map_to_line
+from .mapping import (MappedCircuit, line_distance_cost, map_to_line,
+                      permute_circuit, permute_operation)
 from .operation import Operation
 from .optimization import (cancel_adjacent_inverses, drop_identity_gates,
                            merge_rotations, optimise)
@@ -41,6 +42,8 @@ __all__ = [
     "matrix_sqrt_2x2",
     "merge_rotations",
     "optimise",
+    "permute_circuit",
+    "permute_operation",
     "to_qasm",
     "zyz_angles",
 ]

@@ -23,7 +23,46 @@ from ..dd.reordering import permute_qubits
 from .circuit import QuantumCircuit
 from .operation import Operation
 
-__all__ = ["MappedCircuit", "map_to_line", "line_distance_cost"]
+__all__ = ["MappedCircuit", "map_to_line", "line_distance_cost",
+           "permute_operation", "permute_circuit"]
+
+
+def permute_operation(operation: Operation,
+                      permutation: list[int]) -> Operation:
+    """Relabel an operation's qubits through ``permutation``.
+
+    ``permutation[q]`` is the new position of original qubit ``q`` -- the
+    same direction :func:`repro.dd.reordering.sift` returns, so an
+    operation remapped with the sift permutation acts on the reordered
+    state exactly as the original acted on the ordered one.
+    """
+    return Operation(
+        gate=operation.gate,
+        target=permutation[operation.target],
+        controls=tuple((permutation[qubit], value)
+                       for qubit, value in operation.controls),
+        params=operation.params,
+    )
+
+
+def permute_circuit(circuit: QuantumCircuit,
+                    permutation: list[int]) -> QuantumCircuit:
+    """A flattened copy of ``circuit`` with every operation remapped.
+
+    Repeated blocks are unrolled (remapping preserves the elementary
+    operation stream, not the block structure); the result is mainly
+    useful for offline studies -- the engine remaps operations lazily
+    instead, keeping checkpoint fingerprints bound to the original
+    stream.
+    """
+    permuted = QuantumCircuit(circuit.num_qubits,
+                              name=f"{circuit.name}_permuted")
+    for operation in circuit.operations():
+        remapped = permute_operation(operation, permutation)
+        permuted.add_operation(remapped.gate, remapped.target,
+                               controls=remapped.controls,
+                               params=remapped.params)
+    return permuted
 
 
 @dataclass

@@ -17,7 +17,20 @@ standard reordering toolkit, adapted to quasi-reduced edge-weighted DDs:
 Reordering *relabels* which qubit lives on which DD level: the amplitude of
 basis state ``x`` in the original diagram equals the amplitude of the
 bit-permuted index in the reordered one.  Callers that keep simulating
-afterwards must apply the same permutation to their circuits.
+afterwards must apply the same permutation to their circuits (see
+:func:`repro.circuit.mapping.permute_operation`).
+
+Level gaps
+----------
+
+Vector DDs are quasi-reduced without exceptions: every non-zero edge of a
+level-``z`` node points to a node at level ``z - 1``.  A vector edge that
+skips a level is corrupt, and every function here raises a clear
+:class:`ValueError` instead of silently building a wrong diagram.  Matrix
+DDs built with ``Package(identity_edges=True)`` legitimately skip levels --
+a skipped level reads as an identity factor -- and the swap machinery
+expands those virtual identity levels on the fly (``size=`` tells it how
+tall the diagram nominally is when the root itself sits below the top).
 """
 
 from __future__ import annotations
@@ -25,7 +38,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from .edge import Edge
-from .node import MatrixNode, VectorNode
+from .node import MatrixNode
 from .package import Package
 
 __all__ = ["swap_adjacent_levels", "permute_qubits", "sift",
@@ -36,18 +49,43 @@ def _is_matrix(edge: Edge) -> bool:
     return isinstance(edge.node, MatrixNode)
 
 
-def _virtual_children(package: Package, edge: Edge, arity: int) -> list[Edge]:
-    """Children of ``edge``'s node, treating 0-stubs as all-zero nodes."""
+def _gap_error(at_level: int, node_level: int) -> ValueError:
+    return ValueError(
+        f"vector DD skips level {at_level}: expected a node at level "
+        f"{at_level}, found one at level {node_level}; quasi-reduced "
+        f"state DDs must not have level gaps (identity-edge gaps exist "
+        f"only on matrix DDs)")
+
+
+def _virtual_children(package: Package, edge: Edge, arity: int,
+                      at_level: int) -> list[Edge]:
+    """Children of ``edge`` viewed as a node at ``at_level``.
+
+    0-stubs read as all-zero nodes.  A matrix edge whose node sits *below*
+    ``at_level`` is an identity-edge gap (``Package(identity_edges=True)``):
+    the skipped level is an identity factor, so its virtual children are
+    ``(edge, 0, 0, edge)``.  A vector edge below ``at_level`` is corrupt
+    and raises.
+    """
     if edge.weight == 0:
         return [package.zero] * arity
-    return [child.scaled(edge.weight) for child in edge.node.edges]
+    node_level = edge.node.level
+    if node_level == at_level:
+        return [child.scaled(edge.weight) for child in edge.node.edges]
+    if node_level > at_level:
+        raise ValueError(
+            f"malformed DD: node at level {node_level} reached while "
+            f"expecting level <= {at_level}")
+    if arity == 4:
+        return [edge, package.zero, package.zero, edge]
+    raise _gap_error(at_level, node_level)
 
 
 def _swap_vector_block(package: Package, edge: Edge, level: int) -> Edge:
     """Swap levels ``level+1`` / ``level`` under a level-``level+1`` edge."""
     grandchildren = [
-        _virtual_children(package, child, 2)
-        for child in _virtual_children(package, edge, 2)
+        _virtual_children(package, child, 2, level)
+        for child in _virtual_children(package, edge, 2, level + 1)
     ]
     new_children = []
     for j in (0, 1):
@@ -59,8 +97,8 @@ def _swap_vector_block(package: Package, edge: Edge, level: int) -> Edge:
 
 def _swap_matrix_block(package: Package, edge: Edge, level: int) -> Edge:
     grandchildren = [
-        _virtual_children(package, child, 4)
-        for child in _virtual_children(package, edge, 4)
+        _virtual_children(package, child, 4, level)
+        for child in _virtual_children(package, edge, 4, level + 1)
     ]
     new_children = []
     for outer in range(4):  # (row, col) bits of the variable moving up
@@ -70,55 +108,92 @@ def _swap_matrix_block(package: Package, edge: Edge, level: int) -> Edge:
     return package.make_matrix_node(level + 1, tuple(new_children))
 
 
-def swap_adjacent_levels(package: Package, edge: Edge, level: int) -> Edge:
+def swap_adjacent_levels(package: Package, edge: Edge, level: int,
+                         size: int | None = None) -> Edge:
     """Exchange the variables at ``level`` and ``level + 1``.
 
     Works for vector and matrix DDs.  The result represents the same
     object re-indexed: bit ``level`` and bit ``level + 1`` of every basis
     index trade places.
+
+    ``size`` is the nominal qubit count; it defaults to the root level
+    plus one.  Passing it explicitly permits swaps on identity-edge matrix
+    DDs whose root sits below the top level (the skipped levels read as
+    identity factors, which the swap expands on demand).  A *vector* DD
+    with any level gap -- including a root below ``size - 1`` -- raises
+    :class:`ValueError`: states are quasi-reduced without gaps, so a gap
+    means corruption, and silently treating it as identity would build a
+    wrong diagram.
     """
     if edge.weight == 0:
         return edge
     root_level = edge.node.level
-    if level < 0 or level + 1 > root_level:
+    top = root_level if size is None else size - 1
+    if level < 0 or level + 1 > top:
         raise ValueError(f"cannot swap levels {level}/{level + 1} in a DD "
-                         f"rooted at level {root_level}")
+                         f"of height {top + 1} (root at level {root_level})")
+    if root_level < 0:
+        # A non-zero terminal-rooted edge of nominal size > 0 can only be a
+        # fully collapsed identity matrix (identity_edges); swapping two
+        # identity levels is a no-op.
+        return edge
     matrix = _is_matrix(edge)
+    if not matrix and root_level < top:
+        raise _gap_error(top, root_level)
     swap_block = _swap_matrix_block if matrix else _swap_vector_block
     make_node = package.make_matrix_node if matrix \
         else package.make_vector_node
     cache: dict[int, Edge] = {}
 
+    def swap_under(node) -> Edge:
+        """Swap the window under a node at ``level + 1`` (or, for matrix
+        gaps, a node at ``level`` viewed one level up)."""
+        return swap_block(package, Edge(node, 1 + 0j), level)
+
     def rebuild(node) -> Edge:
         found = cache.get(id(node))
         if found is not None:
             return found
-        if node.level == level + 1:
-            result = swap_block(package, Edge(node, 1 + 0j), level)
-        else:
-            children = []
-            for child in node.edges:
-                if child.weight == 0:
-                    children.append(package.zero)
-                elif child.node.level == level + 1:
-                    children.append(package._scaled(
-                        swap_block(package, Edge(child.node, 1 + 0j), level),
-                        child.weight))
-                else:
-                    children.append(package._scaled(rebuild(child.node),
-                                                    child.weight))
-            result = make_node(node.level, tuple(children))
+        children = []
+        for child in node.edges:
+            if child.weight == 0:
+                children.append(package.zero)
+                continue
+            child_level = child.node.level
+            if child_level > level + 1:
+                children.append(package._scaled(rebuild(child.node),
+                                                child.weight))
+            elif child_level == level + 1 or (matrix
+                                              and child_level == level):
+                children.append(package._scaled(swap_under(child.node),
+                                                child.weight))
+            elif matrix:
+                # The identity gap spans both swapped levels; identity is
+                # symmetric under the swap, so the sub-DD is unchanged.
+                children.append(child)
+            else:
+                raise _gap_error(node.level - 1, child_level)
+        result = make_node(node.level, tuple(children))
         cache[id(node)] = result
         return result
 
-    if edge.node.level == level + 1:
-        return package._scaled(
-            swap_block(package, Edge(edge.node, 1 + 0j), level), edge.weight)
-    return package._scaled(rebuild(edge.node), edge.weight)
+    if root_level > level + 1:
+        return package._scaled(rebuild(edge.node), edge.weight)
+    if root_level == level + 1 or (matrix and root_level == level):
+        return package._scaled(swap_under(edge.node), edge.weight)
+    # matrix root entirely below the swap window: both swapped levels are
+    # identity factors -- nothing to do
+    return edge
 
 
 def apply_index_permutation(index: int, permutation: Sequence[int]) -> int:
-    """Move bit ``q`` of ``index`` to position ``permutation[q]``."""
+    """Move bit ``q`` of ``index`` to position ``permutation[q]``.
+
+    This is the measurement-remap direction: when a DD was reordered with
+    ``permutation`` (original qubit ``q`` now lives on level
+    ``permutation[q]``), the amplitude of logical basis state ``x`` is the
+    reordered DD's amplitude at ``apply_index_permutation(x, permutation)``.
+    """
     result = 0
     for source, target in enumerate(permutation):
         if (index >> source) & 1:
@@ -127,21 +202,36 @@ def apply_index_permutation(index: int, permutation: Sequence[int]) -> int:
 
 
 def permute_qubits(package: Package, edge: Edge,
-                   permutation: Sequence[int]) -> Edge:
+                   permutation: Sequence[int],
+                   size: int | None = None) -> Edge:
     """Reorder a DD so the variable at level ``q`` moves to level
     ``permutation[q]``.
 
-    ``permutation`` must be a permutation of ``0 .. root_level``.  The
-    returned DD satisfies ``amplitude(new, apply_index_permutation(x, p))
-    == amplitude(old, x)`` (and the matrix analogue for both indices).
+    ``permutation`` must be a permutation of ``0 .. size - 1`` (``size``
+    defaults to the root level plus one).  The returned DD satisfies
+    ``amplitude(new, apply_index_permutation(x, p)) == amplitude(old, x)``
+    (and the matrix analogue for both indices).
+
+    Passing ``size`` explicitly supports identity-edge matrix DDs whose
+    root sits below ``size - 1``; vector DDs must be exactly ``size``
+    levels tall (see :func:`swap_adjacent_levels`).
     """
     if edge.weight == 0:
         return edge
-    size = edge.node.level + 1
+    root_level = edge.node.level
+    if size is None:
+        size = root_level + 1
     permutation = list(permutation)
     if sorted(permutation) != list(range(size)):
         raise ValueError(f"not a permutation of 0..{size - 1}: "
                          f"{permutation}")
+    if root_level < 0:
+        return edge  # collapsed identity matrix: permutation-invariant
+    if root_level + 1 > size:
+        raise ValueError(f"DD rooted at level {root_level} is taller than "
+                         f"the declared size {size}")
+    if not _is_matrix(edge) and root_level + 1 != size:
+        raise _gap_error(size - 1, root_level)
     # positions[level] = original variable currently living at `level`
     positions = list(range(size))
     target_of = dict(enumerate(permutation))
@@ -153,15 +243,16 @@ def permute_qubits(package: Package, edge: Edge,
                       if destination == target)
         where = positions.index(wanted)
         while where < target:
-            current = swap_adjacent_levels(package, current, where)
+            current = swap_adjacent_levels(package, current, where,
+                                           size=size)
             positions[where], positions[where + 1] = \
                 positions[where + 1], positions[where]
             where += 1
     return current
 
 
-def sift(package: Package, edge: Edge,
-         max_growth: float = 2.0) -> tuple[Edge, list[int]]:
+def sift(package: Package, edge: Edge, max_growth: float = 2.0,
+         num_qubits: int | None = None) -> tuple[Edge, list[int]]:
     """Rudell sifting: greedily search a better variable order.
 
     Each variable is bubbled through every position; it stays at the
@@ -170,23 +261,35 @@ def sift(package: Package, edge: Edge,
 
     Returns ``(reordered_edge, permutation)`` where ``permutation[q]`` is
     the new level of original qubit ``q``
-    (see :func:`apply_index_permutation`).
+    (see :func:`apply_index_permutation`).  The returned diagram is never
+    larger than the input (the best diagram seen is the input itself when
+    no move improves on it), and the permutation always has one entry per
+    qubit -- ``num_qubits`` pins that length for zero/terminal edges,
+    whose own height is ambiguous (it defaults to the root level plus
+    one).
     """
-    if edge.weight == 0 or edge.node.level < 1:
-        return edge, list(range(max(edge.node.level + 1, 0)))
-    size = edge.node.level + 1
+    if num_qubits is not None and num_qubits < 0:
+        raise ValueError(f"num_qubits must be >= 0, got {num_qubits}")
+    size = num_qubits if num_qubits is not None \
+        else max(edge.node.level + 1, 0)
+    if edge.weight == 0 or edge.node.level < 1 or size < 2:
+        return edge, list(range(size))
+    if edge.node.level + 1 > size:
+        raise ValueError(f"DD rooted at level {edge.node.level} is taller "
+                         f"than the declared num_qubits {size}")
+    if not _is_matrix(edge) and edge.node.level + 1 != size:
+        raise _gap_error(size - 1, edge.node.level)
     current = edge
     positions = list(range(size))  # positions[level] = original variable
 
     def swap_at(diagram: Edge, level: int) -> Edge:
         positions[level], positions[level + 1] = \
             positions[level + 1], positions[level]
-        return swap_adjacent_levels(package, diagram, level)
+        return swap_adjacent_levels(package, diagram, level, size=size)
 
     for variable in range(size):
         best_nodes = package.count_nodes(current)
         level = positions.index(variable)
-        best_level = level
         best_diagram = current
         best_positions = list(positions)
         # sweep down to the bottom
@@ -213,7 +316,6 @@ def sift(package: Package, edge: Edge,
                 break
         current = best_diagram
         positions = best_positions
-        del best_level
     permutation = [0] * size
     for level, variable in enumerate(positions):
         permutation[variable] = level

@@ -21,6 +21,7 @@ from .engine import SimulationEngine
 from .memory import DegradationPolicy, MemoryBudgetExceeded, MemoryGovernor
 from .noise import (NoiseModel, noisy_counts, noisy_trajectory_circuit,
                     simulate_trajectory)
+from .reorder import ReorderPolicy, reorder_from_spec
 from .result import SimulationResult
 from .statistics import SimulationStatistics
 from .trace import JsonlTraceSink, load_trace, trace_summary
@@ -55,6 +56,8 @@ __all__ = [
     "noisy_counts",
     "noisy_trajectory_circuit",
     "simulate_trajectory",
+    "ReorderPolicy",
+    "reorder_from_spec",
     "RepeatingBlockStrategy",
     "SequentialStrategy",
     "SimulationEngine",

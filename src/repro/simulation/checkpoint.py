@@ -41,11 +41,16 @@ from typing import Any
 
 from ..circuit.circuit import QuantumCircuit
 
-__all__ = ["CHECKPOINT_FORMAT", "Checkpoint", "circuit_fingerprint",
-           "load_checkpoint", "save_checkpoint"]
+__all__ = ["CHECKPOINT_FORMAT", "SUPPORTED_CHECKPOINT_FORMATS", "Checkpoint",
+           "circuit_fingerprint", "load_checkpoint", "save_checkpoint"]
 
 #: Version stamp written into every checkpoint; bump on breaking changes.
-CHECKPOINT_FORMAT = 1
+#: Version 2 added the optional ``permutation`` field (mid-run variable
+#: reordering); version-1 files load fine with ``permutation = None``.
+CHECKPOINT_FORMAT = 2
+
+#: Versions :func:`load_checkpoint` accepts.
+SUPPORTED_CHECKPOINT_FORMATS = (1, 2)
 
 
 def circuit_fingerprint(circuit: QuantumCircuit) -> str:
@@ -94,6 +99,10 @@ class Checkpoint:
     degradation: dict | None = None
     #: governor counters at checkpoint time (informational)
     governor: dict | None = None
+    #: cumulative qubit permutation after mid-run reordering
+    #: (``permutation[q]`` = DD level of original qubit ``q``), or ``None``
+    #: when the run never reordered / the order is back to identity
+    permutation: list | None = None
     #: why the checkpoint was written (``periodic``, exception class name)
     reason: str = "periodic"
     created_at: float = field(default_factory=time.time)
@@ -113,10 +122,10 @@ class Checkpoint:
             raise ValueError(f"{source}: checkpoint payload must be a dict, "
                              f"got {type(payload).__name__}")
         version = payload.get("version")
-        if version != CHECKPOINT_FORMAT:
+        if version not in SUPPORTED_CHECKPOINT_FORMATS:
             raise ValueError(f"{source}: unsupported checkpoint version "
-                             f"{version!r} (this build reads version "
-                             f"{CHECKPOINT_FORMAT})")
+                             f"{version!r} (this build reads versions "
+                             f"{SUPPORTED_CHECKPOINT_FORMATS})")
         required = {
             "circuit_fingerprint": str,
             "num_qubits": int,
@@ -144,6 +153,15 @@ class Checkpoint:
         if pending is not None and not isinstance(pending, dict):
             raise ValueError(f"{source}: field 'pending' must be a dict "
                              f"or null, got {type(pending).__name__}")
+        permutation = payload.get("permutation")
+        if permutation is not None:
+            if (not isinstance(permutation, list)
+                    or sorted(permutation)
+                    != list(range(payload["num_qubits"]))):
+                raise ValueError(
+                    f"{source}: field 'permutation' must be null or a "
+                    f"permutation of 0..{payload['num_qubits'] - 1}, "
+                    f"got {permutation!r}")
         return cls(
             circuit_name=str(payload.get("circuit_name", "")),
             circuit_fingerprint=payload["circuit_fingerprint"],
@@ -158,6 +176,7 @@ class Checkpoint:
             complex_table=payload.get("complex_table"),
             degradation=payload.get("degradation"),
             governor=payload.get("governor"),
+            permutation=permutation,
             reason=str(payload.get("reason", "periodic")),
             created_at=float(payload.get("created_at", 0.0)),
             version=version,

@@ -41,16 +41,19 @@ import time
 from typing import Callable
 
 from ..circuit.circuit import QuantumCircuit
+from ..circuit.mapping import permute_operation
 from ..circuit.operation import Operation
 from ..dd.approximation import prune_to_node_budget
 from ..dd.edge import Edge
 from ..dd.kernel import FlatEdge
 from ..dd.gate_building import build_gate_dd
 from ..dd.package import Package
+from ..dd.reordering import permute_qubits, sift
 from ..dd.serialization import deserialize_dd, serialize_dd
 from .checkpoint import (Checkpoint, circuit_fingerprint, load_checkpoint,
                          save_checkpoint)
 from .memory import DegradationPolicy, MemoryBudgetExceeded, MemoryGovernor
+from .reorder import ReorderPolicy, reorder_from_spec
 from .result import SimulationResult
 from .statistics import SimulationStatistics
 from .strategies import (SequentialStrategy, SimulationStrategy,
@@ -65,7 +68,8 @@ class _Run:
     def __init__(self, engine: "SimulationEngine", num_qubits: int,
                  state: Edge, statistics: SimulationStatistics,
                  trace: Callable[[dict], None] | None = None,
-                 degradation: DegradationPolicy | None = None) -> None:
+                 degradation: DegradationPolicy | None = None,
+                 reorder: ReorderPolicy | None = None) -> None:
         self.engine = engine
         self.package = engine.package
         self.num_qubits = num_qubits
@@ -74,6 +78,20 @@ class _Run:
         self.trace = trace
         self.track_state_size = engine.track_state_size
         self.degradation = degradation
+        self.reorder = reorder
+        #: the strategy driving this run (set by ``_execute``; the
+        #: reordering hook needs to call back into it)
+        self.strategy: SimulationStrategy | None = None
+        #: cumulative variable permutation: ``permutation[q]`` is the DD
+        #: level original qubit ``q`` currently lives on (None = identity)
+        self.permutation: list[int] | None = None
+        #: ``id(original op) -> (original, remapped)`` under the current
+        #: permutation; the value pins the original so ids stay valid.
+        #: Cleared on every reorder.
+        self._remap_cache: dict[int, tuple[Operation, Operation]] = {}
+        #: whether the most recent collection grew the governor threshold
+        #: (the futile-collection memory-pressure signal)
+        self._collection_grew = False
         #: node count of the last product returned by :meth:`combine` --
         #: lets size-bounded strategies reuse the measurement instead of
         #: re-counting the (growing) product DD on every feed
@@ -91,9 +109,33 @@ class _Run:
 
     # -- operations the strategies use ---------------------------------
 
+    def map_operation(self, operation: Operation) -> Operation:
+        """The operation relabelled through the run's current permutation.
+
+        Identity (no reorder yet) returns the operation unchanged; after a
+        sift every circuit operation is translated to the reordered
+        levels.  Remapped operations are cached per original (cleared at
+        each reorder) so the engine's id-keyed gate caches stay hot.
+        """
+        permutation = self.permutation
+        if permutation is None:
+            return operation
+        entry = self._remap_cache.get(id(operation))
+        if entry is not None and entry[0] is operation:
+            return entry[1]
+        remapped = permute_operation(operation, permutation)
+        self._remap_cache[id(operation)] = (operation, remapped)
+        return remapped
+
     def gate_dd(self, operation: Operation) -> Edge:
-        """The operation's matrix DD on the full register (cached)."""
-        return self.engine.gate_dd(operation, self.num_qubits)
+        """The operation's matrix DD on the full register (cached).
+
+        The operation is remapped through the run's permutation first, so
+        strategies keep feeding *original* circuit operations after a
+        reorder.
+        """
+        return self.engine.gate_dd(self.map_operation(operation),
+                                   self.num_qubits)
 
     def apply_matrix(self, matrix: Edge) -> None:
         """One simulation step: ``state <- matrix x state`` (Eq. 1 step)."""
@@ -114,8 +156,10 @@ class _Run:
         matrix-vector multiplication); otherwise this falls back to the
         explicit gate-DD pathway.  Either way it counts as one Eq. 1 step.
         """
+        operation = self.map_operation(operation)
         if not self.engine.use_local_apply:
-            self.apply_matrix(self.gate_dd(operation))
+            self.apply_matrix(self.engine.gate_dd(operation,
+                                                  self.num_qubits))
             return
         matrix, controls = self.engine.local_gate_spec(operation)
         self.state = self.package.apply_gate(
@@ -153,7 +197,9 @@ class _Run:
         streak can blow the memory budget without ever touching the state,
         so the governor (and the degradation ladder) runs here too.  The
         fresh product is pinned as a root for the duration -- the strategy
-        has not adopted it as pending yet.
+        has not adopted it as pending yet.  A governed *reorder* permutes
+        the pinned product in place, so the guard is re-read after the
+        collection rather than returning the stale pre-reorder local.
         """
         product = self.package.multiply_matrix_matrix(later, earlier)
         self.statistics.matrix_matrix_mults += 1
@@ -163,6 +209,7 @@ class _Run:
         self._combine_guard = product
         try:
             self.engine.maybe_collect(self)
+            product = self._combine_guard
         finally:
             self._combine_guard = None
         return product
@@ -289,7 +336,9 @@ class SimulationEngine:
                  checkpoint_path: str | None = None,
                  checkpoint_every: int | None = None,
                  degradation: DegradationPolicy | None = None,
-                 audit_every: int | None = None) -> SimulationResult:
+                 audit_every: int | None = None,
+                 reorder: ReorderPolicy | str | None = None
+                 ) -> SimulationResult:
         """Run ``circuit`` under ``strategy`` (sequential baseline by default).
 
         ``trace``, when given, receives one dict per simulation step and
@@ -320,6 +369,13 @@ class SimulationEngine:
             <repro.dd.package.Package.assert_invariants>` every K
             completed operations -- structural corruption fails the run
             at the step that caused it instead of corrupting the result.
+        ``reorder``
+            A :class:`~repro.simulation.reorder.ReorderPolicy` or spec
+            string (``"off"``, ``"governor"``, ``"every=K"``).  Governed
+            sifting shrinks the state DD mid-run *before* the degradation
+            ladder gets to prune; the remaining circuit operations are
+            remapped on the fly and the result carries the cumulative
+            permutation so measurements stay in logical qubit order.
 
         Checkpointing/auditing drives the run through the flattened
         operation stream, so :class:`RepeatingBlockStrategy
@@ -333,14 +389,17 @@ class SimulationEngine:
                              checkpoint_path=checkpoint_path,
                              checkpoint_every=checkpoint_every,
                              degradation=degradation,
-                             audit_every=audit_every)
+                             audit_every=audit_every,
+                             reorder=reorder_from_spec(reorder))
 
     def resume(self, checkpoint: Checkpoint | str, circuit: QuantumCircuit,
                trace: Callable[[dict], None] | None = None,
                checkpoint_path: str | None = None,
                checkpoint_every: int | None = None,
                degradation: DegradationPolicy | None = None,
-               audit_every: int | None = None) -> SimulationResult:
+               audit_every: int | None = None,
+               reorder: ReorderPolicy | str | None = None
+               ) -> SimulationResult:
         """Continue a checkpointed run; bit-exact with the uninterrupted run.
 
         ``checkpoint`` is a :class:`~repro.simulation.checkpoint.Checkpoint`
@@ -355,6 +414,11 @@ class SimulationEngine:
         accumulated numbers.  When ``degradation`` is given, its cumulative
         fidelity picks up where the checkpointed run left off, so the
         fidelity floor holds across the whole logical run.
+
+        A checkpoint taken after a mid-run reorder carries the cumulative
+        qubit permutation; the resumed run restores it and keeps remapping
+        the remaining operations, so the replay continues under the sifted
+        order (pass ``reorder`` again to keep sifting as well).
         """
         if isinstance(checkpoint, str):
             checkpoint = load_checkpoint(checkpoint)
@@ -387,7 +451,9 @@ class SimulationEngine:
                              start_index=checkpoint.op_index,
                              pending=pending,
                              strategy_state=checkpoint.strategy_state,
-                             base_statistics=base)
+                             base_statistics=base,
+                             reorder=reorder_from_spec(reorder),
+                             permutation=checkpoint.permutation)
 
     # ------------------------------------------------------------------
 
@@ -400,7 +466,9 @@ class SimulationEngine:
                  start_index: int = 0,
                  pending: Edge | None = None,
                  strategy_state: dict | None = None,
-                 base_statistics: SimulationStatistics | None = None
+                 base_statistics: SimulationStatistics | None = None,
+                 reorder: ReorderPolicy | None = None,
+                 permutation: list[int] | None = None
                  ) -> SimulationResult:
         """Shared body of :meth:`simulate` and :meth:`resume`."""
         if checkpoint_every is not None:
@@ -419,7 +487,16 @@ class SimulationEngine:
         )
         statistics.record_state_size(self.package.count_nodes(state))
         run = _Run(self, circuit.num_qubits, state, statistics, trace,
-                   degradation=degradation)
+                   degradation=degradation, reorder=reorder)
+        run.strategy = strategy
+        if permutation is not None:
+            expected = list(range(circuit.num_qubits))
+            if sorted(permutation) != expected:
+                raise ValueError(f"checkpoint permutation {permutation} is "
+                                 f"not a permutation of 0.."
+                                 f"{circuit.num_qubits - 1}")
+            if permutation != expected:
+                run.permutation = list(permutation)
         run.op_index = start_index
         counters_before = self.package.counters.snapshot()
         gc_before = self.package.gc_stats.snapshot()
@@ -467,7 +544,8 @@ class SimulationEngine:
             base_statistics.merge(statistics)
             statistics = base_statistics
         return SimulationResult(state=run.state, package=self.package,
-                                statistics=statistics)
+                                statistics=statistics,
+                                permutation=run.permutation)
 
     def _run_ops(self, run: _Run, strategy: SimulationStrategy,
                  circuit: QuantumCircuit, *, start_index: int,
@@ -536,13 +614,16 @@ class SimulationEngine:
         # later replayed) operation, or resumed totals double-count it.
         run._last_good = (run.op_index, run.state, run._pending,
                           strategy.state_dict(),
-                          run.statistics.as_dict())
+                          run.statistics.as_dict(),
+                          list(run.permutation)
+                          if run.permutation is not None else None)
 
     def _write_checkpoint(self, run: _Run, strategy: SimulationStrategy,
                           circuit: QuantumCircuit, path: str,
                           reason: str) -> str:
         """Serialise the last consistent boundary to ``path`` (atomic)."""
-        op_index, state, pending, strategy_state, stats_dict = run._last_good
+        (op_index, state, pending, strategy_state, stats_dict,
+         permutation) = run._last_good
         package = self.package
         # Dense blocks are a transient in-run representation; checkpoints
         # always store the canonical DD form.
@@ -570,6 +651,7 @@ class SimulationEngine:
             degradation=run.degradation.state_dict()
             if run.degradation is not None else None,
             governor=self.governor.stats(),
+            permutation=permutation,
             reason=reason,
         )
         save_checkpoint(checkpoint, path)
@@ -599,12 +681,29 @@ class SimulationEngine:
         :class:`~repro.simulation.memory.DegradationPolicy`, the
         degradation ladder runs before :meth:`MemoryGovernor.check_budget`
         gets to raise.
+
+        When the run carries a :class:`ReorderPolicy`, governed sifting
+        slots in *between* collection and degradation: a cheaper variable
+        order is tried before anything lossy (pruning) or destructive
+        (budget abort) happens.  Governor pressure means the live working
+        set is over the hard ``max_nodes`` budget after a collection, or
+        the collection was futile (the threshold had to grow).
         """
         governor = self.governor
         package = self.package
         live = package.live_node_count()
+        collection_grew = False
         if governor.should_collect(live):
             live = self._collect(run)
+            collection_grew = run._collection_grew
+        policy = run.reorder
+        if policy is not None:
+            pressure = collection_grew or (
+                governor.max_nodes is not None and live > governor.max_nodes)
+            if policy.should_reorder(run.statistics.operations_applied,
+                                     pressure):
+                reason = "cadence" if policy.mode == "every" else "pressure"
+                live = self._reorder(run, reason)
         if (run.degradation is not None and governor.max_nodes is not None
                 and live > governor.max_nodes):
             live = self._degrade(run, live)
@@ -621,7 +720,7 @@ class SimulationEngine:
         flat_before = package.gc_stats.flat_slots_freed
         freed = package.garbage_collect(roots)
         live = package.live_node_count()
-        governor.note_collection(
+        run._collection_grew = governor.note_collection(
             freed, live,
             flat_freed=package.gc_stats.flat_slots_freed - flat_before)
         if run.trace is not None:
@@ -635,6 +734,93 @@ class SimulationEngine:
                 "compute_entries_dropped": delta.compute_entries_dropped,
                 "pause_seconds": round(delta.pause_seconds, 6),
                 "limit": governor.limit,
+            })
+        return live
+
+    def _materialize(self, edge):
+        """A recursive-path :class:`Edge` for any state representation.
+
+        Reordering walks the object node graph, so dense blocks are
+        solidified and flat iterative edges materialised into plain edges
+        first; the run then continues on the recursive path (correct, just
+        slower) under the new order -- the same choice the degradation
+        ladder's pruning rung makes.
+        """
+        edge = self.package.solidify(edge)
+        if type(edge) is FlatEdge:
+            edge = Edge(edge.node, edge.weight)
+        return edge
+
+    def _permute_matrix(self, run: _Run, edge: Edge | None,
+                        permutation: list[int]) -> Edge | None:
+        """Apply a level permutation to a pinned (matrix) DD, if any."""
+        if edge is None:
+            return None
+        edge = self._materialize(edge)
+        return permute_qubits(self.package, edge, permutation,
+                              size=run.num_qubits)
+
+    def _reorder(self, run: _Run, reason: str) -> int:
+        """Sift the state DD and rebase the run onto the new order.
+
+        The mechanics, in order: the state is materialised onto the
+        recursive path (sifting walks object nodes), sifted, and every
+        other in-flight DD -- the pending accumulated product, a product
+        pinned mid-:meth:`_Run.combine` -- is permuted to match.  The
+        run's cumulative permutation is composed with the step
+        permutation, the remap and gate caches are dropped (they are
+        keyed on the *old* levels and would otherwise pin old-order DDs),
+        the strategy's :meth:`~repro.simulation.strategies
+        .SimulationStrategy.on_reorder` hook re-adopts the permuted
+        products, and a collection reclaims the old-order diagrams.
+        Returns the post-reorder live node count.
+        """
+        policy = run.reorder
+        package = self.package
+        run.state = self._materialize(run.state)
+        nodes_before = package.count_nodes(run.state)
+        ops_done = run.statistics.operations_applied
+        if nodes_before < policy.min_nodes:
+            # Too small to be worth the bookkeeping; still note the
+            # attempt so the cadence/cooldown clock advances.
+            policy.note_sift(ops_done, nodes_before, nodes_before)
+            return package.live_node_count()
+        run.state, step = sift(package, run.state,
+                               max_growth=policy.max_growth,
+                               num_qubits=run.num_qubits)
+        nodes_after = package.count_nodes(run.state)
+        policy.note_sift(ops_done, nodes_before, nodes_after)
+        identity_step = step == list(range(run.num_qubits))
+        if not identity_step:
+            run._pending = self._permute_matrix(run, run._pending, step)
+            if run._combine_guard is not None:
+                run._combine_guard = self._permute_matrix(
+                    run, run._combine_guard, step)
+                run.last_product_nodes = package.count_nodes(
+                    run._combine_guard)
+            base = run.permutation or list(range(run.num_qubits))
+            total = [step[base[q]] for q in range(run.num_qubits)]
+            run.permutation = None \
+                if total == list(range(run.num_qubits)) else total
+            run._remap_cache.clear()
+            # Gate caches are keyed by the *remapped* operations; stale
+            # entries would pin DDs built for the old order forever.
+            self.clear_caches()
+            if run.strategy is not None:
+                run.strategy.on_reorder(run)
+        run.statistics.reorders += 1
+        run.statistics.reorder_nodes_saved += nodes_before - nodes_after
+        live = self._collect(run)
+        if run.trace is not None:
+            run.trace({
+                "event": "reorder",
+                "op_index": run.statistics.matrix_vector_mults - 1,
+                "reason": reason,
+                "nodes_before": nodes_before,
+                "nodes_after": nodes_after,
+                "permutation": list(run.permutation)
+                if run.permutation is not None else None,
+                "live_nodes": live,
             })
         return live
 

@@ -8,6 +8,7 @@ from random import Random
 from ..dd.edge import Edge
 from ..dd.measurement import all_probabilities, sample_counts
 from ..dd.package import Package
+from ..dd.reordering import apply_index_permutation, permute_qubits
 from .statistics import SimulationStatistics
 
 __all__ = ["SimulationResult"]
@@ -19,54 +20,107 @@ class SimulationResult:
 
     The result keeps a reference to the :class:`Package` that owns the state
     DD, so amplitudes and samples can be queried after the run.
+
+    A run that reordered its variables mid-flight (``reorder=`` policy)
+    leaves the state DD under the sifted order and records the cumulative
+    permutation here (``permutation[q]`` = DD level of original qubit
+    ``q``).  Every query below transparently translates, so callers always
+    see *logical* qubit order -- amplitudes, probabilities, samples,
+    expectation values and entropies are identical to an unreordered run's
+    up to floating-point noise.
     """
 
     state: Edge
     package: Package
     statistics: SimulationStatistics
+    #: cumulative qubit-to-level permutation left by mid-run reordering,
+    #: or ``None`` when the state is in natural (logical) order
+    permutation: list[int] | None = None
 
     @property
     def num_qubits(self) -> int:
         return self.statistics.num_qubits
 
+    def _physical_index(self, basis_index: int) -> int:
+        """The stored-state index holding logical ``basis_index``."""
+        if self.permutation is None:
+            return basis_index
+        return apply_index_permutation(basis_index, self.permutation)
+
+    def logical_state(self) -> Edge:
+        """The state DD reordered back to logical (natural) qubit order.
+
+        Identity-order runs return the state as-is; after a reorder this
+        rebuilds the DD (which may be much larger in natural order -- that
+        is the point of reordering) so it can be compared node-for-node
+        with an unreordered run's state.
+        """
+        if self.permutation is None:
+            return self.state
+        inverse = [0] * len(self.permutation)
+        for qubit, level in enumerate(self.permutation):
+            inverse[level] = qubit
+        return permute_qubits(self.package, self.state, inverse,
+                              size=self.num_qubits)
+
     def amplitude(self, basis_index: int) -> complex:
         """Amplitude of computational basis state ``|basis_index>``."""
-        return self.package.amplitude(self.state, basis_index)
+        return self.package.amplitude(self.state,
+                                      self._physical_index(basis_index))
 
     def probability(self, basis_index: int) -> float:
         return abs(self.amplitude(basis_index)) ** 2
 
     def probabilities(self) -> list[float]:
         """All ``2^n`` outcome probabilities (exponential; small systems only)."""
-        return all_probabilities(self.package, self.state, self.num_qubits)
+        raw = all_probabilities(self.package, self.state, self.num_qubits)
+        if self.permutation is None:
+            return raw
+        return [raw[self._physical_index(index)]
+                for index in range(len(raw))]
 
     def sample(self, shots: int, rng: Random | None = None) -> dict[int, int]:
-        """Measurement histogram over ``shots`` shots."""
-        return sample_counts(self.package, self.state, shots,
-                             rng or Random(0))
+        """Measurement histogram over ``shots`` shots (logical indices)."""
+        counts = sample_counts(self.package, self.state, shots,
+                               rng or Random(0))
+        if self.permutation is None:
+            return counts
+        inverse = [0] * len(self.permutation)
+        for qubit, level in enumerate(self.permutation):
+            inverse[level] = qubit
+        return {apply_index_permutation(outcome, inverse): hits
+                for outcome, hits in counts.items()}
 
     def state_nodes(self) -> int:
-        """Node count of the final state DD."""
+        """Node count of the final state DD (under its stored order)."""
         return self.package.count_nodes(self.state)
 
     def fidelity_with(self, other: "SimulationResult") -> float:
-        """``|<self|other>|^2`` -- 1.0 when two strategies agree."""
+        """``|<self|other>|^2`` -- 1.0 when two strategies agree.
+
+        Results reordered differently are compared in logical order (the
+        one with fewer natural-order nodes is rebuilt), so the fidelity is
+        between the physical states both runs represent.
+        """
         if self.package is not other.package:
             raise ValueError("states live in different DD packages; "
                              "simulate with a shared package to compare")
-        return self.package.fidelity(self.state, other.state)
+        if self.permutation == other.permutation:
+            return self.package.fidelity(self.state, other.state)
+        return self.package.fidelity(self.logical_state(),
+                                     other.logical_state())
 
     def expectation(self, pauli) -> float:
         """Expectation value of a Pauli string (see
         :func:`repro.dd.observables.pauli_expectation`)."""
         from ..dd.observables import pauli_expectation
 
-        return pauli_expectation(self.package, pauli, self.state,
+        return pauli_expectation(self.package, pauli, self.logical_state(),
                                  self.num_qubits)
 
     def entanglement_entropy(self, subsystem, base: float = 2.0) -> float:
         """Von Neumann entropy of ``subsystem`` vs. the rest (in bits)."""
         from ..analysis.entanglement import entanglement_entropy
 
-        return entanglement_entropy(self.package, self.state, subsystem,
-                                    base=base)
+        return entanglement_entropy(self.package, self.logical_state(),
+                                    subsystem, base=base)

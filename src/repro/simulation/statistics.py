@@ -62,6 +62,10 @@ class SimulationStatistics:
     checkpoints_written: int = 0
     #: integrity audits run by the every-K-steps engine hook
     audits_run: int = 0
+    #: mid-run variable reorders (sifts) performed
+    reorders: int = 0
+    #: total state-DD nodes saved by reordering (before - after, summed)
+    reorder_nodes_saved: int = 0
 
     def record_state_size(self, nodes: int) -> None:
         if nodes > self.peak_state_nodes:
@@ -109,6 +113,8 @@ class SimulationStatistics:
         self.cumulative_fidelity *= other.cumulative_fidelity
         self.checkpoints_written += other.checkpoints_written
         self.audits_run += other.audits_run
+        self.reorders += other.reorders
+        self.reorder_nodes_saved += other.reorder_nodes_saved
 
     # -- serialisation (checkpoint format) ------------------------------
 

@@ -82,6 +82,16 @@ class SimulationStrategy:
     def begin(self, run: "_Run") -> None:
         """Reset per-run state.  Called once before the first operation."""
 
+    def on_reorder(self, run: "_Run") -> None:
+        """The engine reordered the run's variables mid-flight.
+
+        Called after a governed sift permuted the state, the pending
+        product and the run's cumulative permutation.  Strategies holding
+        references to DDs built under the old order must re-adopt the
+        permuted versions from the run (or drop their caches) here; the
+        default is a no-op for strategies that hold no DDs of their own.
+        """
+
     def feed(self, run: "_Run", operation) -> None:
         """Consume one elementary operation."""
         raise NotImplementedError
@@ -146,6 +156,13 @@ class _AccumulatingStrategy(SimulationStrategy):
         self._product = pending
         self._product_nodes = run.package.count_nodes(pending)
         run.set_pending(pending)
+
+    def on_reorder(self, run: "_Run") -> None:
+        """Re-adopt the (engine-permuted) pending product after a sift."""
+        if self._product is not None:
+            self._product = run._pending
+            self._product_nodes = run.package.count_nodes(self._product) \
+                if self._product is not None else 0
 
     def flush(self, run: "_Run") -> None:
         if self._product is not None:
@@ -287,6 +304,12 @@ class AdaptiveStrategy(_AccumulatingStrategy):
         super().begin(run)
         self._state_nodes = run.package.count_nodes(run.state)
 
+    def on_reorder(self, run: "_Run") -> None:
+        super().on_reorder(run)
+        # A sift usually shrinks the state; the combining threshold should
+        # track the new size, not the pre-reorder one.
+        self._state_nodes = run.package.count_nodes(run.state)
+
     def _threshold(self) -> int:
         scaled = int(self.ratio * self._state_nodes)
         return min(self.ceiling, max(self.floor, scaled))
@@ -349,6 +372,18 @@ class RepeatingBlockStrategy(SimulationStrategy):
     def flush(self, run: "_Run") -> None:
         self.inner.flush(run)
 
+    def on_reorder(self, run: "_Run") -> None:
+        """Drop the block cache: its DDs were combined under the old order.
+
+        The cached matrices (and their pins among the run's extra roots)
+        would silently apply old-order blocks to the reordered state;
+        clearing both makes the next repetition re-combine under the new
+        order (through :meth:`_Run.gate_dd`, which remaps the operations).
+        """
+        self.inner.on_reorder(run)
+        self._block_cache.clear()
+        run._extra_roots.clear()
+
     def handle_block(self, run: "_Run", block: RepeatedBlock) -> None:
         if block.repetitions == 0:
             return
@@ -356,19 +391,21 @@ class RepeatingBlockStrategy(SimulationStrategy):
         # block matrix is re-used across repetitions and cannot absorb it.
         self.inner.flush(run)
         body_size = sum(1 for _ in block.operations())
-        combined = self._block_cache.get(id(block))
-        if combined is None:
-            combined = self._combine_block(run, block)
-            self._block_cache[id(block)] = combined
-            run.add_root(combined)
-            reused = block.repetitions - 1
-        else:
-            reused = block.repetitions
         # Every repetition logically consumes the block's operations, even
-        # though only the first combination did multiplication work.
+        # though only cache misses do multiplication work.
         run.note_operation(body_size * block.repetitions)
-        run.statistics.reused_block_applications += reused
         for _ in range(block.repetitions):
+            # Re-fetched every pass: a governed mid-block reorder clears
+            # the cache (the combined DD belongs to the old variable
+            # order), and holding a pre-reorder local across apply_matrix
+            # would corrupt the remaining repetitions.
+            combined = self._block_cache.get(id(block))
+            if combined is None:
+                combined = self._combine_block(run, block)
+                self._block_cache[id(block)] = combined
+                run.add_root(combined)
+            else:
+                run.statistics.reused_block_applications += 1
             run.apply_matrix(combined)
 
     def _combine_block(self, run: "_Run", block: RepeatedBlock) -> Edge:

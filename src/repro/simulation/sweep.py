@@ -115,6 +115,9 @@ class SweepTask:
     timeout: float | None = None
     max_nodes: int | None = None
     gc_limit: int | None = None
+    #: reorder policy spec (``"governor"`` / ``"every=K"``; ``None`` = off),
+    #: honoured by ``qasm`` and ``instance`` cells
+    reorder: str | None = None
     fault: str | None = None
 
     def key(self) -> tuple:
@@ -267,6 +270,9 @@ def _simulate_task(task: SweepTask) -> SimulationStatistics:
     from .strategies import strategy_from_spec
     if task.kind == "construct":
         from ..analysis.instances import shor_dd_construct_statistics
+        if task.reorder is not None:
+            raise ValueError("construct cells build oracle DDs directly "
+                             "(no simulation loop); reorder= does not apply")
         return shor_dd_construct_statistics(task.metadata["modulus"],
                                             task.metadata["base"],
                                             seed=task.metadata.get("seed", 7))
@@ -282,14 +288,16 @@ def _simulate_task(task: SweepTask) -> SimulationStatistics:
             engine = SimulationEngine(package=Package(identity_shortcut=False),
                                       use_local_apply=False,
                                       governor=governor)
-        result = engine.simulate(circuit, strategy_from_spec(task.strategy))
+        result = engine.simulate(circuit, strategy_from_spec(task.strategy),
+                                 reorder=task.reorder)
         return result.statistics
     if task.kind == "instance":
         from ..analysis.instances import instance_from_spec
         instance = instance_from_spec(task.metadata, task.name)
         return instance.run(strategy_from_spec(task.strategy),
                             use_local_apply=task.use_local_apply,
-                            governor=_governor_for(task))
+                            governor=_governor_for(task),
+                            reorder=task.reorder)
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 

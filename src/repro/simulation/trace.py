@@ -31,6 +31,12 @@ Event schema (all events carry ``event`` and ``op_index``):
     One checkpoint written (periodic or on-failure).  Fields:
     ``op_index`` (next flattened operation to apply), ``path``,
     ``reason`` (``periodic``, or the exception class name), ``state_nodes``.
+``reorder``
+    One mid-run variable reorder (sift).  Fields: ``op_index``,
+    ``reason`` (``pressure`` for governor-triggered, ``cadence`` for
+    every-K), ``nodes_before`` / ``nodes_after`` (state DD size around the
+    sift), ``permutation`` (cumulative qubit-to-level map, ``null`` when
+    back to identity), ``live_nodes`` (after the post-sift collection).
 
 :class:`JsonlTraceSink` appends events to a JSON-Lines file;
 :func:`trace_summary` condenses a list of events (or a JSONL file) back
@@ -114,6 +120,8 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
     degrade_events = 0
     degrade_fidelity = 1.0
     checkpoint_events = 0
+    reorder_events = 0
+    reorder_nodes_saved = 0
     last_hit_rates: dict[str, float] = {}
     for event in events:
         kind = event.get("event")
@@ -136,6 +144,10 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
             degrade_fidelity *= event.get("fidelity", 1.0)
         elif kind == "checkpoint":
             checkpoint_events += 1
+        elif kind == "reorder":
+            reorder_events += 1
+            reorder_nodes_saved += (event.get("nodes_before", 0)
+                                    - event.get("nodes_after", 0))
     return {
         "steps": steps,
         "peak_state_nodes": peak_state,
@@ -148,5 +160,7 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
         "degrade_events": degrade_events,
         "degrade_fidelity": round(degrade_fidelity, 9),
         "checkpoint_events": checkpoint_events,
+        "reorder_events": reorder_events,
+        "reorder_nodes_saved": reorder_nodes_saved,
         **{key: round(value, 6) for key, value in last_hit_rates.items()},
     }

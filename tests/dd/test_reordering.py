@@ -5,8 +5,10 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.dd import (Package, matrix_from_numpy, matrix_to_numpy,
-                      vector_from_numpy, vector_to_numpy)
+from repro.dd import (Package, build_gate_dd, matrix_from_numpy,
+                      matrix_to_numpy, vector_from_numpy, vector_to_numpy)
+from repro.dd.edge import Edge
+from repro.dd.node import TERMINAL, VectorNode
 from repro.dd.reordering import (apply_index_permutation, permute_qubits,
                                  sift, swap_adjacent_levels)
 
@@ -99,6 +101,100 @@ class TestAdjacentSwapMatrix:
         assert swap_adjacent_levels(package, cx_up, 0).node is cx_down.node
 
 
+X_GATE = [[0, 1], [1, 0]]
+
+
+def gapped_vector_edge() -> Edge:
+    """A corrupt 3-qubit state DD whose root child skips level 1.
+
+    Built from raw node constructors on purpose: the package's own builders
+    never produce vector-level gaps, which is exactly why the reordering
+    toolkit must refuse them instead of silently reading them as identity.
+    """
+    leaf = VectorNode(0, (Edge(TERMINAL, 1 + 0j), Edge(TERMINAL, 0j)))
+    root = VectorNode(2, (Edge(leaf, 1 + 0j), Edge(TERMINAL, 0j)))
+    return Edge(root, 1 + 0j)
+
+
+class TestIdentityEdgeGaps:
+    """Swaps on matrix DDs with identity-edge level gaps.
+
+    ``Package(identity_edges=True)`` builds matrix DDs that skip identity
+    levels; the swap machinery must expand those virtual levels on demand.
+    Vector DDs never legally skip a level, so the same shapes raise there.
+    """
+
+    @pytest.fixture
+    def gap_package(self):
+        return Package(identity_edges=True)
+
+    @pytest.mark.parametrize("level", [0, 1])
+    def test_swap_expands_gap_below_control(self, gap_package, level):
+        # CX(control=2, target=0) on 3 qubits: the root's children skip
+        # level 1, so both swaps cross the identity gap.
+        cx = build_gate_dd(gap_package, X_GATE, 3, 0, {2: 1})
+        assert all(e.node.level < 1 for e in cx.node.edges)  # gap exists
+        orig = matrix_to_numpy(cx, 3)
+        swapped = swap_adjacent_levels(gap_package, cx, level, size=3)
+        dense = matrix_to_numpy(swapped, 3)
+        for row in range(8):
+            for col in range(8):
+                assert dense[swapped_bits(row, level, level + 1),
+                             swapped_bits(col, level, level + 1)] \
+                    == pytest.approx(orig[row, col], abs=1e-9)
+
+    def test_swap_inside_gap_is_noop(self, gap_package):
+        # CX(control=3, target=0) on 4 qubits: levels 1 and 2 are both
+        # skipped; swapping two identity factors changes nothing.
+        cx = build_gate_dd(gap_package, X_GATE, 4, 0, {3: 1})
+        swapped = swap_adjacent_levels(gap_package, cx, 1, size=4)
+        assert swapped.node is cx.node
+        orig = matrix_to_numpy(cx, 4)
+        assert np.allclose(matrix_to_numpy(swapped, 4), orig)
+
+    def test_swap_above_low_root_is_noop(self, gap_package):
+        # Root at level 0, swap window entirely in the identity levels
+        # above it: only size= makes the swap legal at all.
+        h = build_gate_dd(gap_package, [[2 ** -0.5, 2 ** -0.5],
+                                        [2 ** -0.5, -(2 ** -0.5)]], 4, 0,
+                          None)
+        assert h.node.level == 0
+        swapped = swap_adjacent_levels(gap_package, h, 2, size=4)
+        assert swapped.node is h.node
+
+    def test_permute_gapped_matrix_matches_dense(self, gap_package):
+        cx = build_gate_dd(gap_package, X_GATE, 3, 0, {2: 1})
+        perm = [2, 0, 1]
+        permuted = permute_qubits(gap_package, cx, perm, size=3)
+        orig = matrix_to_numpy(cx, 3)
+        dense = matrix_to_numpy(permuted, 3)
+        for row in range(8):
+            for col in range(8):
+                assert dense[apply_index_permutation(row, perm),
+                             apply_index_permutation(col, perm)] \
+                    == pytest.approx(orig[row, col], abs=1e-9)
+
+    @pytest.mark.parametrize("level", [0, 1])
+    def test_gapped_vector_swap_rejected(self, package, level):
+        with pytest.raises(ValueError, match="skips level 1"):
+            swap_adjacent_levels(package, gapped_vector_edge(), level)
+
+    def test_short_vector_root_rejected_with_size(self, package):
+        # A 2-level state declared as 3 qubits is a gap at the root.
+        state = package.basis_state(2, 0b10)
+        with pytest.raises(ValueError, match="skips level 2"):
+            swap_adjacent_levels(package, state, 0, size=3)
+
+    def test_gapped_vector_permute_rejected(self, package):
+        state = package.basis_state(2, 0b01)
+        with pytest.raises(ValueError, match="skips level"):
+            permute_qubits(package, state, [1, 0, 2], size=3)
+
+    def test_gapped_vector_sift_rejected(self, package):
+        with pytest.raises(ValueError, match="skips level"):
+            sift(package, gapped_vector_edge(), num_qubits=3)
+
+
 class TestPermutation:
     def test_apply_index_permutation(self):
         # move bit0 -> position 2, bit1 -> 0, bit2 -> 1
@@ -184,3 +280,51 @@ class TestSifting:
         result, perm = sift(package, single)
         assert perm == [0]
         assert result.node is single.node
+
+    def test_num_qubits_pins_permutation_length(self, package):
+        # Zero and terminal edges have no height of their own; the caller's
+        # num_qubits= must still yield a full-length identity permutation.
+        _, perm = sift(package, package.zero, num_qubits=5)
+        assert perm == [0, 1, 2, 3, 4]
+        _, perm = sift(package, package.zero, num_qubits=0)
+        assert perm == []
+        single = package.basis_state(1, 0)
+        _, perm = sift(package, single, num_qubits=1)
+        assert perm == [0]
+
+    def test_num_qubits_validation(self, package):
+        with pytest.raises(ValueError, match="num_qubits"):
+            sift(package, package.zero, num_qubits=-1)
+        with pytest.raises(ValueError, match="taller"):
+            sift(package, package.basis_state(3, 5), num_qubits=2)
+
+    @pytest.mark.parametrize("max_growth", [1.0, 1.1, 2.0])
+    def test_max_growth_abandon_keeps_contract(self, package, max_growth):
+        # Early-abandoned sweeps must still return a full permutation and a
+        # diagram no larger than the input; max_growth=1.0 abandons any
+        # sweep on its first growing swap, the historically buggy path.
+        rng = np.random.default_rng(11)
+        vec = rng.normal(size=64) + 1j * rng.normal(size=64)
+        state = vector_from_numpy(package, vec)
+        sifted, permutation = sift(package, state, max_growth=max_growth)
+        assert sorted(permutation) == list(range(6))
+        assert package.count_nodes(sifted) <= package.count_nodes(state)
+        dense = vector_to_numpy(sifted, 6)
+        for index in range(64):
+            assert dense[apply_index_permutation(index, permutation)] \
+                == pytest.approx(vec[index], abs=1e-9)
+
+    @given(amplitudes(3), st.permutations([0, 1, 2]))
+    def test_property_permute_then_sift_round_trips(self, vec, perm):
+        # Direction contract across the full pipeline: scramble with
+        # permute_qubits, sift back, and the composed measurement remap
+        # must recover every dense amplitude.
+        package = Package()
+        state = vector_from_numpy(package, vec)
+        scrambled = permute_qubits(package, state, list(perm))
+        sifted, sift_perm = sift(package, scrambled, num_qubits=3)
+        total = [sift_perm[perm[q]] for q in range(3)]
+        dense = vector_to_numpy(sifted, 3)
+        for index in range(8):
+            assert dense[apply_index_permutation(index, total)] \
+                == pytest.approx(vec[index], abs=1e-6)

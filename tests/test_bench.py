@@ -25,6 +25,11 @@ REQUIRED_THRASH_KEYS = {"name", "description", "num_qubits",
                         "speedup_governed_vs_fixed",
                         "fidelity_governed_vs_ungoverned",
                         "fidelity_fixed_vs_ungoverned"}
+REQUIRED_REORDER_KEYS = {"name", "description", "num_qubits",
+                         "num_operations", "ordered", "sifted",
+                         "node_ratio_ordered_vs_sifted",
+                         "final_permutation",
+                         "fidelity_sifted_vs_ordered"}
 
 
 class TestWorkloadCatalogue:
@@ -42,7 +47,7 @@ class TestWorkloadCatalogue:
 class TestRunBench:
     def test_report_schema(self):
         report = run_bench(smoke=True, repeats=1, workload_names=["qft_10"])
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["profile"] == "smoke"
         (entry,) = report["workloads"]
         assert REQUIRED_WORKLOAD_KEYS <= set(entry)
@@ -135,6 +140,25 @@ class TestThrashScenario:
         governed_gc = thrash["governed"]["gc"]["collections"]
         assert fixed_gc > 10 * max(governed_gc, 1)
         assert thrash["governed"]["governor"]["limit_growths"] >= 1
+
+
+class TestReorderScenario:
+    def test_reorder_section_schema_and_collapse(self):
+        # again no wall-clock assertions; the receipt is the node-count
+        # collapse and the in-harness fidelity gate at 1 - 1e-9
+        report = run_bench(smoke=True, repeats=1,
+                           workload_names=["grover_8"])
+        reorder = report["reorder"]
+        assert REQUIRED_REORDER_KEYS <= set(reorder)
+        assert reorder["fidelity_sifted_vs_ordered"] >= 1 - 1e-9
+        assert reorder["sifted"]["reorders"] >= 1
+        assert reorder["ordered"]["reorders"] == 0
+        # the whole point: sifting collapses the pairing worst case
+        assert reorder["sifted"]["final_state_nodes"] \
+            < reorder["ordered"]["final_state_nodes"]
+        assert reorder["node_ratio_ordered_vs_sifted"] > 1
+        num_qubits = reorder["num_qubits"]
+        assert sorted(reorder["final_permutation"]) == list(range(num_qubits))
 
 
 class TestCli:

@@ -23,7 +23,8 @@ from repro.baseline import simulate_statevector
 from repro.circuit import QuantumCircuit
 from repro.dd import sample_counts
 from repro.dd.package import Package
-from repro.simulation import SimulationEngine, strategy_from_spec
+from repro.simulation import (MemoryGovernor, SimulationEngine,
+                              strategy_from_spec)
 
 DIFFERENTIAL_SEED = int(os.environ.get("DIFFERENTIAL_SEED", "7"))
 FIDELITY_FLOOR = 1 - 1e-9
@@ -203,6 +204,33 @@ class TestKernelGrid:
         result = engine.simulate(circuit, strategy_from_spec(spec))
         dense = simulate_statevector(circuit)
         assert dd_fidelity(result, dense) >= FIDELITY_FLOOR, (config, spec)
+        package.assert_invariants([result.state])
+
+    @pytest.mark.parametrize("config", sorted(KERNEL_CONFIGS))
+    @pytest.mark.parametrize("reorder", ["every=5", "governor"])
+    @pytest.mark.parametrize("spec", ["sequential", "k=3", "adaptive"])
+    def test_reorder_axis_matches_dense(self, spec, config, reorder):
+        # Mid-run sifting crossed with every kernel configuration: the
+        # state (and the iterative kernel's materialized flat state) must
+        # still land on the dense baseline, with amplitudes transparently
+        # remapped through the recorded permutation, and the final DD must
+        # audit clean after every sift.  The governor arm uses a tiny GC
+        # threshold with no hard budget: collections go futile almost
+        # immediately (pressure -> sift) but nothing can abort the run.
+        circuit = random_circuit(6, 35, seed=DIFFERENTIAL_SEED + 29,
+                                 rotations=True)
+        package = Package(**KERNEL_CONFIGS[config])
+        governor = (MemoryGovernor(node_limit=12, max_nodes=None)
+                    if reorder == "governor" else None)
+        engine = SimulationEngine(package=package, use_local_apply=False,
+                                  governor=governor)
+        result = engine.simulate(circuit, strategy_from_spec(spec),
+                                 reorder=reorder)
+        dense = simulate_statevector(circuit)
+        fidelity = dd_fidelity(result, dense)
+        assert fidelity >= FIDELITY_FLOOR, \
+            (f"{config} under {spec} with reorder={reorder}: "
+             f"fidelity {fidelity!r} (seed base {DIFFERENTIAL_SEED})")
         package.assert_invariants([result.state])
 
 
