@@ -12,6 +12,10 @@ Examples::
     python -m repro factor 15
     python -m repro experiments --profile quick --jobs 4
     python -m repro sweep spec.json --jobs 4 --output report.json
+    python -m repro jobs submit ./store --instance grover_8 --strategy k=4
+    python -m repro jobs run ./store --workers 2 --trace store.jsonl
+    python -m repro jobs status ./store
+    python -m repro jobs retry ./store j0000-grover_8
 """
 
 from __future__ import annotations
@@ -421,6 +425,145 @@ def _cmd_sweep(args) -> int:
     return 0 if report.all_ok else 1
 
 
+def _cmd_jobs_submit(args) -> int:
+    """Durably enqueue one simulation job into a store directory."""
+    from .service import JobSpec, JobStore, parse_fault
+
+    if (args.qasm is None) == (args.instance is None):
+        print("error: give exactly one of --qasm or --instance",
+              file=sys.stderr)
+        return 2
+    try:
+        parse_fault(args.fault)  # fail the submission, not every attempt
+        if args.qasm is not None:
+            import os.path
+            with open(args.qasm, encoding="utf-8") as handle:
+                qasm = handle.read()
+            name = args.name or os.path.basename(args.qasm)
+        else:
+            from .analysis.instances import instance_qasm
+            qasm = instance_qasm(args.instance)
+            name = args.name or args.instance
+        spec = JobSpec(
+            name=name, qasm=qasm, strategy=args.strategy,
+            use_local_apply=not args.paper, kernel=args.kernel,
+            reorder=args.reorder, max_nodes=args.max_nodes,
+            gc_limit=args.gc_limit, checkpoint_every=args.checkpoint_every,
+            timeout=args.timeout, fault=args.fault)
+        record = JobStore(args.store).submit(
+            spec, max_attempts=args.max_attempts)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted : {record.job_id} ({record.state}, "
+          f"max {record.max_attempts} attempt(s))")
+    return 0
+
+
+def _cmd_jobs_run(args) -> int:
+    """Supervise every queued job in the store to a terminal state."""
+    from .service import JobStore, Supervisor, SupervisorConfig
+
+    store = JobStore(args.store)
+    if not store.list_ids():
+        print(f"error: no jobs in {args.store} "
+              f"(submit some with 'jobs submit')", file=sys.stderr)
+        return 2
+    config = SupervisorConfig(
+        max_workers=args.workers, lease_seconds=args.lease,
+        backoff_base=args.backoff_base,
+        max_wall_seconds=args.max_wall_seconds)
+    trace_sink = None
+    if args.trace:
+        from .simulation import JsonlTraceSink
+        trace_sink = JsonlTraceSink(args.trace)
+    try:
+        report = Supervisor(store, config, trace=trace_sink).run()
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    for job_id, state in report.states.items():
+        record = store.get(job_id)
+        line = f"{state:>12}  {job_id}  attempts={record.attempts}"
+        if record.result:
+            line += (f"  resumed_from_op="
+                     f"{record.result.get('resumed_from_op')}")
+        if record.errors:
+            line += f"  last_error={record.errors[-1].get('type')}"
+        print(line)
+    counts = ", ".join(f"{count} {state}"
+                       for state, count in sorted(report.counts().items()))
+    print(f"jobs: {len(report.states)} supervised ({counts}), "
+          f"{report.retries} retries, {report.lease_expiries} lease "
+          f"expiries, {report.recovered} recovered, "
+          f"{report.wall_seconds:.3f}s")
+    if args.trace:
+        print(f"trace: {args.trace}")
+    return 0 if report.all_done else 1
+
+
+def _cmd_jobs_status(args) -> int:
+    """Show every job record in the store."""
+    from .service import JobStore
+
+    store = JobStore(args.store)
+    records = store.load_all()
+    if args.json:
+        payload = {
+            "counts": store.counts(),
+            "jobs": [record.as_dict() for record in records],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no jobs in {args.store}")
+        return 0
+    for record in records:
+        line = (f"{record.state:>12}  {record.job_id}  "
+                f"attempts={record.attempts}/{record.max_attempts}  "
+                f"strategy={record.spec.strategy}")
+        if record.errors:
+            line += f"  last_error={record.errors[-1].get('type')}"
+        print(line)
+    counts = ", ".join(f"{count} {state}"
+                       for state, count in sorted(store.counts().items()))
+    print(f"jobs: {len(records)} total ({counts})")
+    return 0
+
+
+def _cmd_jobs_retry(args) -> int:
+    """Re-queue failed/quarantined jobs with a fresh attempt budget."""
+    from .service import JobStateError, JobStore
+
+    store = JobStore(args.store)
+    status = 0
+    for job_id in args.job_ids:
+        try:
+            record = store.get(job_id)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        if record.state not in ("failed", "quarantined"):
+            print(f"skipped   : {job_id} is {record.state} "
+                  f"(only failed/quarantined jobs can be retried)",
+                  file=sys.stderr)
+            status = status or 1
+            continue
+        try:
+            # fresh budget: the error chain stays for the post-mortem,
+            # but the attempt counter restarts
+            record.attempts = 0
+            record.not_before = 0.0
+            store.transition(record, "queued", note="manual retry")
+        except JobStateError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        print(f"requeued  : {job_id}")
+    return status
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -582,6 +725,86 @@ def main(argv: list[str] | None = None) -> int:
                        help="restrict --output to fields that are "
                             "bit-identical across processes and job counts")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    jobs = commands.add_parser(
+        "jobs", help="durable job queue: submit, supervise, inspect, retry")
+    jobs_commands = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    jobs_submit = jobs_commands.add_parser(
+        "submit", help="enqueue one simulation job into a store directory")
+    jobs_submit.add_argument("store", help="job store directory "
+                                           "(created if missing)")
+    jobs_submit.add_argument("--qasm", default=None, metavar="PATH",
+                             help="circuit file to embed into the job")
+    jobs_submit.add_argument("--instance", default=None, metavar="NAME",
+                             help="circuit-backed registry instance "
+                                  "(e.g. grover_8) to embed as QASM")
+    jobs_submit.add_argument("--name", default=None,
+                             help="job name (default: file/instance name)")
+    jobs_submit.add_argument("--strategy", default="sequential",
+                             help="sequential | k=<n> | smax=<n> | adaptive "
+                                  "| repeating[:inner]")
+    jobs_submit.add_argument("--kernel", default=None,
+                             choices=["recursive", "iterative"],
+                             help="DD multiplication kernel")
+    jobs_submit.add_argument("--reorder", default=None, metavar="POLICY",
+                             help="mid-run reorder policy "
+                                  "('governor' or 'every=K')")
+    jobs_submit.add_argument("--paper", action="store_true",
+                             help="paper-literal pathway (no local-apply "
+                                  "fast path, no identity shortcut)")
+    jobs_submit.add_argument("--max-nodes", type=int, default=None,
+                             help="hard DD node budget per attempt")
+    jobs_submit.add_argument("--gc-limit", type=int, default=None,
+                             help="initial GC node limit")
+    jobs_submit.add_argument("--checkpoint-every", type=int, default=25,
+                             metavar="N",
+                             help="periodic checkpoint cadence in "
+                                  "operations (default 25)")
+    jobs_submit.add_argument("--timeout", type=float, default=None,
+                             metavar="S",
+                             help="cooperative per-attempt deadline")
+    jobs_submit.add_argument("--max-attempts", type=int, default=3,
+                             help="attempts before quarantine (default 3)")
+    jobs_submit.add_argument("--fault", default=None, metavar="SPEC",
+                             help="chaos-testing fault spec (e.g. kill@12, "
+                                  "latency=0.5, budget@7)")
+    jobs_submit.set_defaults(handler=_cmd_jobs_submit)
+
+    jobs_run = jobs_commands.add_parser(
+        "run", help="supervise every queued job to a terminal state "
+                    "(exit 0 iff all done)")
+    jobs_run.add_argument("store", help="job store directory")
+    jobs_run.add_argument("--workers", type=int, default=2, metavar="N",
+                          help="concurrent worker processes (default 2)")
+    jobs_run.add_argument("--lease", type=float, default=10.0, metavar="S",
+                          help="heartbeat staleness that expires a lease "
+                               "(default 10s)")
+    jobs_run.add_argument("--backoff-base", type=float, default=0.2,
+                          metavar="S",
+                          help="first retry backoff; doubles per attempt "
+                               "(default 0.2s)")
+    jobs_run.add_argument("--max-wall-seconds", type=float, default=600.0,
+                          metavar="S",
+                          help="hard bound on the whole supervision run "
+                               "(default 600s)")
+    jobs_run.add_argument("--trace", default=None, metavar="PATH",
+                          help="write supervision events as JSONL to PATH")
+    jobs_run.set_defaults(handler=_cmd_jobs_run)
+
+    jobs_status = jobs_commands.add_parser(
+        "status", help="show every job record in the store")
+    jobs_status.add_argument("store", help="job store directory")
+    jobs_status.add_argument("--json", action="store_true",
+                             help="machine-readable dump")
+    jobs_status.set_defaults(handler=_cmd_jobs_status)
+
+    jobs_retry = jobs_commands.add_parser(
+        "retry", help="re-queue failed/quarantined jobs with a fresh "
+                      "attempt budget")
+    jobs_retry.add_argument("store", help="job store directory")
+    jobs_retry.add_argument("job_ids", nargs="+", metavar="JOB_ID")
+    jobs_retry.set_defaults(handler=_cmd_jobs_retry)
 
     bench = commands.add_parser(
         "bench", help="run the reproducible DD-kernel benchmark",

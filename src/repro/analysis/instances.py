@@ -28,8 +28,8 @@ from ..simulation.statistics import SimulationStatistics
 from ..simulation.strategies import SimulationStrategy
 
 __all__ = ["BenchmarkInstance", "get_instance", "instance_from_spec",
-           "instance_task_spec", "quick_suite", "default_suite",
-           "extended_suite", "grover_suite", "shor_suite",
+           "instance_qasm", "instance_task_spec", "quick_suite",
+           "default_suite", "extended_suite", "grover_suite", "shor_suite",
            "supremacy_suite"]
 
 
@@ -47,7 +47,9 @@ class BenchmarkInstance:
     def run(self, strategy: SimulationStrategy,
             use_local_apply: bool = True,
             governor: "MemoryGovernor | None" = None,
-            reorder: str | None = None) -> SimulationStatistics:
+            reorder: str | None = None,
+            on_op: Callable[[int], None] | None = None
+            ) -> SimulationStatistics:
         """Simulate this instance under ``strategy`` on a fresh engine.
 
         ``use_local_apply=False`` forces the paper-literal pathway (explicit
@@ -59,8 +61,13 @@ class BenchmarkInstance:
         :func:`~repro.simulation.reorder.reorder_from_spec` spec enabling
         mid-run variable reordering (circuit-backed instances only; the
         Shor order finder drives its own engine and rejects it).
+        ``on_op`` is the engine's cheap per-op callback (cooperative
+        deadlines, fault injection); circuit-backed instances pass it
+        through, the Shor order finder ignores it (its engine loop is
+        driven internally).
         """
-        return self._runner(strategy, use_local_apply, governor, reorder)
+        return self._runner(strategy, use_local_apply, governor, reorder,
+                            on_op)
 
 
 def _circuit_instance(name: str, kind: str, description: str,
@@ -70,7 +77,8 @@ def _circuit_instance(name: str, kind: str, description: str,
 
     def runner(strategy: SimulationStrategy,
                use_local_apply: bool = True,
-               governor=None, reorder=None) -> SimulationStatistics:
+               governor=None, reorder=None,
+               on_op=None) -> SimulationStatistics:
         if not built:
             built.append(build())
         if use_local_apply:
@@ -84,7 +92,7 @@ def _circuit_instance(name: str, kind: str, description: str,
                 package=Package(identity_shortcut=False),
                 use_local_apply=False, governor=governor)
         return engine.simulate(built[0], strategy,
-                               reorder=reorder).statistics
+                               reorder=reorder, on_op=on_op).statistics
 
     return BenchmarkInstance(name=name, kind=kind, description=description,
                              _runner=runner, metadata=metadata or {})
@@ -125,7 +133,12 @@ def _shor_instance(modulus: int, base: int, seed: int = 7) -> BenchmarkInstance:
 
     def runner(strategy: SimulationStrategy,
                use_local_apply: bool = True,
-               governor=None, reorder=None) -> SimulationStatistics:
+               governor=None, reorder=None,
+               on_op=None) -> SimulationStatistics:
+        # on_op is accepted but not wired through: the order finder drives
+        # its own engine loop, so a cooperative deadline cannot observe it
+        # (the sweep's SIGALRM path and the supervisor's lease expiry
+        # still bound these cells)
         if reorder is not None:
             raise ValueError(
                 "shor instances drive their own engine through "
@@ -272,3 +285,54 @@ def instance_from_spec(metadata: dict, name: str) -> BenchmarkInstance:
 def instance_task_spec(instance: BenchmarkInstance) -> dict:
     """The ``metadata`` payload :func:`instance_from_spec` rebuilds from."""
     return {"kind": instance.kind, **instance.metadata}
+
+
+def instance_qasm(name: str) -> str:
+    """OpenQASM-2 text of a circuit-backed registry instance.
+
+    The job queue stores circuits as self-contained QASM inside the job
+    record (``repro jobs submit --instance grover_8``), so the circuit is
+    rebuilt here once, at submission time.  The Shor order finder is not
+    circuit-backed (it drives its own engine, with intermediate
+    measurements) and cannot be submitted as a job this way.
+    """
+    from ..circuit.qasm import to_qasm
+    instance = get_instance(name)
+    if instance.kind == "shor":
+        raise ValueError(
+            f"instance {name!r} is not circuit-backed (the Shor order "
+            f"finder drives its own engine) and cannot run as a job; "
+            f"submit a circuit-backed instance or inline QASM instead")
+    if instance.kind == "grover":
+        circuit = grover_circuit(instance.metadata["num_data_qubits"],
+                                 instance.metadata["marked"]).circuit
+    elif instance.kind == "supremacy":
+        circuit = supremacy_circuit(
+            instance.metadata["rows"], instance.metadata["cols"],
+            instance.metadata["depth"], instance.metadata["seed"]).circuit
+    else:
+        # extended-suite instances: rebuild through the registry runner's
+        # own builder by simulating nothing -- not possible without the
+        # circuit, so reconstruct via a one-off private build
+        circuit = _registry_circuit(instance)
+    return to_qasm(circuit)
+
+
+def _registry_circuit(instance: BenchmarkInstance) -> QuantumCircuit:
+    """Rebuild an extended-suite instance's circuit from its name."""
+    from ..algorithms.clifford import random_clifford_circuit
+    from ..algorithms.graph_states import graph_state_circuit
+    from ..algorithms.oracles import bernstein_vazirani_circuit
+    from ..algorithms.qaoa import grid_graph
+    builders = {
+        "bv_12": lambda: bernstein_vazirani_circuit(
+            12, 0b101101011010).circuit,
+        "clifford_16_10": lambda: random_clifford_circuit(
+            10, 16, seed=2).circuit,
+        "graph_state_3x4": lambda: graph_state_circuit(
+            grid_graph(3, 4), 12).circuit,
+    }
+    if instance.name not in builders:
+        raise ValueError(f"no circuit builder known for instance "
+                         f"{instance.name!r}")
+    return builders[instance.name]()

@@ -1,0 +1,43 @@
+"""Durable job queue, supervised worker pool, and fault injection.
+
+The service layer turns the engine's resilience primitives (atomic
+checkpoints, memory budgets, worker-death containment) into *jobs that
+survive*: a file-backed job store whose records move through a validated
+state machine with atomic writes, a supervisor that leases jobs to worker
+processes with heartbeats/lease expiry/retry-with-backoff, and one shared
+deterministic fault-injection vocabulary used by the chaos test suite and
+the sweep runner alike.
+
+Public surface:
+
+* :mod:`repro.service.jobs` -- :class:`JobSpec`, :class:`JobRecord`,
+  :class:`JobStore`, :class:`JobStateError`.
+* :mod:`repro.service.supervisor` -- :class:`Supervisor`,
+  :class:`SupervisorConfig`, :class:`SupervisorReport`.
+* :mod:`repro.service.faults` -- :func:`parse_fault`,
+  :class:`FaultInjector`, :class:`Deadline`, :class:`InjectedBudgetFault`.
+"""
+
+from .faults import (Deadline, Fault, FaultInjector, InjectedBudgetFault,
+                     chain_hooks, parse_fault)
+from .jobs import (JOB_STATES, JobRecord, JobSpec, JobStateError, JobStore,
+                   TERMINAL_STATES)
+from .supervisor import Supervisor, SupervisorConfig, SupervisorReport
+
+__all__ = [
+    "Deadline",
+    "Fault",
+    "FaultInjector",
+    "InjectedBudgetFault",
+    "chain_hooks",
+    "parse_fault",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobStateError",
+    "JobStore",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorReport",
+]

@@ -1,0 +1,420 @@
+"""Durable, file-backed job store with a validated state machine.
+
+A *job* is one simulation the user wants to complete eventually: a circuit
+(inline OpenQASM-2 text), a strategy/kernel/reorder specification, memory
+and time budgets, and a checkpoint slot.  Jobs survive the death of any
+process involved -- worker, supervisor, or the whole machine -- because
+every job lives in exactly one JSON file written **atomically** (payload to
+``<path>.tmp``, flush + fsync, then :func:`os.replace` over the real name).
+A kill at any instruction boundary leaves either the previous complete
+record or the new complete record on disk, never a truncated one.
+
+State machine (validated on every transition; ``JobStateError`` on an
+illegal edge)::
+
+    queued --> leased --> running --> done
+       ^          |          |
+       |<---------+----------+------> quarantined
+       |   (lease expired /  |
+       |    worker failed,   +------> failed
+       |    retry scheduled)
+
+* ``queued``      -- waiting for a worker slot (``not_before`` gates
+                     retry backoff).
+* ``leased``      -- a supervisor claimed the job for a specific attempt
+                     but the worker has not been observed running yet.
+* ``running``     -- a worker process owns the job and proves liveness by
+                     touching its heartbeat file.
+* ``done``        -- a result file exists (linked exclusively, so a job
+                     can complete at most once).
+* ``failed``      -- terminally failed for a reason retrying cannot fix
+                     (e.g. an invalid spec).
+* ``quarantined`` -- retries exhausted; the record carries the full error
+                     chain, one entry per attempt.
+
+``failed`` and ``quarantined`` jobs can be re-queued explicitly
+(``repro jobs retry``); that is the only edge out of a terminal state.
+
+Write ownership is split to avoid file races: the **supervisor** is the
+only writer of job records; **workers** write only into their per-job work
+directory (heartbeat, checkpoint, result, error files).  The result file
+is created with :func:`os.link` from a private temporary file -- link
+fails with ``FileExistsError`` if a result already exists, which is what
+makes "executed twice to completion" impossible even under lease-expiry
+races.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["JOB_STATES", "TERMINAL_STATES", "JobSpec", "JobRecord",
+           "JobStateError", "JobStore"]
+
+#: every state a job record can be in, in lifecycle order
+JOB_STATES = ("queued", "leased", "running", "done", "failed", "quarantined")
+
+#: states with no automatic outgoing edge (only an explicit retry re-queues)
+TERMINAL_STATES = ("done", "failed", "quarantined")
+
+#: the validated edges of the state machine
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    "queued": frozenset({"leased", "failed", "quarantined"}),
+    "leased": frozenset({"running", "queued", "failed", "quarantined"}),
+    "running": frozenset({"done", "queued", "failed", "quarantined"}),
+    # terminal states: only the explicit retry edge back to queued
+    "done": frozenset(),
+    "failed": frozenset({"queued"}),
+    "quarantined": frozenset({"queued"}),
+}
+
+
+class JobStateError(ValueError):
+    """An illegal state-machine transition (or malformed job record)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to simulate and under which budgets (plain data, JSON-safe)."""
+
+    #: human-readable job name (also the basis of the job id slug)
+    name: str
+    #: the circuit as inline OpenQASM-2 text (never a path -- the record
+    #: is self-contained and workers never race on external files)
+    qasm: str
+    #: strategy spec string (:func:`~repro.simulation.strategies.strategy_from_spec`)
+    strategy: str = "sequential"
+    use_local_apply: bool = True
+    #: DD kernel (``"recursive"`` / ``"iterative"``); ``None`` = default
+    kernel: str | None = None
+    #: reorder policy spec (``"governor"`` / ``"every=K"``), or ``None``
+    reorder: str | None = None
+    #: hard node budget (MemoryBudgetExceeded beyond this), or ``None``
+    max_nodes: int | None = None
+    #: GC trigger threshold; ``None`` = governor default
+    gc_limit: int | None = None
+    #: periodic checkpoint cadence in elementary operations
+    checkpoint_every: int = 25
+    #: per-attempt cooperative wall-clock deadline in seconds, or ``None``
+    timeout: float | None = None
+    #: fault-injection spec (:func:`repro.service.faults.parse_fault`);
+    #: chaos testing only, ``None`` in production
+    fault: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Any, source: str = "job spec") -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise JobStateError(f"{source}: spec must be a dict, "
+                                f"got {type(payload).__name__}")
+        for key in ("name", "qasm"):
+            if not isinstance(payload.get(key), str) or not payload[key]:
+                raise JobStateError(
+                    f"{source}: spec field {key!r} must be a "
+                    f"non-empty string")
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in payload.items()
+                      if key in known})
+
+
+@dataclass
+class JobRecord:
+    """One job's durable state: spec + state machine + attempt history."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    #: completed (consumed) execution attempts so far
+    attempts: int = 0
+    #: attempts after which the job is quarantined instead of re-queued
+    max_attempts: int = 3
+    #: epoch seconds before which the job must not be leased (retry backoff)
+    not_before: float = 0.0
+    #: active lease (``attempt``, ``pid``, ``acquired_at``,
+    #: ``lease_seconds``), or ``None`` outside leased/running
+    lease: dict | None = None
+    #: one error record per failed attempt -- the full error chain
+    errors: list = field(default_factory=list)
+    #: summary of the successful attempt (stamped on ``done``)
+    result: dict | None = None
+    #: every transition taken: ``{"time", "from", "to", "note"}``
+    history: list = field(default_factory=list)
+    created_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, to_state: str, note: str = "") -> None:
+        """Move to ``to_state``, validating the edge; records history."""
+        if to_state not in JOB_STATES:
+            raise JobStateError(f"job {self.job_id}: unknown state "
+                                f"{to_state!r} (expected one of {JOB_STATES})")
+        if to_state not in _TRANSITIONS[self.state]:
+            raise JobStateError(
+                f"job {self.job_id}: illegal transition "
+                f"{self.state!r} -> {to_state!r}")
+        self.history.append({"time": time.time(), "from": self.state,
+                             "to": to_state, "note": note})
+        self.state = to_state
+        if to_state not in ("leased", "running"):
+            self.lease = None
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["spec"] = self.spec.as_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Any, source: str = "job record"
+                  ) -> "JobRecord":
+        """Validate and rebuild a record from parsed JSON.
+
+        Raises :class:`JobStateError` naming the offending field; never a
+        bare ``KeyError``/``TypeError`` from an edited or foreign file.
+        """
+        if not isinstance(payload, dict):
+            raise JobStateError(f"{source}: record must be a dict, "
+                                f"got {type(payload).__name__}")
+        job_id = payload.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise JobStateError(f"{source}: missing/invalid 'job_id'")
+        state = payload.get("state")
+        if state not in JOB_STATES:
+            raise JobStateError(f"{source}: invalid state {state!r} "
+                                f"(expected one of {JOB_STATES})")
+        spec = JobSpec.from_dict(payload.get("spec"), source=source)
+        record = cls(job_id=job_id, spec=spec, state=state)
+        for key in ("attempts", "max_attempts"):
+            value = payload.get(key, getattr(record, key))
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise JobStateError(f"{source}: field {key!r} must be a "
+                                    f"non-negative int, got {value!r}")
+            setattr(record, key, value)
+        record.not_before = float(payload.get("not_before", 0.0))
+        record.lease = payload.get("lease")
+        if record.lease is not None and not isinstance(record.lease, dict):
+            raise JobStateError(f"{source}: field 'lease' must be a dict "
+                                f"or null")
+        record.errors = list(payload.get("errors") or [])
+        record.result = payload.get("result")
+        record.history = list(payload.get("history") or [])
+        record.created_at = float(payload.get("created_at", 0.0))
+        record.updated_at = float(payload.get("updated_at", 0.0))
+        return record
+
+
+def _write_atomic(path: str, payload: dict) -> None:
+    """tmp + fsync + rename: a kill at any point leaves a complete file."""
+    tmp_path = f"{path}.tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+class JobStore:
+    """File-backed job store rooted at one directory.
+
+    Layout::
+
+        <root>/jobs/<job_id>.json     one record per job (atomic writes)
+        <root>/work/<job_id>/         worker-owned files per job:
+            heartbeat                 liveness proof (mtime = last op)
+            checkpoint.json           engine checkpoint (resume point)
+            result.json               created exclusively via os.link
+            error-<attempt>.json      one error record per failed attempt
+        <root>/completions.log        append-only completion ledger
+
+    The store itself is process-agnostic: any process (submitter,
+    supervisor, worker, status CLI) can open the same root.  Only the
+    conventions above keep writers from racing -- see the module docstring.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.work_root = os.path.join(self.root, "work")
+        self.completions_path = os.path.join(self.root, "completions.log")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.work_root, exist_ok=True)
+
+    # -- record I/O -----------------------------------------------------
+
+    def job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def submit(self, spec: JobSpec, max_attempts: int = 3) -> JobRecord:
+        """Durably enqueue a new job; returns the created record."""
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        slug = re.sub(r"[^A-Za-z0-9_-]+", "-", spec.name).strip("-") or "job"
+        existing = self.list_ids()
+        sequence = len(existing)
+        while True:
+            job_id = f"j{sequence:04d}-{slug}"
+            path = self.job_path(job_id)
+            try:
+                # exclusive create reserves the id even if two submitters
+                # race on the same store
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                sequence += 1
+                continue
+            os.close(fd)
+            break
+        record = JobRecord(job_id=job_id, spec=spec,
+                           max_attempts=max_attempts)
+        record.history.append({"time": record.created_at, "from": None,
+                               "to": "queued", "note": "submitted"})
+        self.save(record)
+        return record
+
+    def save(self, record: JobRecord) -> None:
+        record.updated_at = time.time()
+        _write_atomic(self.job_path(record.job_id), record.as_dict())
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self.job_path(job_id)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise KeyError(f"no such job {job_id!r} in {self.root}") \
+                from None
+        except json.JSONDecodeError as exc:
+            raise JobStateError(
+                f"{path}: not a valid job record (corrupt JSON at byte "
+                f"{exc.pos}: {exc.msg})") from None
+        return JobRecord.from_dict(payload, source=path)
+
+    def list_ids(self) -> list[str]:
+        try:
+            names = os.listdir(self.jobs_dir)
+        except FileNotFoundError:
+            return []
+        return sorted(name[:-5] for name in names
+                      if name.endswith(".json"))
+
+    def load_all(self) -> list[JobRecord]:
+        records = []
+        for job_id in self.list_ids():
+            try:
+                records.append(self.get(job_id))
+            except JobStateError:
+                # a freshly reserved id whose first save has not landed
+                # yet parses as empty; skip rather than poison a listing
+                continue
+        return records
+
+    def counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in JOB_STATES}
+        for record in self.load_all():
+            counts[record.state] += 1
+        return {state: n for state, n in counts.items() if n}
+
+    def transition(self, record: JobRecord, to_state: str,
+                   note: str = "") -> JobRecord:
+        """Validated transition + durable save, in one step."""
+        record.transition(to_state, note)
+        self.save(record)
+        return record
+
+    # -- per-job work files (worker-owned) ------------------------------
+
+    def work_dir(self, job_id: str, create: bool = False) -> str:
+        path = os.path.join(self.work_root, job_id)
+        if create:
+            os.makedirs(path, exist_ok=True)
+        return path
+
+    def heartbeat_path(self, job_id: str) -> str:
+        return os.path.join(self.work_dir(job_id), "heartbeat")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        return os.path.join(self.work_dir(job_id), "checkpoint.json")
+
+    def result_path(self, job_id: str) -> str:
+        return os.path.join(self.work_dir(job_id), "result.json")
+
+    def error_path(self, job_id: str, attempt: int) -> str:
+        return os.path.join(self.work_dir(job_id), f"error-{attempt}.json")
+
+    def write_error(self, job_id: str, attempt: int, error: dict) -> None:
+        self.work_dir(job_id, create=True)
+        _write_atomic(self.error_path(job_id, attempt), error)
+
+    def read_error(self, job_id: str, attempt: int) -> dict | None:
+        try:
+            with open(self.error_path(job_id, attempt),
+                      encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def publish_result(self, job_id: str, payload: dict) -> bool:
+        """Atomically publish a result, **at most once** per job.
+
+        The payload goes to a private temporary file which is then
+        :func:`os.link`-ed to ``result.json``.  Hard-linking fails with
+        ``FileExistsError`` when a result already exists, so two workers
+        racing on the same job (a lease-expiry kill that lost the race,
+        a supervisor restart) can never both complete it: the loser gets
+        ``False`` and must discard its result.
+        """
+        self.work_dir(job_id, create=True)
+        final = self.result_path(job_id)
+        tmp = f"{final}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.link(tmp, final)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+        self.record_completion(job_id)
+        return True
+
+    def read_result(self, job_id: str) -> dict | None:
+        try:
+            with open(self.result_path(job_id), encoding="utf-8") as handle:
+                return json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    # -- completion ledger ----------------------------------------------
+
+    def record_completion(self, job_id: str) -> None:
+        """Append to the completion ledger (idempotent per job)."""
+        if job_id in self.completions():
+            return
+        with open(self.completions_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{job_id}\t{time.time():.6f}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def completions(self) -> set[str]:
+        try:
+            with open(self.completions_path, encoding="utf-8") as handle:
+                return {line.split("\t", 1)[0]
+                        for line in handle if line.strip()}
+        except FileNotFoundError:
+            return set()
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self.load_all())

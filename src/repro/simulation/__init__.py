@@ -13,8 +13,9 @@ The *DD-construct* strategy (Sec. IV-B, Table II) lives with the algorithm
 that needs it: see :mod:`repro.algorithms.shor`.
 """
 
-from .checkpoint import (CHECKPOINT_FORMAT, Checkpoint, circuit_fingerprint,
-                         load_checkpoint, save_checkpoint)
+from .checkpoint import (CHECKPOINT_FORMAT, Checkpoint, CheckpointError,
+                         circuit_fingerprint, load_checkpoint,
+                         save_checkpoint)
 from .density import (DensityMatrixSimulator, amplitude_damping_kraus,
                       bit_flip_kraus, depolarizing_kraus, phase_flip_kraus)
 from .engine import SimulationEngine
@@ -36,6 +37,7 @@ __all__ = [
     "AdaptiveStrategy",
     "CHECKPOINT_FORMAT",
     "Checkpoint",
+    "CheckpointError",
     "circuit_fingerprint",
     "DegradationPolicy",
     "DensityMatrixSimulator",

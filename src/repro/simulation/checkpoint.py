@@ -42,7 +42,19 @@ from typing import Any
 from ..circuit.circuit import QuantumCircuit
 
 __all__ = ["CHECKPOINT_FORMAT", "SUPPORTED_CHECKPOINT_FORMATS", "Checkpoint",
-           "circuit_fingerprint", "load_checkpoint", "save_checkpoint"]
+           "CheckpointError", "circuit_fingerprint", "load_checkpoint",
+           "save_checkpoint"]
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file that cannot be loaded.
+
+    Raised for truncated or partially-written files (naming the file and
+    the byte offset where parsing stopped) and for structurally invalid
+    payloads.  Subclasses :class:`ValueError` so existing callers keep
+    working; new callers (the job supervisor) catch this specifically to
+    decide "restart from operation 0" instead of poisoning the job.
+    """
 
 #: Version stamp written into every checkpoint; bump on breaking changes.
 #: Version 2 added the optional ``permutation`` field (mid-run variable
@@ -119,13 +131,15 @@ class Checkpoint:
         bare ``KeyError``/``TypeError`` from a truncated or edited file.
         """
         if not isinstance(payload, dict):
-            raise ValueError(f"{source}: checkpoint payload must be a dict, "
-                             f"got {type(payload).__name__}")
+            raise CheckpointError(
+                f"{source}: checkpoint payload must be a dict, "
+                f"got {type(payload).__name__}")
         version = payload.get("version")
         if version not in SUPPORTED_CHECKPOINT_FORMATS:
-            raise ValueError(f"{source}: unsupported checkpoint version "
-                             f"{version!r} (this build reads versions "
-                             f"{SUPPORTED_CHECKPOINT_FORMATS})")
+            raise CheckpointError(
+                f"{source}: unsupported checkpoint version "
+                f"{version!r} (this build reads versions "
+                f"{SUPPORTED_CHECKPOINT_FORMATS})")
         required = {
             "circuit_fingerprint": str,
             "num_qubits": int,
@@ -138,27 +152,29 @@ class Checkpoint:
         for key, expected in required.items():
             value = payload.get(key)
             if not isinstance(value, expected) or isinstance(value, bool):
-                raise ValueError(
+                raise CheckpointError(
                     f"{source}: field {key!r} must be a "
                     f"{expected.__name__}, got {type(value).__name__}"
                     if key in payload else
                     f"{source}: missing required field {key!r}")
         if payload["op_index"] < 0 or payload["num_qubits"] < 1:
-            raise ValueError(f"{source}: op_index/num_qubits out of range")
+            raise CheckpointError(
+                f"{source}: op_index/num_qubits out of range")
         if payload["op_index"] > payload["total_ops"]:
-            raise ValueError(
+            raise CheckpointError(
                 f"{source}: op_index {payload['op_index']} exceeds "
                 f"total_ops {payload['total_ops']}")
         pending = payload.get("pending")
         if pending is not None and not isinstance(pending, dict):
-            raise ValueError(f"{source}: field 'pending' must be a dict "
-                             f"or null, got {type(pending).__name__}")
+            raise CheckpointError(
+                f"{source}: field 'pending' must be a dict "
+                f"or null, got {type(pending).__name__}")
         permutation = payload.get("permutation")
         if permutation is not None:
             if (not isinstance(permutation, list)
                     or sorted(permutation)
                     != list(range(payload["num_qubits"]))):
-                raise ValueError(
+                raise CheckpointError(
                     f"{source}: field 'permutation' must be null or a "
                     f"permutation of 0..{payload['num_qubits'] - 1}, "
                     f"got {permutation!r}")
@@ -201,11 +217,20 @@ def save_checkpoint(checkpoint: Checkpoint, path: str) -> str:
 
 
 def load_checkpoint(path: str) -> Checkpoint:
-    """Load and validate a checkpoint written by :func:`save_checkpoint`."""
+    """Load and validate a checkpoint written by :func:`save_checkpoint`.
+
+    A file that does not parse -- truncated mid-write, overwritten with
+    garbage -- raises :class:`CheckpointError` naming the file and the
+    byte offset where JSON parsing stopped, never a raw
+    ``json.JSONDecodeError``.  Structural problems in a file that *does*
+    parse get the same treatment via :meth:`Checkpoint.from_dict`.
+    """
     with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise ValueError(f"{path}: not a valid checkpoint "
-                             f"(truncated or corrupt JSON: {exc})") from None
+            raise CheckpointError(
+                f"{path}: not a valid checkpoint "
+                f"(truncated or corrupt JSON at byte {exc.pos}: "
+                f"{exc.msg})") from None
     return Checkpoint.from_dict(payload, source=path)

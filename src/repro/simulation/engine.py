@@ -69,13 +69,22 @@ class _Run:
                  state: Edge, statistics: SimulationStatistics,
                  trace: Callable[[dict], None] | None = None,
                  degradation: DegradationPolicy | None = None,
-                 reorder: ReorderPolicy | None = None) -> None:
+                 reorder: ReorderPolicy | None = None,
+                 on_op: Callable[[int], None] | None = None) -> None:
         self.engine = engine
         self.package = engine.package
         self.num_qubits = num_qubits
         self.state = state
         self.statistics = statistics
         self.trace = trace
+        #: per-op-boundary callback (heartbeats, cooperative deadlines,
+        #: fault injection); see :meth:`tick` for the firing contract
+        self.on_op = on_op
+        #: monotone boundary counter fed to ``on_op`` on the plain path
+        self.ops_ticked = 0
+        #: the resilient driver ticks per flattened operation itself and
+        #: flips this off so apply/combine do not double-fire the hook
+        self._tick_in_apply = True
         self.track_state_size = engine.track_state_size
         self.degradation = degradation
         self.reorder = reorder
@@ -108,6 +117,21 @@ class _Run:
         self._last_good: tuple | None = None
 
     # -- operations the strategies use ---------------------------------
+
+    def tick(self) -> None:
+        """Fire the per-op-boundary hook (plain, non-resilient path).
+
+        Plain runs tick once per unit of engine work -- every state
+        update *and* every matrix-matrix combine -- with a monotone
+        counter, which is what cooperative deadlines and heartbeats need.
+        The resilient driver disables these ticks and fires the hook per
+        flattened elementary operation instead, so op-indexed fault
+        schedules line up exactly with checkpoint boundaries.
+        """
+        if self.on_op is not None and self._tick_in_apply:
+            index = self.ops_ticked
+            self.ops_ticked += 1
+            self.on_op(index)
 
     def map_operation(self, operation: Operation) -> Operation:
         """The operation relabelled through the run's current permutation.
@@ -147,6 +171,7 @@ class _Run:
         self.engine.maybe_collect(self)
         if self.trace is not None:
             self._trace_step("matrix")
+        self.tick()
 
     def apply_operation(self, operation: Operation) -> None:
         """One elementary simulation step, via the local-gate fast path.
@@ -172,6 +197,7 @@ class _Run:
         self.engine.maybe_collect(self)
         if self.trace is not None:
             self._trace_step(operation.gate)
+        self.tick()
 
     def _trace_step(self, gate: str) -> None:
         """Emit one ``step`` trace event (see :mod:`repro.simulation.trace`)."""
@@ -212,6 +238,7 @@ class _Run:
             product = self._combine_guard
         finally:
             self._combine_guard = None
+        self.tick()
         return product
 
     def note_operation(self, count: int = 1) -> None:
@@ -337,7 +364,8 @@ class SimulationEngine:
                  checkpoint_every: int | None = None,
                  degradation: DegradationPolicy | None = None,
                  audit_every: int | None = None,
-                 reorder: ReorderPolicy | str | None = None
+                 reorder: ReorderPolicy | str | None = None,
+                 on_op: Callable[[int], None] | None = None
                  ) -> SimulationResult:
         """Run ``circuit`` under ``strategy`` (sequential baseline by default).
 
@@ -376,6 +404,17 @@ class SimulationEngine:
             ladder gets to prune; the remaining circuit operations are
             remapped on the fly and the result carries the cumulative
             permutation so measurements stay in logical qubit order.
+        ``on_op``
+            A cheap per-op-boundary callback ``on_op(op_index)`` -- no DD
+            measurement happens on its account (unlike ``trace``).  On
+            checkpointed/audited runs it fires once per flattened
+            elementary operation with the global operation index; on
+            plain runs once per unit of engine work (state update or
+            combine) with a monotone counter.  Exceptions it raises
+            propagate like in-run failures (budget aborts still write
+            their on-failure checkpoint).  This is the attachment point
+            for cooperative deadlines, worker heartbeats, and fault
+            injection (:mod:`repro.service.faults`).
 
         Checkpointing/auditing drives the run through the flattened
         operation stream, so :class:`RepeatingBlockStrategy
@@ -390,7 +429,8 @@ class SimulationEngine:
                              checkpoint_every=checkpoint_every,
                              degradation=degradation,
                              audit_every=audit_every,
-                             reorder=reorder_from_spec(reorder))
+                             reorder=reorder_from_spec(reorder),
+                             on_op=on_op)
 
     def resume(self, checkpoint: Checkpoint | str, circuit: QuantumCircuit,
                trace: Callable[[dict], None] | None = None,
@@ -398,7 +438,8 @@ class SimulationEngine:
                checkpoint_every: int | None = None,
                degradation: DegradationPolicy | None = None,
                audit_every: int | None = None,
-               reorder: ReorderPolicy | str | None = None
+               reorder: ReorderPolicy | str | None = None,
+               on_op: Callable[[int], None] | None = None
                ) -> SimulationResult:
         """Continue a checkpointed run; bit-exact with the uninterrupted run.
 
@@ -453,7 +494,8 @@ class SimulationEngine:
                              strategy_state=checkpoint.strategy_state,
                              base_statistics=base,
                              reorder=reorder_from_spec(reorder),
-                             permutation=checkpoint.permutation)
+                             permutation=checkpoint.permutation,
+                             on_op=on_op)
 
     # ------------------------------------------------------------------
 
@@ -468,7 +510,8 @@ class SimulationEngine:
                  strategy_state: dict | None = None,
                  base_statistics: SimulationStatistics | None = None,
                  reorder: ReorderPolicy | None = None,
-                 permutation: list[int] | None = None
+                 permutation: list[int] | None = None,
+                 on_op: Callable[[int], None] | None = None
                  ) -> SimulationResult:
         """Shared body of :meth:`simulate` and :meth:`resume`."""
         if checkpoint_every is not None:
@@ -485,9 +528,10 @@ class SimulationEngine:
             circuit_name=circuit.name,
             num_qubits=circuit.num_qubits,
         )
+        statistics.resumed_from_op = start_index
         statistics.record_state_size(self.package.count_nodes(state))
         run = _Run(self, circuit.num_qubits, state, statistics, trace,
-                   degradation=degradation, reorder=reorder)
+                   degradation=degradation, reorder=reorder, on_op=on_op)
         run.strategy = strategy
         if permutation is not None:
             expected = list(range(circuit.num_qubits))
@@ -571,6 +615,10 @@ class SimulationEngine:
                 f"{total} elementary operations -- wrong circuit?")
         run._total_ops = total
         run._fingerprint = circuit_fingerprint(circuit)
+        # This driver fires the per-op hook itself, once per flattened
+        # elementary operation with the global index -- fault schedules
+        # and resumed runs then agree on what "op K" means.
+        run._tick_in_apply = False
         strategy.begin(run)
         if strategy_state:
             strategy.load_state_dict(strategy_state)
@@ -592,6 +640,10 @@ class SimulationEngine:
                     self._write_checkpoint(run, strategy, circuit,
                                            checkpoint_path,
                                            reason="periodic")
+                # after the periodic checkpoint, so a checkpoint-damage
+                # fault scheduled at this boundary sees it on disk
+                if run.on_op is not None:
+                    run.on_op(index)
             strategy.flush(run)
             run.op_index = total
             self._note_boundary(run, strategy)

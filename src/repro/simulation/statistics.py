@@ -66,6 +66,12 @@ class SimulationStatistics:
     reorders: int = 0
     #: total state-DD nodes saved by reordering (before - after, summed)
     reorder_nodes_saved: int = 0
+    #: execution attempts consumed to produce this result (1 for a run
+    #: that never failed; the job supervisor stamps the real count)
+    attempts: int = 1
+    #: flattened-operation index the *latest* segment resumed from (0 when
+    #: the run -- or its final retry -- started from scratch)
+    resumed_from_op: int = 0
 
     def record_state_size(self, nodes: int) -> None:
         if nodes > self.peak_state_nodes:
@@ -115,6 +121,10 @@ class SimulationStatistics:
         self.audits_run += other.audits_run
         self.reorders += other.reorders
         self.reorder_nodes_saved += other.reorder_nodes_saved
+        self.attempts = max(self.attempts, other.attempts)
+        # the merged record describes the run up to the *other* segment,
+        # so the latest segment's resume offset wins
+        self.resumed_from_op = other.resumed_from_op
 
     # -- serialisation (checkpoint format) ------------------------------
 
@@ -152,6 +162,9 @@ class SimulationStatistics:
         degraded = "" if not self.degradation_actions else (
             f", {len(self.degradation_actions)} degradation action(s) "
             f"(fidelity {self.cumulative_fidelity:.6f})")
+        retried = "" if self.attempts <= 1 else (
+            f", attempt {self.attempts} "
+            f"(resumed from op {self.resumed_from_op})")
         return (
             f"[{self.strategy}] {self.circuit_name}: "
             f"{self.operations_applied} ops -> "
@@ -164,5 +177,5 @@ class SimulationStatistics:
             f"{self.gc.collections} GC "
             f"({self.gc.nodes_freed} freed, "
             f"{self.gc.pause_seconds:.3f}s paused)"
-            f"{degraded}, "
+            f"{degraded}{retried}, "
             f"{self.wall_time_seconds:.3f}s")

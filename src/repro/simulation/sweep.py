@@ -99,9 +99,11 @@ class SweepTask:
     * ``kind="construct"`` -- the DD-construct realisation of a Shor
       instance (``metadata`` carries ``modulus``/``base``/``seed``).
 
-    ``fault`` is a test-only hook (``"raise"``, ``"hang"``,
-    ``"os._exit"``) used by the fault-injection suite to exercise the
-    failure paths without a contrived workload.
+    ``fault`` is a test-only hook parsed by
+    :func:`repro.service.faults.parse_fault` (``"raise"``, ``"hang"``,
+    ``"os._exit"``, ``"kill@K"``, ``"latency=S"``, ``"budget@K"``, ...)
+    used by the fault-injection suites to exercise the failure paths
+    without a contrived workload.
     """
 
     name: str
@@ -238,25 +240,6 @@ class CellTimeout(Exception):
 # worker-side execution
 # ----------------------------------------------------------------------
 
-def _inject_fault(task: SweepTask, in_worker: bool) -> None:
-    if task.fault is None:
-        return
-    if task.fault == "raise":
-        raise RuntimeError(f"injected failure in cell {task.key()}")
-    if task.fault == "hang":
-        time.sleep(3600)
-        return
-    if task.fault == "os._exit":
-        if in_worker:
-            os._exit(86)  # mimic an OOM kill / hard crash mid-cell
-        # Inline execution must never take the whole process down; record
-        # the would-be crash as an ordinary failure instead.
-        raise RuntimeError(
-            f"cell {task.key()} would have killed its worker "
-            "(os._exit fault runs only in worker processes)")
-    raise ValueError(f"unknown fault injection {task.fault!r}")
-
-
 def _governor_for(task: SweepTask):
     from .memory import MemoryGovernor
     if task.max_nodes is None and task.gc_limit is None:
@@ -265,8 +248,16 @@ def _governor_for(task: SweepTask):
                           max_nodes=task.max_nodes)
 
 
-def _simulate_task(task: SweepTask) -> SimulationStatistics:
-    """Run one cell on freshly constructed, process-local DD state."""
+def _simulate_task(task: SweepTask,
+                   on_op=None) -> SimulationStatistics:
+    """Run one cell on freshly constructed, process-local DD state.
+
+    ``on_op`` is the engine's cheap per-op callback (cooperative deadlines
+    and op-scoped fault injection).  ``qasm`` and circuit-backed
+    ``instance`` cells honour it; ``construct`` cells (direct oracle DD
+    builds, no simulation loop) and Shor instances (internally driven
+    engine) have no op boundaries to observe it at.
+    """
     from .strategies import strategy_from_spec
     if task.kind == "construct":
         from ..analysis.instances import shor_dd_construct_statistics
@@ -289,7 +280,7 @@ def _simulate_task(task: SweepTask) -> SimulationStatistics:
                                       use_local_apply=False,
                                       governor=governor)
         result = engine.simulate(circuit, strategy_from_spec(task.strategy),
-                                 reorder=task.reorder)
+                                 reorder=task.reorder, on_op=on_op)
         return result.statistics
     if task.kind == "instance":
         from ..analysis.instances import instance_from_spec
@@ -297,7 +288,8 @@ def _simulate_task(task: SweepTask) -> SimulationStatistics:
         return instance.run(strategy_from_spec(task.strategy),
                             use_local_apply=task.use_local_apply,
                             governor=_governor_for(task),
-                            reorder=task.reorder)
+                            reorder=task.reorder,
+                            on_op=on_op)
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
@@ -308,10 +300,21 @@ def run_cell(task: SweepTask, in_worker: bool = True) -> CellResult:
     inline (``jobs=1``) runner, which is what makes serial and parallel
     sweeps produce identical schedule-determined results.
 
-    Timeouts use ``SIGALRM`` (the worker runs cells on its main thread),
-    so they interrupt pure-Python loops cleanly; on platforms without
-    ``SIGALRM`` the timeout is not enforced.
+    Timeouts use ``SIGALRM`` where available (the worker runs cells on
+    its main thread), so they interrupt even cells that make no progress;
+    elsewhere a cooperative :class:`~repro.service.faults.Deadline` checks
+    the budget at every operation boundary instead -- it bounds every cell
+    that makes progress, though a single operation that never finishes
+    still needs the supervisor layer's lease expiry.
+
+    Fault injection (the ``fault`` spec) goes through the shared
+    :class:`~repro.service.faults.FaultInjector`: legacy start-of-cell
+    faults (``raise`` / ``hang`` / ``os._exit``) plus op-scoped schedules
+    (``kill@K``, ``latency=S``, ``budget@K``).
     """
+    # lazy import: repro.simulation's package init imports this module,
+    # and repro.service imports repro.simulation submodules
+    from ..service.faults import Deadline, FaultInjector, chain_hooks
     result = CellResult(name=task.name, strategy=task.strategy,
                         repetition=task.repetition, worker_pid=os.getpid(),
                         seed=task.seed)
@@ -325,8 +328,16 @@ def run_cell(task: SweepTask, in_worker: bool = True) -> CellResult:
         signal.setitimer(signal.ITIMER_REAL, task.timeout)
     started = time.perf_counter()
     try:
-        _inject_fault(task, in_worker)
-        stats = _simulate_task(task)
+        injector = FaultInjector(task.fault, in_worker=in_worker,
+                                 label=f"cell {task.key()}")
+        injector.at_start()
+        deadline = None
+        if task.timeout is not None and not use_alarm:
+            deadline = Deadline(task.timeout, CellTimeout,
+                                f"cell {task.key()}")
+        on_op = chain_hooks(
+            injector.on_op if injector.wants_op_hook else None, deadline)
+        stats = _simulate_task(task, on_op=on_op)
         result.statistics = stats.as_dict()
     except CellTimeout as exc:
         result.status = "timeout"

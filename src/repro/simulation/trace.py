@@ -38,6 +38,26 @@ Event schema (all events carry ``event`` and ``op_index``):
     sift), ``permutation`` (cumulative qubit-to-level map, ``null`` when
     back to identity), ``live_nodes`` (after the post-sift collection).
 
+The job supervisor (:mod:`repro.service.supervisor`) writes its events to
+the same JSONL streams.  Supervision events carry ``job`` and ``time``
+instead of ``op_index``:
+
+``job``
+    A job reached a notable state.  Fields: ``job``, ``action``
+    (``running`` / ``done``), ``attempt``; ``done`` events add
+    ``resumed_from_op``.
+``lease``
+    Lease lifecycle.  Fields: ``job``, ``action`` (``acquired`` /
+    ``expired`` / ``reclaimed``), plus ``attempt`` / ``pid`` /
+    ``lease_seconds`` (and ``heartbeat_age`` on expiry).
+``retry``
+    A failed attempt was re-queued with backoff.  Fields: ``job``,
+    ``attempt``, ``error`` (type name), ``backoff_seconds``,
+    ``next_attempt``.
+``quarantine``
+    Retries exhausted.  Fields: ``job``, ``attempts``, ``errors`` (the
+    error-type chain, one entry per attempt).
+
 :class:`JsonlTraceSink` appends events to a JSON-Lines file;
 :func:`trace_summary` condenses a list of events (or a JSONL file) back
 into aggregate numbers for reports.
@@ -122,6 +142,11 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
     checkpoint_events = 0
     reorder_events = 0
     reorder_nodes_saved = 0
+    jobs_done = 0
+    lease_events = 0
+    lease_expiries = 0
+    retry_events = 0
+    quarantine_events = 0
     last_hit_rates: dict[str, float] = {}
     for event in events:
         kind = event.get("event")
@@ -148,7 +173,18 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
             reorder_events += 1
             reorder_nodes_saved += (event.get("nodes_before", 0)
                                     - event.get("nodes_after", 0))
-    return {
+        elif kind == "job":
+            if event.get("action") == "done":
+                jobs_done += 1
+        elif kind == "lease":
+            lease_events += 1
+            if event.get("action") == "expired":
+                lease_expiries += 1
+        elif kind == "retry":
+            retry_events += 1
+        elif kind == "quarantine":
+            quarantine_events += 1
+    summary = {
         "steps": steps,
         "peak_state_nodes": peak_state,
         "peak_product_nodes": peak_product,
@@ -164,3 +200,14 @@ def trace_summary(events: Iterable[dict] | str) -> dict:
         "reorder_nodes_saved": reorder_nodes_saved,
         **{key: round(value, 6) for key, value in last_hit_rates.items()},
     }
+    # supervision counters only appear when the trace contains job events,
+    # so pure engine traces keep their historical summary shape
+    if jobs_done or lease_events or retry_events or quarantine_events:
+        summary.update({
+            "jobs_done": jobs_done,
+            "lease_events": lease_events,
+            "lease_expiries": lease_expiries,
+            "retry_events": retry_events,
+            "quarantine_events": quarantine_events,
+        })
+    return summary

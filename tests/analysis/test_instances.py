@@ -80,3 +80,36 @@ class TestExtendedSuite:
         assert get_instance("bv_12").kind == "oracle"
         assert get_instance("clifford_16_10").kind == "clifford"
         assert get_instance("graph_state_3x4").kind == "graph"
+
+
+class TestInstanceQasm:
+    """`instance_qasm` feeds the job queue self-contained circuits."""
+
+    def test_grover_qasm_round_trips_to_the_same_circuit(self):
+        from repro.analysis.instances import instance_qasm
+        from repro.baseline import simulate_statevector
+        from repro.circuit.qasm import from_qasm
+        import numpy as np
+        qasm = instance_qasm("grover_8")
+        rebuilt = from_qasm(qasm)
+        assert rebuilt.num_qubits == 8
+        # semantic check against the registry runner's own circuit
+        from repro.algorithms.grover import grover_circuit
+        instance = get_instance("grover_8")
+        original = grover_circuit(instance.metadata["num_data_qubits"],
+                                  instance.metadata["marked"]).circuit
+        assert np.allclose(simulate_statevector(rebuilt),
+                           simulate_statevector(original))
+
+    def test_extended_instances_are_circuit_backed(self):
+        from repro.analysis.instances import instance_qasm
+        from repro.circuit.qasm import from_qasm
+        for name in ("bv_12", "clifford_16_10", "graph_state_3x4"):
+            circuit = from_qasm(instance_qasm(name))
+            assert len(list(circuit.operations())) > 0, name
+
+    def test_shor_instances_are_rejected(self):
+        from repro.analysis.instances import instance_qasm
+        shor_name = shor_suite("quick")[0].name
+        with pytest.raises(ValueError, match="not circuit-backed"):
+            instance_qasm(shor_name)

@@ -1,0 +1,254 @@
+"""Chaos harness: fault schedules end-to-end through store + supervisor.
+
+The contract under test (ISSUE 8 acceptance):
+
+* every job in a chaos batch eventually completes with fidelity
+  >= 1 - 1e-9 against the dense statevector baseline;
+* no job is lost and none is executed twice to completion (the
+  completion ledger stays unique);
+* a retry replays fewer than ``checkpoint_every`` operations;
+* ``kill -9`` of the *supervisor itself* leaves a store from which a
+  fresh supervision run completes the batch.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.baseline import simulate_statevector
+from repro.circuit.qasm import from_qasm
+from repro.service.jobs import JobSpec, JobStore
+from repro.service.supervisor import Supervisor, SupervisorConfig
+
+FIDELITY_FLOOR = 1.0 - 1e-9
+
+# 15 elementary ops / 3 qubits and 24 ops / 4 qubits: several periodic
+# checkpoint boundaries at cadence 5, dense baselines of 8 resp. 16 amps
+CIRCUIT_3Q = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+t q[2];
+h q[1];
+cx q[0],q[2];
+x q[0];
+h q[2];
+cx q[1],q[0];
+t q[0];
+h q[1];
+cx q[2],q[1];
+x q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+CIRCUIT_4Q = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+cx q[0],q[1];
+cx q[2],q[3];
+t q[1];
+t q[3];
+cx q[1],q[2];
+h q[0];
+s q[2];
+cx q[3],q[0];
+t q[0];
+h q[2];
+cx q[0],q[1];
+x q[3];
+h q[1];
+cx q[2],q[3];
+t q[2];
+h q[3];
+cx q[1],q[2];
+s q[1];
+h q[0];
+cx q[3],q[0];
+"""
+
+
+def fidelity_of(store, job_id):
+    """|<job result | dense baseline>|^2 from the published amplitudes."""
+    record = store.get(job_id)
+    result = store.read_result(job_id)
+    assert result is not None, f"{job_id}: no result on disk"
+    dense = simulate_statevector(from_qasm(record.spec.qasm))
+    amplitudes = np.array([complex(re, im)
+                           for re, im in result["amplitudes"]])
+    assert len(amplitudes) == len(dense)
+    return abs(np.vdot(amplitudes, dense)) ** 2
+
+
+def fast_config(**overrides):
+    defaults = dict(max_workers=2, lease_seconds=2.0, poll_interval=0.02,
+                    backoff_base=0.05, backoff_max=0.5, jitter_seconds=0.02,
+                    max_wall_seconds=120.0)
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "store"))
+
+
+# every fault schedule of the harness in one batch: clean runs, worker
+# kills at different checkpoint distances, a budget abort, checkpoint
+# damage, and a job that dies on two consecutive attempts
+CHAOS_BATCH = [
+    # (name, qasm, strategy, fault, checkpoint_every)
+    ("clean-seq", CIRCUIT_3Q, "sequential", None, 5),
+    ("clean-k3", CIRCUIT_4Q, "k=3", None, 5),
+    ("kill-early", CIRCUIT_3Q, "sequential", "kill@3", 5),
+    ("kill-late", CIRCUIT_4Q, "sequential", "kill@17", 5),
+    # cadence 5 puts the checkpoint at op 5 < kill op 8, so the retry
+    # re-executes op 8 and the :x2 scope genuinely kills a second attempt
+    ("kill-twice", CIRCUIT_3Q, "sequential", "kill@8:x2", 5),
+    ("budget-abort", CIRCUIT_4Q, "sequential", "budget@9", 5),
+    ("truncated-ckpt", CIRCUIT_3Q, "sequential", "truncate-checkpoint@11", 5),
+    ("corrupted-ckpt", CIRCUIT_4Q, "sequential", "corrupt-checkpoint@13", 5),
+]
+
+
+@pytest.fixture(scope="class")
+def chaos(tmp_path_factory):
+    """Submit the full chaos batch, supervise it once, share the outcome."""
+    store = JobStore(str(tmp_path_factory.mktemp("chaos") / "store"))
+    ids = {}
+    for name, qasm, strategy, fault, every in CHAOS_BATCH:
+        record = store.submit(JobSpec(
+            name=name, qasm=qasm, strategy=strategy, fault=fault,
+            checkpoint_every=every), max_attempts=4)
+        ids[name] = record.job_id
+    report = Supervisor(store, fast_config()).run()
+    return store, ids, report
+
+
+class TestChaosBatch:
+    def test_every_job_completes(self, chaos):
+        store, ids, report = chaos
+        assert report.all_done, report.counts()
+        assert set(report.states) == set(ids.values())
+
+    def test_every_result_matches_the_dense_baseline(self, chaos):
+        store, ids, _report = chaos
+        for name, job_id in ids.items():
+            fidelity = fidelity_of(store, job_id)
+            assert fidelity >= FIDELITY_FLOOR, (name, fidelity)
+
+    def test_no_job_lost_and_none_completed_twice(self, chaos):
+        store, ids, _report = chaos
+        # the ledger is append-only and fed through an exclusive
+        # hard-link, so a duplicate would mean a double completion
+        with open(store.completions_path) as handle:
+            lines = [line.split("\t", 1)[0]
+                     for line in handle if line.strip()]
+        assert sorted(lines) == sorted(ids.values())
+        assert len(set(lines)) == len(lines)
+
+    def test_retries_replay_less_than_checkpoint_every_ops(self, chaos):
+        store, ids, _report = chaos
+        for name, qasm, strategy, fault, every in CHAOS_BATCH:
+            if fault is None or "kill@" not in fault:
+                continue
+            kill_op = int(fault.split("@")[1].split(":")[0])
+            resumed = store.read_result(ids[name])["resumed_from_op"]
+            # the retry resumes at the latest periodic checkpoint; ops
+            # 0..kill_op were applied before the kill (the op hook fires
+            # after the checkpoint block of the same iteration)
+            assert resumed == ((kill_op + 1) // every) * every, \
+                (name, resumed)
+            assert kill_op + 1 - resumed < every, (name, resumed)
+
+    def test_faulted_jobs_carry_their_error_chains(self, chaos):
+        store, ids, _report = chaos
+        record = store.get(ids["kill-twice"])
+        assert record.attempts == 3
+        assert len(record.errors) == 2
+        assert store.read_result(ids["kill-twice"])["attempt"] == 3
+        budget = store.get(ids["budget-abort"])
+        assert budget.errors[0]["type"] == "InjectedBudgetFault"
+
+    def test_budget_abort_resumes_at_the_failure_boundary(self, chaos):
+        store, ids, _report = chaos
+        # on-failure checkpoint at the aborted boundary: zero ops replayed
+        assert store.read_result(ids["budget-abort"])["resumed_from_op"] == 10
+
+    def test_checkpoint_damage_restarts_from_op_zero(self, chaos):
+        store, ids, _report = chaos
+        for name in ("truncated-ckpt", "corrupted-ckpt"):
+            result = store.read_result(ids[name])
+            assert result["resumed_from_op"] == 0, name
+            assert result["attempt"] == 2, name
+
+
+class TestLeaseExpiryRace:
+    def test_slow_worker_killed_mid_run_completes_exactly_once(self, store):
+        record = store.submit(JobSpec(
+            name="slow", qasm=CIRCUIT_3Q, checkpoint_every=5,
+            fault="latency=0.6"))
+        report = Supervisor(store, fast_config(lease_seconds=0.25)).run()
+        assert report.all_done
+        assert report.lease_expiries >= 1
+        assert store.completions() == {record.job_id}
+        assert store.read_result(record.job_id)["attempt"] >= 2
+        assert fidelity_of(store, record.job_id) >= FIDELITY_FLOOR
+
+
+def _run_supervisor(store_root):
+    store = JobStore(store_root)
+    Supervisor(store, SupervisorConfig(
+        max_workers=1, lease_seconds=5.0, poll_interval=0.02,
+        backoff_base=0.05, max_wall_seconds=120.0)).run()
+
+
+class TestSupervisorKill9:
+    def test_fresh_run_completes_a_batch_orphaned_by_kill_minus_9(
+            self, store):
+        # latency=0.15 (a harmless slow-down on attempt 1) makes each job
+        # take ~2s, so one worker at a time guarantees the batch is still
+        # in flight when the supervisor is killed
+        ids = [store.submit(JobSpec(
+            name=f"batch{i}", qasm=CIRCUIT_3Q, checkpoint_every=5,
+            fault="latency=0.15")).job_id for i in range(3)]
+        ctx = multiprocessing.get_context("fork")
+        supervisor_proc = ctx.Process(target=_run_supervisor,
+                                      args=(store.root,))
+        supervisor_proc.start()
+        # wait until supervision has demonstrably started, then kill -9
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            counts = store.counts()
+            if counts.get("running") or counts.get("done"):
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail(f"supervision never started: {store.counts()}")
+        time.sleep(0.3)  # let a worker make some mid-job progress
+        os.kill(supervisor_proc.pid, signal.SIGKILL)
+        supervisor_proc.join()
+        assert supervisor_proc.exitcode == -signal.SIGKILL
+        Supervisor(store, fast_config()).run()
+
+        # the store was left with leased/running records and (possibly) a
+        # live orphan worker; the fresh run above must have recovered it
+        final = {job_id: store.get(job_id).state for job_id in ids}
+        assert all(state == "done" for state in final.values()), final
+        with open(store.completions_path) as handle:
+            lines = [line.split("\t", 1)[0]
+                     for line in handle if line.strip()]
+        assert sorted(lines) == sorted(ids)
+        assert len(set(lines)) == len(lines)
+        for job_id in ids:
+            assert fidelity_of(store, job_id) >= FIDELITY_FLOOR

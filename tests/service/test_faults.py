@@ -1,0 +1,143 @@
+"""The shared fault-injection vocabulary (`repro.service.faults`)."""
+
+import pytest
+
+from repro.service.faults import (Deadline, Fault, FaultInjector,
+                                  InjectedBudgetFault, chain_hooks,
+                                  parse_fault)
+from repro.simulation.memory import MemoryBudgetExceeded
+
+
+class TestParseFault:
+    def test_none_passes_through(self):
+        assert parse_fault(None) is None
+
+    @pytest.mark.parametrize("kind", ["raise", "hang", "os._exit"])
+    def test_legacy_start_faults_are_always_active(self, kind):
+        fault = parse_fault(kind)
+        assert fault.kind == kind
+        assert fault.attempts is None  # poison: fires on every attempt
+        assert not fault.op_scoped
+
+    def test_kill_at_op(self):
+        fault = parse_fault("kill@12")
+        assert fault == Fault(kind="kill", at_op=12, attempts=1)
+        assert fault.op_scoped
+
+    def test_budget_at_op(self):
+        assert parse_fault("budget@7").kind == "budget"
+
+    def test_latency(self):
+        fault = parse_fault("latency=0.25")
+        assert fault.kind == "latency"
+        assert fault.seconds == 0.25
+
+    def test_checkpoint_damage_kinds(self):
+        assert parse_fault("truncate-checkpoint@3").at_op == 3
+        assert parse_fault("corrupt-checkpoint@5").kind == \
+            "corrupt-checkpoint"
+
+    def test_attempt_scope_suffix(self):
+        fault = parse_fault("kill@12:x2")
+        assert fault.attempts == 2
+
+    def test_scope_on_start_fault_rejected(self):
+        with pytest.raises(ValueError, match="every attempt"):
+            parse_fault("raise:x2")
+
+    @pytest.mark.parametrize("spec", ["nonsense", "kill@x", "latency=abc",
+                                      "kill@-1", "budget@1:x0"])
+    def test_malformed_specs_raise_naming_the_spec(self, spec):
+        with pytest.raises(ValueError) as info:
+            parse_fault(spec)
+        assert repr(spec.split(":")[0]) in str(info.value) \
+            or repr(spec) in str(info.value)
+
+
+class TestFaultInjector:
+    def test_inactive_once_attempts_exceeded(self):
+        injector = FaultInjector("kill@3", in_worker=False, attempt=2)
+        assert not injector.active
+        injector.on_op(3)  # must be a no-op, not a raise
+
+    def test_raise_fault_fires_at_start(self):
+        injector = FaultInjector("raise", in_worker=False, label="job j1")
+        with pytest.raises(RuntimeError, match="injected failure in job j1"):
+            injector.at_start()
+
+    def test_os_exit_is_neutered_inline(self):
+        injector = FaultInjector("os._exit", in_worker=False)
+        with pytest.raises(RuntimeError, match="would have killed"):
+            injector.at_start()
+
+    def test_kill_neutered_inline_names_the_op(self):
+        injector = FaultInjector("kill@4", in_worker=False)
+        injector.on_op(3)  # wrong op: nothing
+        with pytest.raises(RuntimeError, match="op 4"):
+            injector.on_op(4)
+
+    def test_budget_fault_is_a_memory_budget_exceeded(self):
+        injector = FaultInjector("budget@2", in_worker=False)
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            injector.on_op(2)
+        assert isinstance(info.value, InjectedBudgetFault)
+        assert "operation 2" in str(info.value)
+
+    def test_truncate_checkpoint_damages_then_kills(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"version": 2, "op_index": 5, "padding": "%s"}'
+                        % ("x" * 200))
+        size_before = path.stat().st_size
+        injector = FaultInjector("truncate-checkpoint@1", in_worker=False,
+                                 checkpoint_path=str(path))
+        with pytest.raises(RuntimeError, match="would have killed"):
+            injector.on_op(1)
+        assert 0 < path.stat().st_size < size_before
+
+    def test_corrupt_checkpoint_writes_unparseable_json(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text('{"version": 2}')
+        injector = FaultInjector("corrupt-checkpoint@0", in_worker=False,
+                                 checkpoint_path=str(path))
+        with pytest.raises(RuntimeError):
+            injector.on_op(0)
+        import json
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+
+    def test_checkpoint_damage_without_file_is_survivable(self, tmp_path):
+        injector = FaultInjector(
+            "truncate-checkpoint@0", in_worker=False,
+            checkpoint_path=str(tmp_path / "never-written.json"))
+        with pytest.raises(RuntimeError, match="would have killed"):
+            injector.on_op(0)  # still dies, but no crash on a missing file
+
+
+class TestDeadline:
+    def test_raises_once_exceeded(self):
+        deadline = Deadline(0.0, TimeoutError, "job j9")
+        import time
+        time.sleep(0.01)
+        with pytest.raises(TimeoutError, match="job j9 exceeded"):
+            deadline(5)
+
+    def test_quiet_within_budget(self):
+        Deadline(60.0, TimeoutError)(0)
+
+
+class TestChainHooks:
+    def test_all_none_collapses_to_none(self):
+        assert chain_hooks(None, None) is None
+
+    def test_single_hook_returned_unwrapped(self):
+        def hook(i):
+            pass
+        assert chain_hooks(None, hook, None) is hook
+
+    def test_hooks_run_in_order(self):
+        calls = []
+        chained = chain_hooks(lambda i: calls.append(("a", i)),
+                              None,
+                              lambda i: calls.append(("b", i)))
+        chained(7)
+        assert calls == [("a", 7), ("b", 7)]

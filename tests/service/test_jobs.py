@@ -1,0 +1,196 @@
+"""The durable job store: records, state machine, atomicity, exactly-once."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.jobs import (JOB_STATES, TERMINAL_STATES, JobRecord,
+                                JobSpec, JobStateError, JobStore)
+
+BELL = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+
+def make_spec(name="bell", **overrides):
+    defaults = dict(name=name, qasm=BELL)
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "store"))
+
+
+class TestSubmitAndLoad:
+    def test_submit_creates_a_queued_record_on_disk(self, store):
+        record = store.submit(make_spec())
+        assert record.state == "queued"
+        assert record.job_id.endswith("-bell")
+        assert os.path.exists(store.job_path(record.job_id))
+        loaded = store.get(record.job_id)
+        assert loaded.spec.qasm == BELL
+        assert loaded.state == "queued"
+        assert loaded.history[0]["note"] == "submitted"
+
+    def test_ids_are_sequential_and_collision_free(self, store):
+        ids = [store.submit(make_spec()).job_id for _ in range(3)]
+        assert len(set(ids)) == 3
+        assert store.list_ids() == sorted(ids)
+
+    def test_name_is_slugified(self, store):
+        record = store.submit(make_spec(name="weird name/.. !"))
+        assert "/" not in record.job_id
+        assert " " not in record.job_id
+
+    def test_spec_roundtrips_every_field(self, store):
+        spec = make_spec(strategy="k=4", use_local_apply=False,
+                         kernel="iterative", reorder="every=10",
+                         max_nodes=1000, gc_limit=500, checkpoint_every=7,
+                         timeout=3.5, fault="kill@2")
+        record = store.submit(spec, max_attempts=5)
+        loaded = store.get(record.job_id)
+        assert loaded.spec == spec
+        assert loaded.max_attempts == 5
+
+    def test_missing_job_raises_key_error(self, store):
+        with pytest.raises(KeyError, match="no such job"):
+            store.get("j9999-nope")
+
+    def test_corrupt_record_is_a_clean_error_naming_the_file(self, store):
+        record = store.submit(make_spec())
+        path = store.job_path(record.job_id)
+        with open(path, "w") as handle:
+            handle.write('{"job_id": "x", "state')
+        with pytest.raises(JobStateError, match="corrupt JSON at byte"):
+            store.get(record.job_id)
+
+    def test_invalid_max_attempts_rejected(self, store):
+        with pytest.raises(ValueError, match="max_attempts"):
+            store.submit(make_spec(), max_attempts=0)
+
+
+class TestStateMachine:
+    def test_happy_path(self, store):
+        record = store.submit(make_spec())
+        for state in ("leased", "running", "done"):
+            store.transition(record, state)
+        assert store.get(record.job_id).state == "done"
+        assert [entry["to"] for entry in record.history] \
+            == ["queued", "leased", "running", "done"]
+
+    def test_illegal_edges_raise(self, store):
+        record = store.submit(make_spec())
+        with pytest.raises(JobStateError, match="illegal transition"):
+            record.transition("done")  # queued -> done skips the lease
+        with pytest.raises(JobStateError, match="illegal transition"):
+            record.transition("running")
+
+    def test_done_is_final(self, store):
+        record = store.submit(make_spec())
+        for state in ("leased", "running", "done"):
+            record.transition(state)
+        for state in JOB_STATES:
+            if state == "done":
+                continue
+            with pytest.raises(JobStateError):
+                record.transition(state)
+
+    def test_failed_and_quarantined_allow_manual_requeue(self):
+        for terminal in ("failed", "quarantined"):
+            record = JobRecord(job_id="j1", spec=make_spec())
+            record.transition("leased")
+            record.transition("running")
+            record.transition(terminal)
+            assert record.terminal
+            record.transition("queued", note="manual retry")
+            assert record.state == "queued"
+
+    def test_lease_cleared_on_leaving_running(self, store):
+        record = store.submit(make_spec())
+        record.transition("leased")
+        record.lease = {"pid": 1234, "attempt": 1}
+        record.transition("running")
+        assert record.lease is not None
+        record.transition("queued")
+        assert record.lease is None
+
+    def test_unknown_state_rejected(self, store):
+        record = store.submit(make_spec())
+        with pytest.raises(JobStateError, match="unknown state"):
+            record.transition("zombie")
+
+    def test_terminal_states_constant_is_consistent(self):
+        assert set(TERMINAL_STATES) < set(JOB_STATES)
+
+
+class TestAtomicity:
+    def test_no_tmp_residue_after_save(self, store):
+        record = store.submit(make_spec())
+        store.transition(record, "leased")
+        files = os.listdir(store.jobs_dir)
+        assert not [name for name in files if name.endswith(".tmp")]
+
+    def test_save_replaces_not_appends(self, store):
+        record = store.submit(make_spec())
+        for state in ("leased", "running", "done"):
+            store.transition(record, state)
+        with open(store.job_path(record.job_id)) as handle:
+            payload = json.load(handle)  # parses = exactly one JSON doc
+        assert payload["state"] == "done"
+
+
+class TestExactlyOnceCompletion:
+    def test_first_publish_wins(self, store):
+        record = store.submit(make_spec())
+        assert store.publish_result(record.job_id, {"attempt": 1}) is True
+        assert store.publish_result(record.job_id, {"attempt": 2}) is False
+        assert store.read_result(record.job_id) == {"attempt": 1}
+
+    def test_publish_records_completion_once(self, store):
+        record = store.submit(make_spec())
+        store.publish_result(record.job_id, {"attempt": 1})
+        store.publish_result(record.job_id, {"attempt": 2})
+        store.record_completion(record.job_id)  # idempotent
+        with open(store.completions_path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert store.completions() == {record.job_id}
+
+    def test_no_tmp_residue_after_publish_race(self, store):
+        record = store.submit(make_spec())
+        store.publish_result(record.job_id, {"attempt": 1})
+        store.publish_result(record.job_id, {"attempt": 2})
+        residue = [name for name in os.listdir(store.work_dir(record.job_id))
+                   if ".tmp" in name]
+        assert residue == []
+
+
+class TestWorkFiles:
+    def test_paths_live_under_the_job_work_dir(self, store):
+        record = store.submit(make_spec())
+        work = store.work_dir(record.job_id)
+        for path in (store.heartbeat_path(record.job_id),
+                     store.checkpoint_path(record.job_id),
+                     store.result_path(record.job_id),
+                     store.error_path(record.job_id, 1)):
+            assert path.startswith(work)
+
+    def test_error_chain_one_file_per_attempt(self, store):
+        record = store.submit(make_spec())
+        store.write_error(record.job_id, 1, {"type": "A"})
+        store.write_error(record.job_id, 2, {"type": "B"})
+        assert store.read_error(record.job_id, 1) == {"type": "A"}
+        assert store.read_error(record.job_id, 2) == {"type": "B"}
+        assert store.read_error(record.job_id, 3) is None
+
+    def test_counts(self, store):
+        a = store.submit(make_spec())
+        store.submit(make_spec())
+        store.transition(a, "leased")
+        assert store.counts() == {"queued": 1, "leased": 1}

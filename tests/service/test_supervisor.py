@@ -1,0 +1,300 @@
+"""The worker-pool supervisor: leases, retries, quarantine, recovery."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.service.jobs import JobSpec, JobStore
+from repro.service.supervisor import (Supervisor, SupervisorConfig,
+                                      run_job_attempt)
+
+# ~15 elementary ops on 3 qubits: enough boundaries for checkpoint
+# cadences and op-scoped fault schedules, still fast to simulate
+CIRCUIT = """OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+t q[2];
+h q[1];
+cx q[0],q[2];
+x q[0];
+h q[2];
+cx q[1],q[0];
+t q[0];
+h q[1];
+cx q[2],q[1];
+x q[2];
+h q[0];
+cx q[0],q[1];
+"""
+
+
+def make_spec(name="job", **overrides):
+    defaults = dict(name=name, qasm=CIRCUIT, strategy="sequential",
+                    checkpoint_every=5)
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+def fast_config(**overrides):
+    defaults = dict(max_workers=2, lease_seconds=2.0, poll_interval=0.02,
+                    backoff_base=0.05, backoff_max=0.5, jitter_seconds=0.02,
+                    max_wall_seconds=60.0)
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(str(tmp_path / "store"))
+
+
+class TestHappyPath:
+    def test_single_job_runs_to_done(self, store):
+        record = store.submit(make_spec())
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        done = store.get(record.job_id)
+        assert done.state == "done"
+        assert done.attempts == 1
+        assert done.result["resumed_from_op"] == 0
+        assert store.completions() == {record.job_id}
+
+    def test_result_payload_has_statistics_and_amplitudes(self, store):
+        record = store.submit(make_spec(strategy="k=3"))
+        Supervisor(store, fast_config()).run()
+        result = store.read_result(record.job_id)
+        assert result["statistics"]["operations_applied"] == 15
+        assert len(result["amplitudes"]) == 8
+        assert result["statistics"]["matrix_matrix_mults"] > 0
+
+    def test_batch_of_jobs_all_complete(self, store):
+        for strategy in ("sequential", "k=3", "smax=8"):
+            store.submit(make_spec(name=strategy, strategy=strategy))
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        assert len(report.states) == 3
+
+
+class TestRetryAndQuarantine:
+    def test_first_attempt_kill_then_resume_from_checkpoint(self, store):
+        record = store.submit(make_spec(fault="kill@12"))
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        assert report.retries == 1
+        result = store.read_result(record.job_id)
+        # checkpoint_every=5 -> periodic checkpoints after ops 5 and 10;
+        # the kill at op 12 must NOT restart the job from op 0
+        assert result["resumed_from_op"] == 10
+        assert result["attempt"] == 2
+        done = store.get(record.job_id)
+        assert done.errors[0]["type"] == "WorkerDied"
+
+    def test_budget_fault_resumes_from_failure_checkpoint(self, store):
+        record = store.submit(make_spec(fault="budget@7"))
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        result = store.read_result(record.job_id)
+        # the engine checkpoints at the boundary where the budget abort
+        # surfaced, so the retry replays zero operations
+        assert result["resumed_from_op"] == 8
+        done = store.get(record.job_id)
+        assert done.errors[0]["type"] == "InjectedBudgetFault"
+
+    def test_poison_job_quarantines_with_full_error_chain(self, store):
+        record = store.submit(make_spec(fault="raise"), max_attempts=3)
+        report = Supervisor(store, fast_config()).run()
+        assert not report.all_done
+        assert report.counts() == {"quarantined": 1}
+        dead = store.get(record.job_id)
+        assert dead.state == "quarantined"
+        assert dead.attempts == 3
+        assert [e["type"] for e in dead.errors] == ["RuntimeError"] * 3
+        assert [e["attempt"] for e in dead.errors] == [1, 2, 3]
+
+    def test_backoff_grows_and_is_recorded(self, store):
+        record = store.submit(make_spec(fault="raise"), max_attempts=3)
+        Supervisor(store, fast_config()).run()
+        notes = [entry["note"] for entry in store.get(record.job_id).history
+                 if "backoff" in entry["note"]]
+        assert len(notes) == 2  # two retries before the quarantine
+        delays = [float(note.split("backoff ")[1].rstrip("s)"))
+                  for note in notes]
+        assert delays[1] > delays[0]
+
+    def test_jitter_is_deterministic(self, store):
+        sup = Supervisor(store, fast_config())
+        assert sup._jitter("j0001-x", 2) == sup._jitter("j0001-x", 2)
+        assert sup._jitter("j0001-x", 2) != sup._jitter("j0001-x", 3)
+        assert 0 <= sup._jitter("j0001-x", 2) \
+            <= sup.config.jitter_seconds
+
+    def test_quarantined_job_does_not_block_the_batch(self, store):
+        store.submit(make_spec(name="poison", fault="raise"),
+                     max_attempts=2)
+        good = store.submit(make_spec(name="good"))
+        report = Supervisor(store, fast_config()).run()
+        assert report.counts() == {"quarantined": 1, "done": 1}
+        assert store.get(good.job_id).state == "done"
+
+
+class TestLeaseExpiry:
+    def test_stale_heartbeat_expires_the_lease(self, store):
+        # 0.5s sleep per op against a 0.25s lease: the heartbeat goes
+        # stale mid-sleep, the worker is killed, and the (now inert)
+        # fault lets attempt 2 finish
+        record = store.submit(make_spec(fault="latency=0.5"))
+        config = fast_config(lease_seconds=0.25)
+        report = Supervisor(store, config).run()
+        assert report.all_done
+        assert report.lease_expiries >= 1
+        done = store.get(record.job_id)
+        assert any(e["type"] == "LeaseExpired" for e in done.errors)
+
+    def test_hang_at_start_expires_and_retries(self, store):
+        record = store.submit(make_spec(fault="hang"), max_attempts=2)
+        report = Supervisor(store, fast_config(lease_seconds=0.3)).run()
+        # hang is a poison fault (fires every attempt): quarantined, but
+        # neither attempt hung the supervisor
+        assert store.get(record.job_id).state == "quarantined"
+        assert report.lease_expiries == 2
+        assert report.wall_seconds < 30
+
+
+class TestCheckpointDamageRecovery:
+    def test_corrupt_checkpoint_restarts_from_op_zero(self, store):
+        record = store.submit(make_spec(fault="corrupt-checkpoint@11"))
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        result = store.read_result(record.job_id)
+        assert result["resumed_from_op"] == 0  # damage detected, clean start
+        assert result["attempt"] == 2
+        # the damaged file was set aside for the post-mortem
+        assert os.path.exists(
+            store.checkpoint_path(record.job_id) + ".bad")
+
+    def test_truncated_checkpoint_restarts_from_op_zero(self, store):
+        record = store.submit(make_spec(fault="truncate-checkpoint@11"))
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        assert store.read_result(record.job_id)["resumed_from_op"] == 0
+
+
+class TestRecovery:
+    def test_orphaned_running_record_with_result_is_adopted(self, store):
+        record = store.submit(make_spec())
+        # simulate a supervisor killed between the worker publishing its
+        # result and the record being marked done
+        store.transition(record, "leased")
+        record.lease = {"pid": None, "attempt": 1}
+        store.transition(record, "running")
+        exit_code = run_job_attempt(store, record.job_id, attempt=1)
+        assert exit_code == 0
+        report = Supervisor(store, fast_config()).run()
+        assert report.recovered == 1
+        assert store.get(record.job_id).state == "done"
+        # exactly-once: adopted, not re-executed
+        assert store.read_result(record.job_id)["attempt"] == 1
+
+    def test_orphaned_lease_with_dead_pid_is_requeued(self, store):
+        record = store.submit(make_spec())
+        store.transition(record, "leased")
+        record.lease = {"pid": 2 ** 22 + 12345, "attempt": 1}  # unlikely pid
+        store.transition(record, "running")
+        report = Supervisor(store, fast_config()).run()
+        assert report.recovered == 1
+        assert report.all_done
+
+    def test_recovered_job_resumes_from_its_checkpoint(self, store):
+        record = store.submit(make_spec(fault="kill@12"))
+        # first attempt dies in a bare worker (no supervisor watching)
+        store.transition(record, "leased")
+        record.lease = {"pid": None, "attempt": 1}
+        store.transition(record, "running")
+        ctx = multiprocessing.get_context("fork")
+        from repro.service.supervisor import _worker_entry
+        proc = ctx.Process(target=_worker_entry,
+                           args=(store.root, record.job_id, 1))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 86  # the injected kill
+        report = Supervisor(store, fast_config()).run()
+        assert report.all_done
+        assert store.read_result(record.job_id)["resumed_from_op"] == 10
+
+
+class TestTraceEvents:
+    def test_supervision_emits_job_lease_retry_quarantine(self, store):
+        from repro.simulation import trace_summary
+        store.submit(make_spec(name="ok"))
+        store.submit(make_spec(name="flaky", fault="kill@12"))
+        store.submit(make_spec(name="poison", fault="raise"),
+                     max_attempts=2)
+        events = []
+        Supervisor(store, fast_config(), trace=events.append).run()
+        kinds = {event["event"] for event in events}
+        assert {"job", "lease", "retry", "quarantine"} <= kinds
+        summary = trace_summary(events)
+        assert summary["jobs_done"] == 2
+        assert summary["retry_events"] >= 2
+        assert summary["quarantine_events"] == 1
+
+    def test_pure_engine_traces_keep_their_summary_shape(self):
+        from repro.simulation import trace_summary
+        summary = trace_summary([{"event": "step", "state_nodes": 4}])
+        assert "jobs_done" not in summary
+
+
+class TestStatisticsSurface:
+    def test_attempts_and_resume_offset_in_summary(self, store):
+        from repro.simulation import SimulationStatistics
+        record = store.submit(make_spec(fault="kill@12"))
+        Supervisor(store, fast_config()).run()
+        stats = SimulationStatistics.from_dict(
+            store.read_result(record.job_id)["statistics"])
+        assert stats.attempts == 2
+        assert stats.resumed_from_op == 10
+        assert "attempt 2 (resumed from op 10)" in stats.summary()
+
+    def test_untroubled_run_summary_is_unchanged(self):
+        from repro.simulation import SimulationStatistics
+        stats = SimulationStatistics(strategy="sequential", circuit_name="c")
+        assert "attempt" not in stats.summary()
+
+
+class TestWallClockBound:
+    def test_supervisor_never_exceeds_its_wall_budget(self, store):
+        store.submit(make_spec(fault="hang"), max_attempts=10)
+        config = fast_config(lease_seconds=30.0, max_wall_seconds=2.0)
+        started = time.monotonic()
+        report = Supervisor(store, config).run()
+        assert time.monotonic() - started < 20
+        assert not report.all_done
+
+
+class TestJobTimeout:
+    def test_cooperative_deadline_bounds_an_attempt(self, store):
+        record = store.submit(
+            make_spec(fault="latency=0.2:x3", timeout=0.3), max_attempts=2)
+        report = Supervisor(store, fast_config(lease_seconds=5.0)).run()
+        dead = store.get(record.job_id)
+        # each attempt crawls (0.2s/op) and trips the 0.3s deadline long
+        # before the 15-op circuit completes, on both attempts
+        assert dead.state == "quarantined"
+        assert all(e["type"] == "JobTimeout" for e in dead.errors)
+        assert report.wall_seconds < 30
+
+
+def test_worker_exit_codes(store):
+    record = store.submit(make_spec())
+    assert run_job_attempt(store, record.job_id, attempt=1) == 0
+    # a second execution of a completed job must refuse to re-publish
+    from repro.service.supervisor import EXIT_ALREADY_DONE
+    assert run_job_attempt(store, record.job_id, attempt=2) \
+        == EXIT_ALREADY_DONE
+    result = store.read_result(record.job_id)
+    assert result["attempt"] == 1

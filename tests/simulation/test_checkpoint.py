@@ -187,6 +187,27 @@ class TestAtomicity:
         with pytest.raises(ValueError, match="truncated or corrupt"):
             load_checkpoint(str(path))
 
+    def test_damage_error_names_file_and_byte_offset(self, tmp_path):
+        from repro.simulation.checkpoint import CheckpointError
+        path = tmp_path / "damaged.ckpt"
+        payload = '{"version": 2, "op_index": 4}'
+        path.write_text(payload[:12])  # truncate mid-token
+        with pytest.raises(CheckpointError) as info:
+            load_checkpoint(str(path))
+        message = str(info.value)
+        assert str(path) in message
+        assert "at byte" in message
+        # CheckpointError is a ValueError, so pre-existing callers that
+        # catch ValueError keep working
+        assert isinstance(info.value, ValueError)
+
+    def test_schema_violation_is_a_checkpoint_error(self, tmp_path):
+        from repro.simulation.checkpoint import CheckpointError
+        path = tmp_path / "foreign.ckpt"
+        path.write_text('{"version": 2, "op_index": "garbage"}')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
 
 class TestValidation:
     def test_fingerprint_mismatch_rejected(self, grover10, tmp_path):

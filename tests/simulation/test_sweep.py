@@ -152,6 +152,81 @@ class TestFaultInjection:
         assert result.status == "failed"
         assert result.error["type"] == "ValueError"
 
+    def test_op_scoped_budget_fault_is_recorded(self):
+        result = run_cell(qasm_task("b", fault="budget@1"), in_worker=False)
+        assert result.status == "failed"
+        assert result.error["type"] == "InjectedBudgetFault"
+        assert "operation 1" in result.error["message"]
+
+    def test_op_scoped_kill_is_neutered_inline(self):
+        result = run_cell(qasm_task("k", fault="kill@0"), in_worker=False)
+        assert result.status == "failed"
+        assert "would have killed" in result.error["message"]
+
+
+class TestCooperativeDeadline:
+    """Timeouts on platforms without SIGALRM (satellite: run_cell falls
+    back to a per-op cooperative deadline instead of losing timeouts)."""
+
+    def test_deadline_fires_without_sigalrm(self, monkeypatch):
+        monkeypatch.delattr(signal, "SIGALRM")
+        # 0.2s of injected latency per op against a 0.05s budget: the
+        # deadline must trip at the first operation boundary
+        task = qasm_task("slow", fault="latency=0.2", timeout=0.05)
+        result = run_cell(task, in_worker=False)
+        assert result.status == "timeout"
+        assert result.error["type"] == "CellTimeout"
+        assert "exceeded 0.05s" in result.error["message"]
+
+    def test_fast_cell_unaffected_without_sigalrm(self, monkeypatch):
+        monkeypatch.delattr(signal, "SIGALRM")
+        result = run_cell(qasm_task("quick", timeout=30.0), in_worker=False)
+        assert result.status == "ok"
+
+    def test_deadline_chains_after_an_op_scoped_fault(self, monkeypatch):
+        # both hooks installed at once: the injector's op schedule must
+        # not mask the deadline, nor vice versa
+        monkeypatch.delattr(signal, "SIGALRM")
+        task = qasm_task("both", fault="latency=0.2", timeout=10.0)
+        result = run_cell(task, in_worker=False)
+        assert result.status == "ok"  # generous budget: latency only
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                        reason="contrast case needs SIGALRM")
+    def test_sigalrm_path_still_preferred_when_available(self):
+        # a hang makes no op progress, so only the alarm can interrupt it
+        task = qasm_task("hang", fault="hang", timeout=0.3)
+        result = run_cell(task, in_worker=False)
+        assert result.status == "timeout"
+
+
+class TestRetryExhaustion:
+    """A worker that dies on *every* attempt (satellite: the sweep ends
+    with a failed record carrying the retry count -- it never hangs)."""
+
+    def test_poison_cell_fails_after_retries_run_out(self):
+        tasks = four_tasks()
+        tasks[1] = qasm_task("poison", fault="os._exit")
+        report = SweepRunner(jobs=2, retries=1).run(tasks)
+        poison = report.cells[1]
+        assert poison.status == "failed"
+        assert poison.error["type"] == "WorkerDied"
+        # broken first pass + (retries + 1) isolated attempts
+        assert poison.attempts == 3
+        assert "3 time(s)" in poison.error["message"]
+        assert [c.status for i, c in enumerate(report.cells) if i != 1] \
+            == ["ok", "ok", "ok"]
+        assert [c.key() for c in report.cells] == [t.key() for t in tasks]
+
+    def test_zero_retries_still_terminates(self):
+        report = SweepRunner(jobs=2, retries=0).run(
+            [qasm_task("poison", fault="os._exit"), qasm_task("ok")])
+        assert report.cells[0].status == "failed"
+        assert report.cells[0].error["type"] == "WorkerDied"
+        assert report.cells[0].attempts == 2
+        assert report.cells[1].status == "ok"
+        assert not report.all_ok
+
 
 class TestRunnerValidation:
     def test_jobs_must_be_positive(self):
