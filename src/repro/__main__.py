@@ -63,16 +63,22 @@ def _print_result(args, circuit, engine, result, trace_sink,
     stats = result.statistics
     print(f"circuit   : {args.circuit} ({circuit.num_qubits} qubits, "
           f"{circuit.num_operations()} operations)")
+    if stats.backend:
+        print(f"backend   : {stats.backend}")
+    if stats.backend_selection:
+        print(f"selected  : {stats.backend_selection.get('reason', '')}")
     print(f"strategy  : {stats.strategy}")
     print(f"mults     : {stats.matrix_vector_mults} matrix-vector, "
           f"{stats.matrix_matrix_mults} matrix-matrix")
-    print(f"state DD  : {stats.final_state_nodes} nodes "
-          f"(peak {stats.peak_state_nodes})")
+    if stats.final_state_nodes or stats.peak_state_nodes:
+        print(f"state DD  : {stats.final_state_nodes} nodes "
+              f"(peak {stats.peak_state_nodes})")
     if stats.gc.collections:
+        limit = f" (limit now {engine.governor.limit})" \
+            if engine is not None else ""
         print(f"GC        : {stats.gc.collections} collections, "
               f"{stats.gc.nodes_freed} nodes freed, "
-              f"{stats.gc.pause_seconds:.3f}s paused "
-              f"(limit now {engine.governor.limit})")
+              f"{stats.gc.pause_seconds:.3f}s paused{limit}")
     if stats.checkpoints_written and args.checkpoint:
         print(f"checkpoint: {args.checkpoint} "
               f"({stats.checkpoints_written} written)")
@@ -152,6 +158,8 @@ def _run_and_report(args, circuit, run) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    if args.backend is not None:
+        return _cmd_simulate_backend(args)
     circuit = _load(args.circuit)
     strategy = strategy_from_spec(args.strategy)
 
@@ -162,6 +170,53 @@ def _cmd_simulate(args) -> int:
                                **_resilience_kwargs(args, policy))
 
     return _run_and_report(args, circuit, run)
+
+
+def _cmd_simulate_backend(args) -> int:
+    """``simulate --backend NAME|auto``: dispatch through the registry.
+
+    ``auto`` scores the circuit with the cheap predictors and records the
+    decision (chosen backend, feature vector, per-backend scores) into
+    the run's statistics; an explicit name always beats ``auto``.
+    Requested features the chosen backend lacks (reordering, checkpoints,
+    strategies) fail up front with the capability error, not mid-run.
+    """
+    from .backends import resolve_backend
+    circuit = _load(args.circuit)
+    # only forward engine budgets the user actually set -- array backends
+    # take no budget options, and the DD default is 500k anyway
+    options = {}
+    if args.gc_limit != 500_000:
+        options["gc_limit"] = args.gc_limit
+    if args.max_nodes is not None:
+        options["max_nodes"] = args.max_nodes
+    trace_sink = None
+    try:
+        backend, selection = resolve_backend(args.backend, circuit,
+                                             **options)
+        policy = _make_policy(args)
+        run_options = {key: value for key, value in
+                       _resilience_kwargs(args, policy).items()
+                       if value is not None}
+        if args.trace:
+            from .simulation import JsonlTraceSink
+            trace_sink = JsonlTraceSink(args.trace)
+            run_options["trace"] = trace_sink
+        result = backend.run(circuit, strategy=args.strategy,
+                             initial_index=args.initial, **run_options)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except MemoryBudgetExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+    if selection is not None:
+        result.statistics.backend_selection = selection.as_dict()
+    _print_result(args, circuit, None, result, trace_sink)
+    return 0
 
 
 def _cmd_resume(args) -> int:
@@ -328,6 +383,7 @@ def _sweep_tasks(spec: dict, args) -> list:
         return flag if flag is not None else spec.get(key, default)
 
     strategies = args.strategy or spec.get("strategies", ["sequential"])
+    backends = args.backend or spec.get("backends", [None])
     repetitions = pick(args.repetitions, "repetitions", 1)
     base_seed = pick(args.seed, "seed", 0)
     timeout = pick(args.timeout, "timeout", None)
@@ -360,14 +416,22 @@ def _sweep_tasks(spec: dict, args) -> list:
             metadata = instance_task_spec(get_instance(entry))
             qasm = None
         for strategy in strategies:
-            for repetition in range(repetitions):
-                tasks.append(SweepTask(
-                    name=name, strategy=strategy, repetition=repetition,
-                    kind=kind, metadata=metadata, qasm=qasm,
-                    use_local_apply=use_local_apply,
-                    seed=task_seed(base_seed, name, strategy, repetition),
-                    timeout=timeout, max_nodes=max_nodes,
-                    gc_limit=gc_limit, reorder=reorder, fault=fault))
+            for backend in backends:
+                # the backend joins the cell name so report keys stay
+                # unique across the backend axis
+                cell_name = name if backend is None \
+                    else f"{name}@{backend}"
+                for repetition in range(repetitions):
+                    tasks.append(SweepTask(
+                        name=cell_name, strategy=strategy,
+                        repetition=repetition,
+                        kind=kind, metadata=metadata, qasm=qasm,
+                        use_local_apply=use_local_apply,
+                        seed=task_seed(base_seed, cell_name, strategy,
+                                       repetition),
+                        timeout=timeout, max_nodes=max_nodes,
+                        gc_limit=gc_limit, reorder=reorder,
+                        backend=backend, fault=fault))
     return tasks
 
 
@@ -423,6 +487,115 @@ def _cmd_sweep(args) -> int:
             handle.write("\n")
         print(f"report: {args.output}")
     return 0 if report.all_ok else 1
+
+
+def _parse_span(text: str, flag: str) -> tuple[int, int]:
+    """Parse a ``LO:HI`` range flag."""
+    try:
+        low, _, high = text.partition(":")
+        low_value, high_value = int(low), int(high or low)
+    except ValueError:
+        raise ValueError(f"{flag} expects LO:HI, got {text!r}") from None
+    if low_value < 1 or high_value < low_value:
+        raise ValueError(f"{flag} range {text!r} is empty or non-positive")
+    return low_value, high_value
+
+
+def _cmd_fuzz(args) -> int:
+    """Differential fuzzing: cross-check every backend on random circuits.
+
+    Exit 0 when every comparison held the fidelity floor, 1 when any
+    backend disagreed (minimized reproducers printed, and written to
+    ``--corpus`` when given), 2 on bad arguments.
+    """
+    from .verification.fuzz import (DifferentialFuzzer, FuzzConfig,
+                                    register_broken_backend, write_corpus)
+    budget = args.budget
+    if budget is None and args.max_circuits is None:
+        budget = 60.0
+    try:
+        min_qubits, max_qubits = _parse_span(args.qubits, "--qubits")
+        min_operations, max_operations = _parse_span(args.ops, "--ops")
+        if args.inject_broken:
+            register_broken_backend()
+        backends = tuple(name for name in
+                         (args.backends or "").split(",") if name)
+        config = FuzzConfig(
+            backends=backends, reference=args.reference,
+            min_qubits=min_qubits, max_qubits=max_qubits,
+            min_operations=min_operations, max_operations=max_operations,
+            seed=args.seed, max_failures=args.max_failures)
+        if args.jobs > 1:
+            return _fuzz_parallel(args, config, budget)
+        fuzzer = DifferentialFuzzer(config)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = fuzzer.run(budget_seconds=budget,
+                        max_circuits=args.max_circuits)
+    print(f"fuzz: {report.circuits_checked} circuits, "
+          f"{report.comparisons} comparisons across "
+          f"{len(report.backends)} backends "
+          f"({', '.join(report.backends)}), "
+          f"{report.wall_seconds:.1f}s, seed {config.seed}")
+    if args.corpus:
+        paths = write_corpus(report, args.corpus)
+        print(f"corpus: {len(paths)} file(s) in {args.corpus}")
+    if report.ok:
+        print(f"fuzz OK: fidelity floor {config.fidelity_floor} held "
+              f"on every comparison")
+        return 0
+    print(f"fuzz FAILED: {len(report.failures)} disagreement(s)",
+          file=sys.stderr)
+    for failure in report.failures:
+        print(f"\n{failure.summary()}", file=sys.stderr)
+    return 1
+
+
+def _fuzz_parallel(args, config, budget: float | None) -> int:
+    """Fan one fuzz campaign out as ``kind="fuzz"`` sweep cells.
+
+    Each worker cell fuzzes a rotated seed for the full budget (cells run
+    concurrently, so wall time stays ~budget while coverage scales with
+    ``--jobs``); failed cells carry the minimized reproducers in their
+    error records.
+    """
+    import os.path
+
+    from .simulation.sweep import SweepRunner, SweepTask, task_seed
+    tasks = []
+    for index in range(args.jobs):
+        metadata = config.as_dict()
+        # rotate the seed per cell so workers explore disjoint streams
+        metadata["seed"] = config.seed + 7919 * index
+        metadata["budget_seconds"] = budget
+        if args.max_circuits is not None:
+            metadata["max_circuits"] = -(-args.max_circuits // args.jobs)
+        if args.corpus:
+            metadata["corpus"] = os.path.join(args.corpus, f"cell{index}")
+        if args.inject_broken:
+            metadata["register_broken"] = True
+        name = f"fuzz-{index}"
+        tasks.append(SweepTask(
+            name=name, strategy="fuzz", kind="fuzz", metadata=metadata,
+            seed=task_seed(config.seed, name, "fuzz", 0)))
+    report = SweepRunner(jobs=args.jobs).run(tasks)
+    checked = sum(cell.stats().operations_applied
+                  for cell in report.cells if cell.ok)
+    print(f"fuzz: {len(report.cells)} parallel cells, "
+          f"{checked} circuits in passing cells, jobs={args.jobs}, "
+          f"{report.wall_seconds:.1f}s")
+    for cell in report.failed_cells:
+        error = cell.error or {}
+        print(f"\nfuzz cell {cell.name} FAILED: "
+              f"{error.get('message', error.get('type'))}",
+              file=sys.stderr)
+    if report.all_ok:
+        print("fuzz OK: fidelity floor held on every comparison")
+        return 0
+    print(f"fuzz FAILED: {len(report.failed_cells)} cell(s) found "
+          f"disagreements", file=sys.stderr)
+    return 1
 
 
 def _cmd_jobs_submit(args) -> int:
@@ -623,6 +796,13 @@ def main(argv: list[str] | None = None) -> int:
     simulate.add_argument("--strategy", default="sequential",
                           help="sequential | k=<n> | smax=<n> | adaptive | "
                                "repeating[:inner]")
+    simulate.add_argument("--backend", default=None, metavar="NAME",
+                          help="simulate through a registered backend: "
+                               "dd | dd-iterative | dd-matrix | dense | "
+                               "tensor-slot, or 'auto' to pick per circuit "
+                               "from cheap predictors (decision recorded "
+                               "in the statistics); default: the engine "
+                               "fast path")
     simulate.add_argument("--initial", type=int, default=0,
                           help="initial basis state index")
     add_run_options(simulate)
@@ -716,6 +896,10 @@ def main(argv: list[str] | None = None) -> int:
     sweep.add_argument("--reorder", default=None, metavar="POLICY",
                        help="per-cell reorder policy ('governor' or "
                             "'every=K'; overrides the spec's 'reorder')")
+    sweep.add_argument("--backend", action="append", metavar="NAME",
+                       help="add a backend axis: run every cell through "
+                            "each named registered backend (repeatable; "
+                            "overrides the spec's 'backends')")
     sweep.add_argument("--retries", type=int, default=1,
                        help="retries for cells whose worker died "
                             "(default: 1)")
@@ -805,6 +989,42 @@ def main(argv: list[str] | None = None) -> int:
     jobs_retry.add_argument("store", help="job store directory")
     jobs_retry.add_argument("job_ids", nargs="+", metavar="JOB_ID")
     jobs_retry.set_defaults(handler=_cmd_jobs_retry)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differential fuzzing: cross-check all registered "
+                     "backends on random circuits at fidelity >= 1-1e-9; "
+                     "failures are minimized into reproducers")
+    fuzz.add_argument("--budget", type=float, default=None, metavar="S",
+                      help="wall-clock fuzzing budget in seconds "
+                           "(default 60 unless --max-circuits is given)")
+    fuzz.add_argument("--max-circuits", type=int, default=None, metavar="N",
+                      help="stop after N random circuits")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (CI rotates it per run)")
+    fuzz.add_argument("--backends", default=None, metavar="A,B,...",
+                      help="comma-separated backend pool "
+                           "(default: every registered backend)")
+    fuzz.add_argument("--reference", default="dense",
+                      help="oracle backend every other one is compared "
+                           "against (default: dense)")
+    fuzz.add_argument("--qubits", default="2:6", metavar="LO:HI",
+                      help="qubit-count range per circuit (default 2:6)")
+    fuzz.add_argument("--ops", default="5:40", metavar="LO:HI",
+                      help="operation-count range per circuit "
+                           "(default 5:40)")
+    fuzz.add_argument("--max-failures", type=int, default=5, metavar="N",
+                      help="stop after N distinct failures (default 5)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="write minimized JSON reproducers (and a "
+                           "campaign summary) into DIR")
+    fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan the campaign out over N sweep worker "
+                           "processes with rotated seeds (default: 1)")
+    fuzz.add_argument("--inject-broken", action="store_true",
+                      help="register the deliberately faulty demo backend "
+                           "first (the campaign must then fail; CI uses "
+                           "this to prove the ratchet bites)")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     bench = commands.add_parser(
         "bench", help="run the reproducible DD-kernel benchmark",

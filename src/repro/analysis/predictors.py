@@ -1,0 +1,111 @@
+"""Cheap structural circuit predictors for backend auto-selection.
+
+The exact entanglement entropy in :mod:`repro.analysis.entanglement`
+requires simulating the circuit first -- useless for deciding *how* to
+simulate it.  This module computes an O(gates) feature vector instead:
+counts, fractions of the gate mix, and an upper bound on the final
+bipartite entanglement across the middle cut (every two-qubit gate that
+crosses a cut can raise the entanglement entropy across that cut by at
+most one ebit, cf. "Improving Gate-Level Simulation of Quantum Circuits",
+quant-ph/0309060).
+
+The bound is deliberately loose -- it only has to separate "DD-friendly,
+lightly entangling" circuits (GHZ ladders, oracles) from "dense, heavily
+entangling" ones (random rotation circuits, supremacy slices) well enough
+for :mod:`repro.backends.selector` to pick a sensible backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..circuit.circuit import QuantumCircuit, RepeatedBlock
+
+__all__ = ["CircuitFeatures", "circuit_features", "cut_crossing_bound"]
+
+#: gates outside the Clifford group (phase angles other than multiples of
+#: pi/2 create the irrational amplitudes that densify statevectors)
+_NON_CLIFFORD = {"t", "tdg"}
+
+
+@dataclass(frozen=True)
+class CircuitFeatures:
+    """O(gates) feature vector used by the backend auto-selector."""
+
+    num_qubits: int
+    num_operations: int
+    depth: int
+    #: fraction of elementary operations touching >= 2 qubits
+    two_qubit_fraction: float
+    #: fraction of operations carrying continuous parameters (rx/ry/rz/p/u)
+    rotation_fraction: float
+    #: fraction of non-Clifford operations (t/tdg plus every rotation)
+    nonclifford_fraction: float
+    #: upper bound on final entanglement entropy (ebits) across the
+    #: middle cut: ``min(crossing gate count, qubits on smaller side)``
+    entanglement_estimate: int
+    #: distinct interacting qubit pairs / all possible pairs
+    interaction_density: float
+    #: whether the circuit uses repeated blocks (DD-repeating candidates)
+    has_repeated_blocks: bool
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot (logged into ``SimulationStatistics``)."""
+        return asdict(self)
+
+
+def cut_crossing_bound(circuit: QuantumCircuit, cut: int) -> int:
+    """Entanglement upper bound (ebits) across ``[0, cut) | [cut, n)``.
+
+    Counts multi-qubit operations spanning the cut; the bound is capped by
+    the smaller side's size (a k-qubit register holds at most k ebits).
+    """
+    num_qubits = circuit.num_qubits
+    if cut <= 0 or cut >= num_qubits:
+        return 0
+    crossings = 0
+    for op in circuit.operations():
+        qubits = op.qubits()
+        if len(qubits) < 2:
+            continue
+        if any(q < cut for q in qubits) and any(q >= cut for q in qubits):
+            crossings += 1
+    return min(crossings, cut, num_qubits - cut)
+
+
+def circuit_features(circuit: QuantumCircuit) -> CircuitFeatures:
+    """Compute the selector's feature vector in one pass over the gates."""
+    num_qubits = circuit.num_qubits
+    total = 0
+    multi_qubit = 0
+    rotations = 0
+    nonclifford = 0
+    pairs: set[tuple[int, int]] = set()
+    for op in circuit.operations():
+        total += 1
+        qubits = op.qubits()
+        if len(qubits) >= 2:
+            multi_qubit += 1
+            anchor = qubits[0]
+            for other in qubits[1:]:
+                pairs.add((min(anchor, other), max(anchor, other)))
+        if op.params:
+            rotations += 1
+            nonclifford += 1
+        elif op.gate in _NON_CLIFFORD:
+            nonclifford += 1
+    possible_pairs = num_qubits * (num_qubits - 1) // 2
+    denominator = max(1, total)
+    return CircuitFeatures(
+        num_qubits=num_qubits,
+        num_operations=total,
+        depth=circuit.depth(),
+        two_qubit_fraction=multi_qubit / denominator,
+        rotation_fraction=rotations / denominator,
+        nonclifford_fraction=nonclifford / denominator,
+        entanglement_estimate=cut_crossing_bound(circuit, num_qubits // 2),
+        interaction_density=len(pairs) / max(1, possible_pairs),
+        has_repeated_blocks=any(
+            isinstance(instruction, RepeatedBlock)
+            for instruction in circuit.instructions),
+    )

@@ -1,0 +1,230 @@
+"""The backend protocol: every way this repo can compute the same state.
+
+A :class:`Backend` turns a circuit into a :class:`BackendResult` through
+the streaming protocol ``prepare -> apply* -> finalize`` (or the one-shot
+:meth:`Backend.run`, which some adapters override to route through the
+full :class:`~repro.simulation.engine.SimulationEngine` for checkpoints,
+reordering and degradation).  Every result answers the same queries --
+``amplitude`` / ``probabilities`` / ``sample`` / ``fidelity_with`` -- so
+two backends can always be cross-checked, which is exactly what
+:mod:`repro.verification.fuzz` does continuously.
+
+:class:`BackendCapabilities` is the honest feature matrix: callers ask it
+before requesting reordering, checkpoints or strategy scheduling instead
+of discovering a ``TypeError`` three layers down.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operation import Operation
+from ..simulation.statistics import SimulationStatistics
+
+__all__ = ["ArrayResult", "Backend", "BackendCapabilities", "BackendResult",
+           "MAX_DENSE_QUBITS"]
+
+#: largest register ``BackendResult.statevector`` will materialise densely
+#: (2^24 complex128 amplitudes = 256 MiB); fidelity checks and sampling on
+#: bigger registers must use backend-native paths
+MAX_DENSE_QUBITS = 24
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a backend supports beyond plain sequential simulation."""
+
+    #: honours paper strategy schedules (k-operations, DD-repeating, ...)
+    strategies: bool = False
+    #: supports mid-run variable reordering (``reorder=`` run option)
+    reorder: bool = False
+    #: supports checkpoint/resume (``checkpoint_path`` / ``resume``)
+    checkpoint: bool = False
+    #: supports noisy-channel simulation (density-matrix path)
+    noise: bool = False
+    #: hard qubit ceiling imposed by the representation (``None`` = bounded
+    #: only by memory -- the DD adapters; dense arrays cap out early)
+    max_qubits: int | None = None
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class BackendResult(abc.ABC):
+    """Uniform query interface over a finished simulation.
+
+    Subclasses implement :meth:`amplitude`; everything else has a default
+    built on it (dense adapters override with vectorised versions, DD
+    adapters with traversal-based ones that never densify).
+    """
+
+    def __init__(self, num_qubits: int,
+                 statistics: SimulationStatistics) -> None:
+        self.num_qubits = num_qubits
+        self.statistics = statistics
+        #: variable permutation after mid-run reordering (DD adapters
+        #: stamp the real one; ``None`` means identity order)
+        self.permutation: list[int] | None = None
+
+    @abc.abstractmethod
+    def amplitude(self, basis_index: int) -> complex:
+        """Amplitude of one computational basis state (logical indexing:
+        bit ``q`` of ``basis_index`` is qubit ``q``)."""
+
+    def statevector(self) -> np.ndarray:
+        """The full dense state (guarded against huge registers)."""
+        if self.num_qubits > MAX_DENSE_QUBITS:
+            raise ValueError(
+                f"refusing to densify a {self.num_qubits}-qubit state "
+                f"(> {MAX_DENSE_QUBITS} qubits); use amplitude() or the "
+                f"backend-native queries")
+        return np.array([self.amplitude(i)
+                         for i in range(1 << self.num_qubits)],
+                        dtype=complex)
+
+    def probabilities(self) -> list[float]:
+        """Measurement distribution over all basis states."""
+        vector = self.statevector()
+        return [float(p) for p in np.abs(vector) ** 2]
+
+    def probability(self, basis_index: int) -> float:
+        return abs(self.amplitude(basis_index)) ** 2
+
+    def sample(self, shots: int, rng=None) -> dict[int, int]:
+        """Sample ``shots`` measurement outcomes.
+
+        Uses inverse-CDF sampling over :meth:`probabilities`, so for the
+        same ``rng`` state two correct backends draw identical outcomes --
+        handy for differential checks on the sampling path itself.
+        """
+        if shots < 0:
+            raise ValueError(f"shots must be >= 0, got {shots}")
+        rng = rng or np.random.default_rng()
+        probabilities = np.array(self.probabilities())
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("state has zero norm; nothing to sample")
+        cumulative = np.cumsum(probabilities / total)
+        counts: dict[int, int] = {}
+        # rng.random() works for both random.Random and numpy generators
+        for _ in range(shots):
+            draw = rng.random()
+            outcome = int(np.searchsorted(cumulative, draw, side="right"))
+            outcome = min(outcome, len(cumulative) - 1)
+            counts[outcome] = counts.get(outcome, 0) + 1
+        return counts
+
+    def fidelity_with(self, other: "BackendResult") -> float:
+        """``|<self|other>|^2`` -- the differential-fuzzing oracle."""
+        if self.num_qubits != other.num_qubits:
+            raise ValueError(
+                f"qubit count mismatch: {self.num_qubits} vs "
+                f"{other.num_qubits}")
+        inner = np.vdot(self.statevector(), other.statevector())
+        return float(abs(inner) ** 2)
+
+
+class ArrayResult(BackendResult):
+    """Result backed by a flat dense amplitude array (little-endian:
+    bit ``q`` of the flat index is qubit ``q``, matching the rest of the
+    repo)."""
+
+    def __init__(self, vector: np.ndarray, num_qubits: int,
+                 statistics: SimulationStatistics) -> None:
+        super().__init__(num_qubits, statistics)
+        self._vector = np.asarray(vector, dtype=complex).reshape(-1)
+        if self._vector.shape != (1 << num_qubits,):
+            raise ValueError(
+                f"vector of length {self._vector.size} does not match "
+                f"{num_qubits} qubits")
+
+    def amplitude(self, basis_index: int) -> complex:
+        return complex(self._vector[basis_index])
+
+    def statevector(self) -> np.ndarray:
+        return self._vector.copy()
+
+    def probabilities(self) -> list[float]:
+        return [float(p) for p in np.abs(self._vector) ** 2]
+
+
+class Backend(abc.ABC):
+    """One way to simulate a circuit; register it to join the fuzz pool.
+
+    The streaming protocol is the lowest common denominator::
+
+        backend.prepare(num_qubits)
+        for operation in circuit.operations():
+            backend.apply(operation)
+        result = backend.finalize()
+
+    :meth:`run` wraps it for whole circuits and validates requested
+    features against :meth:`capabilities` up front.  Engine-backed
+    adapters override :meth:`run` to unlock strategies, checkpoints and
+    reordering; the streaming protocol stays available on every backend
+    for incremental feeding (the fuzzer's minimizer relies on it).
+    """
+
+    #: registry name; set by subclasses
+    name: str = ""
+
+    @abc.abstractmethod
+    def capabilities(self) -> BackendCapabilities:
+        """Feature matrix used for up-front validation and ``auto``."""
+
+    @abc.abstractmethod
+    def prepare(self, num_qubits: int, initial_index: int = 0) -> None:
+        """Start a fresh run in the basis state ``|initial_index>``."""
+
+    @abc.abstractmethod
+    def apply(self, operation: Operation) -> None:
+        """Apply one elementary operation to the in-progress state."""
+
+    @abc.abstractmethod
+    def finalize(self) -> BackendResult:
+        """Finish the run and return the queryable result."""
+
+    def run(self, circuit: QuantumCircuit, strategy: str | None = None,
+            initial_index: int = 0, **run_options) -> BackendResult:
+        """Simulate a whole circuit through the streaming protocol.
+
+        ``strategy`` and ``run_options`` (``reorder=``, ``checkpoint_path=``,
+        ...) are validated against :meth:`capabilities`; backends that
+        support them override this method and forward to the engine.
+        """
+        capabilities = self.capabilities()
+        if strategy not in (None, "sequential") and not \
+                capabilities.strategies:
+            raise ValueError(
+                f"backend {self.name!r} does not support strategy "
+                f"schedules (requested {strategy!r}); it always applies "
+                f"gates sequentially")
+        unsupported = sorted(k for k, v in run_options.items()
+                             if v is not None)
+        if unsupported:
+            raise ValueError(
+                f"backend {self.name!r} does not support run option(s) "
+                f"{', '.join(unsupported)}")
+        limit = capabilities.max_qubits
+        if limit is not None and circuit.num_qubits > limit:
+            raise ValueError(
+                f"backend {self.name!r} is capped at {limit} qubits; "
+                f"circuit {circuit.name!r} has {circuit.num_qubits}")
+        self.prepare(circuit.num_qubits, initial_index)
+        for operation in circuit.operations():
+            self.apply(operation)
+        result = self.finalize()
+        result.statistics.circuit_name = circuit.name
+        return result
+
+    # -- shared helpers for streaming adapters --------------------------
+
+    def _start_statistics(self, num_qubits: int) -> SimulationStatistics:
+        return SimulationStatistics(strategy="sequential",
+                                    num_qubits=num_qubits,
+                                    backend=self.name)

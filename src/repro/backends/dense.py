@@ -1,0 +1,66 @@
+"""Dense statevector backend: the ground-truth comparator as an adapter.
+
+Wraps :class:`repro.baseline.statevector.StatevectorSimulator` behind the
+:class:`~repro.backends.base.Backend` protocol.  Exponential in memory by
+construction (one flat ``2^n`` array), exact for every gate in the model,
+and the default *reference* side of the differential fuzzer.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..baseline.statevector import StatevectorSimulator
+from ..circuit.operation import Operation
+from ..simulation.statistics import SimulationStatistics
+from .base import ArrayResult, Backend, BackendCapabilities, BackendResult
+
+__all__ = ["DenseBackend"]
+
+#: flat-array representation: 2^26 complex128 amplitudes = 1 GiB
+_DENSE_QUBIT_LIMIT = 26
+
+
+class DenseBackend(Backend):
+    """Flat-array Schrödinger simulation (exact, memory-exponential)."""
+
+    name = "dense"
+
+    def __init__(self, max_qubits: int = _DENSE_QUBIT_LIMIT) -> None:
+        self.max_qubits = max_qubits
+        self._simulator: StatevectorSimulator | None = None
+        self._statistics: SimulationStatistics = SimulationStatistics()
+        self._started = 0.0
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            max_qubits=self.max_qubits,
+            description="dense statevector baseline: one flat 2^n array, "
+                        "exact ground truth for small registers")
+
+    def prepare(self, num_qubits: int, initial_index: int = 0) -> None:
+        if num_qubits > self.max_qubits:
+            raise ValueError(
+                f"backend {self.name!r} is capped at {self.max_qubits} "
+                f"qubits; got {num_qubits}")
+        self._simulator = StatevectorSimulator(num_qubits)
+        self._simulator.set_basis_state(initial_index)
+        self._statistics = self._start_statistics(num_qubits)
+        self._started = time.perf_counter()
+
+    def apply(self, operation: Operation) -> None:
+        if self._simulator is None:
+            raise RuntimeError("prepare() must be called before apply()")
+        self._simulator.apply(operation)
+        self._statistics.operations_applied += 1
+        self._statistics.matrix_vector_mults += 1
+
+    def finalize(self) -> BackendResult:
+        if self._simulator is None:
+            raise RuntimeError("prepare() must be called before finalize()")
+        self._statistics.wall_time_seconds = \
+            time.perf_counter() - self._started
+        result = ArrayResult(self._simulator.state,
+                             self._simulator.num_qubits, self._statistics)
+        self._simulator = None
+        return result

@@ -1,0 +1,74 @@
+"""Backend registry: name -> factory, with runtime (un)registration.
+
+Built-in adapters register at import of :mod:`repro.backends`; tests and
+the fuzzer register extra backends (including deliberately broken ones)
+on the fly and remove them afterwards.  Factories receive the keyword
+options passed to :func:`create_backend`, so strategy-parameterised or
+budgeted variants need no registry entry per configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Backend
+
+__all__ = ["available_backends", "backend_description", "create_backend",
+           "register_backend", "unregister_backend"]
+
+_REGISTRY: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend],
+                     replace: bool = False) -> None:
+    """Register ``factory`` under ``name``.
+
+    ``replace=False`` (the default) refuses to shadow an existing entry,
+    so a typo cannot silently swap the backend every test compares
+    against.
+    """
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered "
+                         f"(pass replace=True to override)")
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend (no-op if absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(name: str, **options) -> Backend:
+    """Instantiate a registered backend.
+
+    ``options`` go to the factory verbatim (e.g. ``strategy=`` for the
+    matrix adapter, ``gc_limit=`` / ``max_nodes=`` for the DD adapters);
+    an option the factory does not accept raises :class:`ValueError`
+    naming the backend instead of a bare :class:`TypeError`.
+    """
+    factory = _REGISTRY.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(available_backends()) or '(none)'}")
+    try:
+        backend = factory(**options)
+    except TypeError as exc:
+        raise ValueError(
+            f"backend {name!r} rejected options "
+            f"{sorted(options)}: {exc}") from exc
+    if not backend.name:
+        backend.name = name
+    return backend
+
+
+def backend_description(name: str) -> str:
+    """One-line capability description (for ``--help`` style listings)."""
+    return create_backend(name).capabilities().description

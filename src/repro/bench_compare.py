@@ -9,9 +9,14 @@ eyeballing JSON.
 Only wall-clock numbers are compared -- counters and cache rates are
 machine-independent and change exactly when the kernel changes, so they
 belong to diff review, not regression gating.  Comparison is by workload
-name and arm; arms or workloads missing from either report are reported as
-informational skips, not failures (baselines written by an older schema
-simply do not gate the arms they predate).
+name and arm; arms or workloads missing from either report are reported
+as informational skips, not failures.
+
+Reports must match this tree's schema exactly: a missing or stale
+baseline fails loudly (naming the file and both schema versions) instead
+of silently gating nothing, so CI cannot go green on a comparison that
+never happened.  Regenerate with ``python -m repro bench --smoke
+--output benchmarks/baseline_smoke.json``.
 """
 
 from __future__ import annotations
@@ -25,10 +30,34 @@ ARMS = ("fast_path", "matrix_path", "iterative_path")
 
 
 def load_report(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as handle:
-        report = json.load(handle)
+    """Load one bench report, validating shape and schema version.
+
+    Every failure mode raises :class:`ValueError` naming the offending
+    file, and a schema mismatch names both versions -- a comparison
+    against a baseline this tree cannot interpret must fail, not shrug.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        raise ValueError(
+            f"bench report {path!r} does not exist; generate it with "
+            f"'python -m repro bench --smoke --output {path}'") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"bench report {path!r} is not valid JSON: {exc}") from None
     if "workloads" not in report:
         raise ValueError(f"{path}: not a bench report (no 'workloads' key)")
+    from .bench import SCHEMA_VERSION
+    found = report.get("schema")
+    if found != SCHEMA_VERSION:
+        relation = ("an older" if isinstance(found, int)
+                    and found < SCHEMA_VERSION else "a different")
+        raise ValueError(
+            f"bench report {path!r} has schema version {found!r} but this "
+            f"tree writes schema version {SCHEMA_VERSION} ({relation} "
+            f"schema); regenerate it with "
+            f"'python -m repro bench --smoke --output {path}'")
     return report
 
 

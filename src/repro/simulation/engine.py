@@ -365,9 +365,14 @@ class SimulationEngine:
                  degradation: DegradationPolicy | None = None,
                  audit_every: int | None = None,
                  reorder: ReorderPolicy | str | None = None,
-                 on_op: Callable[[int], None] | None = None
+                 on_op: Callable[[int], None] | None = None,
+                 backend_label: str = ""
                  ) -> SimulationResult:
         """Run ``circuit`` under ``strategy`` (sequential baseline by default).
+
+        ``backend_label`` stamps the producing backend's registry name into
+        the run's statistics (and thus every checkpoint snapshot); direct
+        engine calls leave it empty.
 
         ``trace``, when given, receives one dict per simulation step and
         per garbage collection (schema in :mod:`repro.simulation.trace`;
@@ -430,7 +435,8 @@ class SimulationEngine:
                              degradation=degradation,
                              audit_every=audit_every,
                              reorder=reorder_from_spec(reorder),
-                             on_op=on_op)
+                             on_op=on_op,
+                             backend_label=backend_label)
 
     def resume(self, checkpoint: Checkpoint | str, circuit: QuantumCircuit,
                trace: Callable[[dict], None] | None = None,
@@ -511,7 +517,8 @@ class SimulationEngine:
                  base_statistics: SimulationStatistics | None = None,
                  reorder: ReorderPolicy | None = None,
                  permutation: list[int] | None = None,
-                 on_op: Callable[[int], None] | None = None
+                 on_op: Callable[[int], None] | None = None,
+                 backend_label: str = ""
                  ) -> SimulationResult:
         """Shared body of :meth:`simulate` and :meth:`resume`."""
         if checkpoint_every is not None:
@@ -527,6 +534,7 @@ class SimulationEngine:
             strategy=strategy.describe(),
             circuit_name=circuit.name,
             num_qubits=circuit.num_qubits,
+            backend=backend_label,
         )
         statistics.resumed_from_op = start_index
         statistics.record_state_size(self.package.count_nodes(state))

@@ -31,6 +31,13 @@ class SimulationStatistics:
     strategy: str = ""
     circuit_name: str = ""
     num_qubits: int = 0
+    #: registry name of the backend that produced this run ("" on direct
+    #: engine runs that bypass the backend layer)
+    backend: str = ""
+    #: the ``auto`` selector's decision record: chosen backend, the
+    #: feature vector it scored, per-backend scores and a reason string
+    #: (empty when the backend was chosen explicitly)
+    backend_selection: dict = field(default_factory=dict)
     #: elementary operations consumed (repeated blocks unrolled)
     operations_applied: int = 0
     #: top-level matrix-vector multiplications (state updates, Eq. 1 steps)
@@ -125,6 +132,9 @@ class SimulationStatistics:
         # the merged record describes the run up to the *other* segment,
         # so the latest segment's resume offset wins
         self.resumed_from_op = other.resumed_from_op
+        self.backend = other.backend or self.backend
+        if other.backend_selection:
+            self.backend_selection = dict(other.backend_selection)
 
     # -- serialisation (checkpoint format) ------------------------------
 

@@ -63,7 +63,8 @@ __all__ = ["SweepTask", "CellResult", "SweepReport", "SweepRunner",
 #: recursion counters, whose cache-collision patterns depend on
 #: process-local object addresses).
 DETERMINISTIC_STAT_FIELDS = (
-    "strategy", "circuit_name", "num_qubits", "operations_applied",
+    "strategy", "circuit_name", "num_qubits", "backend",
+    "operations_applied",
     "matrix_vector_mults", "matrix_matrix_mults",
     "reused_block_applications", "direct_constructions",
     "local_gate_applications", "peak_state_nodes", "peak_matrix_nodes",
@@ -98,6 +99,16 @@ class SweepTask:
       a path, so workers never race on the filesystem).
     * ``kind="construct"`` -- the DD-construct realisation of a Shor
       instance (``metadata`` carries ``modulus``/``base``/``seed``).
+    * ``kind="fuzz"`` -- one differential-fuzzing campaign
+      (:func:`repro.verification.fuzz.run_fuzz_cell`; ``metadata``
+      carries the fuzz config plus ``budget_seconds``/``max_circuits``).
+      A backend disagreement raises and is recorded as a failed cell
+      whose error message carries the minimized reproducer.
+
+    ``backend`` routes ``qasm``/``instance`` cells through a registered
+    :mod:`repro.backends` adapter instead of the engine directly --
+    the sweep's backend axis.  ``None`` keeps the legacy engine path
+    (bit-identical to earlier reports).
 
     ``fault`` is a test-only hook parsed by
     :func:`repro.service.faults.parse_fault` (``"raise"``, ``"hang"``,
@@ -120,6 +131,9 @@ class SweepTask:
     #: reorder policy spec (``"governor"`` / ``"every=K"``; ``None`` = off),
     #: honoured by ``qasm`` and ``instance`` cells
     reorder: str | None = None
+    #: registered backend name (``repro.backends``) to run the cell
+    #: through; ``None`` = the legacy direct-engine path
+    backend: str | None = None
     fault: str | None = None
 
     def key(self) -> tuple:
@@ -259,6 +273,11 @@ def _simulate_task(task: SweepTask,
     engine) have no op boundaries to observe it at.
     """
     from .strategies import strategy_from_spec
+    if task.kind == "fuzz":
+        from ..verification.fuzz import run_fuzz_cell
+        return run_fuzz_cell(task.metadata, seed=task.seed)
+    if task.backend is not None:
+        return _simulate_task_backend(task, on_op)
     if task.kind == "construct":
         from ..analysis.instances import shor_dd_construct_statistics
         if task.reorder is not None:
@@ -291,6 +310,69 @@ def _simulate_task(task: SweepTask,
                             reorder=task.reorder,
                             on_op=on_op)
     raise ValueError(f"unknown task kind {task.kind!r}")
+
+
+def _simulate_task_backend(task: SweepTask, on_op=None):
+    """Run a ``qasm``/``instance`` cell through a registered backend.
+
+    Engine-backed adapters honour budgets (``gc_limit``/``max_nodes``
+    via factory options) and ``reorder``/``on_op`` run options; array
+    backends reject unsupported options with a clear error, which the
+    runner records as a failed cell rather than silently ignoring the
+    request.
+    """
+    from ..backends import create_backend
+    from ..circuit.qasm import from_qasm
+    if task.kind == "qasm":
+        circuit = from_qasm(task.qasm)
+    elif task.kind == "instance":
+        circuit = _instance_circuit(task)
+    else:
+        raise ValueError(
+            f"backend= applies to qasm/instance cells, not {task.kind!r}")
+    options = {}
+    if task.gc_limit is not None:
+        options["gc_limit"] = task.gc_limit
+    if task.max_nodes is not None:
+        options["max_nodes"] = task.max_nodes
+    backend = create_backend(task.backend, **options)
+    run_options = {}
+    if task.reorder is not None:
+        run_options["reorder"] = task.reorder
+    if on_op is not None:
+        run_options["on_op"] = on_op
+    result = backend.run(circuit, strategy=task.strategy, **run_options)
+    return result.statistics
+
+
+def _instance_circuit(task: SweepTask):
+    """The plain circuit of a circuit-backed instance cell.
+
+    Rebuilt from the task's metadata (the same payload
+    :func:`~repro.analysis.instances.instance_from_spec` uses), falling
+    back to the registry under the cell's base name (the part before the
+    ``@backend`` suffix the CLI appends for the backend axis).  Shor
+    instances drive their own engine and have no standalone circuit.
+    """
+    kind = task.metadata.get("kind")
+    if kind == "grover":
+        from ..algorithms.grover import grover_circuit
+        return grover_circuit(task.metadata["num_data_qubits"],
+                              task.metadata["marked"]).circuit
+    if kind == "supremacy":
+        from ..algorithms.supremacy import supremacy_circuit
+        return supremacy_circuit(task.metadata["rows"],
+                                 task.metadata["cols"],
+                                 task.metadata["depth"],
+                                 task.metadata["seed"]).circuit
+    if kind == "shor":
+        raise ValueError(
+            f"instance {task.name!r} is not circuit-backed (the Shor "
+            f"order finder drives its own engine); backend= cells need "
+            f"a plain circuit")
+    from ..analysis.instances import instance_qasm
+    from ..circuit.qasm import from_qasm
+    return from_qasm(instance_qasm(task.name.rsplit("@", 1)[0]))
 
 
 def run_cell(task: SweepTask, in_worker: bool = True) -> CellResult:

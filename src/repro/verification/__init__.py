@@ -1,14 +1,23 @@
-"""DD-based circuit verification (equivalence checking).
+"""DD-based circuit verification (equivalence checking and fuzzing).
 
 Equivalence checking is the classic *other* use of the paper's machinery:
 it is pure matrix-matrix multiplication (Eq. 2, followed completely), and
 the canonicity of decision diagrams reduces the final unitary comparison to
 a pointer check.
+
+:mod:`repro.verification.fuzz` extends the idea into a continuous
+service: random circuits cross-checked across every registered backend,
+with automatic minimization of failing circuits into a reproducer corpus.
 """
 
 from .functional import OracleCheckResult, check_implements_function
+from .fuzz import (DifferentialFuzzer, FuzzConfig, FuzzFailure,
+                   FuzzMismatch, FuzzReport, fuzz_circuit,
+                   register_broken_backend, run_fuzz_cell, write_corpus)
 from .unitary import EquivalenceResult, check_equivalence, circuit_unitary_dd
 
-__all__ = ["EquivalenceResult", "OracleCheckResult",
+__all__ = ["DifferentialFuzzer", "EquivalenceResult", "FuzzConfig",
+           "FuzzFailure", "FuzzMismatch", "FuzzReport", "OracleCheckResult",
            "check_equivalence", "check_implements_function",
-           "circuit_unitary_dd"]
+           "circuit_unitary_dd", "fuzz_circuit", "register_broken_backend",
+           "run_fuzz_cell", "write_corpus"]

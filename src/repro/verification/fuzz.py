@@ -1,0 +1,490 @@
+"""Differential fuzzing: the continuous correctness ratchet.
+
+The repo computes the same state five-plus ways (see
+:mod:`repro.backends`); this module keeps them honest *continuously*
+rather than only at the circuits the test suite happened to pin.  A
+:class:`DifferentialFuzzer` draws random Clifford+T / rotation circuits
+from a rotating seed, runs every registered backend against a reference
+(dense statevector by default), and flags any pair below the fidelity
+floor of ``1 - 1e-9`` -- the same oracle the differential test suite and
+the bench fidelity receipts use.
+
+A failure is only useful if a human can read it, so every failing
+circuit is **minimized** before it is reported: greedy gate deletion to a
+fixpoint (drop any gate whose removal keeps the failure), then greedy
+qubit deletion (drop a qubit and every gate touching it), then compaction
+of unused qubits.  A wrong-phase bug in a 40-gate circuit typically
+shrinks to 2-3 gates.  Minimized reproducers serialise to a JSON corpus
+(QASM plus metadata) that CI uploads as an artifact on failure.
+
+Entry points: ``python -m repro fuzz --budget N`` (CLI), sweep cells with
+``kind="fuzz"`` (:func:`run_fuzz_cell`, fanned out by ``--jobs`` through
+:class:`~repro.simulation.sweep.SweepRunner`), and the API below.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from random import Random
+
+from ..backends import available_backends, create_backend
+from ..backends.base import Backend, BackendResult
+from ..backends.registry import register_backend, unregister_backend
+from ..backends.tensor_slot import TensorSlotBackend
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.operation import Operation
+from ..circuit.qasm import to_qasm
+from ..simulation.statistics import SimulationStatistics
+
+__all__ = ["BrokenPhaseBackend", "DifferentialFuzzer", "FuzzConfig",
+           "FuzzFailure", "FuzzMismatch", "FuzzReport", "fuzz_circuit",
+           "register_broken_backend", "run_fuzz_cell", "write_corpus"]
+
+#: schema of the JSON reproducer files in the corpus
+CORPUS_SCHEMA = 1
+
+#: agreement threshold -- identical to tests/test_differential.py and the
+#: bench receipts, so the fuzzer ratchets the same invariant CI gates on
+FIDELITY_FLOOR = 1 - 1e-9
+
+
+class FuzzMismatch(AssertionError):
+    """A backend disagreed with the reference (raised by fuzz sweep cells
+    so the runner records the cell as failed; the message carries the
+    minimized reproducer)."""
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One fuzzing campaign's parameters (plain data: crosses workers)."""
+
+    #: backends to cross-check; empty = every registered backend
+    backends: tuple = ()
+    #: the oracle side of every comparison
+    reference: str = "dense"
+    min_qubits: int = 2
+    max_qubits: int = 6
+    min_operations: int = 5
+    max_operations: int = 40
+    #: probability that a drawn gate is a continuous rotation
+    rotation_probability: float = 0.4
+    fidelity_floor: float = FIDELITY_FLOOR
+    seed: int = 0
+    #: stop after this many distinct failing (backend, circuit) pairs
+    max_failures: int = 5
+
+    def resolved_backends(self) -> list[str]:
+        names = list(self.backends) if self.backends \
+            else available_backends()
+        if self.reference not in names:
+            names.append(self.reference)
+        if len(names) < 2:
+            raise ValueError(
+                f"fuzzing needs >= 2 backends to disagree; got {names}")
+        return sorted(names)
+
+    def as_dict(self) -> dict:
+        return {
+            "backends": list(self.backends),
+            "reference": self.reference,
+            "min_qubits": self.min_qubits,
+            "max_qubits": self.max_qubits,
+            "min_operations": self.min_operations,
+            "max_operations": self.max_operations,
+            "rotation_probability": self.rotation_probability,
+            "fidelity_floor": self.fidelity_floor,
+            "seed": self.seed,
+            "max_failures": self.max_failures,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuzzConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in payload.items() if k in known}
+        if "backends" in kwargs:
+            kwargs["backends"] = tuple(kwargs["backends"])
+        return cls(**kwargs)
+
+
+@dataclass
+class FuzzFailure:
+    """One backend/circuit disagreement, minimized."""
+
+    backend: str
+    reference: str
+    #: "fidelity" (below the floor) or "error" (the backend raised)
+    kind: str
+    seed: int
+    fidelity: float | None
+    error: str | None
+    original_qasm: str
+    minimized_qasm: str
+    minimized_operations: int
+    minimized_qubits: int
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "backend": self.backend,
+            "reference": self.reference,
+            "kind": self.kind,
+            "seed": self.seed,
+            "fidelity": self.fidelity,
+            "error": self.error,
+            "fidelity_floor": FIDELITY_FLOOR,
+            "original_qasm": self.original_qasm,
+            "minimized_qasm": self.minimized_qasm,
+            "minimized_operations": self.minimized_operations,
+            "minimized_qubits": self.minimized_qubits,
+        }
+
+    def summary(self) -> str:
+        detail = f"fidelity {self.fidelity:.12f}" \
+            if self.kind == "fidelity" else f"error: {self.error}"
+        return (f"backend {self.backend!r} vs {self.reference!r} "
+                f"(seed {self.seed}): {detail}; minimized to "
+                f"{self.minimized_operations} gate(s) on "
+                f"{self.minimized_qubits} qubit(s)\n{self.minimized_qasm}")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    config: FuzzConfig
+    circuits_checked: int = 0
+    comparisons: int = 0
+    wall_seconds: float = 0.0
+    backends: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "ok": self.ok,
+            "circuits_checked": self.circuits_checked,
+            "comparisons": self.comparisons,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "backends": list(self.backends),
+            "config": self.config.as_dict(),
+            "failures": [failure.as_dict() for failure in self.failures],
+        }
+
+
+# ----------------------------------------------------------------------
+# random circuit generation (Clifford+T plus rotations)
+# ----------------------------------------------------------------------
+
+_CLIFFORD_T_1Q = ("h", "x", "y", "z", "s", "sdg", "t", "tdg")
+_ROTATIONS = ("rx", "ry", "rz", "p")
+
+
+def fuzz_circuit(num_qubits: int, num_operations: int, seed: int,
+                 rotation_probability: float = 0.4) -> QuantumCircuit:
+    """One random circuit from the fuzzing distribution.
+
+    Mirrors the differential test suite's generator: Clifford+T
+    single-qubit gates, CX/CZ/CCX entanglers, and (with
+    ``rotation_probability``) continuous rotations with angles that are
+    *not* nice dyadic fractions of pi -- exactly the amplitudes where a
+    normalisation or phase bug hides.
+    """
+    rng = Random(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"fuzz-{seed}")
+    for _ in range(num_operations):
+        roll = rng.random()
+        if roll < rotation_probability:
+            gate = rng.choice(_ROTATIONS)
+            angle = rng.uniform(0, 2 * math.pi)
+            circuit.add_operation(gate, rng.randrange(num_qubits),
+                                  params=(angle,))
+        elif roll < rotation_probability + 0.35 and num_qubits >= 2:
+            control, target = rng.sample(range(num_qubits), 2)
+            if num_qubits >= 3 and rng.random() < 0.25:
+                second = rng.choice([q for q in range(num_qubits)
+                                     if q not in (control, target)])
+                circuit.ccx(control, second, target)
+            elif rng.random() < 0.5:
+                circuit.cx(control, target)
+            else:
+                circuit.cz(control, target)
+        else:
+            gate = rng.choice(_CLIFFORD_T_1Q)
+            circuit.add_operation(gate, rng.randrange(num_qubits))
+    return circuit
+
+
+# ----------------------------------------------------------------------
+# the fuzzer
+# ----------------------------------------------------------------------
+
+class DifferentialFuzzer:
+    """Cross-check registered backends on random circuits, minimize
+    failures."""
+
+    def __init__(self, config: FuzzConfig | None = None) -> None:
+        self.config = config or FuzzConfig()
+        self.backend_names = self.config.resolved_backends()
+        if self.config.reference not in self.backend_names:
+            raise ValueError(
+                f"reference backend {self.config.reference!r} is not in "
+                f"the pool {self.backend_names}")
+
+    # -- campaign driver ------------------------------------------------
+
+    def run(self, budget_seconds: float | None = None,
+            max_circuits: int | None = None) -> FuzzReport:
+        """Fuzz until the time budget or circuit count runs out.
+
+        At least one circuit is always checked, so even a tiny budget
+        yields a meaningful report.
+        """
+        if budget_seconds is None and max_circuits is None:
+            raise ValueError("need a budget_seconds or max_circuits bound")
+        report = FuzzReport(config=self.config,
+                            backends=list(self.backend_names))
+        master = Random(self.config.seed)
+        started = time.perf_counter()
+        index = 0
+        while True:
+            if max_circuits is not None and index >= max_circuits:
+                break
+            if index > 0 and budget_seconds is not None and \
+                    time.perf_counter() - started >= budget_seconds:
+                break
+            if len(report.failures) >= self.config.max_failures:
+                break
+            circuit_seed = master.getrandbits(32)
+            report.failures.extend(self.check_one(circuit_seed, report))
+            report.circuits_checked += 1
+            index += 1
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def check_one(self, circuit_seed: int,
+                  report: FuzzReport | None = None) -> list[FuzzFailure]:
+        """Draw one circuit, cross-check every backend, minimize failures."""
+        rng = Random(circuit_seed)
+        num_qubits = rng.randint(self.config.min_qubits,
+                                 self.config.max_qubits)
+        num_operations = rng.randint(self.config.min_operations,
+                                     self.config.max_operations)
+        circuit = fuzz_circuit(num_qubits, num_operations, circuit_seed,
+                               self.config.rotation_probability)
+        failures = []
+        for name in self.backend_names:
+            if name == self.config.reference:
+                continue
+            if report is not None:
+                report.comparisons += 1
+            verdict = self._disagreement(circuit, name)
+            if verdict is None:
+                continue
+            fidelity, error = verdict
+            minimized = self.minimize(circuit, name)
+            failures.append(FuzzFailure(
+                backend=name, reference=self.config.reference,
+                kind="error" if error is not None else "fidelity",
+                seed=circuit_seed, fidelity=fidelity, error=error,
+                original_qasm=to_qasm(circuit),
+                minimized_qasm=to_qasm(minimized),
+                minimized_operations=minimized.num_operations(),
+                minimized_qubits=minimized.num_qubits))
+        return failures
+
+    # -- the oracle -----------------------------------------------------
+
+    def _run_backend(self, name: str,
+                     circuit: QuantumCircuit) -> BackendResult:
+        return create_backend(name).run(circuit)
+
+    def _disagreement(self, circuit: QuantumCircuit,
+                      name: str) -> tuple | None:
+        """``None`` if the backend agrees with the reference; otherwise
+        ``(fidelity, None)`` for a mismatch or ``(None, message)`` when
+        the backend raised."""
+        reference = self._run_backend(self.config.reference, circuit)
+        try:
+            candidate = self._run_backend(name, circuit)
+            fidelity = candidate.fidelity_with(reference)
+        except Exception as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+        if fidelity < self.config.fidelity_floor:
+            return fidelity, None
+        return None
+
+    # -- minimization ---------------------------------------------------
+
+    def minimize(self, circuit: QuantumCircuit,
+                 name: str) -> QuantumCircuit:
+        """Shrink a failing circuit while it keeps failing.
+
+        Greedy gate deletion to a fixpoint, then qubit deletion (a qubit
+        plus every gate touching it), then compaction of unused qubits.
+        Deterministic, and every accepted step re-verifies the failure,
+        so the result is always a true reproducer.
+        """
+        operations = list(circuit.operations())
+        num_qubits = circuit.num_qubits
+
+        def still_fails(ops: list, qubits: int) -> bool:
+            if not ops or qubits < 1:
+                return False
+            candidate = _circuit_from_ops(ops, qubits, circuit.name)
+            return self._disagreement(candidate, name) is not None
+
+        # pass 1: drop single gates until no single deletion keeps the bug
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(operations) - 1, -1, -1):
+                trial = operations[:index] + operations[index + 1:]
+                if still_fails(trial, num_qubits):
+                    operations = trial
+                    changed = True
+        # pass 2: drop whole qubits (and every gate touching them)
+        changed = True
+        while changed and num_qubits > 1:
+            changed = False
+            for qubit in range(num_qubits - 1, -1, -1):
+                kept = [op for op in operations
+                        if qubit not in op.qubits()]
+                trial = [_drop_qubit(op, qubit) for op in kept]
+                if still_fails(trial, num_qubits - 1):
+                    operations = trial
+                    num_qubits -= 1
+                    changed = True
+                    break
+        return _circuit_from_ops(operations, num_qubits, circuit.name)
+
+
+def _circuit_from_ops(operations: list, num_qubits: int,
+                      name: str) -> QuantumCircuit:
+    circuit = QuantumCircuit(max(1, num_qubits), name=name)
+    for operation in operations:
+        circuit.append(operation)
+    return circuit
+
+
+def _drop_qubit(operation: Operation, qubit: int) -> Operation:
+    """Re-index an operation after removing an (untouched) qubit."""
+    def shift(q: int) -> int:
+        return q - 1 if q > qubit else q
+    return Operation(operation.gate, shift(operation.target),
+                     tuple((shift(q), value)
+                           for q, value in operation.controls),
+                     operation.params)
+
+
+# ----------------------------------------------------------------------
+# the injected faulty backend (CI acceptance + selector tests)
+# ----------------------------------------------------------------------
+
+class BrokenPhaseBackend(TensorSlotBackend):
+    """Tensor-slot variant with a deliberate T-gate phase bug.
+
+    Applies ``T`` as a pi/3 phase instead of pi/4 -- subtle enough to
+    survive Clifford-only circuits (fidelity stays 1.0 without a T gate),
+    so only a differential check over the right gate mix catches it, and
+    the minimized reproducer is tiny (one superposition + one ``t``).
+    """
+
+    name = "broken-phase"
+
+    def apply(self, operation: Operation) -> None:
+        if operation.gate == "t":
+            operation = Operation("p", operation.target,
+                                  operation.controls, (math.pi / 3,))
+        super().apply(operation)
+
+
+def register_broken_backend() -> str:
+    """Register the faulty backend; returns its name (for cleanup)."""
+    register_backend(BrokenPhaseBackend.name, BrokenPhaseBackend,
+                     replace=True)
+    return BrokenPhaseBackend.name
+
+
+def unregister_broken_backend() -> None:
+    unregister_backend(BrokenPhaseBackend.name)
+
+
+# ----------------------------------------------------------------------
+# corpus I/O
+# ----------------------------------------------------------------------
+
+def write_corpus(report: FuzzReport, directory: str) -> list[str]:
+    """Write one JSON reproducer per failure plus a campaign summary.
+
+    Returns the written file paths.  The directory is created on demand;
+    an empty failure list writes only the summary.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for index, failure in enumerate(report.failures):
+        path = os.path.join(
+            directory,
+            f"repro_{failure.backend}_{failure.seed}_{index}.json")
+        with open(path, "w") as handle:
+            json.dump(failure.as_dict(), handle, indent=2)
+            handle.write("\n")
+        paths.append(path)
+    summary_path = os.path.join(directory, "summary.json")
+    with open(summary_path, "w") as handle:
+        json.dump(report.as_dict(), handle, indent=2)
+        handle.write("\n")
+    paths.append(summary_path)
+    return paths
+
+
+# ----------------------------------------------------------------------
+# sweep integration (kind="fuzz" cells)
+# ----------------------------------------------------------------------
+
+def run_fuzz_cell(metadata: dict, seed: int = 0) -> SimulationStatistics:
+    """Execute one fuzz campaign as a sweep cell.
+
+    ``metadata`` carries a :meth:`FuzzConfig.as_dict` payload plus
+    optional ``budget_seconds`` / ``max_circuits`` / ``corpus`` /
+    ``register_broken`` keys.  The cell's deterministic sweep seed
+    replaces the config seed unless the config pinned one explicitly.
+
+    Success returns statistics (checked-circuit count in
+    ``operations_applied``); any disagreement raises :class:`FuzzMismatch`
+    with the minimized reproducers in the message, so the sweep runner
+    records the cell as failed and the report carries the evidence.
+    """
+    payload = dict(metadata)
+    if "seed" not in payload or payload.get("seed") is None:
+        payload["seed"] = seed
+    if payload.pop("register_broken", False):
+        register_broken_backend()
+    budget = payload.pop("budget_seconds", None)
+    max_circuits = payload.pop("max_circuits", None)
+    corpus = payload.pop("corpus", None)
+    config = FuzzConfig.from_dict(payload)
+    fuzzer = DifferentialFuzzer(config)
+    report = fuzzer.run(budget_seconds=budget, max_circuits=max_circuits)
+    if corpus:
+        write_corpus(report, corpus)
+    if not report.ok:
+        details = "\n".join(failure.summary()
+                            for failure in report.failures)
+        raise FuzzMismatch(
+            f"{len(report.failures)} backend disagreement(s) in "
+            f"{report.circuits_checked} circuit(s):\n{details}")
+    statistics = SimulationStatistics(
+        strategy="fuzz", circuit_name=f"fuzz-seed-{config.seed}",
+        num_qubits=config.max_qubits, backend="+".join(report.backends))
+    statistics.operations_applied = report.circuits_checked
+    statistics.matrix_vector_mults = report.comparisons
+    statistics.wall_time_seconds = report.wall_seconds
+    return statistics

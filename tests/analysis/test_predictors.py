@@ -1,0 +1,90 @@
+"""Structural circuit predictors feeding the backend auto-selector."""
+
+from repro.analysis.predictors import (CircuitFeatures, circuit_features,
+                                       cut_crossing_bound)
+from repro.circuit.circuit import QuantumCircuit
+
+
+def ghz(num_qubits: int) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+class TestCutCrossingBound:
+    def test_ghz_chain_crosses_once(self):
+        # only cx(3,4) spans the middle cut of an 8-qubit chain
+        assert cut_crossing_bound(ghz(8), 4) == 1
+
+    def test_capped_by_smaller_side(self):
+        circuit = QuantumCircuit(6, name="heavy")
+        for _ in range(20):
+            for qubit in range(3):
+                circuit.cx(qubit, qubit + 3)
+        # 60 crossings, but 3 qubits hold at most 3 ebits
+        assert cut_crossing_bound(circuit, 3) == 3
+
+    def test_degenerate_cuts_are_zero(self):
+        circuit = ghz(4)
+        assert cut_crossing_bound(circuit, 0) == 0
+        assert cut_crossing_bound(circuit, 4) == 0
+
+    def test_single_qubit_gates_never_cross(self):
+        circuit = QuantumCircuit(4, name="local")
+        for qubit in range(4):
+            circuit.h(qubit)
+            circuit.t(qubit)
+        assert cut_crossing_bound(circuit, 2) == 0
+
+
+class TestCircuitFeatures:
+    def test_ghz_features(self):
+        features = circuit_features(ghz(8))
+        assert features.num_qubits == 8
+        assert features.num_operations == 8
+        assert features.two_qubit_fraction == 7 / 8
+        assert features.rotation_fraction == 0.0
+        assert features.nonclifford_fraction == 0.0
+        assert features.entanglement_estimate == 1
+        assert not features.has_repeated_blocks
+
+    def test_rotations_counted_as_nonclifford(self):
+        circuit = QuantumCircuit(2, name="rot")
+        circuit.rx(0.3, 0)
+        circuit.t(1)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        features = circuit_features(circuit)
+        assert features.rotation_fraction == 0.25
+        assert features.nonclifford_fraction == 0.5
+
+    def test_interaction_density(self):
+        circuit = QuantumCircuit(4, name="pairs")
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)  # repeated pair counted once
+        circuit.cz(2, 3)
+        features = circuit_features(circuit)
+        assert features.interaction_density == 2 / 6
+
+    def test_repeated_blocks_detected(self):
+        circuit = QuantumCircuit(3, name="rep")
+        block = QuantumCircuit(3, name="body")
+        block.h(0)
+        block.cx(0, 1)
+        circuit.append(block.repeated(4))
+        assert circuit_features(circuit).has_repeated_blocks
+
+    def test_empty_circuit(self):
+        features = circuit_features(QuantumCircuit(3, name="empty"))
+        assert features.num_operations == 0
+        assert features.two_qubit_fraction == 0.0
+        assert features.entanglement_estimate == 0
+
+    def test_as_dict_is_json_ready(self):
+        import json
+        payload = circuit_features(ghz(4)).as_dict()
+        assert set(payload) == set(
+            CircuitFeatures.__dataclass_fields__)
+        json.dumps(payload)  # must not raise

@@ -316,3 +316,88 @@ class TestSweepCli:
         missing = str(tmp_path / "nope.json")
         assert main(["sweep", missing]) == 2
         assert "cannot read sweep spec" in capsys.readouterr().err
+
+
+class TestBackendAxis:
+    """Cells routed through registered backends instead of the engine."""
+
+    def test_qasm_cell_through_dense(self):
+        result = run_cell(qasm_task("bell@dense", backend="dense"),
+                          in_worker=False)
+        assert result.status == "ok"
+        assert result.statistics["backend"] == "dense"
+        assert result.statistics["matrix_vector_mults"] == 2
+
+    def test_instance_cell_rebuilt_from_metadata(self):
+        from repro.analysis.instances import (get_instance,
+                                              instance_task_spec)
+        instance = get_instance("grover_8")
+        task = SweepTask(name="grover_8@tensor-slot",
+                         strategy="sequential", kind="instance",
+                         metadata=instance_task_spec(instance),
+                         backend="tensor-slot")
+        result = run_cell(task, in_worker=False)
+        assert result.status == "ok"
+        assert result.statistics["backend"] == "tensor-slot"
+
+    def test_instance_cell_falls_back_to_registry_name(self):
+        task = SweepTask(name="grover_8@dd", strategy="sequential",
+                         kind="instance", backend="dd")
+        result = run_cell(task, in_worker=False)
+        assert result.status == "ok"
+
+    def test_shor_instance_is_rejected_on_the_backend_axis(self):
+        task = SweepTask(name="shor_15@dd", strategy="sequential",
+                         kind="instance", metadata={"kind": "shor"},
+                         backend="dd")
+        result = run_cell(task, in_worker=False)
+        assert result.status == "failed"
+        assert "not circuit-backed" in result.error["message"]
+
+    def test_unknown_backend_is_a_recorded_failure(self):
+        result = run_cell(qasm_task("bell@nope", backend="nope"),
+                          in_worker=False)
+        assert result.status == "failed"
+        assert "nope" in result.error["message"]
+
+    def test_strategy_rides_the_matrix_backend(self):
+        task = qasm_task("bell@dd-matrix", strategy="k=2",
+                         backend="dd-matrix")
+        result = run_cell(task, in_worker=False)
+        assert result.status == "ok"
+        assert result.statistics["matrix_matrix_mults"] > 0
+
+
+class TestFuzzCells:
+    """kind="fuzz" cells run a whole differential campaign per cell."""
+
+    def test_clean_fuzz_cell(self):
+        task = SweepTask(name="fuzz_0", strategy="fuzz", kind="fuzz",
+                         seed=5,
+                         metadata={"max_qubits": 3, "max_operations": 10,
+                                   "max_circuits": 2})
+        result = run_cell(task, in_worker=False)
+        assert result.status == "ok"
+        assert result.statistics["operations_applied"] == 2
+
+    def test_broken_fuzz_cell_records_reproducer(self):
+        from repro.verification.fuzz import unregister_broken_backend
+        task = SweepTask(name="fuzz_broken", strategy="fuzz", kind="fuzz",
+                         metadata={"register_broken": True, "seed": 3,
+                                   "max_circuits": 200, "max_failures": 1})
+        try:
+            result = run_cell(task, in_worker=False)
+        finally:
+            unregister_broken_backend()
+        assert result.status == "failed"
+        assert "broken-phase" in result.error["message"]
+        assert "OPENQASM" in result.error["message"]  # reproducer
+
+    def test_parallel_fuzz_cells_in_workers(self):
+        tasks = [SweepTask(name=f"fuzz_{i}", strategy="fuzz", kind="fuzz",
+                           seed=i,
+                           metadata={"max_qubits": 3, "max_operations": 8,
+                                     "max_circuits": 1})
+                 for i in range(2)]
+        report = SweepRunner(jobs=2).run(tasks)
+        assert [cell.status for cell in report.cells] == ["ok", "ok"]

@@ -221,3 +221,67 @@ class TestExperimentsCli:
     def test_invalid_jobs_rejected(self, capsys):
         assert main(["experiments", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestBackendCli:
+    def test_explicit_backend(self, bell_file, capsys):
+        assert main(["simulate", bell_file, "--backend", "dense"]) == 0
+        output = capsys.readouterr().out
+        assert "backend   : dense" in output
+
+    def test_auto_backend_logs_decision(self, ghz_file, capsys):
+        assert main(["simulate", ghz_file, "--backend", "auto"]) == 0
+        output = capsys.readouterr().out
+        assert "backend   : " in output
+        assert "selected  : " in output
+        assert "density signal" in output
+
+    def test_auto_respects_amplitudes_flag(self, bell_file, capsys):
+        assert main(["simulate", bell_file, "--backend", "auto",
+                     "--amplitudes"]) == 0
+        output = capsys.readouterr().out
+        assert "|00>" in output and "|11>" in output
+
+    def test_unknown_backend_fails_cleanly(self, bell_file, capsys):
+        assert main(["simulate", bell_file, "--backend", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_strategy_through_matrix_backend(self, ghz_file, capsys):
+        assert main(["simulate", ghz_file, "--backend", "dd-matrix",
+                     "--strategy", "k=2"]) == 0
+        assert "matrix-matrix" in capsys.readouterr().out
+
+
+class TestFuzzCli:
+    def test_clean_campaign(self, capsys):
+        assert main(["fuzz", "--max-circuits", "4", "--seed", "42",
+                     "--qubits", "2:3", "--ops", "5:10"]) == 0
+        output = capsys.readouterr().out
+        assert "fuzz OK" in output
+        assert "4 circuits" in output
+
+    def test_broken_backend_flips_exit_code(self, tmp_path, capsys):
+        from repro.verification.fuzz import unregister_broken_backend
+        corpus = str(tmp_path / "corpus")
+        try:
+            code = main(["fuzz", "--max-circuits", "200", "--seed", "3",
+                         "--inject-broken", "--corpus", corpus])
+        finally:
+            unregister_broken_backend()
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "broken-phase" in captured.out
+        # the minimized reproducers go to stderr
+        assert "OPENQASM" in captured.err
+        assert "fuzz FAILED" in captured.err
+        import os
+        assert os.path.exists(os.path.join(corpus, "summary.json"))
+
+    def test_restricted_backend_pool(self, capsys):
+        assert main(["fuzz", "--max-circuits", "2", "--seed", "1",
+                     "--backends", "dd,dd-iterative"]) == 0
+        assert "dd-iterative" in capsys.readouterr().out
+
+    def test_bad_span_rejected(self, capsys):
+        assert main(["fuzz", "--max-circuits", "1",
+                     "--qubits", "6:2"]) == 2

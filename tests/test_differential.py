@@ -270,3 +270,39 @@ class TestPaperInstances:
         assert dd_fidelity(result, dense) >= FIDELITY_FLOOR
         assert result.probability(0b0110 + 7) == pytest.approx(1.0,
                                                                abs=1e-9)
+
+
+class TestBackendGrid:
+    """Every registered backend against the dense oracle -- the inner
+    comparison of the continuous fuzz ratchet, pinned at CI's rotated
+    seed so failures here reproduce locally with DIFFERENTIAL_SEED."""
+
+    def test_fault_injected_backends_never_leak_into_the_suite(self):
+        from repro.backends import available_backends
+        assert "broken-phase" not in available_backends()
+
+    @pytest.mark.parametrize("num_qubits,num_operations,rotations",
+                             RANDOM_CASES)
+    def test_every_backend_matches_dense(self, num_qubits, num_operations,
+                                         rotations):
+        from repro.backends import available_backends, create_backend
+        circuit = random_circuit(
+            num_qubits, num_operations,
+            seed=DIFFERENTIAL_SEED * 3000 + num_qubits, rotations=rotations)
+        dense = simulate_statevector(circuit)
+        for name in available_backends():
+            result = create_backend(name).run(circuit)
+            fidelity = dd_fidelity(result, dense)
+            assert fidelity >= FIDELITY_FLOOR, \
+                (f"backend {name} on {circuit.name}: fidelity {fidelity!r} "
+                 f"(seed base {DIFFERENTIAL_SEED})")
+
+    def test_auto_selection_matches_dense(self):
+        from repro.backends import resolve_backend
+        circuit = random_circuit(6, 35, seed=DIFFERENTIAL_SEED + 41,
+                                 rotations=True)
+        backend, selection = resolve_backend("auto", circuit)
+        result = backend.run(circuit)
+        dense = simulate_statevector(circuit)
+        assert selection is not None and selection.backend == backend.name
+        assert dd_fidelity(result, dense) >= FIDELITY_FLOOR

@@ -1,0 +1,142 @@
+"""The differential fuzzer: campaign driver, minimizer, corpus, sweep cell."""
+
+import json
+
+import pytest
+
+from repro.backends import available_backends
+from repro.verification.fuzz import (DifferentialFuzzer, FuzzConfig,
+                                     FuzzMismatch, fuzz_circuit,
+                                     register_broken_backend, run_fuzz_cell,
+                                     unregister_broken_backend, write_corpus)
+
+
+@pytest.fixture
+def broken_pool():
+    """Register the deliberately-broken backend, always clean up."""
+    name = register_broken_backend()
+    try:
+        yield name
+    finally:
+        unregister_broken_backend()
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        a = fuzz_circuit(4, 20, seed=9)
+        b = fuzz_circuit(4, 20, seed=9)
+        assert [str(op) for op in a.operations()] == \
+            [str(op) for op in b.operations()]
+        assert a.num_operations() == 20
+
+    def test_rotation_probability_zero_stays_clifford_t(self):
+        circuit = fuzz_circuit(4, 40, seed=1, rotation_probability=0.0)
+        assert all(not op.params for op in circuit.operations())
+
+
+class TestCleanCampaign:
+    def test_all_builtins_agree(self):
+        config = FuzzConfig(max_qubits=4, max_operations=20, seed=42)
+        report = DifferentialFuzzer(config).run(max_circuits=6)
+        assert report.ok
+        assert report.circuits_checked == 6
+        # every non-reference backend compared on every circuit
+        pool = len(report.backends)
+        assert pool >= 3
+        assert report.comparisons == 6 * (pool - 1)
+
+    def test_budget_checks_at_least_one_circuit(self):
+        config = FuzzConfig(max_qubits=3, max_operations=8, seed=1)
+        report = DifferentialFuzzer(config).run(budget_seconds=0.0)
+        assert report.circuits_checked >= 1
+
+    def test_needs_two_backends(self):
+        with pytest.raises(ValueError, match=">= 2 backends"):
+            DifferentialFuzzer(FuzzConfig(backends=("dense",),
+                                          reference="dense"))
+
+
+class TestBrokenBackend:
+    def test_caught_and_minimized_quickly(self, broken_pool):
+        """The planted T-phase bug must be found in well under 200
+        circuits and shrink to a tiny reproducer."""
+        config = FuzzConfig(seed=3, max_failures=1)
+        report = DifferentialFuzzer(config).run(max_circuits=200)
+        assert not report.ok
+        assert report.circuits_checked < 200
+        failure = report.failures[0]
+        assert failure.backend == broken_pool
+        assert failure.kind == "fidelity"
+        assert failure.fidelity < 1 - 1e-9
+        assert failure.minimized_operations <= 5
+        assert failure.minimized_qubits <= 3
+        assert "OPENQASM" in failure.minimized_qasm
+
+    def test_minimized_reproducer_still_fails(self, broken_pool):
+        from repro.circuit.qasm import from_qasm
+        config = FuzzConfig(seed=3, max_failures=1)
+        report = DifferentialFuzzer(config).run(max_circuits=200)
+        fuzzer = DifferentialFuzzer(config)
+        minimized = from_qasm(report.failures[0].minimized_qasm)
+        assert fuzzer._disagreement(minimized, broken_pool) is not None
+
+    def test_broken_backend_not_left_registered(self):
+        assert "broken-phase" not in available_backends()
+
+
+class TestCorpus:
+    def test_roundtrip(self, broken_pool, tmp_path):
+        config = FuzzConfig(seed=3, max_failures=1)
+        report = DifferentialFuzzer(config).run(max_circuits=200)
+        paths = write_corpus(report, str(tmp_path / "corpus"))
+        assert any(path.endswith("summary.json") for path in paths)
+        reproducers = [path for path in paths
+                       if not path.endswith("summary.json")]
+        assert len(reproducers) == len(report.failures) == 1
+        payload = json.load(open(reproducers[0]))
+        assert payload["schema"] == 1
+        assert payload["backend"] == broken_pool
+        assert "OPENQASM" in payload["minimized_qasm"]
+        summary = json.load(open(str(tmp_path / "corpus" / "summary.json")))
+        assert summary["ok"] is False
+
+    def test_clean_campaign_writes_summary_only(self, tmp_path):
+        config = FuzzConfig(max_qubits=3, max_operations=10, seed=7)
+        report = DifferentialFuzzer(config).run(max_circuits=2)
+        paths = write_corpus(report, str(tmp_path / "corpus"))
+        assert len(paths) == 1 and paths[0].endswith("summary.json")
+
+
+class TestSweepCell:
+    def test_clean_cell_returns_statistics(self):
+        metadata = {"max_qubits": 3, "max_operations": 10,
+                    "max_circuits": 3}
+        statistics = run_fuzz_cell(metadata, seed=5)
+        assert statistics.strategy == "fuzz"
+        assert statistics.operations_applied == 3
+        assert statistics.matrix_vector_mults > 0
+        assert "dense" in statistics.backend
+
+    def test_cell_seed_fills_unpinned_config(self):
+        a = run_fuzz_cell({"max_circuits": 1}, seed=5)
+        assert a.circuit_name == "fuzz-seed-5"
+
+    def test_broken_cell_raises_mismatch(self):
+        metadata = {"register_broken": True, "max_circuits": 200,
+                    "seed": 3, "max_failures": 1}
+        try:
+            with pytest.raises(FuzzMismatch, match="broken-phase"):
+                run_fuzz_cell(metadata)
+        finally:
+            unregister_broken_backend()
+
+
+class TestConfig:
+    def test_dict_roundtrip(self):
+        config = FuzzConfig(backends=("dd", "dense"), seed=4,
+                            max_qubits=5)
+        assert FuzzConfig.from_dict(config.as_dict()) == config
+
+    def test_reference_always_in_pool(self):
+        config = FuzzConfig(backends=("dd",), reference="dense")
+        assert config.resolved_backends() == ["dd", "dense"]
