@@ -502,42 +502,73 @@ def _parse_span(text: str, flag: str) -> tuple[int, int]:
 
 
 def _cmd_fuzz(args) -> int:
-    """Differential fuzzing: cross-check every backend on random circuits.
+    """Differential / option-surface / mutation fuzzing.
 
     Exit 0 when every comparison held the fidelity floor, 1 when any
-    backend disagreed (minimized reproducers printed, and written to
-    ``--corpus`` when given), 2 on bad arguments.
+    backend or plan run disagreed (minimized reproducers printed, and
+    written to ``--corpus`` when given), 2 on bad arguments.
     """
     from .verification.fuzz import (DifferentialFuzzer, FuzzConfig,
-                                    register_broken_backend, write_corpus)
+                                    register_broken_backend, run_mutation,
+                                    run_plans, write_corpus)
+    if args.replay_corpus:
+        return _fuzz_replay(args)
+    mode = "differential"
+    if args.plan_options:
+        mode = "plans"
+    if args.mutate:
+        if args.plan_options:
+            print("error: --plan-options and --mutate are exclusive "
+                  "campaign modes", file=sys.stderr)
+            return 2
+        mode = "mutate"
     budget = args.budget
     if budget is None and args.max_circuits is None:
         budget = 60.0
     try:
         min_qubits, max_qubits = _parse_span(args.qubits, "--qubits")
         min_operations, max_operations = _parse_span(args.ops, "--ops")
+        plan_engine = "default"
         if args.inject_broken:
-            register_broken_backend()
+            if mode == "differential":
+                register_broken_backend()
+            else:
+                # plan/mutate campaigns fuzz the engine, not the backend
+                # pool: the planted bug lives on the reorder path
+                plan_engine = "broken-reorder"
         backends = tuple(name for name in
                          (args.backends or "").split(",") if name)
         config = FuzzConfig(
             backends=backends, reference=args.reference,
             min_qubits=min_qubits, max_qubits=max_qubits,
             min_operations=min_operations, max_operations=max_operations,
-            seed=args.seed, max_failures=args.max_failures)
+            seed=args.seed, max_failures=args.max_failures,
+            plan_engine=plan_engine)
         if args.jobs > 1:
-            return _fuzz_parallel(args, config, budget)
-        fuzzer = DifferentialFuzzer(config)
+            return _fuzz_parallel(args, config, budget, mode)
+        if mode == "plans":
+            report = run_plans(config, budget_seconds=budget,
+                               max_cases=args.max_circuits)
+        elif mode == "mutate":
+            report = run_mutation(config, budget_seconds=budget,
+                                  max_cases=args.max_circuits)
+        else:
+            report = DifferentialFuzzer(config).run(
+                budget_seconds=budget, max_circuits=args.max_circuits)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = fuzzer.run(budget_seconds=budget,
-                        max_circuits=args.max_circuits)
-    print(f"fuzz: {report.circuits_checked} circuits, "
+    extra = ""
+    if mode == "mutate":
+        extra = (f", {report.coverage_buckets} coverage buckets "
+                 f"({report.novel_cases} novel cases)")
+    if report.cases_skipped:
+        extra += f", {report.cases_skipped} budget-aborted (skipped)"
+    print(f"fuzz [{mode}]: {report.circuits_checked} circuits, "
           f"{report.comparisons} comparisons across "
-          f"{len(report.backends)} backends "
+          f"{len(report.backends)} target(s) "
           f"({', '.join(report.backends)}), "
-          f"{report.wall_seconds:.1f}s, seed {config.seed}")
+          f"{report.wall_seconds:.1f}s, seed {config.seed}{extra}")
     if args.corpus:
         paths = write_corpus(report, args.corpus)
         print(f"corpus: {len(paths)} file(s) in {args.corpus}")
@@ -552,7 +583,31 @@ def _cmd_fuzz(args) -> int:
     return 1
 
 
-def _fuzz_parallel(args, config, budget: float | None) -> int:
+def _fuzz_replay(args) -> int:
+    """Replay a pinned reproducer corpus through every backend."""
+    from .verification.corpus import load_corpus, replay_entry
+    try:
+        entries = load_corpus(args.replay_corpus)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures = []
+    for entry in entries:
+        failures.extend(replay_entry(entry))
+    print(f"corpus replay: {len(entries)} reproducer(s) from "
+          f"{args.replay_corpus}")
+    if not failures:
+        print("corpus replay OK: every entry matched on every backend")
+        return 0
+    print(f"corpus replay FAILED: {len(failures)} regression(s)",
+          file=sys.stderr)
+    for failure in failures:
+        print(f"  {failure}", file=sys.stderr)
+    return 1
+
+
+def _fuzz_parallel(args, config, budget: float | None,
+                   mode: str = "differential") -> int:
     """Fan one fuzz campaign out as ``kind="fuzz"`` sweep cells.
 
     Each worker cell fuzzes a rotated seed for the full budget (cells run
@@ -569,11 +624,12 @@ def _fuzz_parallel(args, config, budget: float | None) -> int:
         # rotate the seed per cell so workers explore disjoint streams
         metadata["seed"] = config.seed + 7919 * index
         metadata["budget_seconds"] = budget
+        metadata["mode"] = mode
         if args.max_circuits is not None:
             metadata["max_circuits"] = -(-args.max_circuits // args.jobs)
         if args.corpus:
             metadata["corpus"] = os.path.join(args.corpus, f"cell{index}")
-        if args.inject_broken:
+        if args.inject_broken and mode == "differential":
             metadata["register_broken"] = True
         name = f"fuzz-{index}"
         tasks.append(SweepTask(
@@ -1021,9 +1077,25 @@ def main(argv: list[str] | None = None) -> int:
                       help="fan the campaign out over N sweep worker "
                            "processes with rotated seeds (default: 1)")
     fuzz.add_argument("--inject-broken", action="store_true",
-                      help="register the deliberately faulty demo backend "
-                           "first (the campaign must then fail; CI uses "
-                           "this to prove the ratchet bites)")
+                      help="plant a deliberate bug first (a faulty backend "
+                           "for differential mode, the reorder-path "
+                           "BrokenReorderEngine for --plan-options/"
+                           "--mutate); the campaign must then fail -- CI "
+                           "uses this to prove the ratchet bites")
+    fuzz.add_argument("--plan-options", action="store_true",
+                      help="option-surface mode: every case runs a random "
+                           "RunPlan (kernel, identity edges, strategy, "
+                           "reordering, node budgets, checkpoint/resume) "
+                           "against the dense oracle")
+    fuzz.add_argument("--mutate", action="store_true",
+                      help="coverage-guided mode: mutate the cases whose "
+                           "runs lit up new engine-coverage buckets "
+                           "(cache hit rates, reorder/degrade/cutover "
+                           "counts, node bands)")
+    fuzz.add_argument("--replay-corpus", default=None, metavar="DIR",
+                      help="replay a pinned reproducer corpus through "
+                           "every registered backend (and each entry's "
+                           "plan) instead of fuzzing")
     fuzz.set_defaults(handler=_cmd_fuzz)
 
     bench = commands.add_parser(

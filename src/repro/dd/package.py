@@ -176,7 +176,8 @@ class Package:
                  identity_shortcut: bool = True,
                  kernel: str = "recursive",
                  identity_edges: bool = False,
-                 dense_blocks: bool = True) -> None:
+                 dense_blocks: bool = True,
+                 deterministic: bool = False) -> None:
         if kernel not in ("recursive", "iterative"):
             raise ValueError(f"kernel must be 'recursive' or 'iterative', "
                              f"got {kernel!r}")
@@ -225,6 +226,14 @@ class Package:
         #: ``to_flat``/``from_dense`` round-trip through the same canonical
         #: store, so results are bit-identical to the pure-DD path.
         self.dense_blocks = dense_blocks
+        #: deterministic dense-block cutover: replaces the EWMA-smoothed
+        #: microsecond cost model with a pure integer rule over counted
+        #: worklist units, so the cutover step -- and therefore every
+        #: scheduling count downstream of it -- is a function of the input
+        #: alone, never of smoothing state or calibration constants tuned
+        #: in wall-clock units.  See :meth:`FlatKernel.apply_gate
+        #: <repro.dd.kernel.FlatKernel.apply_gate>`.
+        self.deterministic = deterministic
         self.flat = FlatKernel(self) if kernel == "iterative" else None
 
     # ------------------------------------------------------------------
@@ -410,7 +419,14 @@ class Package:
             return self._scaled(x, lookup(x.weight + y.weight) / x.weight)
         self.counters.add_recursions += 1
         # Addition is commutative; order operands for better cache reuse.
-        if id(x.node) > id(y.node):
+        # The order must be run-to-run stable (interning serials, not
+        # ``id()``): the ratio below is snapped by the complex table, and
+        # ``x + ratio*y`` vs ``y + (1/ratio)*x`` can round to *different*
+        # canonical DDs near the tolerance boundary.  With addresses the
+        # direction flipped with ASLR, which made node counts -- and the
+        # max-size strategy's flush schedule -- vary between identical
+        # runs (caught by the schedule byte-identity check).
+        if x.node.serial > y.node.serial:
             x, y = y, x
         value = y.weight / x.weight
         ratio = ct._exact.get(value)

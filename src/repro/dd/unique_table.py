@@ -19,11 +19,16 @@ __all__ = ["UniqueTable"]
 class UniqueTable:
     """One hash-consing table for one node species (vector or matrix)."""
 
-    __slots__ = ("_node_class", "_table", "lookups", "hits", "created")
+    __slots__ = ("_node_class", "_table", "_serial", "lookups", "hits",
+                 "created")
 
     def __init__(self, node_class: type) -> None:
         self._node_class = node_class
         self._table: dict[tuple, VectorNode | MatrixNode] = {}
+        #: next interning serial; monotone over the table's lifetime so a
+        #: node's serial is its creation rank -- a run-to-run-stable
+        #: canonical order (``id()`` is not: it's an address)
+        self._serial = 0
         self.lookups = 0
         self.hits = 0
         #: whether the last ``get_or_insert`` allocated a fresh node
@@ -59,6 +64,8 @@ class UniqueTable:
             self.created = False
             return node
         node = self._node_class(level, edges)
+        node.serial = self._serial
+        self._serial += 1
         self._table[key] = node
         self.created = True
         return node

@@ -49,6 +49,7 @@ import os
 import signal
 import time
 import traceback
+from collections.abc import Callable
 from dataclasses import asdict, dataclass, field
 
 from .faults import Deadline, FaultInjector, chain_hooks, parse_fault
@@ -274,7 +275,7 @@ class Supervisor:
 
     def __init__(self, store: JobStore,
                  config: SupervisorConfig | None = None,
-                 trace=None) -> None:
+                 trace: Callable[[dict], object] | None = None) -> None:
         self.store = store
         self.config = config or SupervisorConfig()
         self.trace = trace

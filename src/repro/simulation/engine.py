@@ -592,12 +592,35 @@ class SimulationEngine:
         # callers always receive a DD-backed state.
         run.state = self.package.solidify(run.state)
         statistics.final_state_nodes = self.package.count_nodes(run.state)
+        self._stamp_coverage_signals(statistics)
         if base_statistics is not None:
             base_statistics.merge(statistics)
             statistics = base_statistics
         return SimulationResult(state=run.state, package=self.package,
                                 statistics=statistics,
                                 permutation=run.permutation)
+
+    def _stamp_coverage_signals(self, statistics: SimulationStatistics
+                                ) -> None:
+        """Fold cheap package-level signals into the run's statistics.
+
+        The coverage-guided fuzzer (:mod:`repro.verification.coverage`)
+        buckets these to decide whether a case reached engine behaviour no
+        earlier case did.  The numbers are cumulative per package, so they
+        are per-run only when the engine owns a fresh package (which is how
+        every backend adapter and the plan executor build engines).
+        """
+        cache = self.package.cache_stats()
+        rates: dict[str, float] = {}
+        for name, table in cache.get("compute", {}).items():
+            if table.get("lookups"):
+                rates[name] = table["hit_rate"]
+        complex_stats = cache.get("complex", {})
+        if complex_stats.get("hits") or complex_stats.get("misses"):
+            rates["complex"] = complex_stats["hit_rate"]
+        statistics.cache_hit_rates = rates
+        dense = cache.get("kernel", {}).get("dense", {})
+        statistics.dense_cutovers = int(dense.get("cutovers") or 0)
 
     def _run_ops(self, run: _Run, strategy: SimulationStrategy,
                  circuit: QuantumCircuit, *, start_index: int,
@@ -866,8 +889,7 @@ class SimulationEngine:
             # Gate caches are keyed by the *remapped* operations; stale
             # entries would pin DDs built for the old order forever.
             self.clear_caches()
-            if run.strategy is not None:
-                run.strategy.on_reorder(run)
+            self._notify_reorder(run)
         run.statistics.reorders += 1
         run.statistics.reorder_nodes_saved += nodes_before - nodes_after
         live = self._collect(run)
@@ -883,6 +905,20 @@ class SimulationEngine:
                 "live_nodes": live,
             })
         return live
+
+    def _notify_reorder(self, run: _Run) -> None:
+        """Tell the strategy the run was rebased onto a new variable order.
+
+        Accumulating strategies hold their pending product DD privately;
+        after :meth:`_reorder` permutes ``run._pending`` they must re-adopt
+        it (:meth:`~repro.simulation.strategies.SimulationStrategy
+        .on_reorder`), or they would keep combining gates built under the
+        new order into a product built under the old one.  Kept as a
+        separate method so the fuzzing harness can plant exactly that bug
+        (:class:`repro.verification.plans.BrokenReorderEngine`).
+        """
+        if run.strategy is not None:
+            run.strategy.on_reorder(run)
 
     def _degrade(self, run: _Run, live: int) -> int:
         """Walk the degradation ladder; returns the final live-node count.

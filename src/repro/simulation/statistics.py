@@ -73,6 +73,15 @@ class SimulationStatistics:
     reorders: int = 0
     #: total state-DD nodes saved by reordering (before - after, summed)
     reorder_nodes_saved: int = 0
+    #: iterative-kernel dense-block cutovers during the run (0 on the
+    #: recursive kernel; stamped from the package's kernel stats)
+    dense_cutovers: int = 0
+    #: end-of-run hit rate per compute/memo table (name -> rate in [0, 1];
+    #: per-run only when the engine owns a fresh package).  These feed the
+    #: coverage-guided fuzzer's novelty map; they are *not* part of the
+    #: deterministic sweep payload -- slot collisions make them
+    #: machine-sensitive.
+    cache_hit_rates: dict = field(default_factory=dict)
     #: execution attempts consumed to produce this result (1 for a run
     #: that never failed; the job supervisor stamps the real count)
     attempts: int = 1
@@ -128,6 +137,10 @@ class SimulationStatistics:
         self.audits_run += other.audits_run
         self.reorders += other.reorders
         self.reorder_nodes_saved += other.reorder_nodes_saved
+        self.dense_cutovers += other.dense_cutovers
+        # hit rates are end-of-run gauges, not counters: latest segment wins
+        if other.cache_hit_rates:
+            self.cache_hit_rates = dict(other.cache_hit_rates)
         self.attempts = max(self.attempts, other.attempts)
         # the merged record describes the run up to the *other* segment,
         # so the latest segment's resume offset wins

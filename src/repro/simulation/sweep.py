@@ -48,11 +48,19 @@ import hashlib
 import os
 import signal
 import time
+from collections.abc import Callable
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .statistics import SimulationStatistics
+
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+
+    from ..circuit.circuit import QuantumCircuit
+    from .memory import MemoryGovernor
 
 __all__ = ["SweepTask", "CellResult", "SweepReport", "SweepRunner",
            "task_seed", "run_cell"]
@@ -254,7 +262,7 @@ class CellTimeout(Exception):
 # worker-side execution
 # ----------------------------------------------------------------------
 
-def _governor_for(task: SweepTask):
+def _governor_for(task: SweepTask) -> "MemoryGovernor | None":
     from .memory import MemoryGovernor
     if task.max_nodes is None and task.gc_limit is None:
         return None
@@ -263,7 +271,8 @@ def _governor_for(task: SweepTask):
 
 
 def _simulate_task(task: SweepTask,
-                   on_op=None) -> SimulationStatistics:
+                   on_op: Callable[[int], None] | None = None
+                   ) -> SimulationStatistics:
     """Run one cell on freshly constructed, process-local DD state.
 
     ``on_op`` is the engine's cheap per-op callback (cooperative deadlines
@@ -312,7 +321,9 @@ def _simulate_task(task: SweepTask,
     raise ValueError(f"unknown task kind {task.kind!r}")
 
 
-def _simulate_task_backend(task: SweepTask, on_op=None):
+def _simulate_task_backend(task: SweepTask,
+                           on_op: Callable[[int], None] | None = None
+                           ) -> SimulationStatistics:
     """Run a ``qasm``/``instance`` cell through a registered backend.
 
     Engine-backed adapters honour budgets (``gc_limit``/``max_nodes``
@@ -345,7 +356,7 @@ def _simulate_task_backend(task: SweepTask, on_op=None):
     return result.statistics
 
 
-def _instance_circuit(task: SweepTask):
+def _instance_circuit(task: SweepTask) -> "QuantumCircuit":
     """The plain circuit of a circuit-backed instance cell.
 
     Rebuilt from the task's metadata (the same payload
@@ -463,7 +474,7 @@ class SweepRunner:
     """
 
     def __init__(self, jobs: int = 1, retries: int = 1,
-                 mp_context=None) -> None:
+                 mp_context: "BaseContext | str | None" = None) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if retries < 0:

@@ -8,16 +8,33 @@ a pointer check.
 :mod:`repro.verification.fuzz` extends the idea into a continuous
 service: random circuits cross-checked across every registered backend,
 with automatic minimization of failing circuits into a reproducer corpus.
+:mod:`repro.verification.plans` adds the *option surface* -- kernels,
+reordering, budgets, checkpoint/resume -- as a fuzzable dimension,
+:mod:`repro.verification.mutate` / :mod:`repro.verification.coverage`
+drive coverage-guided mutation over it, and
+:mod:`repro.verification.corpus` replays pinned reproducers as tests.
 """
 
+from .cases import CaseVerdict, FuzzCase, check_case, draw_case, minimize_case
+from .corpus import CorpusEntry, load_corpus, promote, replay_entry
+from .coverage import CoverageMap, coverage_signature
 from .functional import OracleCheckResult, check_implements_function
 from .fuzz import (DifferentialFuzzer, FuzzConfig, FuzzFailure,
                    FuzzMismatch, FuzzReport, fuzz_circuit,
-                   register_broken_backend, run_fuzz_cell, write_corpus)
+                   register_broken_backend, run_fuzz_cell, run_mutation,
+                   run_plans, write_corpus)
+from .mutate import mutate_case
+from .plans import (BrokenReorderEngine, PlanOutcome, RunPlan,
+                    dense_fidelity, draw_plan, engine_class, execute_plan)
 from .unitary import EquivalenceResult, check_equivalence, circuit_unitary_dd
 
-__all__ = ["DifferentialFuzzer", "EquivalenceResult", "FuzzConfig",
-           "FuzzFailure", "FuzzMismatch", "FuzzReport", "OracleCheckResult",
-           "check_equivalence", "check_implements_function",
-           "circuit_unitary_dd", "fuzz_circuit", "register_broken_backend",
-           "run_fuzz_cell", "write_corpus"]
+__all__ = ["BrokenReorderEngine", "CaseVerdict", "CorpusEntry",
+           "CoverageMap", "DifferentialFuzzer", "EquivalenceResult",
+           "FuzzCase", "FuzzConfig", "FuzzFailure", "FuzzMismatch",
+           "FuzzReport", "OracleCheckResult", "PlanOutcome", "RunPlan",
+           "check_case", "check_equivalence", "check_implements_function",
+           "circuit_unitary_dd", "coverage_signature", "dense_fidelity",
+           "draw_case", "draw_plan", "engine_class", "execute_plan",
+           "fuzz_circuit", "load_corpus", "minimize_case", "mutate_case",
+           "promote", "register_broken_backend", "replay_entry",
+           "run_fuzz_cell", "run_mutation", "run_plans", "write_corpus"]

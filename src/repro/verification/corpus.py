@@ -1,0 +1,159 @@
+"""The pinned regression corpus: minimized reproducers replayed as tests.
+
+A fuzzing campaign that finds a bug once is an anecdote; a corpus makes
+it a regression test.  Every minimized reproducer the fuzzer (or a human)
+promotes into ``tests/verification/corpus/`` is replayed on every CI run
+through **all registered backends** and -- for option-plan entries --
+through the engine option schedule that originally exposed the bug.
+
+Two entry schemas coexist:
+
+* **Schema 1** (the blind differential fuzzer's format): a QASM circuit;
+  replay runs every registered backend against the dense reference and
+  demands agreement at the fidelity floor.
+* **Schema 2** (option-surface cases): a structural
+  :class:`~repro.verification.cases.FuzzCase` payload -- flat operations,
+  optional repeated block, option plan.  Replay first runs the case's
+  plan on a fresh default engine against the dense oracle, then
+  cross-checks the flat circuit differentially like schema 1.
+
+Promotion workflow: run a campaign with ``--corpus DIR``, inspect the
+minimized reproducer JSON it wrote, add a ``name`` and a ``description``
+recording the bug it pins, and copy it into the test corpus directory.
+:func:`promote` automates the mechanical part.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from ..backends import available_backends, create_backend
+from ..circuit.circuit import QuantumCircuit
+from ..circuit.qasm import from_qasm
+from .cases import FIDELITY_FLOOR, FuzzCase, check_case
+
+__all__ = ["CorpusEntry", "load_corpus", "promote", "replay_entry"]
+
+
+@dataclass
+class CorpusEntry:
+    """One pinned reproducer."""
+
+    #: stable identifier (defaults to the file stem)
+    name: str
+    schema: int
+    #: what bug this entry pins, for humans reading a replay failure
+    description: str
+    #: schema 1: the reproducer circuit's QASM
+    qasm: str | None = None
+    #: schema 2: the structural case
+    case: FuzzCase | None = None
+    path: str | None = None
+
+    def circuit(self) -> QuantumCircuit:
+        if self.case is not None:
+            return self.case.circuit(name=self.name)
+        if self.qasm is None:
+            raise ValueError(f"corpus entry {self.name!r} has neither "
+                             f"a case nor QASM")
+        circuit = from_qasm(self.qasm)
+        circuit.name = self.name
+        return circuit
+
+
+def _entry_from_payload(payload: dict, name: str,
+                        path: str | None) -> CorpusEntry:
+    schema = int(payload.get("schema", 1))
+    description = payload.get("description", "")
+    if schema >= 2 and payload.get("case") is not None:
+        return CorpusEntry(name=payload.get("name", name), schema=schema,
+                           description=description,
+                           case=FuzzCase.from_dict(payload["case"]),
+                           path=path)
+    qasm = payload.get("qasm") or payload.get("minimized_qasm")
+    if not qasm:
+        raise ValueError(f"corpus entry {name!r} carries no circuit")
+    return CorpusEntry(name=payload.get("name", name), schema=schema,
+                       description=description, qasm=qasm, path=path)
+
+
+def load_corpus(directory: str) -> list[CorpusEntry]:
+    """All reproducers in a corpus directory, sorted by file name.
+
+    Campaign ``summary.json`` files are skipped; malformed entries raise
+    (a corrupt corpus should fail loudly, not silently shrink).
+    """
+    entries = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json") or filename == "summary.json":
+            continue
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            payload = json.load(handle)
+        entries.append(_entry_from_payload(
+            payload, os.path.splitext(filename)[0], path))
+    if not entries:
+        raise ValueError(f"corpus directory {directory!r} holds no "
+                         f"reproducers")
+    return entries
+
+
+def replay_entry(entry: CorpusEntry, backends: list[str] | None = None,
+                 fidelity_floor: float = FIDELITY_FLOOR) -> list[str]:
+    """Replay one entry; returns human-readable failure descriptions.
+
+    An empty list means the entry passed everywhere: the case's option
+    plan (schema 2) reproduced the oracle, and every backend agreed with
+    the dense reference on the flat circuit.
+    """
+    failures = []
+    if entry.case is not None:
+        verdict = check_case(entry.case, fidelity_floor=fidelity_floor)
+        if verdict.failed:
+            detail = verdict.error if verdict.error is not None \
+                else f"fidelity {verdict.fidelity}"
+            failures.append(
+                f"{entry.name}: plan [{entry.case.plan.describe()}] "
+                f"diverged from the dense oracle: {detail}")
+    circuit = entry.circuit()
+    names = backends if backends is not None else available_backends()
+    reference = create_backend("dense").run(circuit)
+    for name in names:
+        if name == "dense":
+            continue
+        try:
+            result = create_backend(name).run(circuit)
+            fidelity = result.fidelity_with(reference)
+        except Exception as exc:  # noqa: BLE001 -- report, don't crash CI
+            failures.append(f"{entry.name}: backend {name!r} raised "
+                            f"{type(exc).__name__}: {exc}")
+            continue
+        if fidelity < fidelity_floor:
+            failures.append(f"{entry.name}: backend {name!r} fidelity "
+                            f"{fidelity:.12f} below {fidelity_floor}")
+    return failures
+
+
+def promote(payload: dict, directory: str, name: str,
+            description: str) -> str:
+    """Write one reproducer payload into a corpus as a named entry.
+
+    ``payload`` is a campaign reproducer dict (schema 1 failure file or a
+    schema 2 case file); ``name`` becomes both the file stem and the
+    entry name.  Returns the written path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    entry = dict(payload)
+    entry["name"] = name
+    entry["description"] = description
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2)
+        handle.write("\n")
+    # round-trip through the loader so a malformed promotion fails here,
+    # not on the next CI run
+    with open(path) as handle:
+        _entry_from_payload(json.load(handle), name, path)
+    return path

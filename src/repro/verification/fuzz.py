@@ -29,23 +29,33 @@ import math
 import os
 import time
 from dataclasses import dataclass, field
+from dataclasses import replace as dataclasses_replace
 from random import Random
 
 from ..backends import available_backends, create_backend
-from ..backends.base import Backend, BackendResult
+from ..backends.base import BackendResult
 from ..backends.registry import register_backend, unregister_backend
 from ..backends.tensor_slot import TensorSlotBackend
 from ..circuit.circuit import QuantumCircuit
 from ..circuit.operation import Operation
 from ..circuit.qasm import to_qasm
 from ..simulation.statistics import SimulationStatistics
+from .cases import (FuzzCase, case_qasm, check_case, draw_case,
+                    draw_operations, minimize_case)
+from .coverage import CoverageMap, coverage_signature
+from .mutate import mutate_case
+from .plans import engine_class
 
 __all__ = ["BrokenPhaseBackend", "DifferentialFuzzer", "FuzzConfig",
            "FuzzFailure", "FuzzMismatch", "FuzzReport", "fuzz_circuit",
-           "register_broken_backend", "run_fuzz_cell", "write_corpus"]
+           "register_broken_backend", "run_fuzz_cell", "run_mutation",
+           "run_plans", "write_corpus"]
 
-#: schema of the JSON reproducer files in the corpus
+#: schema of plain-QASM reproducer files in the corpus
 CORPUS_SCHEMA = 1
+
+#: schema of structural case reproducers (operations + block + plan)
+CASE_SCHEMA = 2
 
 #: agreement threshold -- identical to tests/test_differential.py and the
 #: bench receipts, so the fuzzer ratchets the same invariant CI gates on
@@ -76,6 +86,12 @@ class FuzzConfig:
     seed: int = 0
     #: stop after this many distinct failing (backend, circuit) pairs
     max_failures: int = 5
+    #: probability a drawn case carries a repeated block (plan/mutate
+    #: campaigns only; blind differential fuzzing never draws blocks)
+    block_probability: float = 0.45
+    #: engine implementation plan campaigns run
+    #: (see :data:`repro.verification.plans._ENGINES`)
+    plan_engine: str = "default"
 
     def resolved_backends(self) -> list[str]:
         names = list(self.backends) if self.backends \
@@ -99,6 +115,8 @@ class FuzzConfig:
             "fidelity_floor": self.fidelity_floor,
             "seed": self.seed,
             "max_failures": self.max_failures,
+            "block_probability": self.block_probability,
+            "plan_engine": self.plan_engine,
         }
 
     @classmethod
@@ -125,10 +143,15 @@ class FuzzFailure:
     minimized_qasm: str
     minimized_operations: int
     minimized_qubits: int
+    #: option-surface failures only: the minimized structural case
+    #: (:meth:`FuzzCase.as_dict`) and the engine that produced the bug
+    case: dict | None = None
+    engine: str | None = None
 
     def as_dict(self) -> dict:
-        return {
-            "schema": CORPUS_SCHEMA,
+        payload = {
+            "schema": CASE_SCHEMA if self.case is not None
+            else CORPUS_SCHEMA,
             "backend": self.backend,
             "reference": self.reference,
             "kind": self.kind,
@@ -141,14 +164,23 @@ class FuzzFailure:
             "minimized_operations": self.minimized_operations,
             "minimized_qubits": self.minimized_qubits,
         }
+        if self.case is not None:
+            payload["case"] = self.case
+            payload["engine"] = self.engine
+        return payload
 
     def summary(self) -> str:
         detail = f"fidelity {self.fidelity:.12f}" \
             if self.kind == "fidelity" else f"error: {self.error}"
+        plan = ""
+        if self.case is not None:
+            plan = (f"; plan: "
+                    f"{FuzzCase.from_dict(self.case).plan.describe()}")
         return (f"backend {self.backend!r} vs {self.reference!r} "
                 f"(seed {self.seed}): {detail}; minimized to "
                 f"{self.minimized_operations} gate(s) on "
-                f"{self.minimized_qubits} qubit(s)\n{self.minimized_qasm}")
+                f"{self.minimized_qubits} qubit(s){plan}\n"
+                f"{self.minimized_qasm}")
 
 
 @dataclass
@@ -161,6 +193,11 @@ class FuzzReport:
     wall_seconds: float = 0.0
     backends: list = field(default_factory=list)
     failures: list = field(default_factory=list)
+    #: plan/mutate campaigns: budget-aborted runs (expected, not failures)
+    cases_skipped: int = 0
+    #: mutate campaigns: coverage buckets seen / cases that found new ones
+    coverage_buckets: int = 0
+    novel_cases: int = 0
 
     @property
     def ok(self) -> bool:
@@ -174,6 +211,9 @@ class FuzzReport:
             "comparisons": self.comparisons,
             "wall_seconds": round(self.wall_seconds, 3),
             "backends": list(self.backends),
+            "cases_skipped": self.cases_skipped,
+            "coverage_buckets": self.coverage_buckets,
+            "novel_cases": self.novel_cases,
             "config": self.config.as_dict(),
             "failures": [failure.as_dict() for failure in self.failures],
         }
@@ -183,10 +223,6 @@ class FuzzReport:
 # random circuit generation (Clifford+T plus rotations)
 # ----------------------------------------------------------------------
 
-_CLIFFORD_T_1Q = ("h", "x", "y", "z", "s", "sdg", "t", "tdg")
-_ROTATIONS = ("rx", "ry", "rz", "p")
-
-
 def fuzz_circuit(num_qubits: int, num_operations: int, seed: int,
                  rotation_probability: float = 0.4) -> QuantumCircuit:
     """One random circuit from the fuzzing distribution.
@@ -195,30 +231,15 @@ def fuzz_circuit(num_qubits: int, num_operations: int, seed: int,
     single-qubit gates, CX/CZ/CCX entanglers, and (with
     ``rotation_probability``) continuous rotations with angles that are
     *not* nice dyadic fractions of pi -- exactly the amplitudes where a
-    normalisation or phase bug hides.
+    normalisation or phase bug hides.  The distribution itself lives in
+    :func:`repro.verification.cases.draw_operations`, shared with the
+    option-surface and mutation campaigns.
     """
     rng = Random(seed)
     circuit = QuantumCircuit(num_qubits, name=f"fuzz-{seed}")
-    for _ in range(num_operations):
-        roll = rng.random()
-        if roll < rotation_probability:
-            gate = rng.choice(_ROTATIONS)
-            angle = rng.uniform(0, 2 * math.pi)
-            circuit.add_operation(gate, rng.randrange(num_qubits),
-                                  params=(angle,))
-        elif roll < rotation_probability + 0.35 and num_qubits >= 2:
-            control, target = rng.sample(range(num_qubits), 2)
-            if num_qubits >= 3 and rng.random() < 0.25:
-                second = rng.choice([q for q in range(num_qubits)
-                                     if q not in (control, target)])
-                circuit.ccx(control, second, target)
-            elif rng.random() < 0.5:
-                circuit.cx(control, target)
-            else:
-                circuit.cz(control, target)
-        else:
-            gate = rng.choice(_CLIFFORD_T_1Q)
-            circuit.add_operation(gate, rng.randrange(num_qubits))
+    for operation in draw_operations(rng, num_qubits, num_operations,
+                                     rotation_probability):
+        circuit.append(operation)
     return circuit
 
 
@@ -385,6 +406,183 @@ def _drop_qubit(operation: Operation, qubit: int) -> Operation:
 
 
 # ----------------------------------------------------------------------
+# option-surface campaign (fuzz --plan-options)
+# ----------------------------------------------------------------------
+
+def _case_failure(case: FuzzCase, minimized: FuzzCase, config: FuzzConfig,
+                  kind: str, fidelity: float | None,
+                  error: str | None) -> FuzzFailure:
+    return FuzzFailure(
+        backend=f"engine:{config.plan_engine}", reference="dense-oracle",
+        kind=kind, seed=case.seed, fidelity=fidelity, error=error,
+        original_qasm=case_qasm(case), minimized_qasm=case_qasm(minimized),
+        minimized_operations=minimized.gate_count(),
+        minimized_qubits=minimized.num_qubits,
+        case=minimized.as_dict(), engine=config.plan_engine)
+
+
+def _campaign_bounds(budget_seconds: float | None,
+                     max_cases: int | None) -> None:
+    if budget_seconds is None and max_cases is None:
+        raise ValueError("need a budget_seconds or max_cases bound")
+
+
+def run_plans(config: FuzzConfig, budget_seconds: float | None = None,
+              max_cases: int | None = None) -> FuzzReport:
+    """Fuzz the option surface: random cases under random run plans.
+
+    Every drawn case executes its plan -- kernel choice, identity edges,
+    dense cutover, accumulation strategy, mid-run reordering, node
+    budgets, checkpoint-interrupt-resume -- on a fresh engine and must
+    reproduce the dense statevector oracle at the fidelity floor.
+    Budget-aborted runs count as skips.  Failures are minimized down to
+    gates *and* plan options before they are reported.
+    """
+    _campaign_bounds(budget_seconds, max_cases)
+    engine_cls = engine_class(config.plan_engine)
+    report = FuzzReport(config=config,
+                        backends=[f"engine:{config.plan_engine}"])
+    master = Random(config.seed)
+    started = time.perf_counter()
+    index = 0
+    while True:
+        if max_cases is not None and index >= max_cases:
+            break
+        if index > 0 and budget_seconds is not None and \
+                time.perf_counter() - started >= budget_seconds:
+            break
+        if len(report.failures) >= config.max_failures:
+            break
+        case_seed = master.getrandbits(32)
+        case = draw_case(Random(case_seed),
+                         min_qubits=config.min_qubits,
+                         max_qubits=config.max_qubits,
+                         min_operations=config.min_operations,
+                         max_operations=config.max_operations,
+                         rotation_probability=config.rotation_probability,
+                         block_probability=config.block_probability,
+                         seed=case_seed)
+        report.circuits_checked += 1
+        report.comparisons += 1
+        index += 1
+        verdict = check_case(case, engine_cls, config.fidelity_floor)
+        if verdict.status == "skip":
+            report.cases_skipped += 1
+            continue
+        if verdict.failed:
+            minimized = minimize_case(case, engine_cls,
+                                      config.fidelity_floor)
+            report.failures.append(_case_failure(
+                case, minimized, config,
+                kind="error" if verdict.error is not None else "fidelity",
+                fidelity=verdict.fidelity, error=verdict.error))
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# coverage-guided mutation campaign (fuzz --mutate)
+# ----------------------------------------------------------------------
+
+#: cases the mutation pool keeps; older interesting cases rotate out
+MUTATION_POOL_LIMIT = 64
+
+#: fresh-draw seeds planted before mutation starts
+MUTATION_SEED_CASES = 8
+
+
+def run_mutation(config: FuzzConfig, budget_seconds: float | None = None,
+                 max_cases: int | None = None) -> FuzzReport:
+    """Coverage-guided fuzzing: mutate the cases that found new behaviour.
+
+    The campaign seeds a pool with fresh draws, then repeatedly mutates a
+    random pool member.  A mutant whose run lights up any new
+    :mod:`~repro.verification.coverage` bucket (cache hit-rate quartiles,
+    reorder/degradation/dense-cutover counts, node-count bands...) joins
+    the pool; one that reproduces known behaviour is discarded.  Oracle
+    mismatches are minimized and reported exactly like plan-campaign
+    failures.
+    """
+    _campaign_bounds(budget_seconds, max_cases)
+    engine_cls = engine_class(config.plan_engine)
+    report = FuzzReport(config=config,
+                        backends=[f"engine:{config.plan_engine}"])
+    coverage = CoverageMap()
+    pool: list[FuzzCase] = []
+    master = Random(config.seed)
+    started = time.perf_counter()
+
+    def out_of_budget(index: int) -> bool:
+        if max_cases is not None and index >= max_cases:
+            return True
+        if index > 0 and budget_seconds is not None and \
+                time.perf_counter() - started >= budget_seconds:
+            return True
+        return len(report.failures) >= config.max_failures
+
+    def run_one(case: FuzzCase) -> bool:
+        """Check one case; returns True if it joined the pool."""
+        report.circuits_checked += 1
+        report.comparisons += 1
+        verdict = check_case(case, engine_cls, config.fidelity_floor)
+        if verdict.status == "skip":
+            report.cases_skipped += 1
+        elif verdict.failed:
+            minimized = minimize_case(case, engine_cls,
+                                      config.fidelity_floor)
+            report.failures.append(_case_failure(
+                case, minimized, config,
+                kind="error" if verdict.error is not None else "fidelity",
+                fidelity=verdict.fidelity, error=verdict.error))
+        novel = coverage.observe(
+            coverage_signature(case.plan, verdict.outcome))
+        if novel:
+            pool.append(case)
+            if len(pool) > MUTATION_POOL_LIMIT:
+                pool.pop(0)
+        return novel
+
+    index = 0
+    while index < MUTATION_SEED_CASES and not out_of_budget(index):
+        case_seed = master.getrandbits(32)
+        run_one(draw_case(
+            Random(case_seed),
+            min_qubits=config.min_qubits, max_qubits=config.max_qubits,
+            min_operations=config.min_operations,
+            max_operations=config.max_operations,
+            rotation_probability=config.rotation_probability,
+            block_probability=config.block_probability, seed=case_seed))
+        index += 1
+    while not out_of_budget(index):
+        case_seed = master.getrandbits(32)
+        rng = Random(case_seed)
+        if pool:
+            parent = rng.choice(pool)
+            case = mutate_case(parent, rng)
+            case = replace_seed(case, case_seed)
+        else:
+            case = draw_case(
+                rng, min_qubits=config.min_qubits,
+                max_qubits=config.max_qubits,
+                min_operations=config.min_operations,
+                max_operations=config.max_operations,
+                rotation_probability=config.rotation_probability,
+                block_probability=config.block_probability,
+                seed=case_seed)
+        run_one(case)
+        index += 1
+    report.coverage_buckets = len(coverage)
+    report.novel_cases = coverage.novel
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def replace_seed(case: FuzzCase, seed: int) -> FuzzCase:
+    """The case re-stamped with the seed that derived it (lineage)."""
+    return dataclasses_replace(case, seed=seed)
+
+
+# ----------------------------------------------------------------------
 # the injected faulty backend (CI acceptance + selector tests)
 # ----------------------------------------------------------------------
 
@@ -453,7 +651,8 @@ def run_fuzz_cell(metadata: dict, seed: int = 0) -> SimulationStatistics:
     """Execute one fuzz campaign as a sweep cell.
 
     ``metadata`` carries a :meth:`FuzzConfig.as_dict` payload plus
-    optional ``budget_seconds`` / ``max_circuits`` / ``corpus`` /
+    optional ``mode`` (``differential`` | ``plans`` | ``mutate``),
+    ``budget_seconds`` / ``max_circuits`` / ``corpus`` /
     ``register_broken`` keys.  The cell's deterministic sweep seed
     replaces the config seed unless the config pinned one explicitly.
 
@@ -467,22 +666,35 @@ def run_fuzz_cell(metadata: dict, seed: int = 0) -> SimulationStatistics:
         payload["seed"] = seed
     if payload.pop("register_broken", False):
         register_broken_backend()
+    mode = payload.pop("mode", "differential")
     budget = payload.pop("budget_seconds", None)
     max_circuits = payload.pop("max_circuits", None)
     corpus = payload.pop("corpus", None)
     config = FuzzConfig.from_dict(payload)
-    fuzzer = DifferentialFuzzer(config)
-    report = fuzzer.run(budget_seconds=budget, max_circuits=max_circuits)
+    if mode == "plans":
+        report = run_plans(config, budget_seconds=budget,
+                           max_cases=max_circuits)
+    elif mode == "mutate":
+        report = run_mutation(config, budget_seconds=budget,
+                              max_cases=max_circuits)
+    elif mode == "differential":
+        fuzzer = DifferentialFuzzer(config)
+        report = fuzzer.run(budget_seconds=budget,
+                            max_circuits=max_circuits)
+    else:
+        raise ValueError(f"unknown fuzz mode {mode!r}; expected "
+                         f"'differential', 'plans' or 'mutate'")
     if corpus:
         write_corpus(report, corpus)
     if not report.ok:
         details = "\n".join(failure.summary()
                             for failure in report.failures)
         raise FuzzMismatch(
-            f"{len(report.failures)} backend disagreement(s) in "
-            f"{report.circuits_checked} circuit(s):\n{details}")
+            f"{len(report.failures)} disagreement(s) in "
+            f"{report.circuits_checked} circuit(s) ({mode}):\n{details}")
     statistics = SimulationStatistics(
-        strategy="fuzz", circuit_name=f"fuzz-seed-{config.seed}",
+        strategy="fuzz" if mode == "differential" else f"fuzz-{mode}",
+        circuit_name=f"fuzz-seed-{config.seed}",
         num_qubits=config.max_qubits, backend="+".join(report.backends))
     statistics.operations_applied = report.circuits_checked
     statistics.matrix_vector_mults = report.comparisons

@@ -163,6 +163,27 @@ class TestScheduleReport:
         keys = [(r["benchmark"], r["strategy"]) for r in result.rows]
         assert keys == sorted(keys)
 
+    def test_byte_identical_across_repeated_runs_and_job_counts(
+            self, mini_instances):
+        # The schedule report is the artifact CI diffs between serial and
+        # parallel execution, so its guarantee is byte-identity, not just
+        # row equality -- and not just once: scheduling nondeterminism
+        # shows up intermittently, so compare repeated runs.
+        import json
+
+        def payload(jobs):
+            result = run_schedule_report(instances=mini_instances,
+                                         strategies=("sequential", "k=4"),
+                                         jobs=jobs)
+            return json.dumps({"headers": result.headers,
+                               "rows": result.rows,
+                               "notes": result.notes}, sort_keys=True)
+
+        reference = payload(jobs=1)
+        for _ in range(5):
+            assert payload(jobs=1) == reference
+            assert payload(jobs=2) == reference
+
 
 class TestParallelParity:
     def test_fig8_jobs_param_accepted_and_rows_complete(self,
